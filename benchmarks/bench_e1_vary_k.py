@@ -1,0 +1,68 @@
+"""E1 — companion evaluation: vary k (Euclidean space).
+
+The companion full paper's central experiment varies the number of
+neighbours k and compares the methods on recomputation counts,
+communication cost and processing time.  Expected shape: the naive method
+recomputes every timestamp regardless of k; the order-k safe-region
+baseline and INS recompute only when the kNN set changes (growing slowly
+with k); the V*-style method sits in between; INS's client work stays a
+small multiple of k.
+"""
+
+import pytest
+
+from repro.simulation.experiment import run_euclidean_comparison
+from repro.simulation.report import format_table
+from repro.workloads.scenarios import default_euclidean_scenario
+
+from benchmarks.conftest import emit_table
+
+K_VALUES = (1, 2, 4, 8, 16)
+OBJECT_COUNT = 3_000
+STEPS = 250
+
+
+def sweep():
+    rows = []
+    for k in K_VALUES:
+        scenario = default_euclidean_scenario(
+            object_count=OBJECT_COUNT, k=k, rho=1.6, steps=STEPS, step_length=40.0, seed=61
+        )
+        result = run_euclidean_comparison(scenario)
+        for method in result.methods:
+            summary = method.summary
+            rows.append(
+                {
+                    "k": k,
+                    "method": summary.method,
+                    "recomputations": summary.full_recomputations,
+                    "comm_events": summary.communication_events,
+                    "objects_sent": summary.transmitted_objects,
+                    "distance_comps": summary.distance_computations,
+                    "construct_s": round(summary.construction_seconds, 4),
+                    "validate_s": round(summary.validation_seconds, 4),
+                    "elapsed_s": round(summary.elapsed_seconds, 3),
+                }
+            )
+    return rows
+
+
+def test_e1_vary_k(run_once):
+    rows = run_once(sweep)
+    emit_table(
+        "E1_vary_k",
+        format_table(rows, title=f"E1: vary k (n={OBJECT_COUNT}, {STEPS} steps, uniform data)"),
+    )
+    by_method_k = {(row["method"], row["k"]): row for row in rows}
+    for k in K_VALUES:
+        naive = by_method_k[("Naive", k)]
+        ins = by_method_k[("INS", k)]
+        vstar = by_method_k[("V*", k)]
+        strict = by_method_k[("OrderK-SR", k)]
+        # Shape checks from the paper's narrative.
+        assert naive["recomputations"] == STEPS + 1
+        assert ins["recomputations"] < naive["recomputations"]
+        assert ins["recomputations"] <= strict["recomputations"]
+        assert ins["recomputations"] <= vstar["recomputations"]
+        # INS construction is far cheaper than building exact order-k cells.
+        assert ins["construct_s"] <= strict["construct_s"]

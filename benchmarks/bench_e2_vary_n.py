@@ -1,0 +1,63 @@
+"""E2 — companion evaluation: vary the data-set size n (Euclidean space).
+
+Expected shape: recomputation counts *grow* with n for every safe-region
+method (denser data means smaller cells and more frequent kNN changes), but
+INS and the order-k baseline track the number of kNN changes while the
+naive method always recomputes every timestamp; communication follows the
+same ordering.
+"""
+
+from repro.simulation.experiment import run_euclidean_comparison
+from repro.simulation.report import format_table
+from repro.workloads.scenarios import default_euclidean_scenario
+
+from benchmarks.conftest import emit_table
+
+N_VALUES = (500, 1_000, 2_000, 5_000, 10_000)
+K = 8
+STEPS = 200
+
+
+def sweep():
+    rows = []
+    for n in N_VALUES:
+        scenario = default_euclidean_scenario(
+            object_count=n, k=K, rho=1.6, steps=STEPS, step_length=40.0, seed=62
+        )
+        result = run_euclidean_comparison(scenario)
+        for method in result.methods:
+            summary = method.summary
+            rows.append(
+                {
+                    "n": n,
+                    "method": summary.method,
+                    "knn_changes": summary.knn_changes,
+                    "recomputations": summary.full_recomputations,
+                    "comm_events": summary.communication_events,
+                    "objects_sent": summary.transmitted_objects,
+                    "elapsed_s": round(summary.elapsed_seconds, 3),
+                    "precompute_s": round(summary.precomputation_seconds, 3),
+                }
+            )
+    return rows
+
+
+def test_e2_vary_n(run_once):
+    rows = run_once(sweep)
+    emit_table(
+        "E2_vary_n",
+        format_table(rows, title=f"E2: vary n (k={K}, {STEPS} steps, uniform data)"),
+    )
+    by_method_n = {(row["method"], row["n"]): row for row in rows}
+    for n in N_VALUES:
+        naive = by_method_n[("Naive", n)]
+        ins = by_method_n[("INS", n)]
+        assert naive["recomputations"] == STEPS + 1
+        assert ins["recomputations"] < naive["recomputations"]
+        assert ins["objects_sent"] < naive["objects_sent"] * 3
+    # Denser data -> more kNN changes -> more INS recomputations (monotone
+    # trend between the sparsest and densest configurations).
+    assert (
+        by_method_n[("INS", N_VALUES[-1])]["recomputations"]
+        >= by_method_n[("INS", N_VALUES[0])]["recomputations"]
+    )

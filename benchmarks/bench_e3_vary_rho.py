@@ -1,0 +1,63 @@
+"""E3 — companion evaluation: vary the prefetch ratio ρ (INS only).
+
+The prefetch ratio trades communication volume per round trip against the
+number of round trips: a larger ρ ships more objects each time the server is
+contacted but lets the client absorb more kNN changes locally.  Expected
+shape: server recomputations decrease monotonically (weakly) as ρ grows,
+per-retrieval communication grows, and the total communication volume has a
+sweet spot at a moderate ρ — which is why the demo defaults to ρ = 1.6.
+"""
+
+from repro.core.ins_euclidean import INSProcessor
+from repro.index.vortree import VoRTree
+from repro.simulation.metrics import summarize
+from repro.simulation.report import format_table
+from repro.simulation.simulator import simulate
+from repro.workloads.scenarios import default_euclidean_scenario
+
+from benchmarks.conftest import emit_table
+
+RHO_VALUES = (1.0, 1.2, 1.6, 2.0, 2.5, 3.0)
+OBJECT_COUNT = 3_000
+K = 8
+STEPS = 300
+
+
+def sweep():
+    scenario = default_euclidean_scenario(
+        object_count=OBJECT_COUNT, k=K, rho=1.6, steps=STEPS, step_length=40.0, seed=63
+    )
+    shared_vortree = VoRTree(scenario.points)
+    rows = []
+    for rho in RHO_VALUES:
+        processor = INSProcessor(scenario.points, K, rho=rho, vortree=shared_vortree)
+        run = simulate(processor, scenario.trajectory)
+        summary = summarize(run)
+        rows.append(
+            {
+                "rho": rho,
+                "prefetch": processor.prefetch_count,
+                "recomputations": summary.full_recomputations,
+                "local_reorders": summary.local_reorders,
+                "objects_sent": summary.transmitted_objects,
+                "objects_per_timestamp": round(summary.communication_per_timestamp, 3),
+                "distance_comps": summary.distance_computations,
+                "elapsed_s": round(summary.elapsed_seconds, 3),
+            }
+        )
+    return rows
+
+
+def test_e3_vary_rho(run_once):
+    rows = run_once(sweep)
+    emit_table(
+        "E3_vary_rho",
+        format_table(rows, title=f"E3: vary prefetch ratio rho (n={OBJECT_COUNT}, k={K})"),
+    )
+    by_rho = {row["rho"]: row for row in rows}
+    # Recomputations fall (weakly) as rho grows.
+    assert by_rho[3.0]["recomputations"] <= by_rho[1.0]["recomputations"]
+    # The per-round-trip payload grows with rho.
+    assert by_rho[3.0]["prefetch"] > by_rho[1.0]["prefetch"]
+    # The client absorbs more changes locally at larger rho.
+    assert by_rho[3.0]["local_reorders"] >= by_rho[1.0]["local_reorders"]

@@ -1,0 +1,62 @@
+"""E4 — companion evaluation: vary the query speed (Euclidean space).
+
+A faster query object crosses safe-region boundaries more often, so every
+method that avoids per-timestamp recomputation must recompute more often as
+speed grows, while the naive method is insensitive to speed.  Expected
+shape: INS and the order-k baseline grow with speed but stay below naive;
+the V*-style method degrades fastest because its known-region shrinks as
+the query drifts from the retrieval point.
+"""
+
+from repro.simulation.experiment import run_euclidean_comparison
+from repro.simulation.report import format_table
+from repro.workloads.scenarios import default_euclidean_scenario
+
+from benchmarks.conftest import emit_table
+
+SPEEDS = (10.0, 20.0, 40.0, 80.0, 160.0)
+OBJECT_COUNT = 3_000
+K = 8
+STEPS = 200
+
+
+def sweep():
+    rows = []
+    for speed in SPEEDS:
+        scenario = default_euclidean_scenario(
+            object_count=OBJECT_COUNT, k=K, rho=1.6, steps=STEPS, step_length=speed, seed=64
+        )
+        result = run_euclidean_comparison(scenario)
+        for method in result.methods:
+            summary = method.summary
+            rows.append(
+                {
+                    "speed": speed,
+                    "method": summary.method,
+                    "knn_changes": summary.knn_changes,
+                    "recomputations": summary.full_recomputations,
+                    "comm_events": summary.communication_events,
+                    "objects_sent": summary.transmitted_objects,
+                    "elapsed_s": round(summary.elapsed_seconds, 3),
+                }
+            )
+    return rows
+
+
+def test_e4_vary_speed(run_once):
+    rows = run_once(sweep)
+    emit_table(
+        "E4_vary_speed",
+        format_table(rows, title=f"E4: vary query speed (n={OBJECT_COUNT}, k={K})"),
+    )
+    by_method_speed = {(row["method"], row["speed"]): row for row in rows}
+    for speed in SPEEDS:
+        naive = by_method_speed[("Naive", speed)]
+        ins = by_method_speed[("INS", speed)]
+        assert naive["recomputations"] == STEPS + 1
+        assert ins["recomputations"] <= naive["recomputations"]
+    # INS recomputations grow with speed (slow vs fast endpoints).
+    assert (
+        by_method_speed[("INS", SPEEDS[-1])]["recomputations"]
+        >= by_method_speed[("INS", SPEEDS[0])]["recomputations"]
+    )

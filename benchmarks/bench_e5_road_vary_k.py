@@ -1,0 +1,82 @@
+"""E5 — companion evaluation: road networks, vary k.
+
+The road-network counterpart of E1: the INS road processor against the
+V*-style and naive INE baselines on a grid network and a random planar
+network, for several k.  Expected shape: naive recomputes (and runs an INE
+search) every timestamp; INS-road needs the fewest recomputations; the
+V*-style method sits in between; all methods' costs grow with k.
+"""
+
+from repro.roadnet.generators import place_objects, random_planar_network
+from repro.simulation.experiment import run_road_comparison
+from repro.simulation.report import format_table
+from repro.trajectory.road import network_random_walk
+from repro.workloads.scenarios import RoadScenario, default_road_scenario
+
+from benchmarks.conftest import emit_table
+
+K_VALUES = (1, 2, 4, 8, 16)
+STEPS = 150
+
+
+def build_random_planar_scenario(k: int) -> RoadScenario:
+    network = random_planar_network(250, extent=5_000.0, seed=65)
+    objects = place_objects(network, 60, seed=66)
+    trajectory = network_random_walk(network, steps=STEPS, step_length=60.0, seed=67)
+    return RoadScenario(
+        name=f"planar250-n60-k{k}",
+        network=network,
+        object_vertices=objects,
+        trajectory=trajectory,
+        k=k,
+        rho=1.6,
+        step_length=60.0,
+    )
+
+
+def sweep():
+    rows = []
+    for k in K_VALUES:
+        scenarios = [
+            default_road_scenario(
+                rows=15, columns=15, object_count=60, k=k, rho=1.6,
+                steps=STEPS, step_length=40.0, seed=68,
+            ),
+            build_random_planar_scenario(k),
+        ]
+        for scenario in scenarios:
+            result = run_road_comparison(scenario)
+            for method in result.methods:
+                summary = method.summary
+                rows.append(
+                    {
+                        "network": scenario.name.split("-")[0],
+                        "k": k,
+                        "method": summary.method,
+                        "recomputations": summary.full_recomputations,
+                        "comm_events": summary.communication_events,
+                        "objects_sent": summary.transmitted_objects,
+                        "settled_vertices": summary.settled_vertices,
+                        "elapsed_s": round(summary.elapsed_seconds, 3),
+                    }
+                )
+    return rows
+
+
+def test_e5_road_vary_k(run_once):
+    rows = run_once(sweep)
+    emit_table(
+        "E5_road_vary_k",
+        format_table(rows, title=f"E5: road networks, vary k ({STEPS} steps)"),
+    )
+    grid_rows = {
+        (row["method"], row["k"]): row for row in rows if row["network"].startswith("grid")
+    }
+    for k in K_VALUES:
+        naive = grid_rows[("Naive-road", k)]
+        ins = grid_rows[("INS-road", k)]
+        vstar = grid_rows[("V*-road", k)]
+        assert naive["recomputations"] == STEPS + 1
+        assert ins["recomputations"] <= vstar["recomputations"]
+        assert ins["recomputations"] < naive["recomputations"]
+        assert ins["comm_events"] < naive["comm_events"]

@@ -1,0 +1,72 @@
+"""E6 — the introduction's claim: construction vs validation overhead.
+
+The INSQ introduction positions the methods on two axes: *construction
+overhead* (what it costs to rebuild the guard structure after a
+recomputation) and *validation overhead* (what it costs per timestamp to
+check the answer is still valid).  Earlier Voronoi-cell methods are heavy on
+construction; the V*-Diagram is lighter on construction but heavier on
+validation / recomputation frequency; INS is designed to be light on both.
+
+This benchmark measures that breakdown directly by timing the construction
+and validation phases separately for every method on the same workload.
+"""
+
+from repro.simulation.experiment import run_euclidean_comparison
+from repro.simulation.report import format_table
+from repro.workloads.scenarios import default_euclidean_scenario
+
+from benchmarks.conftest import emit_table
+
+OBJECT_COUNT = 3_000
+K = 8
+STEPS = 250
+
+
+def sweep():
+    scenario = default_euclidean_scenario(
+        object_count=OBJECT_COUNT, k=K, rho=1.6, steps=STEPS, step_length=40.0, seed=69
+    )
+    result = run_euclidean_comparison(scenario)
+    rows = []
+    for method in result.methods:
+        summary = method.summary
+        per_recompute = (
+            summary.construction_seconds / summary.full_recomputations
+            if summary.full_recomputations
+            else 0.0
+        )
+        per_timestamp = summary.validation_seconds / summary.timestamps
+        rows.append(
+            {
+                "method": summary.method,
+                "recomputations": summary.full_recomputations,
+                "construct_s": round(summary.construction_seconds, 4),
+                "construct_ms_per_recompute": round(per_recompute * 1_000, 3),
+                "validate_s": round(summary.validation_seconds, 4),
+                "validate_ms_per_timestamp": round(per_timestamp * 1_000, 4),
+                "precompute_s": round(summary.precomputation_seconds, 3),
+                "total_online_s": round(
+                    summary.construction_seconds + summary.validation_seconds, 4
+                ),
+            }
+        )
+    return rows
+
+
+def test_e6_overhead_breakdown(run_once):
+    rows = run_once(sweep)
+    emit_table(
+        "E6_overhead_breakdown",
+        format_table(
+            rows,
+            title=f"E6: construction vs validation overhead (n={OBJECT_COUNT}, k={K}, {STEPS} steps)",
+        ),
+    )
+    by_method = {row["method"]: row for row in rows}
+    # The strict order-k safe region pays far more per construction than INS.
+    assert (
+        by_method["INS"]["construct_ms_per_recompute"]
+        < by_method["OrderK-SR"]["construct_ms_per_recompute"]
+    )
+    # INS's total online time beats the naive per-timestamp recomputation.
+    assert by_method["INS"]["total_online_s"] < by_method["Naive"]["total_online_s"] * 5

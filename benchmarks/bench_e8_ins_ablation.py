@@ -1,0 +1,82 @@
+"""E8 — ablation: prefetching and case-(i) incremental updates.
+
+The INS protocol contains two refinements on top of the plain guard-object
+idea: the prefetch ratio ρ (retrieve ⌊ρk⌋ objects so small changes are
+absorbed locally) and the case-(i) update (when the answer changes by one
+object, compose it from the existing answer and fetch only that object's
+Voronoi neighbour list).  This ablation runs the four combinations on the
+same workload and reports how each mechanism contributes to cutting server
+recomputations and communication volume.
+"""
+
+from repro.core.ins_euclidean import INSProcessor
+from repro.index.vortree import VoRTree
+from repro.simulation.metrics import summarize
+from repro.simulation.report import format_table
+from repro.simulation.simulator import simulate
+from repro.workloads.scenarios import default_euclidean_scenario
+
+from benchmarks.conftest import emit_table
+
+OBJECT_COUNT = 3_000
+K = 8
+STEPS = 300
+
+VARIANTS = (
+    ("plain (rho=1)", 1.0, False),
+    ("incremental only", 1.0, True),
+    ("prefetch only (rho=1.6)", 1.6, False),
+    ("prefetch + incremental", 1.6, True),
+)
+
+
+def sweep():
+    scenario = default_euclidean_scenario(
+        object_count=OBJECT_COUNT, k=K, rho=1.6, steps=STEPS, step_length=40.0, seed=81
+    )
+    shared_vortree = VoRTree(scenario.points)
+    rows = []
+    for label, rho, incremental in VARIANTS:
+        processor = INSProcessor(
+            scenario.points, K, rho=rho, vortree=shared_vortree, allow_incremental=incremental
+        )
+        run = simulate(processor, scenario.trajectory)
+        summary = summarize(run)
+        rows.append(
+            {
+                "variant": label,
+                "rho": rho,
+                "incremental": incremental,
+                "full_recomputations": summary.full_recomputations,
+                "incremental_updates": processor.stats.incremental_updates,
+                "local_reorders": summary.local_reorders,
+                "objects_sent": summary.transmitted_objects,
+                "distance_comps": summary.distance_computations,
+                "elapsed_s": round(summary.elapsed_seconds, 3),
+            }
+        )
+    return rows
+
+
+def test_e8_ins_ablation(run_once):
+    rows = run_once(sweep)
+    emit_table(
+        "E8_ins_ablation",
+        format_table(
+            rows,
+            title=f"E8: INS ablation — prefetch and incremental updates (n={OBJECT_COUNT}, k={K})",
+        ),
+    )
+    by_variant = {row["variant"]: row for row in rows}
+    plain = by_variant["plain (rho=1)"]
+    incremental = by_variant["incremental only"]
+    prefetch = by_variant["prefetch only (rho=1.6)"]
+    both = by_variant["prefetch + incremental"]
+    # Each mechanism alone cuts full recomputations; together they cut most.
+    assert incremental["full_recomputations"] < plain["full_recomputations"]
+    assert prefetch["full_recomputations"] < plain["full_recomputations"]
+    assert both["full_recomputations"] <= min(
+        incremental["full_recomputations"], prefetch["full_recomputations"]
+    )
+    # Communication volume drops relative to the plain protocol.
+    assert both["objects_sent"] < plain["objects_sent"]

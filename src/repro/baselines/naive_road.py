@@ -1,0 +1,70 @@
+"""Naive road-network baseline: incremental network expansion per timestamp.
+
+Recomputes the kNN set with a fresh INE (Dijkstra) search from the query
+location at every timestamp.  On road networks this is considerably more
+expensive than in Euclidean space because every recomputation is a graph
+search, which is exactly why safe-guarding approaches pay off there.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.core.objects import QueryResult, UpdateAction
+from repro.core.processor import MovingKNNProcessor
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.knn import network_knn
+from repro.roadnet.location import NetworkLocation
+from repro.roadnet.shortest_path import SearchStats
+
+
+class NaiveRoadProcessor(MovingKNNProcessor[NetworkLocation]):
+    """Per-timestamp INE recomputation baseline (road networks).
+
+    Args:
+        network: the road network.
+        object_vertices: vertex of each data object.
+        k: number of nearest neighbours to report.
+    """
+
+    def __init__(self, network: RoadNetwork, object_vertices: Sequence[int], k: int):
+        super().__init__(k)
+        if k < 1:
+            raise ConfigurationError("k must be at least 1")
+        if k > len(object_vertices):
+            raise ConfigurationError(
+                f"k={k} exceeds the number of data objects ({len(object_vertices)})"
+            )
+        self._network = network
+        self._object_vertices: List[int] = list(object_vertices)
+        self._search_stats = SearchStats()
+
+    @property
+    def name(self) -> str:
+        return "Naive-road"
+
+    def _compute(self, position: NetworkLocation) -> QueryResult:
+        with self._stats.time_construction():
+            before = self._search_stats.settled_vertices
+            nearest = network_knn(
+                self._network, self._object_vertices, position, self.k, stats=self._search_stats
+            )
+            self._stats.settled_vertices += self._search_stats.settled_vertices - before
+            self._stats.full_recomputations += 1
+            self._stats.transmitted_objects += self.k
+        return QueryResult(
+            timestamp=self.current_timestamp,
+            knn=tuple(index for index, _ in nearest),
+            knn_distances=tuple(distance for _, distance in nearest),
+            guard_objects=frozenset(),
+            action=UpdateAction.FULL_RECOMPUTE,
+            was_valid=False,
+        )
+
+    def _initialize(self, position: NetworkLocation) -> QueryResult:
+        return self._compute(position)
+
+    def _update(self, position: NetworkLocation) -> QueryResult:
+        self._stats.validations += 1
+        return self._compute(position)

@@ -1,0 +1,168 @@
+"""V*-Diagram-style baseline on road networks.
+
+The known-region argument of the V*-Diagram is metric-agnostic: after
+retrieving the ``k + x`` nearest objects from position ``z``, any object not
+retrieved is at network distance at least ``d(z, c_{k+x})`` from ``z``, so
+by the triangle inequality it is at least ``d(z, c_{k+x}) - d(q, z)`` from
+the current position ``q``.  The answer (the top-k of the candidates ranked
+by their current network distances) is therefore safe while
+
+    d(q, c_k)  <=  d(z, c_{k+x}) - moved
+
+where ``moved`` is an upper bound on ``d(q, z)``.  Following the usual
+client-side implementation, ``moved`` is taken as the distance travelled
+along the trajectory since the last retrieval (always an upper bound on the
+network distance between the two positions and free to maintain), which
+keeps the per-timestamp server work at zero while the condition holds.
+
+Ranking the candidates by current network distance does require a targeted
+Dijkstra per timestamp, the same work the INS road processor performs —
+the difference between the methods shows up in how often a full INE
+retrieval has to run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.core.objects import QueryResult, UpdateAction
+from repro.core.processor import MovingKNNProcessor
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.knn import network_knn
+from repro.roadnet.location import NetworkLocation
+from repro.roadnet.shortest_path import SearchStats, distances_from_location
+
+
+class VStarRoadProcessor(MovingKNNProcessor[NetworkLocation]):
+    """V*-style moving kNN processor on a road network.
+
+    Args:
+        network: the road network.
+        object_vertices: vertex of each data object.
+        k: number of nearest neighbours to report.
+        auxiliary: the ``x`` extra candidates retrieved per round trip.
+        step_length: distance the query travels between consecutive
+            timestamps; used as the per-step increment of the drift upper
+            bound.  The simulation harness passes the trajectory's step
+            length; when it varies, pass the maximum.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        object_vertices: Sequence[int],
+        k: int,
+        auxiliary: int = 4,
+        step_length: float = 0.0,
+    ):
+        super().__init__(k)
+        if k < 1:
+            raise ConfigurationError("k must be at least 1")
+        if auxiliary < 1:
+            raise ConfigurationError("auxiliary (x) must be at least 1")
+        if k + auxiliary > len(object_vertices):
+            raise ConfigurationError(
+                f"k + x = {k + auxiliary} exceeds the number of data objects "
+                f"({len(object_vertices)})"
+            )
+        if step_length < 0:
+            raise ConfigurationError("step_length must be non-negative")
+        self._network = network
+        self._object_vertices: List[int] = list(object_vertices)
+        self._auxiliary = auxiliary
+        self._step_length = step_length
+        self._search_stats = SearchStats()
+        # Client-side state.
+        self._candidates: List[int] = []
+        self._known_radius: float = 0.0
+        self._drift: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return "V*-road"
+
+    @property
+    def auxiliary(self) -> int:
+        """The number of auxiliary candidates x."""
+        return self._auxiliary
+
+    @property
+    def candidates(self) -> List[int]:
+        """The currently held k + x candidate object indexes."""
+        return list(self._candidates)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _retrieve(self, position: NetworkLocation) -> None:
+        with self._stats.time_construction():
+            before = self._search_stats.settled_vertices
+            nearest = network_knn(
+                self._network,
+                self._object_vertices,
+                position,
+                self.k + self._auxiliary,
+                stats=self._search_stats,
+            )
+            self._stats.settled_vertices += self._search_stats.settled_vertices - before
+            self._candidates = [index for index, _ in nearest]
+            self._known_radius = nearest[-1][1]
+            self._drift = 0.0
+            self._stats.full_recomputations += 1
+            self._stats.transmitted_objects += len(self._candidates)
+
+    def _rank_candidates(self, position: NetworkLocation) -> List[Tuple[float, int]]:
+        targets = {self._object_vertices[index] for index in self._candidates}
+        before = self._search_stats.settled_vertices
+        vertex_distances = distances_from_location(
+            self._network, position, targets=targets, stats=self._search_stats
+        )
+        self._stats.settled_vertices += self._search_stats.settled_vertices - before
+        self._stats.distance_computations += len(self._candidates)
+        ranked = sorted(
+            (
+                vertex_distances.get(self._object_vertices[index], math.inf),
+                index,
+            )
+            for index in self._candidates
+        )
+        return ranked
+
+    def _is_safe(self, ranked: List[Tuple[float, int]]) -> bool:
+        kth_distance = ranked[self.k - 1][0]
+        return math.isfinite(kth_distance) and kth_distance <= self._known_radius - self._drift
+
+    def _result(
+        self, ranked: List[Tuple[float, int]], action: UpdateAction, was_valid: bool
+    ) -> QueryResult:
+        top = ranked[: self.k]
+        return QueryResult(
+            timestamp=self.current_timestamp,
+            knn=tuple(index for _, index in top),
+            knn_distances=tuple(distance for distance, _ in top),
+            guard_objects=frozenset(index for _, index in ranked[self.k :]),
+            action=action,
+            was_valid=was_valid,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def _initialize(self, position: NetworkLocation) -> QueryResult:
+        self._retrieve(position)
+        ranked = self._rank_candidates(position)
+        return self._result(ranked, UpdateAction.FULL_RECOMPUTE, was_valid=False)
+
+    def _update(self, position: NetworkLocation) -> QueryResult:
+        self._drift += self._step_length
+        with self._stats.time_validation():
+            self._stats.validations += 1
+            ranked = self._rank_candidates(position)
+            safe = self._is_safe(ranked)
+        if safe:
+            return self._result(ranked, UpdateAction.NONE, was_valid=True)
+        self._retrieve(position)
+        ranked = self._rank_candidates(position)
+        return self._result(ranked, UpdateAction.FULL_RECOMPUTE, was_valid=False)

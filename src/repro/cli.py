@@ -1,0 +1,156 @@
+"""Command-line interface: run demo scenarios and experiments from a shell.
+
+Installed as the ``insq`` console script (see pyproject.toml) and usable as
+``python -m repro.cli``.  Three subcommands mirror the three things the
+original demonstration lets a user do:
+
+* ``demo-plane`` — simulate the 2D Plane mode and print the state renderings
+  at the interesting timestamps (the valid/invalid transitions of Fig. 4).
+* ``demo-road`` — simulate the Road Network mode (Fig. 3).
+* ``compare`` — run the method comparison on a configurable workload and
+  print the experiment table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.ins_euclidean import INSProcessor
+from repro.core.ins_road import INSRoadProcessor
+from repro.simulation.experiment import (
+    run_euclidean_comparison,
+    run_road_comparison,
+)
+from repro.simulation.report import format_table
+from repro.simulation.simulator import simulate
+from repro.viz.ascii_network import render_network_state
+from repro.viz.ascii_plane import render_plane_state
+from repro.workloads.scenarios import (
+    default_euclidean_scenario,
+    default_road_scenario,
+    fig4_scenario,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="insq",
+        description="INSQ: influential neighbor set based moving kNN query processing",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo_plane = subparsers.add_parser(
+        "demo-plane", help="run the 2D Plane mode demonstration (Figure 4)"
+    )
+    demo_plane.add_argument("--k", type=int, default=5, help="number of nearest neighbours")
+    demo_plane.add_argument("--rho", type=float, default=1.6, help="prefetch ratio")
+    demo_plane.add_argument(
+        "--frames", type=int, default=4, help="how many state renderings to print"
+    )
+
+    demo_road = subparsers.add_parser(
+        "demo-road", help="run the Road Network mode demonstration (Figure 3)"
+    )
+    demo_road.add_argument("--k", type=int, default=5, help="number of nearest neighbours")
+    demo_road.add_argument("--rho", type=float, default=1.6, help="prefetch ratio")
+    demo_road.add_argument(
+        "--frames", type=int, default=4, help="how many state renderings to print"
+    )
+
+    compare = subparsers.add_parser(
+        "compare", help="compare INS against the baselines on a synthetic workload"
+    )
+    compare.add_argument("--space", choices=("plane", "road"), default="plane")
+    compare.add_argument("--n", type=int, default=2000, help="number of data objects")
+    compare.add_argument("--k", type=int, default=5, help="number of nearest neighbours")
+    compare.add_argument("--rho", type=float, default=1.6, help="prefetch ratio")
+    compare.add_argument("--steps", type=int, default=300, help="trajectory length")
+    return parser
+
+
+def _run_demo_plane(args: argparse.Namespace) -> int:
+    scenario = fig4_scenario()
+    processor = INSProcessor(scenario.points, args.k, rho=args.rho)
+    run = simulate(processor, scenario.trajectory)
+    interesting = [r for r in run.results if not r.was_valid][: args.frames]
+    if not interesting:
+        interesting = run.results[: args.frames]
+    for result in interesting:
+        position = scenario.trajectory[result.timestamp]
+        print(result.describe())
+        print(
+            render_plane_state(
+                scenario.points,
+                position,
+                result.knn,
+                result.guard_objects,
+            )
+        )
+        print()
+    print(
+        f"timestamps={run.timestamps}  kNN changes={run.knn_changes}  "
+        f"recomputations={run.stats.full_recomputations}"
+    )
+    return 0
+
+
+def _run_demo_road(args: argparse.Namespace) -> int:
+    scenario = default_road_scenario(k=args.k, rho=args.rho)
+    processor = INSRoadProcessor(
+        scenario.network, scenario.object_vertices, args.k, rho=args.rho
+    )
+    run = simulate(processor, scenario.trajectory)
+    interesting = [r for r in run.results if not r.was_valid][: args.frames]
+    if not interesting:
+        interesting = run.results[: args.frames]
+    for result in interesting:
+        position = scenario.trajectory[result.timestamp]
+        print(result.describe())
+        print(
+            render_network_state(
+                scenario.network,
+                scenario.object_vertices,
+                position,
+                result.knn,
+                result.guard_objects,
+            )
+        )
+        print()
+    print(
+        f"timestamps={run.timestamps}  kNN changes={run.knn_changes}  "
+        f"recomputations={run.stats.full_recomputations}"
+    )
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    if args.space == "plane":
+        scenario = default_euclidean_scenario(
+            object_count=args.n, k=args.k, rho=args.rho, steps=args.steps
+        )
+        result = run_euclidean_comparison(scenario)
+    else:
+        scenario = default_road_scenario(k=args.k, rho=args.rho, steps=args.steps)
+        result = run_road_comparison(scenario)
+    print(format_table(result.summary_rows(), title=f"comparison on {scenario.name}"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``insq`` command."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "demo-plane":
+        return _run_demo_plane(args)
+    if args.command == "demo-road":
+        return _run_demo_road(args)
+    if args.command == "compare":
+        return _run_compare(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The paper's primary contribution: INS-based moving kNN query processing.
+
+* :mod:`repro.core.objects` — result and action types shared by every
+  processor.
+* :mod:`repro.core.stats` — cost accounting (recomputations, communication,
+  distance computations, timing).
+* :mod:`repro.core.influential` — influential set (IS), minimal influential
+  set (MIS) and influential neighbour set (INS) computations and checks.
+* :mod:`repro.core.processor` — the abstract moving-kNN processor interface.
+* :mod:`repro.core.ins_euclidean` — the INS algorithm in the 2-D plane.
+* :mod:`repro.core.ins_road` — the INS algorithm on road networks
+  (Theorems 1 and 2).
+"""
+
+from repro.core.objects import QueryResult, UpdateAction
+from repro.core.stats import ProcessorStats
+from repro.core.influential import (
+    influential_neighbor_set,
+    is_closer_set,
+    minimal_influential_set,
+    verify_influential_set,
+)
+from repro.core.processor import MovingKNNProcessor
+from repro.core.ins_euclidean import INSProcessor
+from repro.core.ins_road import INSRoadProcessor
+from repro.core.server import MovingKNNServer
+
+__all__ = [
+    "MovingKNNServer",
+    "QueryResult",
+    "UpdateAction",
+    "ProcessorStats",
+    "influential_neighbor_set",
+    "minimal_influential_set",
+    "is_closer_set",
+    "verify_influential_set",
+    "MovingKNNProcessor",
+    "INSProcessor",
+    "INSRoadProcessor",
+]

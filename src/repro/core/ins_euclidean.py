@@ -1,0 +1,330 @@
+"""The INS moving-kNN processor in the 2-D Euclidean plane (Section III).
+
+Protocol reproduced from the paper:
+
+1. **Initial computation.**  When the query is issued at position ``q`` the
+   server retrieves the ``⌊ρk⌋`` nearest objects ``R`` (ρ is the *prefetch
+   ratio*) from the VoR-tree together with their influential neighbour set
+   ``I(R)`` (assembled from the precomputed order-1 Voronoi neighbour lists).
+   The top ``k`` objects of ``R`` are the reported kNN set; the rest of
+   ``R`` plus ``I(R)`` act as the safe guarding objects (the IS).
+
+2. **Validation** (Section III-A).  At every new position the client finds
+   the farthest current kNN member (``r.delete``) and the nearest guard
+   object (``r.candidate``).  The kNN set is still valid while
+   ``d(q, r.delete) <= d(q, r.candidate)``; this costs one distance
+   evaluation per held object — linear in k.
+
+3. **Update** (Section III-B).  When validation fails the client first tries
+   to recompose the kNN set from the prefetched set ``R`` alone (case (ii),
+   "the new kNN set is still in R"): the candidate answer is the top-k of
+   ``R`` by current distance, accepted only if it passes the same IS
+   validation — which is sound because ``(R ∪ I(R)) \\ O'`` is a superset of
+   ``INS(O')`` for any ``O' ⊆ R``.  A successful recomposition costs no
+   communication.  Otherwise the new answer involves an object outside
+   ``R`` and the server recomputes ``R`` and ``I(R)`` from scratch
+   (case (ii) fallback / case (i) with an unknown neighbour list).
+
+Cost accounting: every retrieval transmits ``|R| + |I(R)|`` objects; every
+validation and local recomposition counts its distance computations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError, QueryError
+from repro.core.objects import QueryResult, UpdateAction
+from repro.core.processor import MovingKNNProcessor
+from repro.core.stats import ProcessorStats
+from repro.geometry.point import Point
+from repro.index.vortree import VoRTree
+
+
+class INSProcessor(MovingKNNProcessor[Point]):
+    """Influential-neighbour-set moving kNN processor (Euclidean space).
+
+    Args:
+        points: data-object positions; object ``i`` is ``points[i]``.
+        k: number of nearest neighbours to maintain (``1 <= k < len(points)``).
+        rho: prefetch ratio ρ ≥ 1.  ``⌊ρk⌋`` objects are retrieved per server
+            round trip.  The paper's demo uses ρ = 1.6.
+        vortree: optionally share a prebuilt VoR-tree between processors
+            (e.g. across the parameter sweep of an experiment); when omitted
+            one is built from ``points``.
+        allow_incremental: enable the paper's case (i) optimisation — when
+            the answer changes by a single object, compose the new kNN set
+            from the existing one and fetch only that object's Voronoi
+            neighbour list instead of recomputing R and I(R) from scratch.
+            Disabled by default so the base protocol matches Section III
+            exactly; experiment E8 measures its effect.
+    """
+
+    #: Maximum consecutive single-object swaps attempted before falling back
+    #: to a full retrieval (a fast query can cross several order-k cells in
+    #: one timestamp).
+    MAX_INCREMENTAL_SWAPS = 8
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        k: int,
+        rho: float = 1.6,
+        vortree: Optional[VoRTree] = None,
+        allow_incremental: bool = False,
+    ):
+        super().__init__(k)
+        if k < 1:
+            raise ConfigurationError("k must be at least 1")
+        if k >= len(points):
+            raise ConfigurationError(
+                f"k={k} must be smaller than the number of data objects ({len(points)})"
+            )
+        if rho < 1.0:
+            raise ConfigurationError("the prefetch ratio rho must be at least 1")
+        self._points: List[Point] = list(points)
+        self._rho = rho
+        self._prefetch_count = min(max(int(rho * k), k), len(points) - 1)
+        self._allow_incremental = allow_incremental
+        with self._stats.time_precomputation():
+            self._vortree = vortree if vortree is not None else VoRTree(self._points)
+        # Client-side state.
+        self._R: List[int] = []
+        self._ins: Set[int] = set()
+        self._knn: List[int] = []
+        # Per-member Voronoi neighbour lists (needed for incremental updates).
+        self._neighbor_lists: Dict[int, Set[int]] = {}
+        # Set when the server-side data changed; forces a retrieval on the
+        # next timestamp (Section III: data-object updates refresh the IS).
+        self._state_stale = False
+        self._last_position: Optional[Point] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return "INS"
+
+    @property
+    def rho(self) -> float:
+        """The prefetch ratio ρ."""
+        return self._rho
+
+    @property
+    def prefetch_count(self) -> int:
+        """The number of objects retrieved per server round trip (⌊ρk⌋)."""
+        return self._prefetch_count
+
+    @property
+    def prefetched_set(self) -> List[int]:
+        """The current prefetched set R (object indexes, nearest first at retrieval time)."""
+        return list(self._R)
+
+    @property
+    def influential_set(self) -> Set[int]:
+        """The current I(R)."""
+        return set(self._ins)
+
+    @property
+    def guard_set(self) -> Set[int]:
+        """The current safe guarding objects: I(R) ∪ R \\ kNN."""
+        return (set(self._R) | self._ins) - set(self._knn)
+
+    @property
+    def vortree(self) -> VoRTree:
+        """The server-side VoR-tree (shared across processors in sweeps)."""
+        return self._vortree
+
+    @property
+    def allow_incremental(self) -> bool:
+        """Whether case (i) single-object incremental updates are enabled."""
+        return self._allow_incremental
+
+    # ------------------------------------------------------------------
+    # Data-object updates (Section III, last paragraph)
+    # ------------------------------------------------------------------
+    def insert_object(self, point: Point) -> int:
+        """Insert a new data object at ``point`` and return its object index.
+
+        The server-side VoR-tree is updated; the client-held answer is marked
+        stale so the next timestamp refreshes the kNN set and the IS.
+        """
+        with self._stats.time_construction():
+            index = self._vortree.insert(point)
+            self._points = self._vortree.points
+        self._state_stale = True
+        return index
+
+    def delete_object(self, index: int) -> bool:
+        """Delete data object ``index`` (returns False when it did not exist)."""
+        with self._stats.time_construction():
+            removed = self._vortree.delete(index)
+        if removed:
+            self._state_stale = True
+        return removed
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def _initialize(self, position: Point) -> QueryResult:
+        self._last_position = position
+        self._retrieve(position)
+        distances = self._distances(position, self._knn)
+        return QueryResult(
+            timestamp=self.current_timestamp,
+            knn=tuple(self._knn),
+            knn_distances=tuple(distances),
+            guard_objects=frozenset(self.guard_set),
+            action=UpdateAction.FULL_RECOMPUTE,
+            was_valid=False,
+        )
+
+    def _update(self, position: Point) -> QueryResult:
+        self._last_position = position
+        if self._state_stale:
+            # The data set changed since the last answer: refresh everything.
+            self._state_stale = False
+            self._stats.validations += 1
+            self._retrieve(position)
+            distances = self._distances(position, self._knn)
+            return QueryResult(
+                timestamp=self.current_timestamp,
+                knn=tuple(self._knn),
+                knn_distances=tuple(distances),
+                guard_objects=frozenset(self.guard_set),
+                action=UpdateAction.FULL_RECOMPUTE,
+                was_valid=False,
+            )
+        with self._stats.time_validation():
+            self._stats.validations += 1
+            pool_distances = self._pool_distances(position)
+            valid = self._is_valid(pool_distances)
+        if valid:
+            distances = [pool_distances[index] for index in self._knn]
+            return QueryResult(
+                timestamp=self.current_timestamp,
+                knn=tuple(self._knn),
+                knn_distances=tuple(distances),
+                guard_objects=frozenset(self.guard_set),
+                action=UpdateAction.NONE,
+                was_valid=True,
+            )
+        action = self._perform_update(position, pool_distances)
+        distances = self._distances(position, self._knn)
+        return QueryResult(
+            timestamp=self.current_timestamp,
+            knn=tuple(self._knn),
+            knn_distances=tuple(distances),
+            guard_objects=frozenset(self.guard_set),
+            action=action,
+            was_valid=False,
+        )
+
+    # ------------------------------------------------------------------
+    # INS machinery
+    # ------------------------------------------------------------------
+    def _retrieve(self, position: Point) -> None:
+        """Server round trip: recompute R, I(R) and the kNN set at ``position``."""
+        with self._stats.time_construction():
+            self._vortree.rtree.reset_counters()
+            nearest, ins = self._vortree.retrieve(position, self._prefetch_count)
+            self._stats.index_node_accesses += self._vortree.rtree.node_accesses
+            self._R = nearest
+            self._ins = ins
+            self._knn = nearest[: self.k]
+            self._neighbor_lists = {
+                index: self._vortree.voronoi_neighbors(index) for index in self._R
+            }
+            self._stats.full_recomputations += 1
+            self._stats.transmitted_objects += len(self._R) + len(self._ins)
+
+    def _pool_distances(self, position: Point) -> Dict[int, float]:
+        """Distances from ``position`` to every client-held object (R ∪ I(R))."""
+        pool = set(self._R) | self._ins
+        self._stats.distance_computations += len(pool)
+        return {index: position.distance_to(self._points[index]) for index in pool}
+
+    def _is_valid(self, pool_distances: Dict[int, float]) -> bool:
+        """Section III-A validation: farthest kNN vs nearest guard object."""
+        guard = self.guard_set
+        if not guard:
+            return True
+        farthest_knn = max(pool_distances[index] for index in self._knn)
+        nearest_guard = min(pool_distances[index] for index in guard)
+        return farthest_knn <= nearest_guard
+
+    def _perform_update(self, position: Point, pool_distances: Dict[int, float]) -> UpdateAction:
+        """Section III-B update: recompose from R when possible, else retrieve."""
+        with self._stats.time_validation():
+            candidate = sorted(self._R, key=lambda index: (pool_distances[index], index))[: self.k]
+            guard = (set(self._R) | self._ins) - set(candidate)
+            farthest = max(pool_distances[index] for index in candidate)
+            nearest_guard = min(pool_distances[index] for index in guard) if guard else math.inf
+            if farthest <= nearest_guard:
+                # Case (ii), first branch: the new kNN set is still inside R.
+                self._knn = candidate
+                self._stats.local_reorders += 1
+                return UpdateAction.LOCAL_REORDER
+        if self._allow_incremental and self._incremental_update(position):
+            return UpdateAction.INCREMENTAL
+        # Case (i) with an unknown neighbour list or case (ii) fallback: the
+        # answer involves an object outside R; recompute R and I(R).
+        self._retrieve(position)
+        return UpdateAction.FULL_RECOMPUTE
+
+    def _incremental_update(self, position: Point) -> bool:
+        """Case (i): compose the new answer by single-object swaps.
+
+        Each swap replaces the farthest current member of R with the nearest
+        guard object and fetches only that object's Voronoi neighbour list
+        from the server.  The swap loop stops as soon as the recomposed
+        answer passes the IS validation again (success) or after
+        :data:`MAX_INCREMENTAL_SWAPS` swaps (failure — the caller falls back
+        to a full retrieval).  Returns True on success.
+        """
+        saved_R = list(self._R)
+        saved_lists = dict(self._neighbor_lists)
+        saved_knn = list(self._knn)
+        transmitted = 0
+        for _ in range(self.MAX_INCREMENTAL_SWAPS):
+            pool_distances = self._pool_distances(position)
+            candidate_knn = sorted(
+                self._R, key=lambda index: (pool_distances[index], index)
+            )[: self.k]
+            guard = (set(self._R) | self._ins) - set(candidate_knn)
+            farthest = max(pool_distances[index] for index in candidate_knn)
+            nearest_guard = (
+                min(pool_distances[index] for index in guard) if guard else math.inf
+            )
+            if farthest <= nearest_guard:
+                self._knn = candidate_knn
+                self._stats.incremental_updates += 1
+                self._stats.transmitted_objects += transmitted
+                return True
+            if not self._ins:
+                break
+            # Swap the farthest R member for the nearest outside guard object
+            # and fetch the incomer's neighbour list (1 + |N| objects).
+            incoming = min(self._ins, key=lambda index: (pool_distances[index], index))
+            outgoing = max(self._R, key=lambda index: (pool_distances[index], index))
+            with self._stats.time_construction():
+                incoming_neighbors = self._vortree.voronoi_neighbors(incoming)
+            transmitted += 1 + len(incoming_neighbors)
+            self._R = [index for index in self._R if index != outgoing] + [incoming]
+            self._neighbor_lists.pop(outgoing, None)
+            self._neighbor_lists[incoming] = incoming_neighbors
+            self._ins = set().union(*self._neighbor_lists.values()) - set(self._R)
+        # Could not stabilise within the swap budget: restore and report failure.
+        self._R = saved_R
+        self._neighbor_lists = saved_lists
+        self._knn = saved_knn
+        self._ins = set().union(*self._neighbor_lists.values()) - set(self._R)
+        return False
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _distances(self, position: Point, indexes: Sequence[int]) -> List[float]:
+        return [position.distance_to(self._points[index]) for index in indexes]

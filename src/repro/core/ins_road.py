@@ -1,0 +1,287 @@
+"""The INS moving-kNN processor on road networks (Section IV).
+
+Differences from the Euclidean processor:
+
+* Distances are shortest-path (network) distances, so validation is no
+  longer a constant-time arithmetic operation per object — it requires a
+  shortest-path search from the query location to the held objects.
+* The safe guarding objects come from the *network* Voronoi neighbour
+  relation; Theorem 1 guarantees that the INS built from order-1 network
+  Voronoi neighbours is still a superset of the MIS, so the validation rule
+  is unchanged.
+* Theorem 2 allows the validation search to be restricted to the sub-network
+  formed by the Voronoi cells of the current kNN set and its INS, which
+  bounds the search space independently of the network size.
+
+Two validation modes are provided:
+
+* ``restricted`` (the paper's mode, default): distances are computed on the
+  Theorem 2 sub-network of the held objects' Voronoi cells.
+* ``exact``: distances are computed on the full network with a targeted
+  Dijkstra that stops when every held object is settled.  This mode is used
+  by the tests as a cross-check and is also a fair "no Theorem 2" ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError, QueryError, RoadNetworkError
+from repro.core.objects import QueryResult, UpdateAction
+from repro.core.processor import MovingKNNProcessor
+from repro.geometry.point import Point
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.knn import network_knn
+from repro.roadnet.location import NetworkLocation
+from repro.roadnet.network_voronoi import NetworkVoronoiDiagram
+from repro.roadnet.shortest_path import SearchStats, distances_from_location
+
+
+class INSRoadProcessor(MovingKNNProcessor[NetworkLocation]):
+    """Influential-neighbour-set moving kNN processor on a road network.
+
+    Args:
+        network: the road network.
+        object_vertices: vertex of each data object (object ``i`` sits on
+            ``object_vertices[i]``).
+        k: number of nearest neighbours to maintain.
+        rho: prefetch ratio ρ ≥ 1 (⌊ρk⌋ objects retrieved per round trip).
+        validation_mode: ``"restricted"`` (Theorem 2 sub-network, the paper's
+            approach) or ``"exact"`` (targeted Dijkstra on the full network).
+        voronoi: optionally share a prebuilt network Voronoi diagram.
+    """
+
+    VALIDATION_MODES = ("restricted", "exact")
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        object_vertices: Sequence[int],
+        k: int,
+        rho: float = 1.6,
+        validation_mode: str = "restricted",
+        voronoi: Optional[NetworkVoronoiDiagram] = None,
+    ):
+        super().__init__(k)
+        if k < 1:
+            raise ConfigurationError("k must be at least 1")
+        if k >= len(object_vertices):
+            raise ConfigurationError(
+                f"k={k} must be smaller than the number of data objects ({len(object_vertices)})"
+            )
+        if rho < 1.0:
+            raise ConfigurationError("the prefetch ratio rho must be at least 1")
+        if validation_mode not in self.VALIDATION_MODES:
+            raise ConfigurationError(
+                f"validation_mode must be one of {self.VALIDATION_MODES}, got {validation_mode!r}"
+            )
+        self._network = network
+        self._object_vertices = list(object_vertices)
+        self._rho = rho
+        self._prefetch_count = min(max(int(rho * k), k), len(object_vertices) - 1)
+        self._validation_mode = validation_mode
+        self._search_stats = SearchStats()
+        with self._stats.time_precomputation():
+            self._voronoi = (
+                voronoi
+                if voronoi is not None
+                else NetworkVoronoiDiagram(network, self._object_vertices, self._search_stats)
+            )
+        # Client-side state.
+        self._R: List[int] = []
+        self._ins: Set[int] = set()
+        self._knn: List[int] = []
+        # Cached Theorem 2 sub-network for the current held set.
+        self._restricted: Optional[RoadNetwork] = None
+        self._restricted_vertex_map: Dict[int, int] = {}
+        self._restricted_edge_map: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        suffix = "" if self._validation_mode == "restricted" else "-exact"
+        return f"INS-road{suffix}"
+
+    @property
+    def rho(self) -> float:
+        """The prefetch ratio ρ."""
+        return self._rho
+
+    @property
+    def prefetch_count(self) -> int:
+        """The number of objects retrieved per server round trip (⌊ρk⌋)."""
+        return self._prefetch_count
+
+    @property
+    def voronoi(self) -> NetworkVoronoiDiagram:
+        """The precomputed order-1 network Voronoi diagram."""
+        return self._voronoi
+
+    @property
+    def guard_set(self) -> Set[int]:
+        """The current safe guarding objects: I(R) ∪ R \\ kNN."""
+        return (set(self._R) | self._ins) - set(self._knn)
+
+    @property
+    def influential_set(self) -> Set[int]:
+        """The current I(R)."""
+        return set(self._ins)
+
+    @property
+    def prefetched_set(self) -> List[int]:
+        """The current prefetched set R."""
+        return list(self._R)
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def _initialize(self, position: NetworkLocation) -> QueryResult:
+        self._retrieve(position)
+        distances = self._held_distances(position)
+        knn_distances = tuple(distances[index] for index in self._knn)
+        return QueryResult(
+            timestamp=self.current_timestamp,
+            knn=tuple(self._knn),
+            knn_distances=knn_distances,
+            guard_objects=frozenset(self.guard_set),
+            action=UpdateAction.FULL_RECOMPUTE,
+            was_valid=False,
+        )
+
+    def _update(self, position: NetworkLocation) -> QueryResult:
+        with self._stats.time_validation():
+            self._stats.validations += 1
+            distances = self._held_distances(position)
+            valid = self._is_valid(distances)
+        if valid:
+            knn_distances = tuple(distances[index] for index in self._knn)
+            return QueryResult(
+                timestamp=self.current_timestamp,
+                knn=tuple(self._knn),
+                knn_distances=knn_distances,
+                guard_objects=frozenset(self.guard_set),
+                action=UpdateAction.NONE,
+                was_valid=True,
+            )
+        action = self._perform_update(position, distances)
+        distances = self._held_distances(position)
+        knn_distances = tuple(distances[index] for index in self._knn)
+        return QueryResult(
+            timestamp=self.current_timestamp,
+            knn=tuple(self._knn),
+            knn_distances=knn_distances,
+            guard_objects=frozenset(self.guard_set),
+            action=action,
+            was_valid=False,
+        )
+
+    # ------------------------------------------------------------------
+    # INS machinery
+    # ------------------------------------------------------------------
+    def _retrieve(self, position: NetworkLocation) -> None:
+        """Server round trip: recompute R, I(R) and the kNN set at ``position``."""
+        with self._stats.time_construction():
+            before = self._search_stats.settled_vertices
+            nearest = network_knn(
+                self._network,
+                self._object_vertices,
+                position,
+                self._prefetch_count,
+                stats=self._search_stats,
+            )
+            self._stats.settled_vertices += self._search_stats.settled_vertices - before
+            self._R = [index for index, _ in nearest]
+            self._ins = self._voronoi.influential_neighbor_set(self._R)
+            self._knn = self._R[: self.k]
+            self._stats.full_recomputations += 1
+            self._stats.transmitted_objects += len(self._R) + len(self._ins)
+            self._rebuild_restricted_network()
+
+    def _rebuild_restricted_network(self) -> None:
+        """Build the Theorem 2 sub-network for the current held objects."""
+        if self._validation_mode != "restricted":
+            self._restricted = None
+            return
+        held = set(self._R) | self._ins
+        (
+            self._restricted,
+            self._restricted_vertex_map,
+            self._restricted_edge_map,
+        ) = self._voronoi.restricted_subnetwork(held)
+
+    def _held_distances(self, position: NetworkLocation) -> Dict[int, float]:
+        """Network distances from ``position`` to every held object.
+
+        In ``restricted`` mode the search runs on the Theorem 2 sub-network;
+        when the query location's edge is not part of that sub-network (the
+        query escaped the region entirely between timestamps) the method
+        transparently falls back to the full network for this evaluation.
+        """
+        held = sorted(set(self._R) | self._ins)
+        targets = {self._object_vertices[index] for index in held}
+        before = self._search_stats.settled_vertices
+        if self._validation_mode == "restricted" and self._restricted is not None:
+            mapped = self._map_location(position)
+            if mapped is not None:
+                mapped_targets = {
+                    self._restricted_vertex_map[v]
+                    for v in targets
+                    if v in self._restricted_vertex_map
+                }
+                vertex_distances = distances_from_location(
+                    self._restricted, mapped, targets=mapped_targets, stats=self._search_stats
+                )
+                self._stats.settled_vertices += self._search_stats.settled_vertices - before
+                self._stats.distance_computations += len(held)
+                result: Dict[int, float] = {}
+                for index in held:
+                    vertex = self._object_vertices[index]
+                    mapped_vertex = self._restricted_vertex_map.get(vertex)
+                    if mapped_vertex is None:
+                        result[index] = math.inf
+                    else:
+                        result[index] = vertex_distances.get(mapped_vertex, math.inf)
+                return result
+        vertex_distances = distances_from_location(
+            self._network, position, targets=targets, stats=self._search_stats
+        )
+        self._stats.settled_vertices += self._search_stats.settled_vertices - before
+        self._stats.distance_computations += len(held)
+        return {
+            index: vertex_distances.get(self._object_vertices[index], math.inf) for index in held
+        }
+
+    def _map_location(self, position: NetworkLocation) -> Optional[NetworkLocation]:
+        """Translate a full-network location into the restricted sub-network."""
+        mapped_edge = self._restricted_edge_map.get(position.edge_id)
+        if mapped_edge is None:
+            return None
+        return NetworkLocation(mapped_edge, position.offset)
+
+    def _is_valid(self, distances: Dict[int, float]) -> bool:
+        """Validation: farthest kNN member vs nearest guard object."""
+        guard = self.guard_set
+        if not guard:
+            return True
+        farthest_knn = max(distances[index] for index in self._knn)
+        nearest_guard = min(distances[index] for index in guard)
+        return farthest_knn <= nearest_guard
+
+    def _perform_update(
+        self, position: NetworkLocation, distances: Dict[int, float]
+    ) -> UpdateAction:
+        """Recompose the answer from R when possible, else retrieve."""
+        with self._stats.time_validation():
+            candidate = sorted(self._R, key=lambda index: (distances[index], index))[: self.k]
+            guard = (set(self._R) | self._ins) - set(candidate)
+            farthest = max(distances[index] for index in candidate)
+            nearest_guard = min(distances[index] for index in guard) if guard else math.inf
+            if math.isfinite(farthest) and farthest <= nearest_guard:
+                self._knn = candidate
+                self._stats.local_reorders += 1
+                return UpdateAction.LOCAL_REORDER
+        self._retrieve(position)
+        return UpdateAction.FULL_RECOMPUTE

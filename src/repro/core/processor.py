@@ -1,0 +1,100 @@
+"""The abstract moving-kNN processor interface.
+
+Every method compared in the evaluation — INS, the order-k safe-region
+baseline, the V*-style baseline and the naive recomputation baseline, in both
+Euclidean and road-network flavours — implements this interface, so the
+simulation harness (:mod:`repro.simulation`) can drive them interchangeably.
+
+A processor's lifecycle is::
+
+    processor.initialize(first_position)     # returns the first QueryResult
+    processor.update(next_position)          # one call per later timestamp
+    processor.stats                          # cumulative cost counters
+
+``initialize`` may be called again to restart the processor on a new
+trajectory; doing so resets the internal answer state but keeps accumulating
+statistics unless :meth:`MovingKNNProcessor.reset_stats` is called.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generic, Optional, TypeVar
+
+from repro.core.objects import QueryResult
+from repro.core.stats import ProcessorStats
+
+#: The position type: a Euclidean :class:`~repro.geometry.point.Point` or a
+#: road-network :class:`~repro.roadnet.location.NetworkLocation`.
+PositionT = TypeVar("PositionT")
+
+
+class MovingKNNProcessor(abc.ABC, Generic[PositionT]):
+    """Base class for all moving kNN query processors."""
+
+    def __init__(self, k: int):
+        self._k = k
+        self._stats = ProcessorStats()
+        self._timestamp = -1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of nearest neighbours maintained."""
+        return self._k
+
+    @property
+    def stats(self) -> ProcessorStats:
+        """Cumulative cost counters."""
+        return self._stats
+
+    @property
+    def current_timestamp(self) -> int:
+        """Index of the last processed timestamp (-1 before initialisation)."""
+        return self._timestamp
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short method name used in reports (e.g. ``"INS"`` or ``"V*"``)."""
+
+    def reset_stats(self) -> None:
+        """Zero the cost counters (does not touch the answer state)."""
+        self._stats = ProcessorStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def initialize(self, position: PositionT) -> QueryResult:
+        """Start (or restart) the query at ``position``.
+
+        Returns the first :class:`~repro.core.objects.QueryResult`.
+        """
+        self._timestamp = 0
+        self._stats.timestamps += 1
+        return self._initialize(position)
+
+    def update(self, position: PositionT) -> QueryResult:
+        """Advance the query to ``position`` (one timestamp later).
+
+        Raises:
+            RuntimeError: when called before :meth:`initialize`.
+        """
+        if self._timestamp < 0:
+            raise RuntimeError("update() called before initialize()")
+        self._timestamp += 1
+        self._stats.timestamps += 1
+        return self._update(position)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _initialize(self, position: PositionT) -> QueryResult:
+        """Compute the first answer and build the guard structure."""
+
+    @abc.abstractmethod
+    def _update(self, position: PositionT) -> QueryResult:
+        """Validate (and if needed update) the answer for a new position."""

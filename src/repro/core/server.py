@@ -1,0 +1,176 @@
+"""A multi-query MkNN server.
+
+The INSQ demonstration drives a single moving query, but the system it
+showcases is meant for location-based services where one server answers
+*many* concurrent moving kNN queries over the same data set.  This module
+provides that server-side composition:
+
+* one shared, precomputed :class:`~repro.index.vortree.VoRTree` (the
+  expensive structure) serves every query,
+* each registered query gets its own :class:`INSProcessor` client state
+  (answer, prefetched set, guard set) with its own ``k`` and ``ρ``,
+* data-object updates are applied once to the shared tree and invalidate
+  every registered query's client state, exactly as Section III prescribes,
+* aggregate statistics across queries are available for capacity planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, EmptyDatasetError, QueryError
+from repro.core.ins_euclidean import INSProcessor
+from repro.core.objects import QueryResult
+from repro.core.stats import ProcessorStats
+from repro.geometry.point import Point
+from repro.index.vortree import VoRTree
+
+
+@dataclass(frozen=True)
+class RegisteredQuery:
+    """Bookkeeping record of one registered moving query."""
+
+    query_id: int
+    k: int
+    rho: float
+    processor: INSProcessor
+
+
+class MovingKNNServer:
+    """Serve many concurrent moving kNN queries over one data set.
+
+    Args:
+        points: the data-object positions.
+        max_entries: R-tree node capacity of the shared VoR-tree.
+        allow_incremental: enable case-(i) incremental updates for every
+            registered query (see :class:`INSProcessor`).
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        max_entries: int = 16,
+        allow_incremental: bool = False,
+    ):
+        if not points:
+            raise EmptyDatasetError("MovingKNNServer requires at least one data object")
+        self._vortree = VoRTree(list(points), max_entries=max_entries)
+        self._allow_incremental = allow_incremental
+        self._queries: Dict[int, RegisteredQuery] = {}
+        self._next_query_id = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def vortree(self) -> VoRTree:
+        """The shared server-side VoR-tree."""
+        return self._vortree
+
+    @property
+    def object_count(self) -> int:
+        """Number of active data objects."""
+        return len(self._vortree)
+
+    @property
+    def query_count(self) -> int:
+        """Number of currently registered queries."""
+        return len(self._queries)
+
+    def query_ids(self) -> List[int]:
+        """Identifiers of the registered queries."""
+        return list(self._queries)
+
+    def __iter__(self) -> Iterator[RegisteredQuery]:
+        return iter(self._queries.values())
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+    def register_query(self, position: Point, k: int, rho: float = 1.6) -> int:
+        """Register a new moving query and compute its first answer.
+
+        Returns the query identifier used for subsequent position updates.
+        """
+        if k < 1:
+            raise ConfigurationError("k must be at least 1")
+        if k >= self.object_count:
+            raise ConfigurationError(
+                f"k={k} must be smaller than the number of data objects ({self.object_count})"
+            )
+        processor = INSProcessor(
+            self._vortree.points,
+            k,
+            rho=rho,
+            vortree=self._vortree,
+            allow_incremental=self._allow_incremental,
+        )
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        self._queries[query_id] = RegisteredQuery(
+            query_id=query_id, k=k, rho=rho, processor=processor
+        )
+        processor.initialize(position)
+        return query_id
+
+    def unregister_query(self, query_id: int) -> None:
+        """Remove a query (raises QueryError when it does not exist)."""
+        if query_id not in self._queries:
+            raise QueryError(f"unknown query {query_id}")
+        del self._queries[query_id]
+
+    def update_position(self, query_id: int, position: Point) -> QueryResult:
+        """Advance one query to its next position and return its answer."""
+        if query_id not in self._queries:
+            raise QueryError(f"unknown query {query_id}")
+        return self._queries[query_id].processor.update(position)
+
+    def answer(self, query_id: int) -> QueryResult:
+        """Re-answer a query at its current position without moving it.
+
+        Useful right after a data-object update when the client wants the
+        refreshed result before its next movement.
+        """
+        if query_id not in self._queries:
+            raise QueryError(f"unknown query {query_id}")
+        processor = self._queries[query_id].processor
+        if processor._last_position is None:
+            raise QueryError(f"query {query_id} has no known position")
+        return processor.update(processor._last_position)
+
+    # ------------------------------------------------------------------
+    # Data-object updates
+    # ------------------------------------------------------------------
+    def insert_object(self, point: Point) -> int:
+        """Insert a data object; every registered query is marked stale."""
+        index = self._vortree.insert(point)
+        for registered in self._queries.values():
+            registered.processor._points = self._vortree.points
+            registered.processor._state_stale = True
+        return index
+
+    def delete_object(self, index: int) -> bool:
+        """Delete a data object; every registered query is marked stale."""
+        removed = self._vortree.delete(index)
+        if removed:
+            for registered in self._queries.values():
+                registered.processor._state_stale = True
+        return removed
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    def aggregate_stats(self) -> ProcessorStats:
+        """Sum of the cost counters of every registered query."""
+        total = ProcessorStats()
+        for registered in self._queries.values():
+            total.merge(registered.processor.stats)
+        return total
+
+    def per_query_stats(self) -> Dict[int, ProcessorStats]:
+        """Cost counters per registered query."""
+        return {
+            query_id: registered.processor.stats
+            for query_id, registered in self._queries.items()
+        }

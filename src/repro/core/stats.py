@@ -1,0 +1,140 @@
+"""Cost accounting for moving-kNN processors.
+
+The evaluation (EXPERIMENTS.md) compares methods along the axes the paper's
+introduction identifies: construction overhead, validation overhead,
+recomputation frequency and client/server communication.  Every processor
+owns a :class:`ProcessorStats` instance and increments it as it works; the
+simulation harness reads it out after a run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class ProcessorStats:
+    """Mutable cost counters for one processor over one simulation run.
+
+    Attributes:
+        timestamps: number of timestamps processed (including the first).
+        validations: number of validation checks performed.
+        local_reorders: answer changes composed purely from client-held data.
+        incremental_updates: updates that fetched a small amount of data
+            (counted separately from full recomputations).
+        full_recomputations: full answer + guard recomputations at the server.
+        transmitted_objects: total data objects sent from server to client
+            (the paper's communication cost proxy).
+        distance_computations: point-to-point (or network) distance
+            evaluations performed by the client for validation and reordering.
+        index_node_accesses: R-tree / index nodes touched by server-side
+            retrievals.
+        settled_vertices: Dijkstra-settled vertices (road-network mode only).
+        construction_seconds: wall-clock time spent building guard structures
+            (safe regions, INS sets, candidate lists).
+        validation_seconds: wall-clock time spent checking validity at each
+            timestamp.
+        precomputation_seconds: offline, query-independent preparation time
+            (building the R-tree / VoR-tree / Voronoi diagrams); reported
+            separately because the paper treats it as a one-off data-set
+            preprocessing cost shared by all queries.
+    """
+
+    timestamps: int = 0
+    validations: int = 0
+    local_reorders: int = 0
+    incremental_updates: int = 0
+    full_recomputations: int = 0
+    transmitted_objects: int = 0
+    distance_computations: int = 0
+    index_node_accesses: int = 0
+    settled_vertices: int = 0
+    construction_seconds: float = 0.0
+    validation_seconds: float = 0.0
+    precomputation_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def communication_events(self) -> int:
+        """Number of timestamps at which any server communication happened."""
+        return self.incremental_updates + self.full_recomputations
+
+    @property
+    def recomputation_rate(self) -> float:
+        """Full recomputations per processed timestamp."""
+        return self.full_recomputations / self.timestamps if self.timestamps else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total measured processing time (construction + validation)."""
+        return self.construction_seconds + self.validation_seconds
+
+    # ------------------------------------------------------------------
+    # Updating helpers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def time_construction(self) -> Iterator[None]:
+        """Context manager adding the elapsed time to ``construction_seconds``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.construction_seconds += time.perf_counter() - start
+
+    @contextmanager
+    def time_validation(self) -> Iterator[None]:
+        """Context manager adding the elapsed time to ``validation_seconds``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.validation_seconds += time.perf_counter() - start
+
+    @contextmanager
+    def time_precomputation(self) -> Iterator[None]:
+        """Context manager adding the elapsed time to ``precomputation_seconds``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.precomputation_seconds += time.perf_counter() - start
+
+    def merge(self, other: "ProcessorStats") -> None:
+        """Accumulate another stats object into this one (for sweeps)."""
+        self.timestamps += other.timestamps
+        self.validations += other.validations
+        self.local_reorders += other.local_reorders
+        self.incremental_updates += other.incremental_updates
+        self.full_recomputations += other.full_recomputations
+        self.transmitted_objects += other.transmitted_objects
+        self.distance_computations += other.distance_computations
+        self.index_node_accesses += other.index_node_accesses
+        self.settled_vertices += other.settled_vertices
+        self.construction_seconds += other.construction_seconds
+        self.validation_seconds += other.validation_seconds
+        self.precomputation_seconds += other.precomputation_seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        """A plain dictionary of every counter and derived rate (for reports)."""
+        return {
+            "timestamps": self.timestamps,
+            "validations": self.validations,
+            "local_reorders": self.local_reorders,
+            "incremental_updates": self.incremental_updates,
+            "full_recomputations": self.full_recomputations,
+            "communication_events": self.communication_events,
+            "transmitted_objects": self.transmitted_objects,
+            "distance_computations": self.distance_computations,
+            "index_node_accesses": self.index_node_accesses,
+            "settled_vertices": self.settled_vertices,
+            "construction_seconds": self.construction_seconds,
+            "validation_seconds": self.validation_seconds,
+            "precomputation_seconds": self.precomputation_seconds,
+            "total_seconds": self.total_seconds,
+            "recomputation_rate": self.recomputation_rate,
+        }

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the INSQ reproduction library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class when they want to treat every library failure
+uniformly, or catch more specific subclasses when they need to distinguish
+configuration mistakes from geometric degeneracies or data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with invalid parameters.
+
+    Examples: a non-positive ``k``, a prefetch ratio below 1, or an index
+    page size that is too small to hold a single entry.
+    """
+
+
+class GeometryError(ReproError):
+    """Raised when a geometric computation cannot proceed.
+
+    Examples: building a Voronoi diagram from fewer than three points,
+    clipping with a degenerate half-plane, or requesting the circumcircle of
+    collinear points.
+    """
+
+
+class EmptyDatasetError(ReproError):
+    """Raised when an operation requires data objects but none were given."""
+
+
+class RoadNetworkError(ReproError):
+    """Raised for malformed road networks.
+
+    Examples: an edge referring to an unknown vertex, a disconnected graph
+    passed to an algorithm that requires connectivity, or a network location
+    whose offset exceeds the edge length.
+    """
+
+
+class QueryError(ReproError):
+    """Raised when a query cannot be answered.
+
+    Examples: asking for more neighbours than there are data objects, or
+    updating a processor that has not been initialised with a first location.
+    """

@@ -1,0 +1,298 @@
+"""Incremental Delaunay triangulation (Bowyer–Watson).
+
+The INS algorithm needs, for every data object, the list of its order-1
+Voronoi neighbours.  The dual of the Delaunay triangulation gives exactly
+that: two objects are Voronoi neighbours if and only if they share a Delaunay
+edge (up to degenerate cocircular configurations, which the builder perturbs
+away).
+
+The implementation is a classic Bowyer–Watson construction over a large
+bounding "super triangle".  It is deliberately written for clarity rather
+than absolute speed — the triangulation is computed once per data set during
+pre-processing (the paper's VoR-tree construction step), not per query.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point, bounding_coordinates
+from repro.geometry.predicates import (
+    circumcenter,
+    in_circumcircle,
+    orientation,
+)
+
+Edge = FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class Triangle:
+    """A triangle of the triangulation, referring to point indexes.
+
+    The vertex indexes are stored counter-clockwise.  Indexes below zero
+    refer to the synthetic super-triangle vertices and never appear in the
+    final triangulation returned to callers.
+    """
+
+    a: int
+    b: int
+    c: int
+
+    def vertices(self) -> Tuple[int, int, int]:
+        """The three vertex indexes."""
+        return (self.a, self.b, self.c)
+
+    def edges(self) -> Tuple[Edge, Edge, Edge]:
+        """The three undirected edges as frozensets of vertex indexes."""
+        return (
+            frozenset((self.a, self.b)),
+            frozenset((self.b, self.c)),
+            frozenset((self.c, self.a)),
+        )
+
+    def has_vertex(self, index: int) -> bool:
+        """True when ``index`` is one of the triangle's vertices."""
+        return index in (self.a, self.b, self.c)
+
+
+class DelaunayTriangulation:
+    """Delaunay triangulation of a finite point set.
+
+    Args:
+        points: the sites to triangulate.  At least three non-collinear
+            points are required.
+        jitter: magnitude of the deterministic perturbation applied to break
+            exact ties (cocircular / collinear configurations).  The jitter is
+            applied only to the copies used internally; the coordinates
+            reported back to callers are the original ones.
+        seed: seed of the pseudo-random generator used for the perturbation.
+
+    Raises:
+        GeometryError: for fewer than three points or an all-collinear input.
+    """
+
+    def __init__(self, points: Sequence[Point], jitter: float = 1e-9, seed: int = 97):
+        if len(points) < 3:
+            raise GeometryError("Delaunay triangulation requires at least 3 points")
+        self._original_points: List[Point] = list(points)
+        self._points: List[Point] = self._perturbed_points(jitter, seed)
+        if self._all_collinear():
+            raise GeometryError("Delaunay triangulation requires non-collinear points")
+        self._triangles: Set[Triangle] = set()
+        self._super_vertices: List[Point] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> List[Point]:
+        """The original (unperturbed) input points."""
+        return list(self._original_points)
+
+    @property
+    def triangles(self) -> List[Triangle]:
+        """All triangles of the triangulation (super-triangle removed)."""
+        return sorted(self._triangles, key=lambda t: t.vertices())
+
+    def edges(self) -> Set[Edge]:
+        """All undirected Delaunay edges as frozensets of point indexes."""
+        result: Set[Edge] = set()
+        for triangle in self._triangles:
+            result.update(triangle.edges())
+        return result
+
+    def neighbors(self) -> Dict[int, Set[int]]:
+        """Adjacency map: point index -> indexes of Delaunay-adjacent points.
+
+        This is exactly the order-1 Voronoi neighbour relation used by the
+        INS algorithm.
+        """
+        adjacency: Dict[int, Set[int]] = {i: set() for i in range(len(self._points))}
+        for edge in self.edges():
+            u, v = tuple(edge)
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        return adjacency
+
+    def triangle_circumcenter(self, triangle: Triangle) -> Point:
+        """Circumcenter of a triangle, i.e. a Voronoi vertex of the dual."""
+        a = self._points[triangle.a]
+        b = self._points[triangle.b]
+        c = self._points[triangle.c]
+        return circumcenter(a, b, c)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _perturbed_points(self, jitter: float, seed: int) -> List[Point]:
+        if jitter <= 0:
+            return list(self._original_points)
+        min_x, min_y, max_x, max_y = bounding_coordinates(self._original_points)
+        scale = max(max_x - min_x, max_y - min_y, 1.0)
+        rng = random.Random(seed)
+        perturbed = []
+        for p in self._original_points:
+            perturbed.append(
+                Point(
+                    p.x + (rng.random() - 0.5) * jitter * scale,
+                    p.y + (rng.random() - 0.5) * jitter * scale,
+                )
+            )
+        return perturbed
+
+    def _all_collinear(self) -> bool:
+        base_a = self._points[0]
+        base_b = next((p for p in self._points[1:] if not p.almost_equal(base_a)), None)
+        if base_b is None:
+            return True
+        return all(orientation(base_a, base_b, p) == 0 for p in self._points)
+
+    def _build(self) -> None:
+        min_x, min_y, max_x, max_y = bounding_coordinates(self._points)
+        span = max(max_x - min_x, max_y - min_y, 1.0)
+        center_x = (min_x + max_x) / 2.0
+        center_y = (min_y + max_y) / 2.0
+        margin = 20.0 * span
+        # Super-triangle vertices get indexes -1, -2, -3.
+        self._super_vertices = [
+            Point(center_x - 2.0 * margin, center_y - margin),
+            Point(center_x + 2.0 * margin, center_y - margin),
+            Point(center_x, center_y + 2.0 * margin),
+        ]
+        triangles: Set[Triangle] = {self._oriented(-1, -2, -3)}
+        for index in range(len(self._points)):
+            triangles = self._insert_point(triangles, index)
+        self._triangles = {
+            t for t in triangles if t.a >= 0 and t.b >= 0 and t.c >= 0
+        }
+
+    def _coordinates(self, index: int) -> Point:
+        if index >= 0:
+            return self._points[index]
+        return self._super_vertices[-index - 1]
+
+    def _oriented(self, a: int, b: int, c: int) -> Triangle:
+        pa = self._coordinates(a)
+        pb = self._coordinates(b)
+        pc = self._coordinates(c)
+        if orientation(pa, pb, pc) < 0:
+            return Triangle(a, c, b)
+        return Triangle(a, b, c)
+
+    def _insert_point(self, triangles: Set[Triangle], index: int) -> Set[Triangle]:
+        point = self._points[index]
+        bad: List[Triangle] = []
+        for triangle in triangles:
+            a = self._coordinates(triangle.a)
+            b = self._coordinates(triangle.b)
+            c = self._coordinates(triangle.c)
+            if in_circumcircle(a.x, a.y, b.x, b.y, c.x, c.y, point.x, point.y) > 0.0:
+                bad.append(triangle)
+        # The boundary of the union of "bad" triangles is the star-shaped
+        # polygonal hole that will be re-triangulated from the new point.
+        edge_count: Dict[Tuple[int, int], int] = {}
+        for triangle in bad:
+            for edge in triangle.edges():
+                u, v = sorted(edge)
+                edge_count[(u, v)] = edge_count.get((u, v), 0) + 1
+        boundary = [edge for edge, count in edge_count.items() if count == 1]
+        survivors = {t for t in triangles if t not in set(bad)}
+        for u, v in boundary:
+            survivors.add(self._oriented(u, v, index))
+        return survivors
+
+
+def _all_points_collinear(points: Sequence[Point], tolerance: float = 1e-9) -> bool:
+    """True when every point lies (nearly) on one straight line."""
+    base_a = points[0]
+    base_b = next((p for p in points[1:] if not p.almost_equal(base_a)), None)
+    if base_b is None:
+        return True
+    return all(orientation(base_a, base_b, p, tolerance) == 0 for p in points)
+
+
+#: Above this size :func:`delaunay_neighbors` prefers the accelerated backend
+#: (when available); the pure-Python Bowyer–Watson construction is quadratic
+#: and becomes impractically slow for data-set-scale inputs.
+_ACCELERATED_THRESHOLD = 1500
+
+
+def _scipy_neighbors(points: Sequence[Point]) -> Optional[Dict[int, Set[int]]]:
+    """Delaunay adjacency via scipy's Qhull wrapper, or None when unavailable.
+
+    The from-scratch :class:`DelaunayTriangulation` remains the reference
+    implementation (and the two are cross-checked in the test suite); the
+    scipy path only exists so that experiments with tens of thousands of
+    data objects can precompute their Voronoi neighbour lists in reasonable
+    time, exactly as the paper assumes the VoR-tree is built offline.
+    """
+    try:
+        from scipy.spatial import Delaunay as _SciPyDelaunay
+    except ImportError:
+        return None
+    import numpy as _np
+
+    coordinates = _np.array([[p.x, p.y] for p in points], dtype=float)
+    try:
+        triangulation = _SciPyDelaunay(coordinates)
+    except Exception:
+        return None
+    adjacency: Dict[int, Set[int]] = {i: set() for i in range(len(points))}
+    indices, indptr = triangulation.vertex_neighbor_vertices
+    for vertex in range(len(points)):
+        neighbors = indptr[indices[vertex] : indices[vertex + 1]]
+        adjacency[vertex].update(int(v) for v in neighbors)
+    return adjacency
+
+
+def delaunay_neighbors(points: Sequence[Point], backend: str = "auto") -> Dict[int, Set[int]]:
+    """Convenience wrapper: Voronoi neighbour map of a point set.
+
+    Args:
+        points: the sites.
+        backend: ``"builtin"`` forces the from-scratch Bowyer–Watson
+            construction, ``"scipy"`` forces the accelerated Qhull backend,
+            ``"auto"`` (default) uses the builtin construction for small
+            inputs and the accelerated backend for large ones.
+
+    Handles the degenerate cases (fewer than three points, collinear input)
+    by falling back to adjacency between consecutive points along the line.
+    """
+    if backend not in ("auto", "builtin", "scipy"):
+        raise GeometryError(f"unknown Delaunay backend {backend!r}")
+    n = len(points)
+    if n == 0:
+        return {}
+    if n == 1:
+        return {0: set()}
+    if n == 2:
+        return {0: {1}, 1: {0}}
+    if _all_points_collinear(points):
+        # Collinear input: Voronoi neighbours are consecutive points along
+        # the common line (handled below).
+        pass
+    elif backend == "scipy" or (backend == "auto" and n > _ACCELERATED_THRESHOLD):
+        accelerated = _scipy_neighbors(points)
+        if accelerated is not None:
+            return accelerated
+        if backend == "scipy":
+            raise GeometryError("the scipy Delaunay backend is not available")
+    try:
+        if _all_points_collinear(points):
+            raise GeometryError("collinear input")
+        return DelaunayTriangulation(points).neighbors()
+    except GeometryError:
+        # Collinear input: Voronoi neighbours are consecutive points along
+        # the common line.
+        order = sorted(range(n), key=lambda i: (points[i].x, points[i].y))
+        adjacency: Dict[int, Set[int]] = {i: set() for i in range(n)}
+        for first, second in zip(order, order[1:]):
+            adjacency[first].add(second)
+            adjacency[second].add(first)
+        return adjacency

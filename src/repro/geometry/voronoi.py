@@ -1,0 +1,151 @@
+"""Order-1 Voronoi diagrams.
+
+The INS algorithm relies on two facts about the order-1 Voronoi diagram of
+the data set:
+
+1. the *Voronoi neighbour sets* ``N_O(p)`` can be precomputed and stored with
+   little overhead (Definition 3 in the paper), and
+2. the union of the neighbour sets of the current kNNs (minus the kNNs) is an
+   influential set (Definition 4 / the INS).
+
+This module materialises the diagram from the Delaunay triangulation dual:
+Voronoi vertices are triangle circumcenters, Voronoi neighbours are Delaunay
+edges, and each site's Voronoi *cell polygon* (clipped to a bounding box) is
+computed by half-plane intersection with its neighbours — which is exact for
+interior cells and a correct clipped cell for boundary sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.errors import EmptyDatasetError, GeometryError
+from repro.geometry.delaunay import delaunay_neighbors
+from repro.geometry.point import Point
+from repro.geometry.polygon import ConvexPolygon, bisector_halfplane
+from repro.geometry.primitives import BoundingBox
+
+
+class VoronoiDiagram:
+    """Order-1 Voronoi diagram over a list of sites.
+
+    Args:
+        sites: the generator points.  Sites are referred to by their index in
+            this list throughout the library.
+        bounding_box: optional clipping box for cell polygons.  When omitted,
+            a box 3x the extent of the sites is used, which is enough for the
+            demo rendering and the safe-region polygons of interior cells.
+
+    The neighbour relation (:meth:`neighbors_of`) is derived from the
+    Delaunay dual and never depends on the clipping box.
+    """
+
+    def __init__(self, sites: Sequence[Point], bounding_box: Optional[BoundingBox] = None):
+        if not sites:
+            raise EmptyDatasetError("a Voronoi diagram requires at least one site")
+        self._sites: List[Point] = list(sites)
+        self._neighbors: Dict[int, Set[int]] = delaunay_neighbors(self._sites)
+        self._bounding_box = bounding_box or self._default_bounding_box()
+        self._cell_cache: Dict[int, ConvexPolygon] = {}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def sites(self) -> List[Point]:
+        """The generator points, in index order."""
+        return list(self._sites)
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        """The clipping box used for cell polygons."""
+        return self._bounding_box
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def site(self, index: int) -> Point:
+        """The coordinates of site ``index``."""
+        return self._sites[index]
+
+    def neighbors_of(self, index: int) -> Set[int]:
+        """Indexes of the order-1 Voronoi neighbours of site ``index``.
+
+        This is the precomputed neighbour set ``N_O(p_index)`` of the paper.
+        """
+        return set(self._neighbors[index])
+
+    def neighbor_map(self) -> Dict[int, Set[int]]:
+        """A copy of the full site -> neighbour-set mapping."""
+        return {index: set(neighbors) for index, neighbors in self._neighbors.items()}
+
+    def are_neighbors(self, first: int, second: int) -> bool:
+        """True when the two sites' Voronoi cells share an edge."""
+        return second in self._neighbors[first]
+
+    # ------------------------------------------------------------------
+    # Cells and point location
+    # ------------------------------------------------------------------
+    def cell(self, index: int) -> ConvexPolygon:
+        """The (clipped) Voronoi cell polygon of site ``index``.
+
+        The cell is the intersection of the bounding box with the bisector
+        half-planes against the site's Voronoi neighbours.  For sites whose
+        true cell is bounded this equals the exact cell (as long as the
+        bounding box contains it); for hull sites it is the cell clipped to
+        the box.
+        """
+        if index not in self._cell_cache:
+            site = self._sites[index]
+            polygon = ConvexPolygon.from_bounding_box(self._bounding_box)
+            halfplanes = [
+                bisector_halfplane(site, self._sites[neighbor])
+                for neighbor in sorted(self._neighbors[index])
+            ]
+            self._cell_cache[index] = polygon.clip_halfplanes(halfplanes)
+        return self._cell_cache[index]
+
+    def nearest_site(self, query: Point) -> int:
+        """Index of the site nearest to ``query`` (linear scan)."""
+        return min(range(len(self._sites)), key=lambda i: self._sites[i].distance_squared_to(query))
+
+    def locate(self, query: Point) -> int:
+        """Index of the Voronoi cell containing ``query``.
+
+        Equivalent to :meth:`nearest_site`; provided for readability at call
+        sites that think in terms of point location.
+        """
+        return self.nearest_site(query)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _default_bounding_box(self) -> BoundingBox:
+        box = BoundingBox.from_points(self._sites)
+        margin = max(box.width, box.height, 1.0)
+        return box.expanded(margin)
+
+
+def influential_neighbor_indexes(
+    neighbor_map: Mapping[int, Set[int]], knn_indexes: Iterable[int]
+) -> Set[int]:
+    """The influential neighbour set of a kNN set, as index sets.
+
+    Implements Definition 4 of the paper on top of a precomputed Voronoi
+    neighbour map: the union of the order-1 Voronoi neighbour sets of the
+    kNN members, minus the kNN members themselves.
+
+    Args:
+        neighbor_map: site index -> set of neighbouring site indexes.
+        knn_indexes: indexes of the current k nearest neighbours.
+
+    Returns:
+        The set of influential neighbour indexes ``I(O')``.
+    """
+    knn_set = set(knn_indexes)
+    result: Set[int] = set()
+    for index in knn_set:
+        if index not in neighbor_map:
+            raise GeometryError(f"unknown site index {index} in kNN set")
+        result.update(neighbor_map[index])
+    return result - knn_set

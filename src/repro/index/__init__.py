@@ -1,0 +1,21 @@
+"""Spatial indexing substrate.
+
+The paper indexes the data objects (and their precomputed Voronoi neighbour
+lists) with a VoR-tree — an R-tree whose leaf entries carry the Voronoi
+neighbours of each point.  This package provides:
+
+* :mod:`repro.index.rtree` — an R-tree with quadratic split, STR bulk
+  loading, range search and best-first (incremental) kNN search.
+* :mod:`repro.index.vortree` — the VoR-tree built on top of the R-tree.
+* :mod:`repro.index.kdtree` — a k-d tree used as an independent oracle in
+  tests and as an alternative backend.
+* :mod:`repro.index.grid` — a uniform grid index, the simplest possible
+  backend, useful for cross-checking and for very dense data.
+"""
+
+from repro.index.rtree import RTree, RTreeEntry
+from repro.index.vortree import VoRTree
+from repro.index.kdtree import KDTree
+from repro.index.grid import GridIndex
+
+__all__ = ["RTree", "RTreeEntry", "VoRTree", "KDTree", "GridIndex"]

@@ -1,0 +1,110 @@
+"""A uniform grid index over 2-D points.
+
+The simplest possible spatial index: the data space is divided into a fixed
+number of square cells and each point is stored in the cell containing it.
+kNN search expands rings of cells around the query until the k-th candidate
+distance is covered.  Used as a cross-check backend and for very dense,
+uniformly distributed data where it is hard to beat.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, EmptyDatasetError, QueryError
+from repro.geometry.point import Point
+from repro.geometry.primitives import BoundingBox
+
+
+class GridIndex:
+    """A fixed-resolution uniform grid index.
+
+    Args:
+        items: ``(point, payload)`` pairs to index.
+        cells_per_axis: grid resolution; the data extent is split into this
+            many cells horizontally and vertically.
+    """
+
+    def __init__(self, items: Sequence[Tuple[Point, Any]], cells_per_axis: int = 32):
+        if cells_per_axis < 1:
+            raise ConfigurationError("cells_per_axis must be at least 1")
+        if not items:
+            raise EmptyDatasetError("GridIndex requires at least one item")
+        self._items = list(items)
+        self._resolution = cells_per_axis
+        self._box = BoundingBox.from_points([p for p, _ in items]).expanded(1e-9)
+        self._cell_width = self._box.width / cells_per_axis or 1.0
+        self._cell_height = self._box.height / cells_per_axis or 1.0
+        self._cells: Dict[Tuple[int, int], List[Tuple[Point, Any]]] = defaultdict(list)
+        for point, payload in items:
+            self._cells[self._cell_of(point)].append((point, payload))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def _cell_of(self, point: Point) -> Tuple[int, int]:
+        column = int((point.x - self._box.min_x) / self._cell_width)
+        row = int((point.y - self._box.min_y) / self._cell_height)
+        column = min(max(column, 0), self._resolution - 1)
+        row = min(max(row, 0), self._resolution - 1)
+        return column, row
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nearest_neighbors(self, query: Point, k: int) -> List[Tuple[float, Point, Any]]:
+        """The ``k`` nearest items as ``(distance, point, payload)`` tuples.
+
+        The search scans the query's cell first, then expands ring by ring.
+        A ring at Chebyshev cell-distance ``r`` can only improve the answer
+        while ``(r - 1) * min(cell_width, cell_height)`` is below the current
+        k-th candidate distance.
+        """
+        if k <= 0:
+            raise QueryError("k must be positive")
+        center_column, center_row = self._cell_of(query)
+        candidates: List[Tuple[float, Point, Any]] = []
+        min_cell_extent = min(self._cell_width, self._cell_height)
+        max_ring = 2 * self._resolution
+        for ring in range(max_ring + 1):
+            if len(candidates) >= k:
+                kth = sorted(candidates)[k - 1][0]
+                if (ring - 1) * min_cell_extent > kth:
+                    break
+            for column, row in self._ring_cells(center_column, center_row, ring):
+                for point, payload in self._cells.get((column, row), ()):
+                    candidates.append((query.distance_to(point), point, payload))
+        candidates.sort(key=lambda item: item[0])
+        return candidates[:k]
+
+    def nearest_payloads(self, query: Point, k: int) -> List[Any]:
+        """Payloads of the ``k`` nearest items, nearest first."""
+        return [payload for _, _, payload in self.nearest_neighbors(query, k)]
+
+    def range_search(self, box: BoundingBox) -> List[Tuple[Point, Any]]:
+        """All items whose point lies inside ``box``."""
+        results: List[Tuple[Point, Any]] = []
+        low_column, low_row = self._cell_of(Point(box.min_x, box.min_y))
+        high_column, high_row = self._cell_of(Point(box.max_x, box.max_y))
+        for column in range(low_column, high_column + 1):
+            for row in range(low_row, high_row + 1):
+                for point, payload in self._cells.get((column, row), ()):
+                    if box.contains_point(point):
+                        results.append((point, payload))
+        return results
+
+    def _ring_cells(self, center_column: int, center_row: int, ring: int) -> Iterable[Tuple[int, int]]:
+        """Cells at Chebyshev distance exactly ``ring`` from the center cell."""
+        if ring == 0:
+            yield center_column, center_row
+            return
+        for column in range(center_column - ring, center_column + ring + 1):
+            for row in (center_row - ring, center_row + ring):
+                if 0 <= column < self._resolution and 0 <= row < self._resolution:
+                    yield column, row
+        for row in range(center_row - ring + 1, center_row + ring):
+            for column in (center_column - ring, center_column + ring):
+                if 0 <= column < self._resolution and 0 <= row < self._resolution:
+                    yield column, row

@@ -1,0 +1,108 @@
+"""A k-d tree over 2-D points.
+
+The k-d tree serves two purposes in this repository:
+
+* an independent nearest-neighbour oracle for property-based tests of the
+  R-tree and of the query processors, and
+* an alternative index backend for the simulation harness, so experiments can
+  show that INS's advantage does not depend on the specific index used for
+  the initial retrieval.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.geometry.primitives import BoundingBox
+
+
+@dataclass
+class _KDNode:
+    point: Point
+    payload: Any
+    axis: int
+    left: Optional["_KDNode"] = None
+    right: Optional["_KDNode"] = None
+
+
+class KDTree:
+    """A static k-d tree built once from a list of ``(point, payload)`` pairs."""
+
+    def __init__(self, items: Sequence[Tuple[Point, Any]]):
+        self._size = len(items)
+        self._root = self._build(list(items), depth=0)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _build(self, items: List[Tuple[Point, Any]], depth: int) -> Optional[_KDNode]:
+        if not items:
+            return None
+        axis = depth % 2
+        items.sort(key=lambda item: item[0].x if axis == 0 else item[0].y)
+        median = len(items) // 2
+        point, payload = items[median]
+        node = _KDNode(point=point, payload=payload, axis=axis)
+        node.left = self._build(items[:median], depth + 1)
+        node.right = self._build(items[median + 1 :], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nearest_neighbors(self, query: Point, k: int) -> List[Tuple[float, Point, Any]]:
+        """The ``k`` nearest items as ``(distance, point, payload)`` tuples."""
+        if k <= 0:
+            raise QueryError("k must be positive")
+        # Max-heap of the best k candidates, keyed by negative distance.
+        best: List[Tuple[float, int, Point, Any]] = []
+        counter = itertools.count()
+
+        def visit(node: Optional[_KDNode]) -> None:
+            if node is None:
+                return
+            distance = node.point.distance_to(query)
+            if len(best) < k:
+                heapq.heappush(best, (-distance, next(counter), node.point, node.payload))
+            elif distance < -best[0][0]:
+                heapq.heapreplace(best, (-distance, next(counter), node.point, node.payload))
+            query_coordinate = query.x if node.axis == 0 else query.y
+            node_coordinate = node.point.x if node.axis == 0 else node.point.y
+            near, far = (node.left, node.right) if query_coordinate <= node_coordinate else (node.right, node.left)
+            visit(near)
+            plane_distance = abs(query_coordinate - node_coordinate)
+            if len(best) < k or plane_distance < -best[0][0]:
+                visit(far)
+
+        visit(self._root)
+        ordered = sorted(((-d, p, payload) for d, _, p, payload in best), key=lambda t: t[0])
+        return ordered
+
+    def nearest_payloads(self, query: Point, k: int) -> List[Any]:
+        """Payloads of the ``k`` nearest items, nearest first."""
+        return [payload for _, _, payload in self.nearest_neighbors(query, k)]
+
+    def range_search(self, box: BoundingBox) -> List[Tuple[Point, Any]]:
+        """All items whose point lies inside ``box``."""
+        results: List[Tuple[Point, Any]] = []
+
+        def visit(node: Optional[_KDNode]) -> None:
+            if node is None:
+                return
+            if box.contains_point(node.point):
+                results.append((node.point, node.payload))
+            coordinate = node.point.x if node.axis == 0 else node.point.y
+            low = box.min_x if node.axis == 0 else box.min_y
+            high = box.max_x if node.axis == 0 else box.max_y
+            if low <= coordinate:
+                visit(node.left)
+            if coordinate <= high:
+                visit(node.right)
+
+        visit(self._root)
+        return results

@@ -1,0 +1,165 @@
+"""The VoR-tree: an R-tree whose entries carry Voronoi neighbour lists.
+
+Sharifzadeh and Shahabi's VoR-tree (PVLDB 2010) stores, with every point in
+an R-tree leaf, the list of that point's order-1 Voronoi neighbours.  The
+INSQ system uses it so that, after retrieving the ⌊ρk⌋ nearest objects R,
+the influential neighbour set I(R) can be assembled by simply following the
+stored neighbour pointers — no further geometric computation is required at
+query time.
+
+This module composes the two substrates built earlier: the Delaunay-derived
+Voronoi neighbour map (:mod:`repro.geometry.voronoi`) and the R-tree
+(:mod:`repro.index.rtree`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EmptyDatasetError, QueryError
+from repro.geometry.point import Point
+from repro.geometry.voronoi import VoronoiDiagram, influential_neighbor_indexes
+from repro.index.rtree import RTree, RTreeEntry
+
+
+class VoRTree:
+    """R-tree over data objects with precomputed Voronoi neighbour lists.
+
+    The tree also supports *data-object updates* (Section III of the paper
+    mentions that the kNN set and IS must be refreshed when they happen):
+    :meth:`insert` and :meth:`delete` maintain the R-tree incrementally and
+    recompute the Voronoi neighbour lists of the active objects.  Deleted
+    objects keep their index (as tombstones) so that object identifiers held
+    by clients stay stable.
+
+    Args:
+        points: data-object positions.  Object ``i`` is the i-th point.
+        max_entries: R-tree node capacity.
+    """
+
+    def __init__(self, points: Sequence[Point], max_entries: int = 16):
+        if not points:
+            raise EmptyDatasetError("VoRTree requires at least one data object")
+        self._points: List[Point] = list(points)
+        self._active: List[bool] = [True] * len(self._points)
+        self._neighbor_map: Dict[int, Set[int]] = {}
+        self._voronoi: Optional[VoronoiDiagram] = None
+        self._rebuild_neighbor_map()
+        entries = [RTreeEntry(point, index) for index, point in enumerate(self._points)]
+        self._rtree = RTree.bulk_load(entries, max_entries=max_entries)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(self._active)
+
+    @property
+    def points(self) -> List[Point]:
+        """The positions of every object ever indexed (including tombstones)."""
+        return list(self._points)
+
+    def active_indexes(self) -> List[int]:
+        """Indexes of the objects currently present (not deleted)."""
+        return [index for index, active in enumerate(self._active) if active]
+
+    def is_active(self, index: int) -> bool:
+        """True when object ``index`` exists and has not been deleted."""
+        return 0 <= index < len(self._points) and self._active[index]
+
+    @property
+    def voronoi(self) -> Optional[VoronoiDiagram]:
+        """The order-1 Voronoi diagram of the active objects.
+
+        None when only one active object remains (no diagram can be built).
+        """
+        return self._voronoi
+
+    @property
+    def rtree(self) -> RTree:
+        """The underlying R-tree (exposed for cost accounting in benchmarks)."""
+        return self._rtree
+
+    def point(self, index: int) -> Point:
+        """Position of data object ``index``."""
+        return self._points[index]
+
+    def voronoi_neighbors(self, index: int) -> Set[int]:
+        """Precomputed order-1 Voronoi neighbours of data object ``index``."""
+        if not self.is_active(index):
+            raise QueryError(f"object {index} does not exist (or was deleted)")
+        return set(self._neighbor_map.get(index, set()))
+
+    # ------------------------------------------------------------------
+    # Data-object updates
+    # ------------------------------------------------------------------
+    def insert(self, point: Point) -> int:
+        """Add a data object at ``point`` and return its new object index.
+
+        The R-tree is updated incrementally; the Voronoi neighbour lists of
+        the active objects are recomputed (the paper treats the neighbour
+        lists as a precomputed structure refreshed on data updates).
+        """
+        index = len(self._points)
+        self._points.append(point)
+        self._active.append(True)
+        self._rtree.insert(point, index)
+        self._rebuild_neighbor_map()
+        return index
+
+    def delete(self, index: int) -> bool:
+        """Remove data object ``index``.
+
+        Returns True when the object existed and was removed.  The last
+        remaining active object cannot be deleted.
+        """
+        if not self.is_active(index):
+            return False
+        if len(self) <= 1:
+            raise QueryError("cannot delete the last remaining data object")
+        self._active[index] = False
+        self._rtree.delete(self._points[index], index)
+        self._rebuild_neighbor_map()
+        return True
+
+    def _rebuild_neighbor_map(self) -> None:
+        """Recompute the Voronoi neighbour lists of the active objects."""
+        active = self.active_indexes()
+        active_points = [self._points[i] for i in active]
+        if len(active_points) >= 2:
+            diagram = VoronoiDiagram(active_points)
+            self._voronoi = diagram
+            local_map = diagram.neighbor_map()
+            self._neighbor_map = {
+                active[local]: {active[neighbor] for neighbor in neighbors}
+                for local, neighbors in local_map.items()
+            }
+        else:
+            self._voronoi = None
+            self._neighbor_map = {index: set() for index in active}
+
+    # ------------------------------------------------------------------
+    # Queries used by the INS processor
+    # ------------------------------------------------------------------
+    def nearest(self, query: Point, count: int) -> List[int]:
+        """Indexes of the ``count`` active data objects nearest to ``query``."""
+        if count <= 0:
+            raise QueryError("count must be positive")
+        if count > len(self):
+            raise QueryError(
+                f"requested {count} neighbours but only {len(self)} objects exist"
+            )
+        return self._rtree.nearest_payloads(query, count)
+
+    def influential_neighbor_set(self, member_indexes: Iterable[int]) -> Set[int]:
+        """The INS of a set of object indexes (Definition 4 of the paper)."""
+        return influential_neighbor_indexes(self._neighbor_map, member_indexes)
+
+    def retrieve(self, query: Point, count: int) -> Tuple[List[int], Set[int]]:
+        """One-shot retrieval used at (re)computation time.
+
+        Returns ``(R, I(R))``: the ``count`` nearest object indexes (nearest
+        first) and their influential neighbour set.
+        """
+        nearest = self.nearest(query, count)
+        return nearest, self.influential_neighbor_set(nearest)

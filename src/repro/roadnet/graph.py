@@ -1,0 +1,229 @@
+"""The road-network graph model.
+
+A road network is a planar undirected connected graph ``G = <V, E>`` whose
+vertices carry 2-D coordinates (used for drawing and for generating
+trajectories) and whose edges carry positive lengths (used for all network
+distance computations).  Data objects are assumed to sit on vertices, as in
+Section IV of the paper; the generators in :mod:`repro.roadnet.generators`
+follow that convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import RoadNetworkError
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected road segment between two vertices.
+
+    Attributes:
+        edge_id: identifier of the edge, unique within its network.
+        u: identifier of one endpoint vertex.
+        v: identifier of the other endpoint vertex.
+        length: positive travel length of the edge.
+    """
+
+    edge_id: int
+    u: int
+    v: int
+    length: float
+
+    def other_endpoint(self, vertex_id: int) -> int:
+        """The endpoint that is not ``vertex_id``.
+
+        Raises:
+            RoadNetworkError: if ``vertex_id`` is not an endpoint of the edge.
+        """
+        if vertex_id == self.u:
+            return self.v
+        if vertex_id == self.v:
+            return self.u
+        raise RoadNetworkError(f"vertex {vertex_id} is not an endpoint of edge {self.edge_id}")
+
+    def has_endpoint(self, vertex_id: int) -> bool:
+        """True when ``vertex_id`` is one of the edge's endpoints."""
+        return vertex_id in (self.u, self.v)
+
+
+class RoadNetwork:
+    """A mutable undirected road network.
+
+    Vertices and edges are referred to by integer identifiers.  Identifiers
+    are assigned by the network (``add_vertex`` / ``add_edge`` return them),
+    which keeps bookkeeping trivial for the generators.
+    """
+
+    def __init__(self) -> None:
+        self._vertex_positions: Dict[int, Point] = {}
+        self._edges: Dict[int, Edge] = {}
+        self._adjacency: Dict[int, List[int]] = {}
+        self._next_vertex_id = 0
+        self._next_edge_id = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, position: Point) -> int:
+        """Add a vertex at ``position`` and return its identifier."""
+        vertex_id = self._next_vertex_id
+        self._next_vertex_id += 1
+        self._vertex_positions[vertex_id] = position
+        self._adjacency[vertex_id] = []
+        return vertex_id
+
+    def add_edge(self, u: int, v: int, length: Optional[float] = None) -> int:
+        """Add an undirected edge between vertices ``u`` and ``v``.
+
+        Args:
+            u: first endpoint identifier.
+            v: second endpoint identifier.
+            length: edge length; defaults to the Euclidean distance between
+                the endpoint positions.
+
+        Returns:
+            The new edge's identifier.
+
+        Raises:
+            RoadNetworkError: for unknown endpoints, self-loops or
+                non-positive lengths.
+        """
+        if u not in self._vertex_positions or v not in self._vertex_positions:
+            raise RoadNetworkError(f"edge ({u}, {v}) refers to an unknown vertex")
+        if u == v:
+            raise RoadNetworkError("self-loop edges are not allowed")
+        if length is None:
+            length = self._vertex_positions[u].distance_to(self._vertex_positions[v])
+        if length <= 0:
+            raise RoadNetworkError("edge length must be positive")
+        edge_id = self._next_edge_id
+        self._next_edge_id += 1
+        edge = Edge(edge_id=edge_id, u=u, v=v, length=length)
+        self._edges[edge_id] = edge
+        self._adjacency[u].append(edge_id)
+        self._adjacency[v].append(edge_id)
+        return edge_id
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices."""
+        return len(self._vertex_positions)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    @property
+    def total_length(self) -> float:
+        """Sum of all edge lengths."""
+        return sum(edge.length for edge in self._edges.values())
+
+    def vertices(self) -> List[int]:
+        """All vertex identifiers."""
+        return list(self._vertex_positions)
+
+    def edges(self) -> List[Edge]:
+        """All edges."""
+        return list(self._edges.values())
+
+    def vertex_position(self, vertex_id: int) -> Point:
+        """Coordinates of a vertex."""
+        try:
+            return self._vertex_positions[vertex_id]
+        except KeyError:
+            raise RoadNetworkError(f"unknown vertex {vertex_id}") from None
+
+    def edge(self, edge_id: int) -> Edge:
+        """The edge with identifier ``edge_id``."""
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise RoadNetworkError(f"unknown edge {edge_id}") from None
+
+    def incident_edges(self, vertex_id: int) -> List[Edge]:
+        """Edges incident to ``vertex_id``."""
+        if vertex_id not in self._adjacency:
+            raise RoadNetworkError(f"unknown vertex {vertex_id}")
+        return [self._edges[edge_id] for edge_id in self._adjacency[vertex_id]]
+
+    def neighbors(self, vertex_id: int) -> List[Tuple[int, float, int]]:
+        """Adjacent vertices of ``vertex_id`` as ``(vertex, length, edge_id)`` triples."""
+        result = []
+        for edge in self.incident_edges(vertex_id):
+            result.append((edge.other_endpoint(vertex_id), edge.length, edge.edge_id))
+        return result
+
+    def degree(self, vertex_id: int) -> int:
+        """Number of edges incident to ``vertex_id``."""
+        if vertex_id not in self._adjacency:
+            raise RoadNetworkError(f"unknown vertex {vertex_id}")
+        return len(self._adjacency[vertex_id])
+
+    def find_edge(self, u: int, v: int) -> Optional[Edge]:
+        """The edge connecting ``u`` and ``v``, or None when there is none."""
+        for edge in self.incident_edges(u):
+            if edge.has_endpoint(v):
+                return edge
+        return None
+
+    # ------------------------------------------------------------------
+    # Structure checks
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """True when every vertex is reachable from every other vertex."""
+        if not self._vertex_positions:
+            return True
+        start = next(iter(self._vertex_positions))
+        seen: Set[int] = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for neighbor, _, _ in self.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return len(seen) == len(self._vertex_positions)
+
+    def connected_component(self, vertex_id: int) -> Set[int]:
+        """All vertices reachable from ``vertex_id``."""
+        seen: Set[int] = {vertex_id}
+        stack = [vertex_id]
+        while stack:
+            current = stack.pop()
+            for neighbor, _, _ in self.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return seen
+
+    def subnetwork(self, edge_ids: Iterable[int]) -> Tuple["RoadNetwork", Dict[int, int], Dict[int, int]]:
+        """Build the sub-network induced by a set of edges.
+
+        Used by Theorem 2: validation in road networks only needs the
+        network formed by the Voronoi cells of the kNN set and its INS.
+
+        Returns:
+            A triple ``(network, vertex_map, edge_map)`` where ``vertex_map``
+            maps original vertex identifiers to identifiers in the new
+            network and ``edge_map`` maps original edge identifiers likewise.
+        """
+        subnetwork = RoadNetwork()
+        vertex_map: Dict[int, int] = {}
+        edge_map: Dict[int, int] = {}
+        for edge_id in edge_ids:
+            edge = self.edge(edge_id)
+            for endpoint in (edge.u, edge.v):
+                if endpoint not in vertex_map:
+                    vertex_map[endpoint] = subnetwork.add_vertex(self.vertex_position(endpoint))
+            edge_map[edge_id] = subnetwork.add_edge(
+                vertex_map[edge.u], vertex_map[edge.v], edge.length
+            )
+        return subnetwork, vertex_map, edge_map

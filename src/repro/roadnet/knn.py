@@ -1,0 +1,151 @@
+"""Network k nearest neighbour search (incremental network expansion).
+
+Data objects sit on vertices; the query is a :class:`NetworkLocation`.  The
+kNN search is a Dijkstra expansion from the query location that stops as
+soon as ``k`` object vertices have been settled — the classic incremental
+network expansion (INE) algorithm, which is what the naive road-network
+baseline recomputes at every timestamp and what the INS road-network
+processor uses for its initial retrieval.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import QueryError, RoadNetworkError
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation
+from repro.roadnet.shortest_path import SearchStats
+
+
+def network_knn(
+    network: RoadNetwork,
+    object_vertices: Sequence[int],
+    location: NetworkLocation,
+    k: int,
+    stats: Optional[SearchStats] = None,
+) -> List[Tuple[int, float]]:
+    """The ``k`` data objects nearest to ``location`` by network distance.
+
+    Args:
+        network: the road network.
+        object_vertices: ``object_vertices[i]`` is the vertex data object
+            ``i`` sits on.
+        location: the query position on an edge.
+        k: how many neighbours to return.
+        stats: optional search-effort accumulator.
+
+    Returns:
+        A list of ``(object_index, distance)`` pairs, nearest first.  Several
+        objects may share a vertex; all of them are reported at that
+        vertex's distance.
+
+    Raises:
+        QueryError: for non-positive ``k`` or ``k`` larger than the number of
+            objects reachable from the query location.
+    """
+    if k <= 0:
+        raise QueryError("k must be positive")
+    if k > len(object_vertices):
+        raise QueryError(
+            f"k={k} exceeds the number of data objects ({len(object_vertices)})"
+        )
+    objects_at_vertex: Dict[int, List[int]] = {}
+    for object_index, vertex in enumerate(object_vertices):
+        objects_at_vertex.setdefault(vertex, []).append(object_index)
+
+    location = location.validated(network)
+    u, distance_u, v, distance_v = location.endpoint_distances(network)
+    settled: Set[int] = set()
+    results: List[Tuple[int, float]] = []
+    heap: List[Tuple[float, int]] = [(distance_u, u), (distance_v, v)]
+    heapq.heapify(heap)
+    if stats is not None:
+        stats.searches += 1
+    while heap and len(results) < k:
+        distance, vertex = heapq.heappop(heap)
+        if vertex in settled:
+            continue
+        settled.add(vertex)
+        if stats is not None:
+            stats.settled_vertices += 1
+        for object_index in objects_at_vertex.get(vertex, ()):
+            results.append((object_index, distance))
+            if len(results) >= k:
+                break
+        for neighbor, length, _ in network.neighbors(vertex):
+            if neighbor not in settled:
+                if stats is not None:
+                    stats.relaxed_edges += 1
+                heapq.heappush(heap, (distance + length, neighbor))
+    if len(results) < k:
+        raise QueryError(
+            f"only {len(results)} data objects reachable from the query location, k={k}"
+        )
+    return results[:k]
+
+
+def network_knn_from_vertex(
+    network: RoadNetwork,
+    object_vertices: Sequence[int],
+    source_vertex: int,
+    k: int,
+    stats: Optional[SearchStats] = None,
+) -> List[Tuple[int, float]]:
+    """Network kNN where the query sits exactly on a vertex."""
+    incident = network.incident_edges(source_vertex)
+    if not incident:
+        raise RoadNetworkError(f"vertex {source_vertex} has no incident edges")
+    location = NetworkLocation.at_vertex(network, source_vertex)
+    return network_knn(network, object_vertices, location, k, stats)
+
+
+def object_distances_from_location(
+    network: RoadNetwork,
+    object_vertices: Sequence[int],
+    location: NetworkLocation,
+    object_indexes: Sequence[int],
+    stats: Optional[SearchStats] = None,
+    restricted: Optional[RoadNetwork] = None,
+    vertex_map: Optional[Dict[int, int]] = None,
+) -> Dict[int, float]:
+    """Network distances from the query location to specific objects.
+
+    When ``restricted`` (and its ``vertex_map`` from original to restricted
+    vertex identifiers) is given, distances are computed on the restricted
+    sub-network — this is the Theorem 2 optimisation.  The query location
+    must lie on an edge present in the restricted network (its ``edge_id``
+    is interpreted in the original network; the caller supplies a location
+    already mapped into the restricted network when using this option).
+
+    Returns:
+        Mapping ``object_index -> distance``.  Objects unreachable in the
+        (possibly restricted) network get distance ``inf``.
+    """
+    from repro.roadnet.shortest_path import distances_from_location
+
+    graph = restricted if restricted is not None else network
+    if restricted is not None and vertex_map is None:
+        raise RoadNetworkError("vertex_map is required when a restricted network is given")
+
+    def mapped_vertex(original: int) -> Optional[int]:
+        if restricted is None:
+            return original
+        return vertex_map.get(original)
+
+    targets = []
+    for object_index in object_indexes:
+        vertex = mapped_vertex(object_vertices[object_index])
+        if vertex is not None:
+            targets.append(vertex)
+    vertex_distances = distances_from_location(graph, location, targets=targets, stats=stats)
+    result: Dict[int, float] = {}
+    for object_index in object_indexes:
+        vertex = mapped_vertex(object_vertices[object_index])
+        if vertex is None:
+            result[object_index] = math.inf
+        else:
+            result[object_index] = vertex_distances.get(vertex, math.inf)
+    return result

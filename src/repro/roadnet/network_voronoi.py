@@ -1,0 +1,245 @@
+"""Network Voronoi diagrams and network Voronoi neighbours.
+
+The order-1 network Voronoi diagram assigns every point of the road network
+(vertices and points along edges) to its nearest data object by network
+distance.  The INS road-network algorithm (Section IV of the paper) only
+needs two by-products of the diagram:
+
+* the *neighbour relation* — two objects are network Voronoi neighbours when
+  their cells share a border point; Theorem 1 shows the union of the
+  neighbours of the current kNNs is a superset of the MIS, and
+* the *edge ownership* map — which object(s) own (parts of) each edge; this
+  defines the sub-network of Theorem 2 used for localized validation.
+
+Both are computed from one multi-source Dijkstra: for an edge ``(u, v)`` the
+owner of a point at offset ``t`` is either ``owner(u)`` (reached through
+``u``) or ``owner(v)`` (reached through ``v``), because
+``d(x, o) = min(t + d(u, o), length - t + d(v, o))`` and each of the two
+terms is minimised by the corresponding endpoint's owner.  When the two
+owners differ, the cells meet at a border point in the interior of the edge
+and the owners are Voronoi neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EmptyDatasetError, RoadNetworkError
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.shortest_path import SearchStats, multi_source_dijkstra
+
+#: Tolerance used when classifying border points at vertices.
+_TIE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class EdgeOwnership:
+    """Ownership of one edge in the order-1 network Voronoi diagram.
+
+    Attributes:
+        edge_id: the edge described.
+        owner_u: object index owning the part of the edge adjacent to ``u``.
+        owner_v: object index owning the part of the edge adjacent to ``v``.
+        border_offset: offset (from ``u``) of the border point between the
+            two cells, or None when a single object owns the whole edge.
+    """
+
+    edge_id: int
+    owner_u: int
+    owner_v: int
+    border_offset: Optional[float]
+
+    @property
+    def is_split(self) -> bool:
+        """True when the edge is shared between two different cells."""
+        return self.border_offset is not None and self.owner_u != self.owner_v
+
+    def owners(self) -> Set[int]:
+        """The set of objects owning some part of the edge."""
+        return {self.owner_u, self.owner_v}
+
+
+class NetworkVoronoiDiagram:
+    """Order-1 network Voronoi diagram of data objects placed on vertices.
+
+    Args:
+        network: the road network.
+        object_vertices: ``object_vertices[i]`` is the vertex of object ``i``.
+            Multiple objects on the same vertex are allowed but the cell (and
+            the neighbour relation) of co-located objects is shared.
+        stats: optional search-effort accumulator for the construction.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        object_vertices: Sequence[int],
+        stats: Optional[SearchStats] = None,
+    ):
+        if not object_vertices:
+            raise EmptyDatasetError("NetworkVoronoiDiagram requires at least one data object")
+        known = set(network.vertices())
+        for vertex in object_vertices:
+            if vertex not in known:
+                raise RoadNetworkError(f"object vertex {vertex} not in the network")
+        self._network = network
+        self._object_vertices = list(object_vertices)
+        # When several objects share a vertex the first one becomes the
+        # representative owner; the others have empty cells.
+        sources: Dict[int, int] = {}
+        for object_index, vertex in enumerate(self._object_vertices):
+            sources.setdefault(vertex, object_index)
+        self._vertex_distances, self._vertex_owners = multi_source_dijkstra(
+            network, sources, stats
+        )
+        self._edge_ownership: Dict[int, EdgeOwnership] = {}
+        self._neighbor_map: Dict[int, Set[int]] = {
+            index: set() for index in range(len(self._object_vertices))
+        }
+        self._build_edge_ownership()
+        self._merge_colocated_objects(sources)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_edge_ownership(self) -> None:
+        for edge in self._network.edges():
+            owner_u = self._vertex_owners.get(edge.u)
+            owner_v = self._vertex_owners.get(edge.v)
+            if owner_u is None or owner_v is None:
+                # Disconnected part of the network without any object.
+                continue
+            distance_u = self._vertex_distances[edge.u]
+            distance_v = self._vertex_distances[edge.v]
+            if owner_u == owner_v:
+                ownership = EdgeOwnership(edge.edge_id, owner_u, owner_v, None)
+            else:
+                # Border point: t + d(u, owner_u) == (length - t) + d(v, owner_v)
+                border = (edge.length + distance_v - distance_u) / 2.0
+                border = min(max(border, 0.0), edge.length)
+                ownership = EdgeOwnership(edge.edge_id, owner_u, owner_v, border)
+                self._neighbor_map[owner_u].add(owner_v)
+                self._neighbor_map[owner_v].add(owner_u)
+            self._edge_ownership[edge.edge_id] = ownership
+        # Vertices where several cells meet exactly (distance ties through
+        # different owners) also create adjacencies; detect them by checking,
+        # for every vertex, whether a neighbouring vertex's owner reaches it
+        # at the same distance.
+        for vertex in self._network.vertices():
+            owner = self._vertex_owners.get(vertex)
+            if owner is None:
+                continue
+            distance = self._vertex_distances[vertex]
+            for neighbor, length, _ in self._network.neighbors(vertex):
+                other_owner = self._vertex_owners.get(neighbor)
+                if other_owner is None or other_owner == owner:
+                    continue
+                through_other = self._vertex_distances[neighbor] + length
+                if abs(through_other - distance) <= _TIE_TOLERANCE * max(1.0, distance):
+                    self._neighbor_map[owner].add(other_owner)
+                    self._neighbor_map[other_owner].add(owner)
+
+    def _merge_colocated_objects(self, sources: Dict[int, int]) -> None:
+        """Give co-located objects the representative's neighbours (and each other)."""
+        for object_index, vertex in enumerate(self._object_vertices):
+            representative = sources[vertex]
+            if representative == object_index:
+                continue
+            shared = set(self._neighbor_map[representative])
+            self._neighbor_map[object_index].update(shared)
+            self._neighbor_map[object_index].add(representative)
+            self._neighbor_map[representative].add(object_index)
+            for neighbor in shared:
+                self._neighbor_map[neighbor].add(object_index)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> RoadNetwork:
+        """The underlying road network."""
+        return self._network
+
+    @property
+    def object_vertices(self) -> List[int]:
+        """Vertex of each data object, in object-index order."""
+        return list(self._object_vertices)
+
+    def object_count(self) -> int:
+        """Number of data objects."""
+        return len(self._object_vertices)
+
+    def vertex_owner(self, vertex_id: int) -> Optional[int]:
+        """Object index owning ``vertex_id`` (None for unreachable vertices)."""
+        return self._vertex_owners.get(vertex_id)
+
+    def vertex_distance(self, vertex_id: int) -> float:
+        """Distance from ``vertex_id`` to its nearest data object."""
+        return self._vertex_distances[vertex_id]
+
+    def edge_ownership(self, edge_id: int) -> Optional[EdgeOwnership]:
+        """Ownership description of ``edge_id`` (None for unreachable edges)."""
+        return self._edge_ownership.get(edge_id)
+
+    def neighbors_of(self, object_index: int) -> Set[int]:
+        """Network Voronoi neighbours of object ``object_index``."""
+        return set(self._neighbor_map[object_index])
+
+    def neighbor_map(self) -> Dict[int, Set[int]]:
+        """A copy of the full object -> neighbour-set mapping."""
+        return {index: set(neighbors) for index, neighbors in self._neighbor_map.items()}
+
+    def influential_neighbor_set(self, member_indexes: Iterable[int]) -> Set[int]:
+        """The INS of a set of objects (Definition 4, network version)."""
+        members = set(member_indexes)
+        result: Set[int] = set()
+        for index in members:
+            result.update(self._neighbor_map[index])
+        return result - members
+
+    # ------------------------------------------------------------------
+    # Cells
+    # ------------------------------------------------------------------
+    def cell_edges(self, object_indexes: Iterable[int]) -> Set[int]:
+        """Edges any part of which is owned by one of ``object_indexes``.
+
+        This is the edge set of the Theorem 2 sub-network when called with
+        the union of the current kNN set and its INS.
+        """
+        wanted = set(object_indexes)
+        result: Set[int] = set()
+        for edge_id, ownership in self._edge_ownership.items():
+            if ownership.owners() & wanted:
+                result.add(edge_id)
+        return result
+
+    def cell_length(self, object_index: int) -> float:
+        """Total network length owned by ``object_index``."""
+        total = 0.0
+        for ownership in self._edge_ownership.values():
+            edge = self._network.edge(ownership.edge_id)
+            if ownership.owner_u == ownership.owner_v:
+                if ownership.owner_u == object_index:
+                    total += edge.length
+            else:
+                if ownership.owner_u == object_index:
+                    total += ownership.border_offset or 0.0
+                if ownership.owner_v == object_index:
+                    total += edge.length - (ownership.border_offset or 0.0)
+        return total
+
+    def restricted_subnetwork(
+        self, object_indexes: Iterable[int]
+    ) -> Tuple[RoadNetwork, Dict[int, int], Dict[int, int]]:
+        """The sub-network formed by the cells of ``object_indexes``.
+
+        Implements the Theorem 2 restriction: the returned network contains
+        every edge at least partially owned by one of the given objects.
+
+        Returns:
+            ``(network, vertex_map, edge_map)`` as produced by
+            :meth:`repro.roadnet.graph.RoadNetwork.subnetwork`.
+        """
+        edges = self.cell_edges(object_indexes)
+        return self._network.subnetwork(edges)

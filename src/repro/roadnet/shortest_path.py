@@ -1,0 +1,215 @@
+"""Shortest-path computations on road networks.
+
+All network distances in the library come from the Dijkstra variants in this
+module:
+
+* :func:`dijkstra` — single-source distances to every vertex.
+* :func:`bounded_dijkstra` — single-source distances, stopping once the
+  search frontier exceeds a radius (used for localized validation).
+* :func:`multi_source_dijkstra` — distances from the nearest of several
+  sources together with the identity of that source; this is exactly the
+  computation that yields the network Voronoi diagram.
+* :func:`distances_from_location` — distances from a point on an edge
+  (the moving query object) to every vertex, optionally restricted to a
+  sub-network (Theorem 2).
+* :func:`shortest_path_distance` — vertex-to-vertex distance.
+
+The functions count settled vertices through an optional
+:class:`SearchStats` accumulator so the benchmarks can report search effort.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import RoadNetworkError
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation
+
+
+@dataclass
+class SearchStats:
+    """Mutable counters describing the effort of shortest-path searches."""
+
+    settled_vertices: int = 0
+    relaxed_edges: int = 0
+    searches: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.settled_vertices += other.settled_vertices
+        self.relaxed_edges += other.relaxed_edges
+        self.searches += other.searches
+
+
+def dijkstra(
+    network: RoadNetwork,
+    source: int,
+    stats: Optional[SearchStats] = None,
+) -> Dict[int, float]:
+    """Distances from ``source`` to every reachable vertex."""
+    return bounded_dijkstra(network, source, math.inf, stats)
+
+
+def bounded_dijkstra(
+    network: RoadNetwork,
+    source: int,
+    radius: float,
+    stats: Optional[SearchStats] = None,
+) -> Dict[int, float]:
+    """Distances from ``source`` to every vertex within ``radius``.
+
+    Vertices farther than ``radius`` may be missing from the result (they
+    are only included if settled before the bound is hit).
+    """
+    if source not in set(network.vertices()):
+        raise RoadNetworkError(f"unknown source vertex {source}")
+    distances: Dict[int, float] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    if stats is not None:
+        stats.searches += 1
+    while heap:
+        distance, vertex = heapq.heappop(heap)
+        if vertex in distances:
+            continue
+        if distance > radius:
+            break
+        distances[vertex] = distance
+        if stats is not None:
+            stats.settled_vertices += 1
+        for neighbor, length, _ in network.neighbors(vertex):
+            if neighbor not in distances:
+                if stats is not None:
+                    stats.relaxed_edges += 1
+                heapq.heappush(heap, (distance + length, neighbor))
+    return distances
+
+
+def multi_source_dijkstra(
+    network: RoadNetwork,
+    sources: Dict[int, int],
+    stats: Optional[SearchStats] = None,
+) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Nearest-source distances and owners for every vertex.
+
+    Args:
+        network: the road network.
+        sources: mapping ``vertex_id -> source_label``.  Several vertices may
+            carry different labels; each vertex of the network is assigned to
+            the label of its nearest source vertex.
+
+    Returns:
+        ``(distances, owners)`` where ``distances[v]`` is the network
+        distance from ``v`` to its nearest source and ``owners[v]`` is that
+        source's label.  This is the standard parallel-Dijkstra construction
+        of the network Voronoi diagram.
+    """
+    if not sources:
+        raise RoadNetworkError("multi_source_dijkstra requires at least one source")
+    known_vertices = set(network.vertices())
+    for vertex in sources:
+        if vertex not in known_vertices:
+            raise RoadNetworkError(f"unknown source vertex {vertex}")
+    distances: Dict[int, float] = {}
+    owners: Dict[int, int] = {}
+    heap: List[Tuple[float, int, int]] = [
+        (0.0, vertex, label) for vertex, label in sources.items()
+    ]
+    heapq.heapify(heap)
+    if stats is not None:
+        stats.searches += 1
+    while heap:
+        distance, vertex, label = heapq.heappop(heap)
+        if vertex in distances:
+            continue
+        distances[vertex] = distance
+        owners[vertex] = label
+        if stats is not None:
+            stats.settled_vertices += 1
+        for neighbor, length, _ in network.neighbors(vertex):
+            if neighbor not in distances:
+                if stats is not None:
+                    stats.relaxed_edges += 1
+                heapq.heappush(heap, (distance + length, neighbor, label))
+    return distances, owners
+
+
+def distances_from_location(
+    network: RoadNetwork,
+    location: NetworkLocation,
+    targets: Optional[Iterable[int]] = None,
+    radius: float = math.inf,
+    stats: Optional[SearchStats] = None,
+) -> Dict[int, float]:
+    """Network distances from an on-edge location to vertices.
+
+    The location is expanded through both endpoints of its edge.  When
+    ``targets`` is given the search stops as soon as every target has been
+    settled, which is what the localized validation of Theorem 2 relies on.
+
+    Returns:
+        Mapping ``vertex_id -> distance`` for every settled vertex (always a
+        superset of the requested targets when they are reachable within
+        ``radius``).
+    """
+    location = location.validated(network)
+    u, distance_u, v, distance_v = location.endpoint_distances(network)
+    target_set = set(targets) if targets is not None else None
+    distances: Dict[int, float] = {}
+    heap: List[Tuple[float, int]] = [(distance_u, u), (distance_v, v)]
+    heapq.heapify(heap)
+    remaining = set(target_set) if target_set is not None else None
+    if stats is not None:
+        stats.searches += 1
+    while heap:
+        distance, vertex = heapq.heappop(heap)
+        if vertex in distances:
+            continue
+        if distance > radius:
+            break
+        distances[vertex] = distance
+        if stats is not None:
+            stats.settled_vertices += 1
+        if remaining is not None:
+            remaining.discard(vertex)
+            if not remaining:
+                break
+        for neighbor, length, _ in network.neighbors(vertex):
+            if neighbor not in distances:
+                if stats is not None:
+                    stats.relaxed_edges += 1
+                heapq.heappush(heap, (distance + length, neighbor))
+    return distances
+
+
+def shortest_path_distance(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    stats: Optional[SearchStats] = None,
+) -> float:
+    """Network distance between two vertices (``inf`` when disconnected)."""
+    if target not in set(network.vertices()):
+        raise RoadNetworkError(f"unknown target vertex {target}")
+    distances: Dict[int, float] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    if stats is not None:
+        stats.searches += 1
+    while heap:
+        distance, vertex = heapq.heappop(heap)
+        if vertex in distances:
+            continue
+        distances[vertex] = distance
+        if stats is not None:
+            stats.settled_vertices += 1
+        if vertex == target:
+            return distance
+        for neighbor, length, _ in network.neighbors(vertex):
+            if neighbor not in distances:
+                if stats is not None:
+                    stats.relaxed_edges += 1
+                heapq.heappush(heap, (distance + length, neighbor))
+    return math.inf

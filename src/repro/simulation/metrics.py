@@ -1,0 +1,110 @@
+"""Summaries of simulation runs.
+
+A :class:`RunSummary` is the flattened, report-ready view of one
+:class:`~repro.simulation.simulator.SimulationRun`: the method name, the
+workload size, and the cost measures the paper's evaluation axes care about
+(recomputation counts, communication, client work, timing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.simulation.simulator import SimulationRun
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Flat summary of one simulation run (one method on one workload).
+
+    Attributes:
+        method: the processor's report name.
+        timestamps: number of processed timestamps.
+        knn_changes: how often the reported kNN set actually changed.
+        full_recomputations: server-side answer recomputations.
+        local_reorders: answer changes handled entirely client-side.
+        communication_events: timestamps with any server communication.
+        transmitted_objects: total objects shipped server -> client.
+        distance_computations: client-side distance evaluations.
+        index_node_accesses: index nodes touched by server retrievals.
+        settled_vertices: Dijkstra-settled vertices (road mode; 0 otherwise).
+        construction_seconds: time spent building guard structures.
+        validation_seconds: time spent validating at timestamps.
+        precomputation_seconds: offline index/Voronoi preparation time.
+        elapsed_seconds: wall-clock time of the whole run.
+        correct: True when the run had no oracle mismatch (or no oracle).
+    """
+
+    method: str
+    timestamps: int
+    knn_changes: int
+    full_recomputations: int
+    local_reorders: int
+    communication_events: int
+    transmitted_objects: int
+    distance_computations: int
+    index_node_accesses: int
+    settled_vertices: int
+    construction_seconds: float
+    validation_seconds: float
+    precomputation_seconds: float
+    elapsed_seconds: float
+    correct: bool
+
+    @property
+    def recomputation_rate(self) -> float:
+        """Full recomputations per timestamp."""
+        return self.full_recomputations / self.timestamps if self.timestamps else 0.0
+
+    @property
+    def communication_per_timestamp(self) -> float:
+        """Average transmitted objects per timestamp."""
+        return self.transmitted_objects / self.timestamps if self.timestamps else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Dictionary view used by the table formatter."""
+        return {
+            "method": self.method,
+            "timestamps": self.timestamps,
+            "knn_changes": self.knn_changes,
+            "recomputations": self.full_recomputations,
+            "local_reorders": self.local_reorders,
+            "comm_events": self.communication_events,
+            "objects_sent": self.transmitted_objects,
+            "distance_comps": self.distance_computations,
+            "node_accesses": self.index_node_accesses,
+            "settled_vertices": self.settled_vertices,
+            "construct_s": round(self.construction_seconds, 4),
+            "validate_s": round(self.validation_seconds, 4),
+            "precompute_s": round(self.precomputation_seconds, 4),
+            "elapsed_s": round(self.elapsed_seconds, 4),
+            "correct": self.correct,
+        }
+
+
+def summarize(run: SimulationRun) -> RunSummary:
+    """Build a :class:`RunSummary` from a finished simulation run."""
+    stats = run.stats
+    return RunSummary(
+        method=run.method,
+        timestamps=run.timestamps,
+        knn_changes=run.knn_changes,
+        full_recomputations=stats.full_recomputations,
+        local_reorders=stats.local_reorders,
+        communication_events=stats.communication_events,
+        transmitted_objects=stats.transmitted_objects,
+        distance_computations=stats.distance_computations,
+        index_node_accesses=stats.index_node_accesses,
+        settled_vertices=stats.settled_vertices,
+        construction_seconds=stats.construction_seconds,
+        validation_seconds=stats.validation_seconds,
+        precomputation_seconds=stats.precomputation_seconds,
+        elapsed_seconds=run.elapsed_seconds,
+        correct=run.is_correct,
+    )
+
+
+def summarize_many(runs: Sequence[SimulationRun]) -> List[RunSummary]:
+    """Summaries of several runs, preserving order."""
+    return [summarize(run) for run in runs]

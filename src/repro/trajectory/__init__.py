@@ -1,0 +1,22 @@
+"""Trajectory generators for the moving query object.
+
+* :mod:`repro.trajectory.euclidean` — trajectories in the 2-D plane
+  (linear, circular, random waypoint), matching the free-form trajectories
+  of the paper's 2D Plane mode.
+* :mod:`repro.trajectory.road` — trajectories constrained to a road network
+  (random walks along edges), matching the Road Network mode.
+"""
+
+from repro.trajectory.euclidean import (
+    circular_trajectory,
+    linear_trajectory,
+    random_waypoint_trajectory,
+)
+from repro.trajectory.road import network_random_walk
+
+__all__ = [
+    "linear_trajectory",
+    "circular_trajectory",
+    "random_waypoint_trajectory",
+    "network_random_walk",
+]

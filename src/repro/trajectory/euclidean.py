@@ -1,0 +1,107 @@
+"""Euclidean trajectories: the paths the moving query object follows.
+
+The demo lets users draw arbitrary trajectories in the 2D Plane mode; the
+experiments need reproducible ones.  All generators return a list of
+:class:`~repro.geometry.point.Point` sampled at equal time intervals, so the
+distance between consecutive positions is the query speed per timestamp.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.primitives import BoundingBox
+
+
+def linear_trajectory(start: Point, end: Point, steps: int) -> List[Point]:
+    """A straight-line trajectory from ``start`` to ``end`` in ``steps`` steps.
+
+    Returns ``steps + 1`` positions including both endpoints.
+    """
+    if steps < 1:
+        raise ConfigurationError("steps must be at least 1")
+    return [start.towards(end, i / steps) for i in range(steps + 1)]
+
+
+def circular_trajectory(
+    center: Point, radius: float, steps: int, revolutions: float = 1.0
+) -> List[Point]:
+    """A circular trajectory around ``center``.
+
+    Args:
+        center: circle center.
+        radius: circle radius (> 0).
+        steps: number of movement steps; ``steps + 1`` positions are returned.
+        revolutions: how many full turns to make over the trajectory.
+    """
+    if steps < 1:
+        raise ConfigurationError("steps must be at least 1")
+    if radius <= 0:
+        raise ConfigurationError("radius must be positive")
+    positions = []
+    for i in range(steps + 1):
+        angle = 2.0 * math.pi * revolutions * i / steps
+        positions.append(
+            Point(center.x + radius * math.cos(angle), center.y + radius * math.sin(angle))
+        )
+    return positions
+
+
+def random_waypoint_trajectory(
+    bounding_box: BoundingBox,
+    steps: int,
+    step_length: float,
+    seed: int = 3,
+    start: Optional[Point] = None,
+) -> List[Point]:
+    """A random-waypoint trajectory inside ``bounding_box``.
+
+    The query repeatedly picks a random waypoint uniformly inside the box and
+    moves towards it in steps of ``step_length``; when the waypoint is
+    reached a new one is chosen.  This is the standard mobility model for
+    moving-query evaluations and is what the E-series experiments use.
+
+    Args:
+        bounding_box: region the trajectory must stay inside.
+        steps: number of movement steps (``steps + 1`` positions returned).
+        step_length: distance travelled per step (the query speed).
+        seed: random seed for reproducibility.
+        start: optional fixed starting position; defaults to a random one.
+
+    Returns:
+        ``steps + 1`` positions at equal spacing ``step_length`` (except
+        possibly at waypoint turns, where the step is shortened to land on
+        the waypoint before continuing).
+    """
+    if steps < 1:
+        raise ConfigurationError("steps must be at least 1")
+    if step_length <= 0:
+        raise ConfigurationError("step_length must be positive")
+    rng = random.Random(seed)
+
+    def random_point() -> Point:
+        return Point(
+            rng.uniform(bounding_box.min_x, bounding_box.max_x),
+            rng.uniform(bounding_box.min_y, bounding_box.max_y),
+        )
+
+    current = start if start is not None else random_point()
+    waypoint = random_point()
+    positions = [current]
+    for _ in range(steps):
+        remaining = step_length
+        while remaining > 0:
+            to_waypoint = current.distance_to(waypoint)
+            if to_waypoint <= remaining:
+                current = waypoint
+                remaining -= to_waypoint
+                waypoint = random_point()
+            else:
+                current = current.towards(waypoint, remaining / to_waypoint)
+                remaining = 0.0
+        positions.append(current)
+    return positions

@@ -1,0 +1,90 @@
+"""Road-network trajectories.
+
+In the Road Network mode the query object must move along the network.  The
+generator below produces a random walk: the query moves at constant speed
+along its current edge and, whenever it reaches a vertex, continues onto a
+randomly chosen incident edge (avoiding an immediate U-turn when possible).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import ConfigurationError, RoadNetworkError
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation
+
+
+def network_random_walk(
+    network: RoadNetwork,
+    steps: int,
+    step_length: float,
+    seed: int = 5,
+    start: Optional[NetworkLocation] = None,
+) -> List[NetworkLocation]:
+    """A constant-speed random walk along the network.
+
+    Args:
+        network: the road network (must have at least one edge).
+        steps: number of movement steps (``steps + 1`` locations returned).
+        step_length: network distance travelled per step (the query speed).
+        seed: random seed for reproducibility.
+        start: optional starting location; defaults to the midpoint of a
+            random edge.
+
+    Returns:
+        ``steps + 1`` :class:`~repro.roadnet.location.NetworkLocation`
+        positions, each exactly ``step_length`` of travel after the previous.
+    """
+    if steps < 1:
+        raise ConfigurationError("steps must be at least 1")
+    if step_length <= 0:
+        raise ConfigurationError("step_length must be positive")
+    edges = network.edges()
+    if not edges:
+        raise RoadNetworkError("the network has no edges to walk on")
+    rng = random.Random(seed)
+
+    if start is None:
+        edge = rng.choice(edges)
+        current = NetworkLocation(edge.edge_id, edge.length / 2.0)
+    else:
+        current = start.validated(network)
+
+    # Walking state: the edge, the offset, and the direction of travel
+    # (+1 towards v, -1 towards u).
+    direction = rng.choice((1, -1))
+    positions = [current]
+
+    def advance(location: NetworkLocation, travel_direction: int, distance: float):
+        """Move ``distance`` along the network; returns the new state."""
+        edge = network.edge(location.edge_id)
+        offset = location.offset
+        while distance > 0:
+            if travel_direction > 0:
+                available = edge.length - offset
+            else:
+                available = offset
+            if distance <= available:
+                offset = offset + distance if travel_direction > 0 else offset - distance
+                distance = 0.0
+            else:
+                distance -= available
+                reached_vertex = edge.v if travel_direction > 0 else edge.u
+                incident = network.incident_edges(reached_vertex)
+                choices = [e for e in incident if e.edge_id != edge.edge_id]
+                next_edge = rng.choice(choices) if choices else edge
+                edge = next_edge
+                if edge.u == reached_vertex:
+                    offset = 0.0
+                    travel_direction = 1
+                else:
+                    offset = edge.length
+                    travel_direction = -1
+        return NetworkLocation(edge.edge_id, offset), travel_direction
+
+    for _ in range(steps):
+        current, direction = advance(current, direction, step_length)
+        positions.append(current)
+    return positions

@@ -1,0 +1,17 @@
+"""Non-graphical demo rendering.
+
+The original INSQ demonstration is a Scala Swing GUI; this package provides
+the same information as plain text so the demo scenarios can run in a
+terminal (and in tests):
+
+* :mod:`repro.viz.ascii_plane` — render the 2D Plane mode state: data
+  objects, the query, the kNN set (green dots in the paper), the INS
+  (yellow dots) and the two special circles of Figure 4.
+* :mod:`repro.viz.ascii_network` — render the Road Network mode state: the
+  network, the query location and the cells of the kNN set and INS.
+"""
+
+from repro.viz.ascii_plane import render_plane_state
+from repro.viz.ascii_network import render_network_state
+
+__all__ = ["render_plane_state", "render_network_state"]

@@ -1,0 +1,95 @@
+"""ASCII rendering of the Road Network demonstration state.
+
+Reproduces (in a terminal) what the paper's Figure 3 screenshot shows: the
+road network with its data objects, the moving query object, and which
+objects currently form the kNN set and the influential neighbour set.  The
+network's edges are drawn from their straight-line embeddings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.geometry.point import Point
+from repro.geometry.primitives import BoundingBox
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation
+
+GLYPH_EMPTY = " "
+GLYPH_ROAD = "-"
+GLYPH_VERTEX = "+"
+GLYPH_OBJECT = "o"
+GLYPH_INS = "i"
+GLYPH_KNN = "K"
+GLYPH_QUERY = "Q"
+
+
+def render_network_state(
+    network: RoadNetwork,
+    object_vertices: Sequence[int],
+    query: NetworkLocation,
+    knn: Iterable[int],
+    ins: Iterable[int],
+    width: int = 60,
+    height: int = 24,
+    include_legend: bool = True,
+) -> str:
+    """Render the road-network state as a character grid.
+
+    Args:
+        network: the road network.
+        object_vertices: vertex of each data object.
+        query: the query location.
+        knn: indexes of the current kNN set (drawn as ``K``).
+        ins: indexes of the current INS (drawn as ``i``).
+        width: grid width in characters.
+        height: grid height in characters.
+        include_legend: append a legend line.
+
+    Returns:
+        The rendered multi-line string.
+    """
+    knn_set: Set[int] = set(knn)
+    ins_set: Set[int] = set(ins)
+    positions = [network.vertex_position(v) for v in network.vertices()]
+    bounding_box = BoundingBox.from_points(positions).expanded(1.0)
+
+    grid: List[List[str]] = [[GLYPH_EMPTY] * width for _ in range(height)]
+
+    def cell_of(point: Point):
+        column = int((point.x - bounding_box.min_x) / bounding_box.width * (width - 1))
+        row = int((point.y - bounding_box.min_y) / bounding_box.height * (height - 1))
+        column = min(max(column, 0), width - 1)
+        row = min(max(row, 0), height - 1)
+        return height - 1 - row, column
+
+    def place(point: Point, glyph: str) -> None:
+        row, column = cell_of(point)
+        grid[row][column] = glyph
+
+    # Draw edges by sampling along their straight-line embedding.
+    for edge in network.edges():
+        start = network.vertex_position(edge.u)
+        end = network.vertex_position(edge.v)
+        samples = max(int(max(width, height) / 2), 2)
+        for i in range(samples + 1):
+            point = start.towards(end, i / samples)
+            row, column = cell_of(point)
+            if grid[row][column] == GLYPH_EMPTY:
+                grid[row][column] = GLYPH_ROAD
+
+    for vertex in network.vertices():
+        place(network.vertex_position(vertex), GLYPH_VERTEX)
+    for index, vertex in enumerate(object_vertices):
+        place(network.vertex_position(vertex), GLYPH_OBJECT)
+    for index in ins_set:
+        place(network.vertex_position(object_vertices[index]), GLYPH_INS)
+    for index in knn_set:
+        place(network.vertex_position(object_vertices[index]), GLYPH_KNN)
+    place(query.position(network), GLYPH_QUERY)
+
+    lines = ["".join(row) for row in grid]
+    if include_legend:
+        lines.append("")
+        lines.append("legend: Q=query  K=kNN  i=INS  o=object  +=vertex  -=road")
+    return "\n".join(lines)

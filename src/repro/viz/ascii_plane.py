@@ -1,0 +1,87 @@
+"""ASCII rendering of the 2D Plane demonstration state.
+
+Reproduces (in a terminal) what the paper's Figure 4 screenshots show: the
+data objects, the moving query object, the current kNN set, the influential
+neighbour set, and the validity status derived from the two special circles
+(the farthest-kNN circle and the nearest-INS circle centred at the query).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.geometry.point import Point
+from repro.geometry.primitives import BoundingBox
+
+#: Glyphs used in the rendering, in increasing priority (later overrides earlier).
+GLYPH_EMPTY = "."
+GLYPH_OBJECT = "o"
+GLYPH_INS = "i"
+GLYPH_KNN = "K"
+GLYPH_QUERY = "Q"
+
+
+def render_plane_state(
+    points: Sequence[Point],
+    query: Point,
+    knn: Iterable[int],
+    ins: Iterable[int],
+    width: int = 60,
+    height: int = 24,
+    bounding_box: Optional[BoundingBox] = None,
+    include_legend: bool = True,
+) -> str:
+    """Render the plane state as a character grid.
+
+    Args:
+        points: all data-object positions.
+        query: the query object position.
+        knn: indexes of the current kNN set (drawn as ``K``).
+        ins: indexes of the current influential neighbour set (drawn as ``i``).
+        width: grid width in characters.
+        height: grid height in characters.
+        bounding_box: region to draw; defaults to the extent of the data
+            plus the query.
+        include_legend: append a legend and the validity summary line.
+
+    Returns:
+        The rendered multi-line string.
+    """
+    knn_set: Set[int] = set(knn)
+    ins_set: Set[int] = set(ins)
+    if bounding_box is None:
+        bounding_box = BoundingBox.from_points(list(points) + [query]).expanded(1.0)
+
+    grid: List[List[str]] = [[GLYPH_EMPTY] * width for _ in range(height)]
+
+    def place(point: Point, glyph: str) -> None:
+        if bounding_box.width == 0 or bounding_box.height == 0:
+            return
+        column = int((point.x - bounding_box.min_x) / bounding_box.width * (width - 1))
+        row = int((point.y - bounding_box.min_y) / bounding_box.height * (height - 1))
+        column = min(max(column, 0), width - 1)
+        row = min(max(row, 0), height - 1)
+        # Row 0 is the top of the rendering, so flip the y axis.
+        grid[height - 1 - row][column] = glyph
+
+    for index, point in enumerate(points):
+        place(point, GLYPH_OBJECT)
+    for index in ins_set:
+        place(points[index], GLYPH_INS)
+    for index in knn_set:
+        place(points[index], GLYPH_KNN)
+    place(query, GLYPH_QUERY)
+
+    lines = ["".join(row) for row in grid]
+    if include_legend:
+        farthest_knn = max((query.distance_to(points[i]) for i in knn_set), default=0.0)
+        nearest_ins = min((query.distance_to(points[i]) for i in ins_set), default=float("inf"))
+        valid = farthest_knn <= nearest_ins
+        lines.append("")
+        lines.append(f"legend: Q=query  K=kNN  i=INS  o=object")
+        lines.append(
+            "status: "
+            + ("kNN set VALID" if valid else "kNN set INVALID")
+            + f"  (farthest kNN {farthest_knn:.1f} vs nearest INS {nearest_ins:.1f})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Workload generation: data sets and named experiment scenarios.
+
+* :mod:`repro.workloads.datasets` — synthetic point sets (uniform, clustered)
+  standing in for the paper's POI data sets.
+* :mod:`repro.workloads.scenarios` — fully specified, reproducible workload
+  scenarios (data + trajectory + parameters) used by the examples, the
+  integration tests and the benchmark harness.
+"""
+
+from repro.workloads.datasets import clustered_points, uniform_points
+from repro.workloads.scenarios import (
+    EuclideanScenario,
+    RoadScenario,
+    default_euclidean_scenario,
+    default_road_scenario,
+    fig4_scenario,
+)
+
+__all__ = [
+    "uniform_points",
+    "clustered_points",
+    "EuclideanScenario",
+    "RoadScenario",
+    "default_euclidean_scenario",
+    "default_road_scenario",
+    "fig4_scenario",
+]

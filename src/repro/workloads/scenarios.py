@@ -1,0 +1,161 @@
+"""Named, reproducible workload scenarios.
+
+A scenario bundles everything a simulation run needs — the data objects, the
+query trajectory and the query parameters — so that examples, integration
+tests and benchmarks all exercise the exact same workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.primitives import BoundingBox
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.generators import grid_network, place_objects
+from repro.roadnet.location import NetworkLocation
+from repro.trajectory.euclidean import random_waypoint_trajectory
+from repro.trajectory.road import network_random_walk
+from repro.workloads.datasets import DEFAULT_EXTENT, data_space, uniform_points
+
+
+@dataclass(frozen=True)
+class EuclideanScenario:
+    """A complete 2-D plane workload.
+
+    Attributes:
+        name: scenario identifier used in reports.
+        points: data-object positions.
+        trajectory: query positions, one per timestamp.
+        k: number of nearest neighbours to maintain.
+        rho: INS prefetch ratio to use for this scenario.
+        step_length: distance between consecutive trajectory positions.
+    """
+
+    name: str
+    points: List[Point]
+    trajectory: List[Point]
+    k: int
+    rho: float
+    step_length: float
+
+    @property
+    def timestamps(self) -> int:
+        """Number of query timestamps (trajectory length)."""
+        return len(self.trajectory)
+
+
+@dataclass(frozen=True)
+class RoadScenario:
+    """A complete road-network workload.
+
+    Attributes:
+        name: scenario identifier used in reports.
+        network: the road network.
+        object_vertices: vertex of each data object.
+        trajectory: query locations, one per timestamp.
+        k: number of nearest neighbours to maintain.
+        rho: INS prefetch ratio to use for this scenario.
+        step_length: network distance between consecutive locations.
+    """
+
+    name: str
+    network: RoadNetwork
+    object_vertices: List[int]
+    trajectory: List[NetworkLocation]
+    k: int
+    rho: float
+    step_length: float
+
+    @property
+    def timestamps(self) -> int:
+        """Number of query timestamps (trajectory length)."""
+        return len(self.trajectory)
+
+
+def default_euclidean_scenario(
+    object_count: int = 2_000,
+    k: int = 5,
+    rho: float = 1.6,
+    steps: int = 300,
+    step_length: float = 40.0,
+    extent: float = DEFAULT_EXTENT,
+    seed: int = 17,
+) -> EuclideanScenario:
+    """A uniform-data random-waypoint scenario (the E-series default).
+
+    The defaults are sized so the full scenario (index construction included)
+    runs in a few seconds on a laptop while still producing hundreds of
+    validation events and a meaningful number of kNN changes.
+    """
+    if object_count <= k:
+        raise ConfigurationError("object_count must exceed k")
+    points = uniform_points(object_count, extent=extent, seed=seed)
+    trajectory = random_waypoint_trajectory(
+        data_space(extent), steps=steps, step_length=step_length, seed=seed + 1
+    )
+    return EuclideanScenario(
+        name=f"uniform-n{object_count}-k{k}",
+        points=points,
+        trajectory=trajectory,
+        k=k,
+        rho=rho,
+        step_length=step_length,
+    )
+
+
+def fig4_scenario(seed: int = 23) -> EuclideanScenario:
+    """The Figure 4 demonstration scenario: k = 5, ρ = 1.6, small data set.
+
+    Figure 4 of the paper shows a 2D Plane demo with k = 5 and ρ = 1.6 where
+    the query starts inside the order-k cell of its kNN set (valid) and then
+    moves out of it (invalid).  This scenario reproduces that setting with a
+    data set small enough to visualise.
+    """
+    points = uniform_points(120, extent=1_000.0, seed=seed)
+    trajectory = random_waypoint_trajectory(
+        BoundingBox(100.0, 100.0, 900.0, 900.0), steps=200, step_length=12.0, seed=seed + 1
+    )
+    return EuclideanScenario(
+        name="fig4-plane-k5-rho1.6",
+        points=points,
+        trajectory=trajectory,
+        k=5,
+        rho=1.6,
+        step_length=12.0,
+    )
+
+
+def default_road_scenario(
+    rows: int = 12,
+    columns: int = 12,
+    object_count: int = 40,
+    k: int = 5,
+    rho: float = 1.6,
+    steps: int = 200,
+    step_length: float = 25.0,
+    seed: int = 29,
+) -> RoadScenario:
+    """A grid-network random-walk scenario (the road-network default).
+
+    Matches the Figure 3 setting in spirit: a road network, k = 5, a query
+    walking along the roads while the kNN set and INS are maintained.
+    """
+    if object_count <= k:
+        raise ConfigurationError("object_count must exceed k")
+    network = grid_network(rows, columns, spacing=100.0)
+    object_vertices = place_objects(network, object_count, seed=seed)
+    trajectory = network_random_walk(
+        network, steps=steps, step_length=step_length, seed=seed + 1
+    )
+    return RoadScenario(
+        name=f"grid{rows}x{columns}-n{object_count}-k{k}",
+        network=network,
+        object_vertices=object_vertices,
+        trajectory=trajectory,
+        k=k,
+        rho=rho,
+        step_length=step_length,
+    )

@@ -1,0 +1,170 @@
+"""Tests for repro.core.ins_euclidean (the INS processor, 2-D plane)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.ins_euclidean import INSProcessor
+from repro.core.objects import UpdateAction
+from repro.geometry.point import Point
+from repro.index.vortree import VoRTree
+from repro.trajectory.euclidean import linear_trajectory, random_waypoint_trajectory
+from repro.workloads.datasets import data_space, uniform_points
+
+
+def brute_knn(points, query, k):
+    order = sorted(range(len(points)), key=lambda i: (query.distance_squared_to(points[i]), i))
+    return order[:k]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform_points(400, extent=1_000.0, seed=150)
+
+
+@pytest.fixture(scope="module")
+def shared_vortree(dataset):
+    return VoRTree(dataset)
+
+
+class TestConfiguration:
+    def test_parameter_validation(self, dataset):
+        with pytest.raises(ConfigurationError):
+            INSProcessor(dataset, k=0)
+        with pytest.raises(ConfigurationError):
+            INSProcessor(dataset, k=len(dataset))
+        with pytest.raises(ConfigurationError):
+            INSProcessor(dataset, k=5, rho=0.5)
+
+    def test_prefetch_count(self, dataset, shared_vortree):
+        processor = INSProcessor(dataset, k=5, rho=1.6, vortree=shared_vortree)
+        assert processor.prefetch_count == 8
+        assert processor.rho == 1.6
+
+    def test_prefetch_count_at_least_k(self, dataset, shared_vortree):
+        processor = INSProcessor(dataset, k=5, rho=1.0, vortree=shared_vortree)
+        assert processor.prefetch_count == 5
+
+    def test_name(self, dataset, shared_vortree):
+        assert INSProcessor(dataset, k=3, vortree=shared_vortree).name == "INS"
+
+
+class TestInitialization:
+    def test_initial_answer_is_correct(self, dataset, shared_vortree):
+        processor = INSProcessor(dataset, k=5, rho=1.6, vortree=shared_vortree)
+        query = Point(500.0, 500.0)
+        result = processor.initialize(query)
+        assert list(result.knn) == brute_knn(dataset, query, 5)
+        assert result.action is UpdateAction.FULL_RECOMPUTE
+        assert result.knn_distances == tuple(sorted(result.knn_distances))
+
+    def test_initial_state_structure(self, dataset, shared_vortree):
+        processor = INSProcessor(dataset, k=5, rho=1.6, vortree=shared_vortree)
+        query = Point(300.0, 700.0)
+        processor.initialize(query)
+        # R contains the kNN set, the guard set is disjoint from the kNN set.
+        assert set(processor.prefetched_set) >= set(
+            brute_knn(dataset, query, 5)
+        )
+        assert len(processor.prefetched_set) == processor.prefetch_count
+        assert not (processor.guard_set & set(brute_knn(dataset, query, 5)))
+        # I(R) excludes R itself (Definition 4).
+        assert not (processor.influential_set & set(processor.prefetched_set))
+
+    def test_update_before_initialize_raises(self, dataset, shared_vortree):
+        processor = INSProcessor(dataset, k=3, vortree=shared_vortree)
+        with pytest.raises(RuntimeError):
+            processor.update(Point(0, 0))
+
+
+class TestValidationAndUpdate:
+    def test_tiny_movement_keeps_answer_without_communication(self, dataset, shared_vortree):
+        processor = INSProcessor(dataset, k=5, rho=1.6, vortree=shared_vortree)
+        query = Point(500.0, 500.0)
+        first = processor.initialize(query)
+        second = processor.update(Point(500.01, 500.0))
+        assert second.was_valid
+        assert second.action is UpdateAction.NONE
+        assert second.knn_set == first.knn_set
+        assert processor.stats.full_recomputations == 1  # only the initial one
+
+    def test_every_reported_answer_is_correct_along_trajectory(self, dataset, shared_vortree):
+        processor = INSProcessor(dataset, k=5, rho=1.6, vortree=shared_vortree)
+        trajectory = random_waypoint_trajectory(
+            data_space(1_000.0), steps=150, step_length=15.0, seed=151
+        )
+        processor.initialize(trajectory[0])
+        for position in trajectory[1:]:
+            result = processor.update(position)
+            expected = brute_knn(dataset, position, 5)
+            expected_k = position.distance_to(dataset[expected[-1]])
+            got_k = max(result.knn_distances)
+            assert got_k == pytest.approx(expected_k, rel=1e-9)
+            assert set(result.knn) == set(expected) or got_k == pytest.approx(expected_k)
+
+    def test_recomputations_much_rarer_than_timestamps(self, dataset, shared_vortree):
+        processor = INSProcessor(dataset, k=5, rho=1.6, vortree=shared_vortree)
+        trajectory = random_waypoint_trajectory(
+            data_space(1_000.0), steps=200, step_length=10.0, seed=152
+        )
+        processor.initialize(trajectory[0])
+        for position in trajectory[1:]:
+            processor.update(position)
+        stats = processor.stats
+        assert stats.timestamps == len(trajectory)
+        assert stats.full_recomputations < stats.timestamps / 3
+
+    def test_larger_rho_reduces_recomputations(self, dataset, shared_vortree):
+        trajectory = random_waypoint_trajectory(
+            data_space(1_000.0), steps=250, step_length=20.0, seed=153
+        )
+
+        def recomputations(rho):
+            processor = INSProcessor(dataset, k=5, rho=rho, vortree=shared_vortree)
+            processor.initialize(trajectory[0])
+            for position in trajectory[1:]:
+                processor.update(position)
+            return processor.stats.full_recomputations
+
+        assert recomputations(3.0) <= recomputations(1.0)
+
+    def test_local_reorder_handles_prefetched_swaps(self, dataset, shared_vortree):
+        processor = INSProcessor(dataset, k=5, rho=2.5, vortree=shared_vortree)
+        trajectory = random_waypoint_trajectory(
+            data_space(1_000.0), steps=200, step_length=15.0, seed=154
+        )
+        processor.initialize(trajectory[0])
+        actions = [processor.update(position).action for position in trajectory[1:]]
+        assert UpdateAction.LOCAL_REORDER in actions
+
+    def test_stationary_query_never_recomputes(self, dataset, shared_vortree):
+        processor = INSProcessor(dataset, k=5, rho=1.6, vortree=shared_vortree)
+        query = Point(444.0, 333.0)
+        processor.initialize(query)
+        for _ in range(20):
+            result = processor.update(query)
+            assert result.was_valid
+        assert processor.stats.full_recomputations == 1
+
+
+class TestCostAccounting:
+    def test_communication_counts_R_plus_INS(self, dataset, shared_vortree):
+        processor = INSProcessor(dataset, k=5, rho=1.6, vortree=shared_vortree)
+        processor.initialize(Point(500.0, 500.0))
+        expected = len(processor.prefetched_set) + len(processor.influential_set)
+        assert processor.stats.transmitted_objects == expected
+
+    def test_validation_cost_is_linear_in_held_objects(self, dataset, shared_vortree):
+        processor = INSProcessor(dataset, k=5, rho=1.6, vortree=shared_vortree)
+        processor.initialize(Point(500.0, 500.0))
+        held = len(processor.prefetched_set) + len(processor.influential_set)
+        before = processor.stats.distance_computations
+        processor.update(Point(500.5, 500.0))
+        after = processor.stats.distance_computations
+        assert after - before == held
+
+    def test_stats_reset(self, dataset, shared_vortree):
+        processor = INSProcessor(dataset, k=3, vortree=shared_vortree)
+        processor.initialize(Point(100, 100))
+        processor.reset_stats()
+        assert processor.stats.timestamps == 0
+        assert processor.stats.full_recomputations == 0

@@ -1,0 +1,175 @@
+"""Tests for the INS processor's case-(i) incremental update mode and for
+data-object updates (Section III, last paragraph)."""
+
+import pytest
+
+from repro.core.ins_euclidean import INSProcessor
+from repro.core.objects import UpdateAction
+from repro.geometry.point import Point
+from repro.index.vortree import VoRTree
+from repro.simulation.simulator import simulate
+from repro.trajectory.euclidean import random_waypoint_trajectory
+from repro.workloads.datasets import data_space, uniform_points
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform_points(500, extent=1_000.0, seed=400)
+
+
+@pytest.fixture(scope="module")
+def shared_vortree(dataset):
+    return VoRTree(dataset)
+
+
+@pytest.fixture(scope="module")
+def trajectory():
+    return random_waypoint_trajectory(
+        data_space(1_000.0), steps=150, step_length=20.0, seed=401
+    )
+
+
+def oracle_for(points):
+    return lambda q: {i: q.distance_to(p) for i, p in enumerate(points)}
+
+
+class TestIncrementalMode:
+    def test_answers_remain_exact(self, dataset, shared_vortree, trajectory):
+        processor = INSProcessor(
+            dataset, k=6, rho=1.6, vortree=shared_vortree, allow_incremental=True
+        )
+        run = simulate(processor, trajectory, oracle=oracle_for(dataset))
+        assert run.is_correct
+
+    def test_incremental_updates_replace_full_recomputations(
+        self, dataset, shared_vortree, trajectory
+    ):
+        base = INSProcessor(dataset, k=6, rho=1.0, vortree=shared_vortree)
+        incremental = INSProcessor(
+            dataset, k=6, rho=1.0, vortree=shared_vortree, allow_incremental=True
+        )
+        simulate(base, trajectory)
+        simulate(incremental, trajectory)
+        assert incremental.stats.incremental_updates > 0
+        assert incremental.stats.full_recomputations < base.stats.full_recomputations
+        # Incremental fetches are much smaller than full retrievals, so the
+        # total communication volume drops as well.
+        assert incremental.stats.transmitted_objects < base.stats.transmitted_objects
+
+    def test_incremental_action_is_reported(self, dataset, shared_vortree, trajectory):
+        processor = INSProcessor(
+            dataset, k=6, rho=1.0, vortree=shared_vortree, allow_incremental=True
+        )
+        run = simulate(processor, trajectory)
+        actions = {result.action for result in run.results}
+        assert UpdateAction.INCREMENTAL in actions
+
+    def test_disabled_by_default(self, dataset, shared_vortree):
+        processor = INSProcessor(dataset, k=4, vortree=shared_vortree)
+        assert not processor.allow_incremental
+
+    def test_incremental_mode_flag_exposed(self, dataset, shared_vortree):
+        processor = INSProcessor(
+            dataset, k=4, vortree=shared_vortree, allow_incremental=True
+        )
+        assert processor.allow_incremental
+
+
+class TestObjectUpdates:
+    def test_inserted_object_enters_the_answer(self, dataset):
+        processor = INSProcessor(list(dataset), k=5, rho=1.6)
+        query = Point(500.0, 500.0)
+        processor.initialize(query)
+        new_index = processor.insert_object(Point(500.3, 500.3))
+        result = processor.update(query)
+        assert new_index in result.knn
+        assert result.action is UpdateAction.FULL_RECOMPUTE
+
+    def test_deleted_object_leaves_the_answer(self, dataset):
+        processor = INSProcessor(list(dataset), k=5, rho=1.6)
+        query = Point(500.0, 500.0)
+        first = processor.initialize(query)
+        victim = first.knn[0]
+        assert processor.delete_object(victim)
+        result = processor.update(query)
+        assert victim not in result.knn
+        assert len(result.knn) == 5
+
+    def test_answers_stay_correct_under_update_stream(self, dataset):
+        points = list(dataset)
+        processor = INSProcessor(points, k=5, rho=1.6)
+        trajectory = random_waypoint_trajectory(
+            data_space(1_000.0), steps=60, step_length=25.0, seed=402
+        )
+        processor.initialize(trajectory[0])
+        active = {i: p for i, p in enumerate(points)}
+        import random
+
+        rng = random.Random(403)
+        for step, position in enumerate(trajectory[1:], start=1):
+            if step % 10 == 0:
+                new_point = Point(rng.uniform(0, 1_000), rng.uniform(0, 1_000))
+                new_index = processor.insert_object(new_point)
+                active[new_index] = new_point
+            if step % 15 == 0:
+                victim = rng.choice(sorted(active))
+                if processor.delete_object(victim):
+                    del active[victim]
+            result = processor.update(position)
+            distances = {i: position.distance_to(p) for i, p in active.items()}
+            kth = sorted(distances.values())[4]
+            assert all(distances[i] <= kth + 1e-9 for i in result.knn)
+
+    def test_delete_unknown_object_returns_false(self, dataset):
+        processor = INSProcessor(list(dataset), k=3)
+        assert not processor.delete_object(10_000)
+
+
+class TestVoRTreeUpdates:
+    def test_insert_and_query(self, dataset):
+        tree = VoRTree(list(dataset[:50]))
+        index = tree.insert(Point(123.0, 456.0))
+        assert tree.is_active(index)
+        assert len(tree) == 51
+        assert index in tree.nearest(Point(123.0, 456.0), 1)
+
+    def test_delete_removes_from_queries_and_neighbors(self, dataset):
+        tree = VoRTree(list(dataset[:50]))
+        victim = tree.nearest(Point(500.0, 500.0), 1)[0]
+        assert tree.delete(victim)
+        assert not tree.is_active(victim)
+        assert victim not in tree.nearest(Point(500.0, 500.0), 10)
+        for index in tree.active_indexes():
+            assert victim not in tree.voronoi_neighbors(index)
+
+    def test_delete_twice_returns_false(self, dataset):
+        tree = VoRTree(list(dataset[:10]))
+        assert tree.delete(3)
+        assert not tree.delete(3)
+
+    def test_cannot_delete_last_object(self):
+        from repro.errors import QueryError
+
+        tree = VoRTree([Point(0, 0), Point(1, 1)])
+        assert tree.delete(0)
+        with pytest.raises(QueryError):
+            tree.delete(1)
+
+    def test_neighbor_lookup_of_deleted_object_raises(self, dataset):
+        from repro.errors import QueryError
+
+        tree = VoRTree(list(dataset[:20]))
+        tree.delete(5)
+        with pytest.raises(QueryError):
+            tree.voronoi_neighbors(5)
+
+    def test_neighbor_map_stays_consistent_after_updates(self, dataset):
+        tree = VoRTree(list(dataset[:40]))
+        tree.insert(Point(10.0, 990.0))
+        tree.delete(0)
+        tree.insert(Point(990.0, 10.0))
+        active = tree.active_indexes()
+        for index in active:
+            for neighbor in tree.voronoi_neighbors(index):
+                assert neighbor in active
+                assert index in tree.voronoi_neighbors(neighbor)

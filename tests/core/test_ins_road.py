@@ -1,0 +1,155 @@
+"""Tests for repro.core.ins_road (the INS processor on road networks)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.ins_road import INSRoadProcessor
+from repro.core.objects import UpdateAction
+from repro.roadnet.generators import grid_network, place_objects, random_planar_network
+from repro.roadnet.location import NetworkLocation
+from repro.roadnet.network_voronoi import NetworkVoronoiDiagram
+from repro.roadnet.shortest_path import distances_from_location
+from repro.trajectory.road import network_random_walk
+
+
+@pytest.fixture(scope="module")
+def road_setup():
+    network = grid_network(8, 8, spacing=100.0)
+    objects = place_objects(network, 20, seed=160)
+    voronoi = NetworkVoronoiDiagram(network, objects)
+    return network, objects, voronoi
+
+
+def oracle_distances(network, objects, location):
+    vertex_distances = distances_from_location(network, location)
+    return {i: vertex_distances.get(v, math.inf) for i, v in enumerate(objects)}
+
+
+def answer_is_correct(network, objects, location, result, k):
+    distances = oracle_distances(network, objects, location)
+    ordered = sorted(distances.values())
+    kth = ordered[k - 1]
+    slack = 1e-7 * max(kth, 1.0)
+    if len(result.knn) != k:
+        return False
+    if any(distances[i] > kth + slack for i in result.knn):
+        return False
+    return all(i in set(result.knn) for i, d in distances.items() if d < kth - slack)
+
+
+class TestConfiguration:
+    def test_parameter_validation(self, road_setup):
+        network, objects, voronoi = road_setup
+        with pytest.raises(ConfigurationError):
+            INSRoadProcessor(network, objects, k=0, voronoi=voronoi)
+        with pytest.raises(ConfigurationError):
+            INSRoadProcessor(network, objects, k=len(objects), voronoi=voronoi)
+        with pytest.raises(ConfigurationError):
+            INSRoadProcessor(network, objects, k=3, rho=0.2, voronoi=voronoi)
+        with pytest.raises(ConfigurationError):
+            INSRoadProcessor(network, objects, k=3, validation_mode="magic", voronoi=voronoi)
+
+    def test_names_by_mode(self, road_setup):
+        network, objects, voronoi = road_setup
+        restricted = INSRoadProcessor(network, objects, k=3, voronoi=voronoi)
+        exact = INSRoadProcessor(
+            network, objects, k=3, validation_mode="exact", voronoi=voronoi
+        )
+        assert restricted.name == "INS-road"
+        assert exact.name == "INS-road-exact"
+
+
+class TestInitialization:
+    def test_initial_answer_is_correct(self, road_setup):
+        network, objects, voronoi = road_setup
+        processor = INSRoadProcessor(network, objects, k=4, rho=1.6, voronoi=voronoi)
+        edge = network.edges()[30]
+        location = NetworkLocation(edge.edge_id, edge.length / 3.0)
+        result = processor.initialize(location)
+        assert answer_is_correct(network, objects, location, result, 4)
+        assert result.action is UpdateAction.FULL_RECOMPUTE
+
+    def test_guard_set_is_disjoint_from_knn(self, road_setup):
+        network, objects, voronoi = road_setup
+        processor = INSRoadProcessor(network, objects, k=4, rho=1.6, voronoi=voronoi)
+        edge = network.edges()[10]
+        result = processor.initialize(NetworkLocation(edge.edge_id, 10.0))
+        assert not (result.guard_objects & result.knn_set)
+        assert not (processor.influential_set & set(processor.prefetched_set))
+
+
+@pytest.mark.parametrize("mode", ["restricted", "exact"])
+class TestTrajectoryCorrectness:
+    def test_every_answer_correct_along_walk(self, road_setup, mode):
+        network, objects, voronoi = road_setup
+        processor = INSRoadProcessor(
+            network, objects, k=4, rho=1.6, validation_mode=mode, voronoi=voronoi
+        )
+        trajectory = network_random_walk(network, steps=120, step_length=30.0, seed=161)
+        processor.initialize(trajectory[0])
+        wrong = []
+        for timestamp, location in enumerate(trajectory[1:], start=1):
+            result = processor.update(location)
+            if not answer_is_correct(network, objects, location, result, 4):
+                wrong.append(timestamp)
+        assert not wrong, f"incorrect answers at timestamps {wrong[:5]}"
+
+    def test_recomputations_rarer_than_naive(self, road_setup, mode):
+        network, objects, voronoi = road_setup
+        processor = INSRoadProcessor(
+            network, objects, k=4, rho=1.6, validation_mode=mode, voronoi=voronoi
+        )
+        trajectory = network_random_walk(network, steps=150, step_length=25.0, seed=162)
+        processor.initialize(trajectory[0])
+        for location in trajectory[1:]:
+            processor.update(location)
+        assert processor.stats.full_recomputations < len(trajectory) / 2
+
+
+class TestModesAgree:
+    def test_restricted_and_exact_report_equal_distance_profiles(self, road_setup):
+        network, objects, voronoi = road_setup
+        trajectory = network_random_walk(network, steps=60, step_length=40.0, seed=163)
+        restricted = INSRoadProcessor(network, objects, k=3, rho=1.6, voronoi=voronoi)
+        exact = INSRoadProcessor(
+            network, objects, k=3, rho=1.6, validation_mode="exact", voronoi=voronoi
+        )
+        restricted.initialize(trajectory[0])
+        exact.initialize(trajectory[0])
+        for location in trajectory[1:]:
+            first = restricted.update(location)
+            second = exact.update(location)
+            assert max(first.knn_distances) == pytest.approx(max(second.knn_distances))
+
+
+class TestRandomPlanarNetwork:
+    def test_correctness_on_irregular_network(self):
+        network = random_planar_network(60, extent=800.0, seed=164)
+        objects = place_objects(network, 15, seed=165)
+        processor = INSRoadProcessor(network, objects, k=3, rho=1.6)
+        trajectory = network_random_walk(network, steps=80, step_length=30.0, seed=166)
+        processor.initialize(trajectory[0])
+        for location in trajectory[1:]:
+            result = processor.update(location)
+            assert answer_is_correct(network, objects, location, result, 3)
+
+    def test_theorem2_restricted_search_is_smaller(self):
+        """Theorem 2: validation on the restricted sub-network settles fewer
+        vertices than the same validation on the full network."""
+        network = grid_network(15, 15, spacing=100.0)
+        objects = place_objects(network, 60, seed=167)
+        voronoi = NetworkVoronoiDiagram(network, objects)
+        trajectory = network_random_walk(network, steps=60, step_length=25.0, seed=168)
+
+        def settled(mode):
+            processor = INSRoadProcessor(
+                network, objects, k=4, rho=1.6, validation_mode=mode, voronoi=voronoi
+            )
+            processor.initialize(trajectory[0])
+            for location in trajectory[1:]:
+                processor.update(location)
+            return processor.stats.settled_vertices
+
+        assert settled("restricted") < settled("exact")

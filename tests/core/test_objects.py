@@ -1,0 +1,52 @@
+"""Tests for repro.core.objects."""
+
+import pytest
+
+from repro.core.objects import QueryResult, UpdateAction
+
+
+def make_result(**overrides):
+    defaults = dict(
+        timestamp=3,
+        knn=(4, 1, 9),
+        knn_distances=(1.0, 2.0, 3.0),
+        guard_objects=frozenset({7, 8}),
+        action=UpdateAction.NONE,
+        was_valid=True,
+    )
+    defaults.update(overrides)
+    return QueryResult(**defaults)
+
+
+class TestUpdateAction:
+    def test_communication_classification(self):
+        assert not UpdateAction.NONE.requires_communication
+        assert not UpdateAction.LOCAL_REORDER.requires_communication
+        assert UpdateAction.INCREMENTAL.requires_communication
+        assert UpdateAction.FULL_RECOMPUTE.requires_communication
+
+    def test_values_are_stable(self):
+        assert UpdateAction.FULL_RECOMPUTE.value == "full_recompute"
+        assert UpdateAction.LOCAL_REORDER.value == "local_reorder"
+
+
+class TestQueryResult:
+    def test_k_and_set_views(self):
+        result = make_result()
+        assert result.k == 3
+        assert result.knn_set == frozenset({1, 4, 9})
+
+    def test_farthest_distance(self):
+        assert make_result().farthest_distance == 3.0
+        empty = make_result(knn=(), knn_distances=())
+        assert empty.farthest_distance == 0.0
+
+    def test_describe_mentions_validity(self):
+        assert "valid" in make_result().describe()
+        updated = make_result(was_valid=False, action=UpdateAction.FULL_RECOMPUTE)
+        assert "full_recompute" in updated.describe()
+
+    def test_results_are_immutable(self):
+        result = make_result()
+        with pytest.raises(AttributeError):
+            result.timestamp = 5

@@ -1,0 +1,134 @@
+"""Tests for repro.geometry.delaunay."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.delaunay import (
+    DelaunayTriangulation,
+    delaunay_neighbors,
+)
+from repro.geometry.point import Point
+from repro.geometry.predicates import point_in_circumcircle
+from repro.workloads.datasets import uniform_points
+
+
+class TestSmallConfigurations:
+    def test_single_triangle(self):
+        points = [Point(0, 0), Point(1, 0), Point(0, 1)]
+        triangulation = DelaunayTriangulation(points)
+        assert len(triangulation.triangles) == 1
+        assert triangulation.neighbors() == {0: {1, 2}, 1: {0, 2}, 2: {0, 1}}
+
+    def test_square_produces_two_triangles(self):
+        points = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        triangulation = DelaunayTriangulation(points)
+        assert len(triangulation.triangles) == 2
+        # Every point has at least its two square-side neighbours.
+        neighbors = triangulation.neighbors()
+        for index in range(4):
+            assert len(neighbors[index]) >= 2
+
+    def test_requires_three_points(self):
+        with pytest.raises(GeometryError):
+            DelaunayTriangulation([Point(0, 0), Point(1, 1)])
+
+    def test_collinear_points_raise(self):
+        with pytest.raises(GeometryError):
+            DelaunayTriangulation([Point(0, 0), Point(1, 0), Point(2, 0)], jitter=0.0)
+
+
+class TestDelaunayProperty:
+    def test_empty_circumcircle_property(self):
+        points = uniform_points(40, extent=100.0, seed=5)
+        triangulation = DelaunayTriangulation(points)
+        triangles = triangulation.triangles
+        assert triangles, "expected a non-trivial triangulation"
+        for triangle in triangles:
+            a = points[triangle.a]
+            b = points[triangle.b]
+            c = points[triangle.c]
+            for index, p in enumerate(points):
+                if index in triangle.vertices():
+                    continue
+                # Allow boundary tolerance: strictly-inside violations only.
+                assert not _strictly_inside(a, b, c, p), (
+                    f"point {index} lies inside the circumcircle of {triangle}"
+                )
+
+    def test_euler_edge_bound(self):
+        # A planar triangulation of n points has at most 3n - 6 edges.
+        points = uniform_points(60, extent=100.0, seed=6)
+        triangulation = DelaunayTriangulation(points)
+        assert len(triangulation.edges()) <= 3 * len(points) - 6
+
+    def test_neighbor_relation_is_symmetric(self):
+        points = uniform_points(50, extent=100.0, seed=7)
+        neighbors = DelaunayTriangulation(points).neighbors()
+        for index, adjacent in neighbors.items():
+            for other in adjacent:
+                assert index in neighbors[other]
+
+    def test_nearest_neighbor_is_delaunay_neighbor(self):
+        # A classical property: each point's nearest neighbour is adjacent to
+        # it in the Delaunay triangulation.
+        points = uniform_points(45, extent=100.0, seed=8)
+        neighbors = DelaunayTriangulation(points).neighbors()
+        for index, point in enumerate(points):
+            nearest = min(
+                (i for i in range(len(points)) if i != index),
+                key=lambda i: point.distance_squared_to(points[i]),
+            )
+            assert nearest in neighbors[index]
+
+
+def _strictly_inside(a: Point, b: Point, c: Point, p: Point) -> bool:
+    center_x, center_y, radius = _circumcircle(a, b, c)
+    distance = math.hypot(p.x - center_x, p.y - center_y)
+    return distance < radius * (1 - 1e-7)
+
+
+def _circumcircle(a: Point, b: Point, c: Point):
+    d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y))
+    a2 = a.x * a.x + a.y * a.y
+    b2 = b.x * b.x + b.y * b.y
+    c2 = c.x * c.x + c.y * c.y
+    ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d
+    uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d
+    return ux, uy, math.hypot(a.x - ux, a.y - uy)
+
+
+class TestDelaunayNeighborsWrapper:
+    def test_degenerate_sizes(self):
+        assert delaunay_neighbors([]) == {}
+        assert delaunay_neighbors([Point(0, 0)]) == {0: set()}
+        assert delaunay_neighbors([Point(0, 0), Point(1, 0)]) == {0: {1}, 1: {0}}
+
+    def test_collinear_fallback_links_consecutive_points(self):
+        points = [Point(0, 0), Point(2, 0), Point(1, 0), Point(3, 0)]
+        neighbors = delaunay_neighbors(points, backend="builtin")
+        # Sorted along the line: 0, 2, 1, 3 -> chain 0-2-1-3.
+        assert neighbors[0] == {2}
+        assert neighbors[2] == {0, 1}
+        assert neighbors[1] == {2, 3}
+        assert neighbors[3] == {1}
+
+    def test_backends_agree_on_random_points(self):
+        points = uniform_points(150, extent=1_000.0, seed=11)
+        builtin = delaunay_neighbors(points, backend="builtin")
+        accelerated = delaunay_neighbors(points, backend="scipy")
+        matching = sum(1 for i in builtin if builtin[i] == accelerated[i])
+        # Near-cocircular configurations may differ by a flipped diagonal;
+        # the overwhelming majority of neighbourhoods must agree exactly.
+        assert matching >= 0.95 * len(points)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(GeometryError):
+            delaunay_neighbors([Point(0, 0), Point(1, 0), Point(0, 1)], backend="qhull5000")
+
+    def test_auto_backend_handles_large_input(self):
+        points = uniform_points(2_000, extent=1_000.0, seed=12)
+        neighbors = delaunay_neighbors(points)
+        assert len(neighbors) == len(points)
+        assert all(adjacent for adjacent in neighbors.values())

@@ -1,0 +1,71 @@
+"""Tests for repro.index.grid."""
+
+import pytest
+
+from repro.errors import ConfigurationError, EmptyDatasetError, QueryError
+from repro.geometry.point import Point
+from repro.geometry.primitives import BoundingBox
+from repro.index.grid import GridIndex
+from repro.workloads.datasets import clustered_points, uniform_points
+
+
+def brute_knn(points, query, k):
+    order = sorted(range(len(points)), key=lambda i: (query.distance_squared_to(points[i]), i))
+    return order[:k]
+
+
+class TestConstruction:
+    def test_requires_items(self):
+        with pytest.raises(EmptyDatasetError):
+            GridIndex([])
+
+    def test_requires_positive_resolution(self):
+        with pytest.raises(ConfigurationError):
+            GridIndex([(Point(0, 0), 0)], cells_per_axis=0)
+
+    def test_len(self):
+        points = uniform_points(37, extent=10.0, seed=70)
+        index = GridIndex([(p, i) for i, p in enumerate(points)])
+        assert len(index) == 37
+
+
+class TestKNN:
+    @pytest.mark.parametrize("resolution", [1, 4, 16, 64])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_knn_matches_brute_force(self, resolution, k):
+        points = uniform_points(150, extent=400.0, seed=71)
+        index = GridIndex([(p, i) for i, p in enumerate(points)], cells_per_axis=resolution)
+        query = Point(123.0, 321.0)
+        assert index.nearest_payloads(query, k) == brute_knn(points, query, k)
+
+    def test_query_outside_data_extent(self):
+        points = uniform_points(60, extent=100.0, seed=72)
+        index = GridIndex([(p, i) for i, p in enumerate(points)], cells_per_axis=8)
+        query = Point(500.0, -300.0)
+        assert index.nearest_payloads(query, 4) == brute_knn(points, query, 4)
+
+    def test_clustered_data(self):
+        points = clustered_points(150, clusters=3, extent=400.0, seed=73)
+        index = GridIndex([(p, i) for i, p in enumerate(points)], cells_per_axis=16)
+        query = Point(200.0, 200.0)
+        assert index.nearest_payloads(query, 8) == brute_knn(points, query, 8)
+
+    def test_invalid_k(self):
+        index = GridIndex([(Point(0, 0), 0)])
+        with pytest.raises(QueryError):
+            index.nearest_neighbors(Point(0, 0), 0)
+
+
+class TestRange:
+    def test_range_matches_brute_force(self):
+        points = uniform_points(130, extent=200.0, seed=74)
+        index = GridIndex([(p, i) for i, p in enumerate(points)], cells_per_axis=10)
+        box = BoundingBox(30, 40, 120, 160)
+        expected = {i for i, p in enumerate(points) if box.contains_point(p)}
+        assert {payload for _, payload in index.range_search(box)} == expected
+
+    def test_range_covering_everything(self):
+        points = uniform_points(40, extent=50.0, seed=75)
+        index = GridIndex([(p, i) for i, p in enumerate(points)], cells_per_axis=5)
+        box = BoundingBox(-10, -10, 60, 60)
+        assert len(index.range_search(box)) == 40

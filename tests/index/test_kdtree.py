@@ -1,0 +1,66 @@
+"""Tests for repro.index.kdtree."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.geometry.primitives import BoundingBox
+from repro.index.kdtree import KDTree
+from repro.workloads.datasets import clustered_points, uniform_points
+
+
+def brute_knn(points, query, k):
+    order = sorted(range(len(points)), key=lambda i: (query.distance_squared_to(points[i]), i))
+    return order[:k]
+
+
+class TestKDTree:
+    def test_empty_tree(self):
+        tree = KDTree([])
+        assert len(tree) == 0
+        assert tree.nearest_neighbors(Point(0, 0), 3) == []
+
+    def test_single_item(self):
+        tree = KDTree([(Point(1, 1), "a")])
+        result = tree.nearest_neighbors(Point(0, 0), 1)
+        assert len(result) == 1
+        assert result[0][2] == "a"
+
+    @pytest.mark.parametrize("k", [1, 4, 9, 30])
+    def test_knn_matches_brute_force_uniform(self, k):
+        points = uniform_points(150, extent=500.0, seed=60)
+        tree = KDTree([(p, i) for i, p in enumerate(points)])
+        query = Point(250.0, 250.0)
+        assert tree.nearest_payloads(query, k) == brute_knn(points, query, k)
+
+    @pytest.mark.parametrize("k", [1, 5, 12])
+    def test_knn_matches_brute_force_clustered(self, k):
+        points = clustered_points(200, clusters=5, extent=500.0, seed=61)
+        tree = KDTree([(p, i) for i, p in enumerate(points)])
+        query = Point(111.0, 432.0)
+        assert tree.nearest_payloads(query, k) == brute_knn(points, query, k)
+
+    def test_distances_are_sorted(self):
+        points = uniform_points(80, extent=100.0, seed=62)
+        tree = KDTree([(p, i) for i, p in enumerate(points)])
+        result = tree.nearest_neighbors(Point(50, 50), 10)
+        distances = [d for d, _, _ in result]
+        assert distances == sorted(distances)
+
+    def test_k_larger_than_size_returns_all(self):
+        points = uniform_points(5, extent=10.0, seed=63)
+        tree = KDTree([(p, i) for i, p in enumerate(points)])
+        assert len(tree.nearest_neighbors(Point(0, 0), 50)) == 5
+
+    def test_invalid_k(self):
+        tree = KDTree([(Point(0, 0), 0)])
+        with pytest.raises(QueryError):
+            tree.nearest_neighbors(Point(0, 0), 0)
+
+    def test_range_search_matches_brute_force(self):
+        points = uniform_points(120, extent=300.0, seed=64)
+        tree = KDTree([(p, i) for i, p in enumerate(points)])
+        box = BoundingBox(50, 80, 200, 240)
+        expected = {i for i, p in enumerate(points) if box.contains_point(p)}
+        got = {payload for _, payload in tree.range_search(box)}
+        assert got == expected

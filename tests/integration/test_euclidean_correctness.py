@@ -1,0 +1,114 @@
+"""End-to-end correctness of every Euclidean method on full simulations.
+
+Every processor is driven along shared trajectories and every single
+reported answer is cross-checked against a brute-force oracle.  These are
+the tests that establish the headline claim of the reproduction: INS answers
+MkNN queries exactly, while recomputing far less often than the baselines
+that must recompute every timestamp.
+"""
+
+import pytest
+
+from repro.simulation.experiment import run_euclidean_comparison
+from repro.simulation.report import format_table
+from repro.workloads.scenarios import (
+    EuclideanScenario,
+    default_euclidean_scenario,
+    fig4_scenario,
+)
+from repro.trajectory.euclidean import circular_trajectory, linear_trajectory
+from repro.geometry.point import Point
+from repro.workloads.datasets import clustered_points, uniform_points
+
+
+@pytest.fixture(scope="module")
+def uniform_result():
+    scenario = default_euclidean_scenario(
+        object_count=400, k=5, rho=1.6, steps=120, step_length=30.0, seed=300
+    )
+    return scenario, run_euclidean_comparison(scenario, check_correctness=True)
+
+
+class TestAllMethodsCorrect:
+    def test_every_method_answers_exactly(self, uniform_result):
+        _, result = uniform_result
+        for method in result.methods:
+            assert method.summary.correct, f"{method.method} produced a wrong answer"
+
+    def test_fig4_scenario_all_methods_correct(self):
+        scenario = fig4_scenario()
+        result = run_euclidean_comparison(scenario, check_correctness=True)
+        assert all(m.summary.correct for m in result.methods)
+
+    def test_clustered_data_all_methods_correct(self):
+        points = clustered_points(400, clusters=6, extent=2_000.0, seed=301)
+        base = default_euclidean_scenario(object_count=10, steps=80, step_length=25.0, seed=302)
+        scenario = EuclideanScenario(
+            name="clustered",
+            points=points,
+            trajectory=[p.scaled(2.0) for p in base.trajectory],
+            k=6,
+            rho=1.6,
+            step_length=50.0,
+        )
+        result = run_euclidean_comparison(scenario, check_correctness=True)
+        assert all(m.summary.correct for m in result.methods)
+
+    def test_linear_and_circular_trajectories(self):
+        points = uniform_points(350, extent=1_000.0, seed=303)
+        for name, trajectory in [
+            ("linear", linear_trajectory(Point(50, 500), Point(950, 520), steps=150)),
+            ("circular", circular_trajectory(Point(500, 500), radius=350.0, steps=150)),
+        ]:
+            scenario = EuclideanScenario(
+                name=name,
+                points=points,
+                trajectory=trajectory,
+                k=4,
+                rho=1.6,
+                step_length=trajectory[0].distance_to(trajectory[1]),
+            )
+            result = run_euclidean_comparison(scenario, check_correctness=True)
+            assert all(m.summary.correct for m in result.methods), name
+
+
+class TestExpectedCostRelationships:
+    """The qualitative 'shape' claims of the paper's evaluation."""
+
+    def test_naive_recomputes_most(self, uniform_result):
+        scenario, result = uniform_result
+        naive = result.method("Naive").summary
+        assert naive.full_recomputations == scenario.timestamps
+        for method in result.methods:
+            if method.method != "Naive":
+                assert method.summary.full_recomputations < naive.full_recomputations
+
+    def test_ins_matches_or_beats_strict_safe_region_on_communication_events(
+        self, uniform_result
+    ):
+        """INS's implicit safe region is the order-k cell, so its server
+        round trips cannot exceed the strict safe-region baseline's by more
+        than the prefetch effect allows — in practice they are fewer."""
+        _, result = uniform_result
+        ins = result.method("INS").summary
+        strict = result.method("OrderK-SR").summary
+        assert ins.full_recomputations <= strict.full_recomputations
+
+    def test_vstar_recomputes_at_least_as_often_as_ins(self, uniform_result):
+        _, result = uniform_result
+        ins = result.method("INS").summary
+        vstar = result.method("V*").summary
+        assert vstar.full_recomputations >= ins.full_recomputations
+
+    def test_ins_validation_work_is_modest(self, uniform_result):
+        """Per-timestamp client work of INS is a handful of distance
+        computations (linear in the held set), far below recomputing kNN."""
+        scenario, result = uniform_result
+        ins = result.method("INS").summary
+        per_timestamp = ins.distance_computations / scenario.timestamps
+        assert per_timestamp < 10 * scenario.k
+
+    def test_report_table_renders(self, uniform_result):
+        _, result = uniform_result
+        table = format_table(result.summary_rows())
+        assert "INS" in table and "Naive" in table

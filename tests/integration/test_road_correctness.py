@@ -1,0 +1,92 @@
+"""End-to-end correctness of every road-network method on full simulations."""
+
+import pytest
+
+from repro.roadnet.generators import (
+    grid_network,
+    place_objects,
+    random_planar_network,
+    ring_radial_network,
+)
+from repro.simulation.experiment import run_road_comparison
+from repro.trajectory.road import network_random_walk
+from repro.workloads.scenarios import RoadScenario, default_road_scenario
+
+
+def build_scenario(network, object_count, k, steps, step_length, seed):
+    objects = place_objects(network, object_count, seed=seed)
+    trajectory = network_random_walk(network, steps=steps, step_length=step_length, seed=seed + 1)
+    return RoadScenario(
+        name="integration",
+        network=network,
+        object_vertices=objects,
+        trajectory=trajectory,
+        k=k,
+        rho=1.6,
+        step_length=step_length,
+    )
+
+
+@pytest.fixture(scope="module")
+def grid_result():
+    scenario = default_road_scenario(
+        rows=10, columns=10, object_count=30, k=5, steps=120, step_length=30.0, seed=310
+    )
+    return scenario, run_road_comparison(scenario, check_correctness=True)
+
+
+class TestAllMethodsCorrect:
+    def test_grid_network_all_methods_correct(self, grid_result):
+        _, result = grid_result
+        for method in result.methods:
+            assert method.summary.correct, f"{method.method} produced a wrong answer"
+
+    def test_random_planar_network_all_methods_correct(self):
+        network = random_planar_network(80, extent=1_000.0, seed=311)
+        scenario = build_scenario(network, object_count=20, k=4, steps=80, step_length=25.0, seed=312)
+        result = run_road_comparison(scenario, check_correctness=True)
+        assert all(m.summary.correct for m in result.methods)
+
+    def test_ring_radial_network_all_methods_correct(self):
+        network = ring_radial_network(4, 10, ring_spacing=80.0)
+        scenario = build_scenario(network, object_count=15, k=3, steps=80, step_length=20.0, seed=313)
+        result = run_road_comparison(scenario, check_correctness=True)
+        assert all(m.summary.correct for m in result.methods)
+
+    def test_exact_validation_mode_also_correct(self):
+        scenario = default_road_scenario(
+            rows=8, columns=8, object_count=20, k=4, steps=80, step_length=25.0, seed=314
+        )
+        result = run_road_comparison(
+            scenario,
+            methods=("INS-road",),
+            check_correctness=True,
+            ins_validation_mode="exact",
+        )
+        assert result.methods[0].summary.correct
+
+
+class TestExpectedCostRelationships:
+    def test_naive_recomputes_every_timestamp(self, grid_result):
+        scenario, result = grid_result
+        naive = result.method("Naive-road").summary
+        assert naive.full_recomputations == scenario.timestamps
+
+    def test_ins_road_recomputes_least(self, grid_result):
+        _, result = grid_result
+        ins = result.method("INS-road").summary
+        for method in result.methods:
+            if method.method != "INS-road":
+                assert ins.full_recomputations <= method.summary.full_recomputations
+
+    def test_ins_road_communicates_least(self, grid_result):
+        """The paper's motivation: minimising kNN recomputations minimises
+        client/server communication, which is the critical cost in LBS.  The
+        naive method ships an answer every timestamp; INS only on the rare
+        recomputations."""
+        _, result = grid_result
+        ins = result.method("INS-road").summary
+        naive = result.method("Naive-road").summary
+        vstar = result.method("V*-road").summary
+        assert ins.communication_events < naive.communication_events
+        assert ins.communication_events <= vstar.communication_events

@@ -1,0 +1,117 @@
+"""Property-based tests for the road-network substrate (hypothesis)."""
+
+import math
+
+import networkx as nx
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.roadnet.generators import grid_network, place_objects, random_planar_network
+from repro.roadnet.knn import network_knn
+from repro.roadnet.location import NetworkLocation
+from repro.roadnet.network_voronoi import NetworkVoronoiDiagram
+from repro.roadnet.shortest_path import dijkstra, distances_from_location
+
+
+def to_networkx(network):
+    graph = nx.Graph()
+    for vertex in network.vertices():
+        graph.add_node(vertex)
+    for edge in network.edges():
+        if graph.has_edge(edge.u, edge.v):
+            graph[edge.u][edge.v]["weight"] = min(graph[edge.u][edge.v]["weight"], edge.length)
+        else:
+            graph.add_edge(edge.u, edge.v, weight=edge.length)
+    return graph
+
+
+network_strategy = st.builds(
+    random_planar_network,
+    vertex_count=st.integers(min_value=8, max_value=35),
+    extent=st.just(500.0),
+    removal_fraction=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestShortestPathProperties:
+    @given(network_strategy, st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=25, deadline=None)
+    def test_dijkstra_matches_networkx(self, network, source_pick):
+        vertices = network.vertices()
+        source = vertices[source_pick % len(vertices)]
+        reference = nx.single_source_dijkstra_path_length(to_networkx(network), source)
+        computed = dijkstra(network, source)
+        assert computed.keys() == reference.keys()
+        for vertex, distance in reference.items():
+            assert math.isclose(computed[vertex], distance, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(network_strategy, st.integers(min_value=0, max_value=1_000_000), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_location_distances_satisfy_triangle_inequality(self, network, edge_pick, fraction):
+        edges = network.edges()
+        edge = edges[edge_pick % len(edges)]
+        location = NetworkLocation(edge.edge_id, edge.length * fraction)
+        distances = distances_from_location(network, location)
+        # Distance to each endpoint must not exceed the direct along-edge distance.
+        assert distances[edge.u] <= edge.length * fraction + 1e-9
+        assert distances[edge.v] <= edge.length * (1.0 - fraction) + 1e-9
+        # Adjacent vertices differ by at most the connecting edge length.
+        for e in edges:
+            if e.u in distances and e.v in distances:
+                assert abs(distances[e.u] - distances[e.v]) <= e.length + 1e-9
+
+
+class TestNetworkKNNProperties:
+    @given(
+        network_strategy,
+        st.integers(min_value=0, max_value=1_000_000),
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_knn_distances_match_full_dijkstra(self, network, edge_pick, fraction, k, object_seed):
+        object_count = min(8, network.vertex_count - 1)
+        assume(object_count >= k)
+        objects = place_objects(network, object_count, seed=object_seed)
+        edges = network.edges()
+        edge = edges[edge_pick % len(edges)]
+        location = NetworkLocation(edge.edge_id, edge.length * fraction)
+        result = network_knn(network, objects, location, k)
+        vertex_distances = distances_from_location(network, location)
+        expected = sorted(
+            vertex_distances.get(vertex, math.inf) for vertex in objects
+        )[:k]
+        got = [distance for _, distance in result]
+        for g, e in zip(got, expected):
+            assert math.isclose(g, e, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestNetworkVoronoiProperties:
+    @given(network_strategy, st.integers(min_value=0, max_value=10_000), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_vertex_owners_minimize_distance(self, network, object_seed, object_count):
+        object_count = min(object_count, network.vertex_count - 1)
+        assume(object_count >= 2)
+        objects = place_objects(network, object_count, seed=object_seed)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        per_object = [dijkstra(network, vertex) for vertex in objects]
+        for vertex in network.vertices():
+            best = min(per_object[i].get(vertex, math.inf) for i in range(object_count))
+            assert math.isclose(diagram.vertex_distance(vertex), best, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(network_strategy, st.integers(min_value=0, max_value=10_000), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_neighbor_map_symmetry_and_cell_length_conservation(
+        self, network, object_seed, object_count
+    ):
+        object_count = min(object_count, network.vertex_count - 1)
+        assume(object_count >= 2)
+        objects = place_objects(network, object_count, seed=object_seed)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        neighbor_map = diagram.neighbor_map()
+        for index, neighbors in neighbor_map.items():
+            for other in neighbors:
+                assert index in neighbor_map[other]
+        total = sum(diagram.cell_length(i) for i in range(object_count))
+        assert math.isclose(total, network.total_length, rel_tol=1e-9)

@@ -1,0 +1,106 @@
+"""Tests for repro.roadnet.generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.roadnet.generators import (
+    grid_network,
+    place_objects,
+    random_planar_network,
+    ring_radial_network,
+)
+
+
+class TestGridNetwork:
+    def test_vertex_and_edge_counts(self):
+        network = grid_network(4, 5, spacing=10.0)
+        assert network.vertex_count == 20
+        # Horizontal edges: 4 rows * 4, vertical edges: 3 * 5.
+        assert network.edge_count == 4 * 4 + 3 * 5
+
+    def test_edges_have_spacing_length(self):
+        network = grid_network(3, 3, spacing=25.0)
+        assert all(edge.length == pytest.approx(25.0) for edge in network.edges())
+
+    def test_is_connected(self):
+        assert grid_network(6, 7).is_connected()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            grid_network(1, 5)
+        with pytest.raises(ConfigurationError):
+            grid_network(3, 3, spacing=0.0)
+
+
+class TestRingRadialNetwork:
+    def test_counts(self):
+        rings, spokes = 3, 8
+        network = ring_radial_network(rings, spokes, ring_spacing=10.0)
+        assert network.vertex_count == 1 + rings * spokes
+        # Radial edges: spokes * rings; ring edges: spokes per ring.
+        assert network.edge_count == spokes * rings + spokes * rings
+
+    def test_is_connected(self):
+        assert ring_radial_network(2, 5).is_connected()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ring_radial_network(0, 5)
+        with pytest.raises(ConfigurationError):
+            ring_radial_network(2, 2)
+        with pytest.raises(ConfigurationError):
+            ring_radial_network(2, 5, ring_spacing=-1.0)
+
+
+class TestRandomPlanarNetwork:
+    def test_is_connected_and_planar_sized(self):
+        network = random_planar_network(60, extent=500.0, removal_fraction=0.3, seed=130)
+        assert network.is_connected()
+        assert network.vertex_count == 60
+        # Planarity bound on edge count.
+        assert network.edge_count <= 3 * 60 - 6
+
+    def test_removal_reduces_edges(self):
+        dense = random_planar_network(50, extent=500.0, removal_fraction=0.0, seed=131)
+        sparse = random_planar_network(50, extent=500.0, removal_fraction=0.4, seed=131)
+        assert sparse.edge_count < dense.edge_count
+
+    def test_reproducible(self):
+        a = random_planar_network(30, seed=7)
+        b = random_planar_network(30, seed=7)
+        assert a.edge_count == b.edge_count
+        assert [v for v in a.vertices()] == [v for v in b.vertices()]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_planar_network(3)
+        with pytest.raises(ConfigurationError):
+            random_planar_network(10, removal_fraction=1.0)
+
+
+class TestPlaceObjects:
+    def test_distinct_placement(self):
+        network = grid_network(5, 5)
+        objects = place_objects(network, 10, seed=132)
+        assert len(objects) == 10
+        assert len(set(objects)) == 10
+        assert set(objects) <= set(network.vertices())
+
+    def test_distinct_placement_capacity(self):
+        network = grid_network(2, 2)
+        with pytest.raises(ConfigurationError):
+            place_objects(network, 5, distinct=True)
+
+    def test_non_distinct_placement_allows_repeats(self):
+        network = grid_network(2, 2)
+        objects = place_objects(network, 10, seed=133, distinct=False)
+        assert len(objects) == 10
+
+    def test_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            place_objects(grid_network(3, 3), 0)
+
+    def test_reproducible(self):
+        network = grid_network(6, 6)
+        assert place_objects(network, 8, seed=1) == place_objects(network, 8, seed=1)
+        assert place_objects(network, 8, seed=1) != place_objects(network, 8, seed=2)

@@ -1,0 +1,115 @@
+"""Tests for repro.roadnet.graph."""
+
+import pytest
+
+from repro.errors import RoadNetworkError
+from repro.geometry.point import Point
+from repro.roadnet.graph import RoadNetwork
+
+
+def triangle_network():
+    """Three vertices connected in a triangle with explicit lengths."""
+    network = RoadNetwork()
+    a = network.add_vertex(Point(0, 0))
+    b = network.add_vertex(Point(10, 0))
+    c = network.add_vertex(Point(0, 10))
+    network.add_edge(a, b, 10.0)
+    network.add_edge(b, c, 15.0)
+    network.add_edge(c, a, 10.0)
+    return network, (a, b, c)
+
+
+class TestConstruction:
+    def test_vertex_and_edge_counts(self):
+        network, _ = triangle_network()
+        assert network.vertex_count == 3
+        assert network.edge_count == 3
+        assert network.total_length == pytest.approx(35.0)
+
+    def test_default_edge_length_is_euclidean(self):
+        network = RoadNetwork()
+        a = network.add_vertex(Point(0, 0))
+        b = network.add_vertex(Point(3, 4))
+        edge_id = network.add_edge(a, b)
+        assert network.edge(edge_id).length == pytest.approx(5.0)
+
+    def test_edge_validation(self):
+        network = RoadNetwork()
+        a = network.add_vertex(Point(0, 0))
+        b = network.add_vertex(Point(1, 0))
+        with pytest.raises(RoadNetworkError):
+            network.add_edge(a, 99)
+        with pytest.raises(RoadNetworkError):
+            network.add_edge(a, a)
+        with pytest.raises(RoadNetworkError):
+            network.add_edge(a, b, length=0.0)
+
+    def test_unknown_lookups_raise(self):
+        network, _ = triangle_network()
+        with pytest.raises(RoadNetworkError):
+            network.vertex_position(77)
+        with pytest.raises(RoadNetworkError):
+            network.edge(77)
+        with pytest.raises(RoadNetworkError):
+            network.incident_edges(77)
+        with pytest.raises(RoadNetworkError):
+            network.degree(77)
+
+
+class TestTopology:
+    def test_neighbors_and_degree(self):
+        network, (a, b, c) = triangle_network()
+        assert network.degree(a) == 2
+        neighbor_vertices = {vertex for vertex, _, _ in network.neighbors(a)}
+        assert neighbor_vertices == {b, c}
+
+    def test_find_edge(self):
+        network, (a, b, c) = triangle_network()
+        assert network.find_edge(a, b) is not None
+        assert network.find_edge(a, b).length == pytest.approx(10.0)
+        isolated = network.add_vertex(Point(50, 50))
+        assert network.find_edge(a, isolated) is None
+
+    def test_edge_other_endpoint(self):
+        network, (a, b, _) = triangle_network()
+        edge = network.find_edge(a, b)
+        assert edge.other_endpoint(a) == b
+        assert edge.other_endpoint(b) == a
+        with pytest.raises(RoadNetworkError):
+            edge.other_endpoint(1234)
+
+    def test_connectivity(self):
+        network, (a, _, _) = triangle_network()
+        assert network.is_connected()
+        network.add_vertex(Point(99, 99))  # isolated vertex
+        assert not network.is_connected()
+        assert a in network.connected_component(a)
+
+    def test_empty_network_is_connected(self):
+        assert RoadNetwork().is_connected()
+
+
+class TestSubnetwork:
+    def test_subnetwork_preserves_lengths_and_positions(self):
+        network, (a, b, c) = triangle_network()
+        edge_ab = network.find_edge(a, b).edge_id
+        edge_bc = network.find_edge(b, c).edge_id
+        sub, vertex_map, edge_map = network.subnetwork([edge_ab, edge_bc])
+        assert sub.vertex_count == 3
+        assert sub.edge_count == 2
+        assert sub.edge(edge_map[edge_ab]).length == pytest.approx(10.0)
+        assert sub.vertex_position(vertex_map[a]) == Point(0, 0)
+
+    def test_subnetwork_of_single_edge(self):
+        network, (a, b, _) = triangle_network()
+        edge_ab = network.find_edge(a, b).edge_id
+        sub, vertex_map, edge_map = network.subnetwork([edge_ab])
+        assert sub.vertex_count == 2
+        assert sub.edge_count == 1
+        assert set(vertex_map) == {a, b}
+
+    def test_subnetwork_empty(self):
+        network, _ = triangle_network()
+        sub, vertex_map, edge_map = network.subnetwork([])
+        assert sub.vertex_count == 0
+        assert sub.edge_count == 0

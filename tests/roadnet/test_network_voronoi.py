@@ -1,0 +1,144 @@
+"""Tests for repro.roadnet.network_voronoi."""
+
+import pytest
+
+from repro.errors import EmptyDatasetError, RoadNetworkError
+from repro.geometry.point import Point
+from repro.roadnet.generators import grid_network, place_objects, random_planar_network
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.network_voronoi import NetworkVoronoiDiagram
+from repro.roadnet.shortest_path import dijkstra
+
+
+class TestConstruction:
+    def test_requires_objects(self):
+        with pytest.raises(EmptyDatasetError):
+            NetworkVoronoiDiagram(grid_network(2, 2), [])
+
+    def test_unknown_object_vertex_raises(self):
+        with pytest.raises(RoadNetworkError):
+            NetworkVoronoiDiagram(grid_network(2, 2), [999])
+
+    def test_object_count(self):
+        network = grid_network(4, 4)
+        objects = place_objects(network, 5, seed=100)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        assert diagram.object_count() == 5
+        assert diagram.object_vertices == objects
+
+
+class TestVertexOwnership:
+    def test_each_vertex_owned_by_its_nearest_object(self):
+        network = grid_network(6, 6, spacing=10.0)
+        objects = place_objects(network, 8, seed=101)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        per_object = [dijkstra(network, vertex) for vertex in objects]
+        for vertex in network.vertices():
+            owner = diagram.vertex_owner(vertex)
+            owner_distance = diagram.vertex_distance(vertex)
+            best = min(per_object[i][vertex] for i in range(len(objects)))
+            assert owner_distance == pytest.approx(best)
+            assert per_object[owner][vertex] == pytest.approx(best)
+
+    def test_object_vertices_own_themselves(self):
+        network = grid_network(5, 5, spacing=10.0)
+        objects = place_objects(network, 6, seed=102)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        for index, vertex in enumerate(objects):
+            assert diagram.vertex_distance(vertex) == pytest.approx(0.0)
+            # The owner is an object at the same vertex (itself unless co-located).
+            assert objects[diagram.vertex_owner(vertex)] == vertex
+
+
+class TestEdgeOwnership:
+    def test_split_edges_have_border_inside_the_edge(self):
+        network = grid_network(6, 6, spacing=10.0)
+        objects = place_objects(network, 6, seed=103)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        found_split = False
+        for edge in network.edges():
+            ownership = diagram.edge_ownership(edge.edge_id)
+            assert ownership is not None
+            if ownership.is_split:
+                found_split = True
+                assert 0.0 <= ownership.border_offset <= edge.length
+                # At the border point, the distances through the two owners
+                # are equal.
+                du = diagram.vertex_distance(edge.u) + ownership.border_offset
+                dv = diagram.vertex_distance(edge.v) + (edge.length - ownership.border_offset)
+                assert du == pytest.approx(dv)
+        assert found_split, "expected at least one edge shared between two cells"
+
+    def test_cell_lengths_sum_to_network_length(self):
+        network = grid_network(5, 5, spacing=10.0)
+        objects = place_objects(network, 5, seed=104)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        total = sum(diagram.cell_length(i) for i in range(len(objects)))
+        assert total == pytest.approx(network.total_length)
+
+
+class TestNeighborRelation:
+    def test_neighbor_map_is_symmetric(self):
+        network = random_planar_network(40, extent=400.0, seed=105)
+        objects = place_objects(network, 10, seed=106)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        neighbor_map = diagram.neighbor_map()
+        for index, neighbors in neighbor_map.items():
+            assert index not in neighbors
+            for other in neighbors:
+                assert index in neighbor_map[other]
+
+    def test_split_edge_owners_are_neighbors(self):
+        network = grid_network(6, 6, spacing=10.0)
+        objects = place_objects(network, 7, seed=107)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        for edge in network.edges():
+            ownership = diagram.edge_ownership(edge.edge_id)
+            if ownership.is_split:
+                assert ownership.owner_v in diagram.neighbors_of(ownership.owner_u)
+
+    def test_every_object_has_a_neighbor_when_multiple_objects(self):
+        network = grid_network(5, 5, spacing=10.0)
+        objects = place_objects(network, 6, seed=108)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        for index in range(len(objects)):
+            assert diagram.neighbors_of(index)
+
+    def test_colocated_objects_are_neighbors_and_share_neighbors(self):
+        network = grid_network(4, 4, spacing=10.0)
+        objects = [0, 0, 15]
+        diagram = NetworkVoronoiDiagram(network, objects)
+        assert 1 in diagram.neighbors_of(0)
+        assert 0 in diagram.neighbors_of(1)
+        assert diagram.neighbors_of(0) - {1} == diagram.neighbors_of(1) - {0}
+
+    def test_influential_neighbor_set(self):
+        network = grid_network(6, 6, spacing=10.0)
+        objects = place_objects(network, 9, seed=109)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        members = {0, 3}
+        ins = diagram.influential_neighbor_set(members)
+        expected = (diagram.neighbors_of(0) | diagram.neighbors_of(3)) - members
+        assert ins == expected
+
+
+class TestRestrictedSubnetwork:
+    def test_subnetwork_covers_cells(self):
+        network = grid_network(6, 6, spacing=10.0)
+        objects = place_objects(network, 8, seed=110)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        members = {0, 1}
+        sub, vertex_map, edge_map = diagram.restricted_subnetwork(members)
+        # Every edge owned (even partially) by a member must be present.
+        for edge_id in diagram.cell_edges(members):
+            assert edge_id in edge_map
+        # The member objects' vertices must be present in the sub-network.
+        for index in members:
+            assert objects[index] in vertex_map
+
+    def test_subnetwork_is_smaller_than_network(self):
+        network = grid_network(10, 10, spacing=10.0)
+        objects = place_objects(network, 20, seed=111)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        sub, _, _ = diagram.restricted_subnetwork({0})
+        assert sub.edge_count < network.edge_count

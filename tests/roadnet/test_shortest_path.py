@@ -1,0 +1,156 @@
+"""Tests for repro.roadnet.shortest_path (cross-checked against networkx)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.errors import RoadNetworkError
+from repro.geometry.point import Point
+from repro.roadnet.generators import grid_network, random_planar_network
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation
+from repro.roadnet.shortest_path import (
+    SearchStats,
+    bounded_dijkstra,
+    dijkstra,
+    distances_from_location,
+    multi_source_dijkstra,
+    shortest_path_distance,
+)
+
+
+def to_networkx(network: RoadNetwork) -> nx.Graph:
+    graph = nx.Graph()
+    for vertex in network.vertices():
+        graph.add_node(vertex)
+    for edge in network.edges():
+        # Parallel edges collapse to the shorter one, matching Dijkstra.
+        if graph.has_edge(edge.u, edge.v):
+            graph[edge.u][edge.v]["weight"] = min(graph[edge.u][edge.v]["weight"], edge.length)
+        else:
+            graph.add_edge(edge.u, edge.v, weight=edge.length)
+    return graph
+
+
+class TestDijkstra:
+    def test_matches_networkx_on_grid(self):
+        network = grid_network(5, 6, spacing=7.0)
+        reference = nx.single_source_dijkstra_path_length(to_networkx(network), 0)
+        computed = dijkstra(network, 0)
+        assert computed.keys() == reference.keys()
+        for vertex, distance in reference.items():
+            assert computed[vertex] == pytest.approx(distance)
+
+    def test_matches_networkx_on_random_planar(self):
+        network = random_planar_network(40, extent=500.0, seed=81)
+        source = network.vertices()[3]
+        reference = nx.single_source_dijkstra_path_length(to_networkx(network), source)
+        computed = dijkstra(network, source)
+        for vertex, distance in reference.items():
+            assert computed[vertex] == pytest.approx(distance)
+
+    def test_unknown_source_raises(self):
+        network = grid_network(2, 2)
+        with pytest.raises(RoadNetworkError):
+            dijkstra(network, 999)
+
+    def test_stats_are_recorded(self):
+        network = grid_network(4, 4)
+        stats = SearchStats()
+        dijkstra(network, 0, stats)
+        assert stats.searches == 1
+        assert stats.settled_vertices == 16
+        assert stats.relaxed_edges > 0
+
+
+class TestBoundedDijkstra:
+    def test_radius_limits_settled_vertices(self):
+        network = grid_network(6, 6, spacing=10.0)
+        near = bounded_dijkstra(network, 0, radius=20.0)
+        assert all(distance <= 20.0 for distance in near.values())
+        everything = bounded_dijkstra(network, 0, radius=math.inf)
+        assert len(near) < len(everything) == 36
+
+    def test_zero_radius_only_source(self):
+        network = grid_network(3, 3, spacing=10.0)
+        assert bounded_dijkstra(network, 4, radius=0.0) == {4: 0.0}
+
+
+class TestMultiSource:
+    def test_owners_are_nearest_sources(self):
+        network = grid_network(5, 5, spacing=10.0)
+        sources = {0: 100, 24: 200}
+        distances, owners = multi_source_dijkstra(network, sources)
+        single_a = dijkstra(network, 0)
+        single_b = dijkstra(network, 24)
+        for vertex in network.vertices():
+            assert distances[vertex] == pytest.approx(min(single_a[vertex], single_b[vertex]))
+            if single_a[vertex] < single_b[vertex]:
+                assert owners[vertex] == 100
+            elif single_b[vertex] < single_a[vertex]:
+                assert owners[vertex] == 200
+
+    def test_requires_sources(self):
+        with pytest.raises(RoadNetworkError):
+            multi_source_dijkstra(grid_network(2, 2), {})
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(RoadNetworkError):
+            multi_source_dijkstra(grid_network(2, 2), {99: 1})
+
+
+class TestLocationDistances:
+    def test_distances_from_edge_midpoint(self):
+        network = grid_network(3, 3, spacing=10.0)
+        edge = network.find_edge(0, 1)
+        location = NetworkLocation(edge.edge_id, 4.0)
+        distances = distances_from_location(network, location)
+        assert distances[0] == pytest.approx(4.0)
+        assert distances[1] == pytest.approx(6.0)
+        # Vertex 2 is reached through vertex 1.
+        assert distances[2] == pytest.approx(16.0)
+
+    def test_targets_stop_early(self):
+        network = grid_network(8, 8, spacing=10.0)
+        edge = network.find_edge(0, 1)
+        location = NetworkLocation(edge.edge_id, 5.0)
+        stats = SearchStats()
+        distances = distances_from_location(network, location, targets={0, 1}, stats=stats)
+        assert {0, 1} <= distances.keys()
+        assert stats.settled_vertices < 64
+
+    def test_location_distance_consistency_with_vertex_dijkstra(self):
+        network = random_planar_network(30, extent=300.0, seed=82)
+        edge = network.edges()[5]
+        location = NetworkLocation(edge.edge_id, edge.length / 3.0)
+        distances = distances_from_location(network, location)
+        from_u = dijkstra(network, edge.u)
+        from_v = dijkstra(network, edge.v)
+        for vertex in network.vertices():
+            expected = min(
+                location.offset + from_u[vertex],
+                (edge.length - location.offset) + from_v[vertex],
+            )
+            assert distances[vertex] <= expected + 1e-9
+
+
+class TestPairDistance:
+    def test_vertex_to_vertex(self):
+        network = grid_network(4, 4, spacing=5.0)
+        assert shortest_path_distance(network, 0, 15) == pytest.approx(30.0)
+
+    def test_disconnected_returns_inf(self):
+        network = RoadNetwork()
+        a = network.add_vertex(Point(0, 0))
+        b = network.add_vertex(Point(1, 0))
+        c = network.add_vertex(Point(5, 5))
+        d = network.add_vertex(Point(6, 5))
+        network.add_edge(a, b)
+        network.add_edge(c, d)
+        assert shortest_path_distance(network, a, c) == math.inf
+
+    def test_unknown_target_raises(self):
+        network = grid_network(2, 2)
+        with pytest.raises(RoadNetworkError):
+            shortest_path_distance(network, 0, 999)

@@ -1,0 +1,85 @@
+"""Tests for repro.simulation.experiment."""
+
+import pytest
+
+from repro.simulation.experiment import (
+    EUCLIDEAN_METHODS,
+    ROAD_METHODS,
+    run_euclidean_comparison,
+    run_road_comparison,
+)
+from repro.workloads.scenarios import default_euclidean_scenario, default_road_scenario
+
+
+@pytest.fixture(scope="module")
+def small_euclidean_scenario():
+    return default_euclidean_scenario(object_count=250, k=4, steps=60, step_length=25.0, seed=250)
+
+
+@pytest.fixture(scope="module")
+def small_road_scenario():
+    return default_road_scenario(
+        rows=6, columns=6, object_count=14, k=3, steps=50, step_length=25.0, seed=251
+    )
+
+
+class TestEuclideanComparison:
+    def test_all_methods_run_and_are_correct(self, small_euclidean_scenario):
+        result = run_euclidean_comparison(small_euclidean_scenario, check_correctness=True)
+        assert {m.method for m in result.methods} == set(EUCLIDEAN_METHODS)
+        assert all(m.summary.correct for m in result.methods)
+
+    def test_naive_recomputes_every_timestamp(self, small_euclidean_scenario):
+        result = run_euclidean_comparison(
+            small_euclidean_scenario, methods=("Naive",), check_correctness=False
+        )
+        naive = result.method("Naive").summary
+        assert naive.full_recomputations == small_euclidean_scenario.timestamps
+
+    def test_ins_beats_naive_on_recomputations(self, small_euclidean_scenario):
+        result = run_euclidean_comparison(
+            small_euclidean_scenario, methods=("INS", "Naive"), check_correctness=False
+        )
+        ins = result.method("INS").summary
+        naive = result.method("Naive").summary
+        assert ins.full_recomputations < naive.full_recomputations
+
+    def test_summary_rows_include_parameters(self, small_euclidean_scenario):
+        result = run_euclidean_comparison(
+            small_euclidean_scenario, methods=("INS",), check_correctness=False
+        )
+        rows = result.summary_rows()
+        assert len(rows) == 1
+        assert rows[0]["k"] == small_euclidean_scenario.k
+        assert rows[0]["n"] == len(small_euclidean_scenario.points)
+        assert rows[0]["method"] == "INS"
+
+    def test_unknown_method_raises(self, small_euclidean_scenario):
+        with pytest.raises(ValueError):
+            run_euclidean_comparison(small_euclidean_scenario, methods=("Bogus",))
+
+    def test_method_lookup_raises_for_missing(self, small_euclidean_scenario):
+        result = run_euclidean_comparison(
+            small_euclidean_scenario, methods=("INS",), check_correctness=False
+        )
+        with pytest.raises(KeyError):
+            result.method("Naive")
+
+
+class TestRoadComparison:
+    def test_all_methods_run_and_are_correct(self, small_road_scenario):
+        result = run_road_comparison(small_road_scenario, check_correctness=True)
+        assert {m.method for m in result.methods} == set(ROAD_METHODS)
+        assert all(m.summary.correct for m in result.methods)
+
+    def test_ins_road_beats_naive_on_recomputations(self, small_road_scenario):
+        result = run_road_comparison(
+            small_road_scenario, methods=("INS-road", "Naive-road"), check_correctness=False
+        )
+        ins = result.method("INS-road").summary
+        naive = result.method("Naive-road").summary
+        assert ins.full_recomputations < naive.full_recomputations
+
+    def test_unknown_method_raises(self, small_road_scenario):
+        with pytest.raises(ValueError):
+            run_road_comparison(small_road_scenario, methods=("Bogus",))

@@ -1,0 +1,49 @@
+"""Tests for repro.simulation.metrics."""
+
+import pytest
+
+from repro.core.ins_euclidean import INSProcessor
+from repro.simulation.metrics import summarize, summarize_many
+from repro.simulation.simulator import simulate
+from repro.trajectory.euclidean import random_waypoint_trajectory
+from repro.workloads.datasets import data_space, uniform_points
+
+
+@pytest.fixture(scope="module")
+def finished_run():
+    points = uniform_points(150, extent=1_000.0, seed=240)
+    trajectory = random_waypoint_trajectory(
+        data_space(1_000.0), steps=30, step_length=30.0, seed=241
+    )
+    return simulate(INSProcessor(points, k=3), trajectory)
+
+
+class TestSummarize:
+    def test_summary_reflects_run(self, finished_run):
+        summary = summarize(finished_run)
+        assert summary.method == "INS"
+        assert summary.timestamps == finished_run.timestamps
+        assert summary.full_recomputations == finished_run.stats.full_recomputations
+        assert summary.correct  # no oracle -> correct by definition
+
+    def test_derived_rates(self, finished_run):
+        summary = summarize(finished_run)
+        assert summary.recomputation_rate == pytest.approx(
+            summary.full_recomputations / summary.timestamps
+        )
+        assert summary.communication_per_timestamp == pytest.approx(
+            summary.transmitted_objects / summary.timestamps
+        )
+
+    def test_as_dict_round_trips_key_fields(self, finished_run):
+        summary = summarize(finished_run)
+        row = summary.as_dict()
+        assert row["method"] == "INS"
+        assert row["timestamps"] == summary.timestamps
+        assert row["recomputations"] == summary.full_recomputations
+        assert "precompute_s" in row
+
+    def test_summarize_many_preserves_order(self, finished_run):
+        summaries = summarize_many([finished_run, finished_run])
+        assert len(summaries) == 2
+        assert all(s.method == "INS" for s in summaries)

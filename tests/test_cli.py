@@ -1,0 +1,38 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_compare_plane(self, capsys):
+        exit_code = main(["compare", "--space", "plane", "--n", "200", "--steps", "30"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "INS" in captured.out
+        assert "Naive" in captured.out
+        assert "recomputations" in captured.out
+
+    def test_compare_road(self, capsys):
+        exit_code = main(["compare", "--space", "road", "--k", "3", "--steps", "30"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "INS-road" in captured.out
+
+    def test_demo_plane(self, capsys):
+        exit_code = main(["demo-plane", "--frames", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "kNN" in captured.out
+        assert "legend" in captured.out
+
+    def test_demo_road(self, capsys):
+        exit_code = main(["demo-road", "--k", "3", "--frames", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "legend" in captured.out

@@ -1,0 +1,31 @@
+"""Tests for the top-level public API of the ``repro`` package."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing attribute {name}"
+
+    def test_quickstart_docstring_flow(self):
+        """The module docstring's quickstart snippet must actually work."""
+        from repro import INSProcessor, uniform_points, random_waypoint_trajectory
+        from repro.workloads.datasets import data_space
+        from repro.simulation import simulate
+
+        points = uniform_points(100, seed=1)
+        trajectory = random_waypoint_trajectory(data_space(), steps=20, step_length=50.0)
+        processor = INSProcessor(points, k=5, rho=1.6)
+        run = simulate(processor, trajectory)
+        assert run.timestamps == 21
+        assert run.stats.full_recomputations >= 1
+
+    def test_key_classes_are_exported(self):
+        assert repro.INSProcessor.__name__ == "INSProcessor"
+        assert repro.INSRoadProcessor.__name__ == "INSRoadProcessor"
+        assert repro.VoRTree.__name__ == "VoRTree"
+        assert repro.NetworkVoronoiDiagram.__name__ == "NetworkVoronoiDiagram"

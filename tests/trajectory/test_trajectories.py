@@ -1,0 +1,141 @@
+"""Tests for repro.trajectory (Euclidean and road trajectories)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, RoadNetworkError
+from repro.geometry.point import Point
+from repro.geometry.primitives import BoundingBox
+from repro.roadnet.generators import grid_network
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation
+from repro.trajectory.euclidean import (
+    circular_trajectory,
+    linear_trajectory,
+    random_waypoint_trajectory,
+)
+from repro.trajectory.road import network_random_walk
+
+
+class TestLinearTrajectory:
+    def test_endpoints_and_length(self):
+        trajectory = linear_trajectory(Point(0, 0), Point(10, 0), steps=5)
+        assert len(trajectory) == 6
+        assert trajectory[0] == Point(0, 0)
+        assert trajectory[-1] == Point(10, 0)
+
+    def test_equal_spacing(self):
+        trajectory = linear_trajectory(Point(0, 0), Point(10, 10), steps=10)
+        steps = [a.distance_to(b) for a, b in zip(trajectory, trajectory[1:])]
+        assert all(step == pytest.approx(steps[0]) for step in steps)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            linear_trajectory(Point(0, 0), Point(1, 1), steps=0)
+
+
+class TestCircularTrajectory:
+    def test_stays_on_circle(self):
+        center = Point(5, 5)
+        trajectory = circular_trajectory(center, radius=3.0, steps=20)
+        assert len(trajectory) == 21
+        for position in trajectory:
+            assert center.distance_to(position) == pytest.approx(3.0)
+
+    def test_full_revolution_returns_to_start(self):
+        trajectory = circular_trajectory(Point(0, 0), radius=2.0, steps=8, revolutions=1.0)
+        assert trajectory[0].almost_equal(trajectory[-1], tolerance=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            circular_trajectory(Point(0, 0), radius=0.0, steps=5)
+        with pytest.raises(ConfigurationError):
+            circular_trajectory(Point(0, 0), radius=1.0, steps=0)
+
+
+class TestRandomWaypointTrajectory:
+    def test_length_and_containment(self):
+        box = BoundingBox(0, 0, 100, 100)
+        trajectory = random_waypoint_trajectory(box, steps=50, step_length=5.0, seed=210)
+        assert len(trajectory) == 51
+        for position in trajectory:
+            assert box.contains_point(position)
+
+    def test_constant_speed(self):
+        box = BoundingBox(0, 0, 1000, 1000)
+        trajectory = random_waypoint_trajectory(box, steps=100, step_length=7.0, seed=211)
+        for a, b in zip(trajectory, trajectory[1:]):
+            assert a.distance_to(b) <= 7.0 + 1e-9
+
+    def test_reproducibility(self):
+        box = BoundingBox(0, 0, 100, 100)
+        first = random_waypoint_trajectory(box, steps=20, step_length=3.0, seed=5)
+        second = random_waypoint_trajectory(box, steps=20, step_length=3.0, seed=5)
+        different = random_waypoint_trajectory(box, steps=20, step_length=3.0, seed=6)
+        assert first == second
+        assert first != different
+
+    def test_fixed_start(self):
+        box = BoundingBox(0, 0, 100, 100)
+        start = Point(10, 10)
+        trajectory = random_waypoint_trajectory(box, steps=5, step_length=1.0, seed=7, start=start)
+        assert trajectory[0] == start
+
+    def test_validation(self):
+        box = BoundingBox(0, 0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            random_waypoint_trajectory(box, steps=0, step_length=1.0)
+        with pytest.raises(ConfigurationError):
+            random_waypoint_trajectory(box, steps=5, step_length=0.0)
+
+
+class TestNetworkRandomWalk:
+    def test_length_and_valid_locations(self):
+        network = grid_network(5, 5, spacing=10.0)
+        walk = network_random_walk(network, steps=40, step_length=4.0, seed=212)
+        assert len(walk) == 41
+        for location in walk:
+            edge = network.edge(location.edge_id)
+            assert -1e-9 <= location.offset <= edge.length + 1e-9
+
+    def test_constant_network_speed(self):
+        """Consecutive positions are exactly step_length apart along the walk,
+        which upper-bounds their network distance."""
+        from repro.roadnet.shortest_path import distances_from_location
+
+        network = grid_network(4, 4, spacing=10.0)
+        step = 3.0
+        walk = network_random_walk(network, steps=30, step_length=step, seed=213)
+        for a, b in zip(walk, walk[1:]):
+            distances = distances_from_location(network, a)
+            edge_b = network.edge(b.edge_id)
+            network_distance = min(
+                distances[edge_b.u] + b.offset,
+                distances[edge_b.v] + (edge_b.length - b.offset),
+            )
+            if a.edge_id == b.edge_id:
+                # The direct along-edge path does not pass through a vertex.
+                network_distance = min(network_distance, abs(a.offset - b.offset))
+            assert network_distance <= step + 1e-6
+
+    def test_fixed_start(self):
+        network = grid_network(3, 3, spacing=10.0)
+        start = NetworkLocation(network.edges()[0].edge_id, 2.0)
+        walk = network_random_walk(network, steps=5, step_length=1.0, seed=214, start=start)
+        assert walk[0] == start
+
+    def test_reproducibility(self):
+        network = grid_network(4, 4, spacing=10.0)
+        assert network_random_walk(network, steps=10, step_length=2.0, seed=1) == (
+            network_random_walk(network, steps=10, step_length=2.0, seed=1)
+        )
+
+    def test_validation(self):
+        network = grid_network(3, 3)
+        with pytest.raises(ConfigurationError):
+            network_random_walk(network, steps=0, step_length=1.0)
+        with pytest.raises(ConfigurationError):
+            network_random_walk(network, steps=5, step_length=0.0)
+        with pytest.raises(RoadNetworkError):
+            network_random_walk(RoadNetwork(), steps=5, step_length=1.0)

@@ -1,0 +1,75 @@
+"""Tests for repro.workloads.datasets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.datasets import (
+    DEFAULT_EXTENT,
+    clustered_points,
+    data_space,
+    uniform_points,
+)
+
+
+class TestDataSpace:
+    def test_default_extent(self):
+        box = data_space()
+        assert box.width == DEFAULT_EXTENT
+        assert box.height == DEFAULT_EXTENT
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            data_space(0.0)
+
+
+class TestUniformPoints:
+    def test_count_and_containment(self):
+        points = uniform_points(500, extent=100.0, seed=220)
+        assert len(points) == 500
+        box = data_space(100.0)
+        assert all(box.contains_point(p) for p in points)
+
+    def test_reproducibility(self):
+        assert uniform_points(50, seed=1) == uniform_points(50, seed=1)
+        assert uniform_points(50, seed=1) != uniform_points(50, seed=2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            uniform_points(0)
+        with pytest.raises(ConfigurationError):
+            uniform_points(10, extent=-5.0)
+
+
+class TestClusteredPoints:
+    def test_count_and_containment(self):
+        points = clustered_points(400, clusters=5, extent=100.0, seed=221)
+        assert len(points) == 400
+        box = data_space(100.0)
+        assert all(box.contains_point(p) for p in points)
+
+    def test_clustering_is_denser_than_uniform(self):
+        """Clustered data should have a much smaller mean nearest-neighbour
+        distance than uniform data of the same size."""
+
+        def mean_nn_distance(points):
+            total = 0.0
+            for i, p in enumerate(points):
+                nearest = min(
+                    p.distance_to(q) for j, q in enumerate(points) if j != i
+                )
+                total += nearest
+            return total / len(points)
+
+        uniform = uniform_points(200, extent=1_000.0, seed=222)
+        clustered = clustered_points(200, clusters=4, extent=1_000.0, seed=223)
+        assert mean_nn_distance(clustered) < mean_nn_distance(uniform)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            clustered_points(0)
+        with pytest.raises(ConfigurationError):
+            clustered_points(10, clusters=0)
+        with pytest.raises(ConfigurationError):
+            clustered_points(10, spread_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            clustered_points(10, extent=0.0)

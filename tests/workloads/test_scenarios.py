@@ -1,0 +1,65 @@
+"""Tests for repro.workloads.scenarios."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.datasets import data_space
+from repro.workloads.scenarios import (
+    default_euclidean_scenario,
+    default_road_scenario,
+    fig4_scenario,
+)
+
+
+class TestEuclideanScenarios:
+    def test_default_scenario_shape(self):
+        scenario = default_euclidean_scenario(object_count=300, k=4, steps=50)
+        assert len(scenario.points) == 300
+        assert scenario.k == 4
+        assert scenario.timestamps == 51
+        assert scenario.rho == 1.6
+
+    def test_trajectory_stays_in_data_space(self):
+        scenario = default_euclidean_scenario(object_count=200, steps=40, extent=500.0)
+        box = data_space(500.0)
+        assert all(box.contains_point(p) for p in scenario.trajectory)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            default_euclidean_scenario(object_count=3, k=5)
+
+    def test_fig4_scenario_parameters(self):
+        """Figure 4 of the paper uses k = 5 and ρ = 1.6."""
+        scenario = fig4_scenario()
+        assert scenario.k == 5
+        assert scenario.rho == pytest.approx(1.6)
+        assert len(scenario.points) > scenario.k
+
+    def test_reproducibility(self):
+        a = default_euclidean_scenario(object_count=100, steps=10, seed=3)
+        b = default_euclidean_scenario(object_count=100, steps=10, seed=3)
+        assert a.points == b.points
+        assert a.trajectory == b.trajectory
+
+
+class TestRoadScenarios:
+    def test_default_road_scenario_shape(self):
+        scenario = default_road_scenario(rows=6, columns=6, object_count=12, k=3, steps=30)
+        assert scenario.network.vertex_count == 36
+        assert len(scenario.object_vertices) == 12
+        assert scenario.timestamps == 31
+        assert scenario.k == 3
+
+    def test_objects_are_on_network_vertices(self):
+        scenario = default_road_scenario(rows=5, columns=5, object_count=8, steps=20)
+        vertices = set(scenario.network.vertices())
+        assert all(v in vertices for v in scenario.object_vertices)
+
+    def test_trajectory_locations_are_valid(self):
+        scenario = default_road_scenario(rows=5, columns=5, object_count=8, steps=20)
+        for location in scenario.trajectory:
+            location.validated(scenario.network)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            default_road_scenario(object_count=2, k=5)
