@@ -1,0 +1,139 @@
+"""PR1 — object-update throughput: incremental vs full-rebuild maintenance.
+
+The seed handled every data-object update by discarding the whole order-1
+Voronoi diagram and re-running the construction over all n objects, so an
+E9-style update stream cost O(n) (plus diagram construction) *per object*.
+The incremental VoR-tree maintenance introduced in PR 1 carves only the
+affected Delaunay cavity / star and patches the touched neighbour lists, so
+the same stream costs O(affected cells) per object.
+
+This benchmark drives an E9-style stream — n = 2000 objects, one registered
+k = 8 moving query, 200 interleaved inserts/deletes (2:1), the query
+re-answered after every update — through both maintenance modes and writes
+the headline numbers to ``BENCH_PR1.json`` at the repository root (schema:
+``{bench, n, k, seconds, updates_per_sec}``) so the performance trajectory
+of the project accumulates.
+
+Representative numbers on the development container (single run):
+
+* seed-equivalent full-rebuild path: ~5.1 s for the 200-update stream
+  (~39 updates/s)
+* incremental path:                  ~0.42 s for the same stream
+  (~475 updates/s)
+* speedup: ~12x (acceptance floor for PR 1 was 5x)
+
+Run standalone (``python benchmarks/bench_pr1_update_throughput.py``) or via
+pytest (``pytest benchmarks/bench_pr1_update_throughput.py``).
+"""
+
+import json
+import pathlib
+import random
+import time
+
+from repro.core.server import MovingKNNServer
+from repro.geometry.point import Point
+from repro.simulation.report import format_table
+from repro.trajectory.euclidean import random_waypoint_trajectory
+from repro.workloads.datasets import data_space, uniform_points
+
+from benchmarks.conftest import emit_table
+
+OBJECT_COUNT = 2_000
+K = 8
+UPDATES = 200
+DELETE_EVERY = 3  # every third operation is a deletion (2:1 insert:delete)
+EXTENT = 10_000.0
+
+#: Where the machine-readable result lands (committed with the PR so the
+#: perf trajectory accumulates release over release).
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+
+def run_update_stream(maintenance: str) -> float:
+    """Wall-clock seconds for the 200-update stream in one maintenance mode.
+
+    ``maintenance="rebuild"`` is exactly the seed's behaviour (every update
+    pays a from-scratch neighbour-map rebuild); ``"incremental"`` is the
+    path that is now the default.
+    """
+    points = uniform_points(OBJECT_COUNT, extent=EXTENT, seed=91)
+    trajectory = random_waypoint_trajectory(
+        data_space(), steps=UPDATES, step_length=40.0, seed=92
+    )
+    rng = random.Random(93)
+    server = MovingKNNServer(list(points), maintenance=maintenance)
+    query_id = server.register_query(trajectory[0], k=K)
+
+    started = time.perf_counter()
+    for step in range(1, UPDATES + 1):
+        if step % DELETE_EVERY == 0:
+            server.delete_object(rng.choice(server.vortree.active_indexes()))
+        else:
+            server.insert_object(
+                Point(rng.uniform(0.0, EXTENT), rng.uniform(0.0, EXTENT))
+            )
+        server.update_position(query_id, trajectory[step])
+    return time.perf_counter() - started
+
+
+def run_benchmark():
+    rows = []
+    for mode in ("full_rebuild", "incremental"):
+        seconds = run_update_stream("rebuild" if mode == "full_rebuild" else mode)
+        rows.append(
+            {
+                "mode": mode,
+                "n": OBJECT_COUNT,
+                "k": K,
+                "updates": UPDATES,
+                "seconds": round(seconds, 3),
+                "updates_per_sec": round(UPDATES / seconds, 1),
+            }
+        )
+    by_mode = {row["mode"]: row for row in rows}
+    speedup = by_mode["full_rebuild"]["seconds"] / by_mode["incremental"]["seconds"]
+    incremental = by_mode["incremental"]
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "pr1_update_throughput",
+                "n": OBJECT_COUNT,
+                "k": K,
+                "seconds": incremental["seconds"],
+                "updates_per_sec": incremental["updates_per_sec"],
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    return rows, speedup
+
+
+def test_pr1_update_throughput(run_once):
+    rows, speedup = run_once(run_benchmark)
+    for row in rows:
+        row["speedup"] = round(speedup, 1) if row["mode"] == "incremental" else 1.0
+    emit_table(
+        "PR1_update_throughput",
+        format_table(
+            rows,
+            title=(
+                f"PR1: object-update throughput (n={OBJECT_COUNT}, k={K}, "
+                f"{UPDATES} updates, delete every {DELETE_EVERY})"
+            ),
+        ),
+    )
+    assert speedup >= 5.0, f"incremental path only {speedup:.1f}x faster"
+
+
+def main():
+    rows, speedup = run_benchmark()
+    for row in rows:
+        print(row)
+    print(f"speedup: {speedup:.1f}x  (written to {RESULT_PATH.name})")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,7 @@ validation and local recomposition counts its distance computations.
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -83,16 +84,29 @@ class INSProcessor(MovingKNNProcessor[Point]):
             )
         if rho < 1.0:
             raise ConfigurationError("the prefetch ratio rho must be at least 1")
-        self._points: List[Point] = list(points)
         self._rho = rho
-        self._prefetch_count = min(max(int(rho * k), k), len(points) - 1)
         self._allow_incremental = allow_incremental
         with self._stats.time_precomputation():
-            self._vortree = vortree if vortree is not None else VoRTree(self._points)
+            self._vortree = vortree if vortree is not None else VoRTree(list(points))
+        # Cap the prefetch size by the *active* population (a shared tree
+        # may already carry tombstones), not by the raw point count.
+        population = len(self._vortree)
+        if k >= population:
+            raise ConfigurationError(
+                f"k={k} must be smaller than the number of active data objects ({population})"
+            )
+        self._prefetch_count = min(max(int(rho * k), k), population - 1)
+        # Live view of the server-side object positions: it grows as objects
+        # are inserted, so data updates never copy the n-point list around.
+        self._points: Sequence[Point] = self._vortree.positions
         # Client-side state.
         self._R: List[int] = []
         self._ins: Set[int] = set()
         self._knn: List[int] = []
+        # Cached pool (R ∪ I(R)) and guard set (pool \ kNN); rebuilt only
+        # when R / I(R) / the answer change, not on every timestamp.
+        self._pool: Set[int] = set()
+        self._guard: FrozenSet[int] = frozenset()
         # Per-member Voronoi neighbour lists (needed for incremental updates).
         self._neighbor_lists: Dict[int, Set[int]] = {}
         # Set when the server-side data changed; forces a retrieval on the
@@ -130,7 +144,7 @@ class INSProcessor(MovingKNNProcessor[Point]):
     @property
     def guard_set(self) -> Set[int]:
         """The current safe guarding objects: I(R) ∪ R \\ kNN."""
-        return (set(self._R) | self._ins) - set(self._knn)
+        return set(self._guard)
 
     @property
     def vortree(self) -> VoRTree:
@@ -148,12 +162,13 @@ class INSProcessor(MovingKNNProcessor[Point]):
     def insert_object(self, point: Point) -> int:
         """Insert a new data object at ``point`` and return its object index.
 
-        The server-side VoR-tree is updated; the client-held answer is marked
-        stale so the next timestamp refreshes the kNN set and the IS.
+        The server-side VoR-tree is updated incrementally; the client-held
+        answer is marked stale so the next timestamp refreshes the kNN set
+        and the IS.  (``self._points`` is a live view of the tree's storage,
+        so no position list is copied.)
         """
         with self._stats.time_construction():
             index = self._vortree.insert(point)
-            self._points = self._vortree.points
         self._state_stale = True
         return index
 
@@ -176,7 +191,7 @@ class INSProcessor(MovingKNNProcessor[Point]):
             timestamp=self.current_timestamp,
             knn=tuple(self._knn),
             knn_distances=tuple(distances),
-            guard_objects=frozenset(self.guard_set),
+            guard_objects=self._guard,
             action=UpdateAction.FULL_RECOMPUTE,
             was_valid=False,
         )
@@ -193,7 +208,7 @@ class INSProcessor(MovingKNNProcessor[Point]):
                 timestamp=self.current_timestamp,
                 knn=tuple(self._knn),
                 knn_distances=tuple(distances),
-                guard_objects=frozenset(self.guard_set),
+                guard_objects=self._guard,
                 action=UpdateAction.FULL_RECOMPUTE,
                 was_valid=False,
             )
@@ -207,7 +222,7 @@ class INSProcessor(MovingKNNProcessor[Point]):
                 timestamp=self.current_timestamp,
                 knn=tuple(self._knn),
                 knn_distances=tuple(distances),
-                guard_objects=frozenset(self.guard_set),
+                guard_objects=self._guard,
                 action=UpdateAction.NONE,
                 was_valid=True,
             )
@@ -217,7 +232,7 @@ class INSProcessor(MovingKNNProcessor[Point]):
             timestamp=self.current_timestamp,
             knn=tuple(self._knn),
             knn_distances=tuple(distances),
-            guard_objects=frozenset(self.guard_set),
+            guard_objects=self._guard,
             action=action,
             was_valid=False,
         )
@@ -229,7 +244,13 @@ class INSProcessor(MovingKNNProcessor[Point]):
         """Server round trip: recompute R, I(R) and the kNN set at ``position``."""
         with self._stats.time_construction():
             self._vortree.rtree.reset_counters()
-            nearest, ins = self._vortree.retrieve(position, self._prefetch_count)
+            # Deletions since construction may have shrunk the population
+            # below the configured prefetch size; shrink the request, but
+            # never below k — if fewer than k objects remain, the VoR-tree
+            # raises its loud QueryError rather than silently under-filling
+            # the answer.
+            count = max(self.k, min(self._prefetch_count, len(self._vortree)))
+            nearest, ins = self._vortree.retrieve(position, count)
             self._stats.index_node_accesses += self._vortree.rtree.node_accesses
             self._R = nearest
             self._ins = ins
@@ -239,32 +260,39 @@ class INSProcessor(MovingKNNProcessor[Point]):
             }
             self._stats.full_recomputations += 1
             self._stats.transmitted_objects += len(self._R) + len(self._ins)
+            self._refresh_cached_sets()
+
+    def _refresh_cached_sets(self) -> None:
+        """Recompute the cached pool (R ∪ I(R)) and guard set (pool \\ kNN)."""
+        self._pool = set(self._R) | self._ins
+        self._guard = frozenset(self._pool.difference(self._knn))
 
     def _pool_distances(self, position: Point) -> Dict[int, float]:
         """Distances from ``position`` to every client-held object (R ∪ I(R))."""
-        pool = set(self._R) | self._ins
-        self._stats.distance_computations += len(pool)
-        return {index: position.distance_to(self._points[index]) for index in pool}
+        self._stats.distance_computations += len(self._pool)
+        return {index: position.distance_to(self._points[index]) for index in self._pool}
 
     def _is_valid(self, pool_distances: Dict[int, float]) -> bool:
         """Section III-A validation: farthest kNN vs nearest guard object."""
-        guard = self.guard_set
-        if not guard:
+        if not self._guard:
             return True
         farthest_knn = max(pool_distances[index] for index in self._knn)
-        nearest_guard = min(pool_distances[index] for index in guard)
+        nearest_guard = min(pool_distances[index] for index in self._guard)
         return farthest_knn <= nearest_guard
 
     def _perform_update(self, position: Point, pool_distances: Dict[int, float]) -> UpdateAction:
         """Section III-B update: recompose from R when possible, else retrieve."""
         with self._stats.time_validation():
-            candidate = sorted(self._R, key=lambda index: (pool_distances[index], index))[: self.k]
-            guard = (set(self._R) | self._ins) - set(candidate)
+            candidate = heapq.nsmallest(
+                self.k, self._R, key=lambda index: (pool_distances[index], index)
+            )
+            guard = self._pool.difference(candidate)
             farthest = max(pool_distances[index] for index in candidate)
             nearest_guard = min(pool_distances[index] for index in guard) if guard else math.inf
             if farthest <= nearest_guard:
                 # Case (ii), first branch: the new kNN set is still inside R.
                 self._knn = candidate
+                self._guard = frozenset(guard)
                 self._stats.local_reorders += 1
                 return UpdateAction.LOCAL_REORDER
         if self._allow_incremental and self._incremental_update(position):
@@ -290,16 +318,17 @@ class INSProcessor(MovingKNNProcessor[Point]):
         transmitted = 0
         for _ in range(self.MAX_INCREMENTAL_SWAPS):
             pool_distances = self._pool_distances(position)
-            candidate_knn = sorted(
-                self._R, key=lambda index: (pool_distances[index], index)
-            )[: self.k]
-            guard = (set(self._R) | self._ins) - set(candidate_knn)
+            candidate_knn = heapq.nsmallest(
+                self.k, self._R, key=lambda index: (pool_distances[index], index)
+            )
+            guard = self._pool.difference(candidate_knn)
             farthest = max(pool_distances[index] for index in candidate_knn)
             nearest_guard = (
                 min(pool_distances[index] for index in guard) if guard else math.inf
             )
             if farthest <= nearest_guard:
                 self._knn = candidate_knn
+                self._guard = frozenset(guard)
                 self._stats.incremental_updates += 1
                 self._stats.transmitted_objects += transmitted
                 return True
@@ -316,11 +345,13 @@ class INSProcessor(MovingKNNProcessor[Point]):
             self._neighbor_lists.pop(outgoing, None)
             self._neighbor_lists[incoming] = incoming_neighbors
             self._ins = set().union(*self._neighbor_lists.values()) - set(self._R)
+            self._refresh_cached_sets()
         # Could not stabilise within the swap budget: restore and report failure.
         self._R = saved_R
         self._neighbor_lists = saved_lists
         self._knn = saved_knn
         self._ins = set().union(*self._neighbor_lists.values()) - set(self._R)
+        self._refresh_cached_sets()
         return False
 
     # ------------------------------------------------------------------

@@ -12,12 +12,22 @@ provides that server-side composition:
 * data-object updates are applied once to the shared tree and invalidate
   every registered query's client state, exactly as Section III prescribes,
 * aggregate statistics across queries are available for capacity planning.
+
+Data-object updates are cheap on both sides of the interface.  Server-side,
+the shared VoR-tree patches its Voronoi neighbour lists incrementally
+(O(affected cells) per update instead of a full O(n) rebuild) and
+:meth:`MovingKNNServer.batch_update` applies a whole burst of inserts and
+deletes as one *epoch*: one neighbour-map patch, one invalidation round.
+Client-side, every registered processor shares the tree's live position
+view, so an update never copies the n-point list into each of the (possibly
+thousands of) registered queries — their state is merely marked stale and
+refreshed lazily on their next timestamp.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, EmptyDatasetError, QueryError
 from repro.core.ins_euclidean import INSProcessor
@@ -37,6 +47,23 @@ class RegisteredQuery:
     processor: INSProcessor
 
 
+@dataclass(frozen=True)
+class BatchUpdateResult:
+    """Outcome of one :meth:`MovingKNNServer.batch_update` epoch.
+
+    Attributes:
+        new_indexes: object indexes assigned to the inserted points, in
+            input order.
+        deleted_indexes: object indexes that were actually deleted.
+        epoch: the data epoch after applying the batch (monotonically
+            increasing; one step per mutation batch, however large).
+    """
+
+    new_indexes: Tuple[int, ...]
+    deleted_indexes: Tuple[int, ...]
+    epoch: int
+
+
 class MovingKNNServer:
     """Serve many concurrent moving kNN queries over one data set.
 
@@ -45,6 +72,9 @@ class MovingKNNServer:
         max_entries: R-tree node capacity of the shared VoR-tree.
         allow_incremental: enable case-(i) incremental updates for every
             registered query (see :class:`INSProcessor`).
+        maintenance: Voronoi neighbour-list maintenance mode of the shared
+            VoR-tree (``"incremental"`` or ``"rebuild"``; see
+            :class:`VoRTree`).
     """
 
     def __init__(
@@ -52,13 +82,17 @@ class MovingKNNServer:
         points: Sequence[Point],
         max_entries: int = 16,
         allow_incremental: bool = False,
+        maintenance: str = "incremental",
     ):
         if not points:
             raise EmptyDatasetError("MovingKNNServer requires at least one data object")
-        self._vortree = VoRTree(list(points), max_entries=max_entries)
+        self._vortree = VoRTree(
+            list(points), max_entries=max_entries, maintenance=maintenance
+        )
         self._allow_incremental = allow_incremental
         self._queries: Dict[int, RegisteredQuery] = {}
         self._next_query_id = 0
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -77,6 +111,16 @@ class MovingKNNServer:
     def query_count(self) -> int:
         """Number of currently registered queries."""
         return len(self._queries)
+
+    @property
+    def epoch(self) -> int:
+        """The current data epoch.
+
+        Incremented once per mutation batch (a single insert/delete counts
+        as a batch of one), so clients can cheaply detect whether the data
+        set changed since they last looked.
+        """
+        return self._epoch
 
     def query_ids(self) -> List[int]:
         """Identifiers of the registered queries."""
@@ -100,7 +144,7 @@ class MovingKNNServer:
                 f"k={k} must be smaller than the number of data objects ({self.object_count})"
             )
         processor = INSProcessor(
-            self._vortree.points,
+            self._vortree.positions,
             k,
             rho=rho,
             vortree=self._vortree,
@@ -143,20 +187,52 @@ class MovingKNNServer:
     # Data-object updates
     # ------------------------------------------------------------------
     def insert_object(self, point: Point) -> int:
-        """Insert a data object; every registered query is marked stale."""
+        """Insert a data object; every registered query is marked stale.
+
+        The registered processors share the tree's live position view, so
+        no per-query state is copied — the insert is one incremental
+        neighbour-map patch plus one stale flag per query.
+        """
         index = self._vortree.insert(point)
-        for registered in self._queries.values():
-            registered.processor._points = self._vortree.points
-            registered.processor._state_stale = True
+        self._epoch += 1
+        self._invalidate_queries()
         return index
 
     def delete_object(self, index: int) -> bool:
         """Delete a data object; every registered query is marked stale."""
         removed = self._vortree.delete(index)
         if removed:
-            for registered in self._queries.values():
-                registered.processor._state_stale = True
+            self._epoch += 1
+            self._invalidate_queries()
         return removed
+
+    def batch_update(
+        self, inserts: Sequence[Point] = (), deletes: Iterable[int] = ()
+    ) -> BatchUpdateResult:
+        """Apply a burst of object inserts and deletes as one data epoch.
+
+        A heavy traffic stream batches its object updates; applying them
+        together triggers one neighbour-map patch (or, for very large
+        bursts, one full rebuild) and one invalidation round instead of one
+        per object.  Deletions always refer to pre-existing object indexes;
+        insertions are registered first, so a burst may replace the whole
+        population as long as one object survives (see
+        :meth:`VoRTree.batch_update`).
+        """
+        new_indexes, deleted = self._vortree.batch_update(inserts, deletes)
+        if new_indexes or deleted:
+            self._epoch += 1
+            self._invalidate_queries()
+        return BatchUpdateResult(
+            new_indexes=tuple(new_indexes),
+            deleted_indexes=tuple(deleted),
+            epoch=self._epoch,
+        )
+
+    def _invalidate_queries(self) -> None:
+        """Shared-state invalidation: flag every query, copy nothing."""
+        for registered in self._queries.values():
+            registered.processor._state_stale = True
 
     # ------------------------------------------------------------------
     # Aggregate statistics

@@ -13,14 +13,24 @@ Voronoi vertices are triangle circumcenters, Voronoi neighbours are Delaunay
 edges, and each site's Voronoi *cell polygon* (clipped to a bounding box) is
 computed by half-plane intersection with its neighbours — which is exact for
 interior cells and a correct clipped cell for boundary sites.
+
+Data-object updates are **incremental**: :meth:`VoronoiDiagram.insert_site`
+and :meth:`VoronoiDiagram.remove_site` consume the delta sets reported by
+the live :class:`~repro.geometry.delaunay.DelaunayTriangulation` to patch
+the neighbour map and invalidate only the affected cached cell polygons,
+instead of rebuilding the whole diagram (which is what every update cost
+before).  Removed sites keep their index as tombstones so identifiers held
+by callers stay stable.  Degenerate configurations (fewer than three active
+sites, collinear sites, numerical failures) fall back to a full refresh of
+the neighbour map, which stays available as the correctness oracle.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import EmptyDatasetError, GeometryError
-from repro.geometry.delaunay import delaunay_neighbors
+from repro.geometry.delaunay import DelaunayTriangulation, delaunay_neighbors
 from repro.geometry.point import Point
 from repro.geometry.polygon import ConvexPolygon, bisector_halfplane
 from repro.geometry.primitives import BoundingBox
@@ -35,25 +45,48 @@ class VoronoiDiagram:
         bounding_box: optional clipping box for cell polygons.  When omitted,
             a box 3x the extent of the sites is used, which is enough for the
             demo rendering and the safe-region polygons of interior cells.
+            The box is fixed at construction time; sites inserted later are
+            still clipped against it.
+        maintain_incrementally: when True the live Delaunay dual is built
+            eagerly, so the same triangulation serves both the initial
+            neighbour map and later :meth:`insert_site` /
+            :meth:`remove_site` patches — pass it when updates are coming
+            (the VoR-tree does).  The default (False) suits throwaway,
+            rarely-updated diagrams: the neighbour map comes from the
+            cheaper convenience wrapper and the live dual is only built if
+            an incremental update arrives after all.
 
     The neighbour relation (:meth:`neighbors_of`) is derived from the
     Delaunay dual and never depends on the clipping box.
     """
 
-    def __init__(self, sites: Sequence[Point], bounding_box: Optional[BoundingBox] = None):
+    def __init__(
+        self,
+        sites: Sequence[Point],
+        bounding_box: Optional[BoundingBox] = None,
+        maintain_incrementally: bool = False,
+    ):
         if not sites:
             raise EmptyDatasetError("a Voronoi diagram requires at least one site")
         self._sites: List[Point] = list(sites)
-        self._neighbors: Dict[int, Set[int]] = delaunay_neighbors(self._sites)
+        self._active: List[bool] = [True] * len(self._sites)
         self._bounding_box = bounding_box or self._default_bounding_box()
         self._cell_cache: Dict[int, ConvexPolygon] = {}
+        # Live Delaunay dual; None for degenerate inputs (and for throwaway
+        # diagrams until an incremental update arrives).
+        self._delaunay: Optional[DelaunayTriangulation] = None
+        self._site_to_vertex: Dict[int, int] = {}
+        self._vertex_to_site: Dict[int, int] = {}
+        self._neighbors: Dict[int, Set[int]] = {}
+        if not (maintain_incrementally and self._ensure_live()):
+            self._neighbors = delaunay_neighbors(self._sites)
 
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
     @property
     def sites(self) -> List[Point]:
-        """The generator points, in index order."""
+        """The generator points, in index order (tombstones included)."""
         return list(self._sites)
 
     @property
@@ -62,7 +95,15 @@ class VoronoiDiagram:
         return self._bounding_box
 
     def __len__(self) -> int:
-        return len(self._sites)
+        return sum(self._active)
+
+    def is_active(self, index: int) -> bool:
+        """True when site ``index`` exists and has not been removed."""
+        return 0 <= index < len(self._sites) and self._active[index]
+
+    def active_site_indexes(self) -> List[int]:
+        """Indexes of the sites currently present in the diagram."""
+        return [index for index, active in enumerate(self._active) if active]
 
     def site(self, index: int) -> Point:
         """The coordinates of site ``index``."""
@@ -73,15 +114,149 @@ class VoronoiDiagram:
 
         This is the precomputed neighbour set ``N_O(p_index)`` of the paper.
         """
+        if not self.is_active(index):
+            raise GeometryError(f"site {index} does not exist (or was removed)")
         return set(self._neighbors[index])
 
     def neighbor_map(self) -> Dict[int, Set[int]]:
-        """A copy of the full site -> neighbour-set mapping."""
+        """A copy of the full site -> neighbour-set mapping (active sites)."""
         return {index: set(neighbors) for index, neighbors in self._neighbors.items()}
 
     def are_neighbors(self, first: int, second: int) -> bool:
         """True when the two sites' Voronoi cells share an edge."""
+        if not self.is_active(first) or not self.is_active(second):
+            raise GeometryError("both sites must exist (and not be removed)")
         return second in self._neighbors[first]
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def insert_site(self, point: Point) -> Tuple[int, Set[int]]:
+        """Add a site and return ``(new_index, changed_sites)``.
+
+        ``changed_sites`` contains every site whose neighbour set changed
+        (the new site included); only those sites' cached cell polygons are
+        invalidated.  The patch is O(affected cells) via the live Delaunay
+        dual; degenerate configurations fall back to a full refresh (in
+        which case ``changed_sites`` is every active site).
+        """
+        rebuilt = self._delaunay is None and self._ensure_live()
+        if self._delaunay is None:
+            index = self._append_site(point)
+            self._refresh_all()
+            return index, set(self._neighbors)
+        try:
+            vertex, changed_vertices = self._delaunay.insert_site(point)
+        except GeometryError:
+            self._discard_live()
+            index = self._append_site(point)
+            self._refresh_all()
+            return index, set(self._neighbors)
+        index = self._append_site(point)
+        self._site_to_vertex[index] = vertex
+        self._vertex_to_site[vertex] = index
+        changed = self._patch_from_live(changed_vertices)
+        if rebuilt:
+            changed = set(self._neighbors)
+        return index, changed
+
+    def remove_site(self, index: int) -> Set[int]:
+        """Remove a site and return the set of sites whose neighbours changed.
+
+        The site keeps its index as a tombstone; :meth:`neighbors_of` and
+        :meth:`cell` raise for it afterwards.  The last remaining active
+        site cannot be removed.
+        """
+        if not self.is_active(index):
+            raise GeometryError(f"site {index} does not exist (or was removed)")
+        if len(self) <= 1:
+            raise GeometryError("cannot remove the last remaining site")
+        rebuilt = self._delaunay is None and self._ensure_live()
+        if self._delaunay is None:
+            self._deactivate(index)
+            self._refresh_all()
+            return set(self._neighbors)
+        vertex = self._site_to_vertex[index]
+        try:
+            changed_vertices = self._delaunay.remove_site(vertex)
+        except GeometryError:
+            self._discard_live()
+            self._deactivate(index)
+            self._refresh_all()
+            return set(self._neighbors)
+        self._deactivate(index)
+        changed = self._patch_from_live(changed_vertices)
+        if rebuilt:
+            changed = set(self._neighbors)
+        return changed
+
+    def _append_site(self, point: Point) -> int:
+        index = len(self._sites)
+        self._sites.append(point)
+        self._active.append(True)
+        return index
+
+    def _deactivate(self, index: int) -> None:
+        self._active[index] = False
+        self._neighbors.pop(index, None)
+        self._cell_cache.pop(index, None)
+        vertex = self._site_to_vertex.pop(index, None)
+        if vertex is not None:
+            self._vertex_to_site.pop(vertex, None)
+
+    def _ensure_live(self) -> bool:
+        """Build the live Delaunay dual (once); False when degenerate.
+
+        On success the neighbour map is re-derived from the live structure
+        so that subsequent local patches compose with a consistent base.
+        """
+        if self._delaunay is not None:
+            return True
+        active = self.active_site_indexes()
+        if len(active) < 3:
+            return False
+        try:
+            live = DelaunayTriangulation([self._sites[i] for i in active])
+        except GeometryError:
+            return False
+        self._delaunay = live
+        self._site_to_vertex = {site: vertex for vertex, site in enumerate(active)}
+        self._vertex_to_site = {vertex: site for vertex, site in enumerate(active)}
+        self._neighbors = {
+            self._vertex_to_site[vertex]: {self._vertex_to_site[v] for v in adjacent}
+            for vertex, adjacent in live.neighbors().items()
+        }
+        self._cell_cache.clear()
+        return True
+
+    def _discard_live(self) -> None:
+        self._delaunay = None
+        self._site_to_vertex = {}
+        self._vertex_to_site = {}
+
+    def _patch_from_live(self, changed_vertices: Iterable[int]) -> Set[int]:
+        """Re-derive the neighbour sets of the changed sites from the dual."""
+        changed: Set[int] = set()
+        for vertex in changed_vertices:
+            site = self._vertex_to_site.get(vertex)
+            if site is None:
+                continue
+            changed.add(site)
+            self._neighbors[site] = {
+                self._vertex_to_site[v] for v in self._delaunay.neighbors_of(vertex)
+            }
+            self._cell_cache.pop(site, None)
+        return changed
+
+    def _refresh_all(self) -> None:
+        """Full neighbour-map rebuild (degenerate fallback and oracle)."""
+        active = self.active_site_indexes()
+        local = delaunay_neighbors([self._sites[i] for i in active])
+        self._neighbors = {
+            active[index]: {active[neighbor] for neighbor in neighbors}
+            for index, neighbors in local.items()
+        }
+        self._cell_cache.clear()
 
     # ------------------------------------------------------------------
     # Cells and point location
@@ -95,6 +270,8 @@ class VoronoiDiagram:
         bounding box contains it); for hull sites it is the cell clipped to
         the box.
         """
+        if not self.is_active(index):
+            raise GeometryError(f"site {index} does not exist (or was removed)")
         if index not in self._cell_cache:
             site = self._sites[index]
             polygon = ConvexPolygon.from_bounding_box(self._bounding_box)
@@ -106,8 +283,11 @@ class VoronoiDiagram:
         return self._cell_cache[index]
 
     def nearest_site(self, query: Point) -> int:
-        """Index of the site nearest to ``query`` (linear scan)."""
-        return min(range(len(self._sites)), key=lambda i: self._sites[i].distance_squared_to(query))
+        """Index of the active site nearest to ``query`` (linear scan)."""
+        return min(
+            self.active_site_indexes(),
+            key=lambda i: self._sites[i].distance_squared_to(query),
+        )
 
     def locate(self, query: Point) -> int:
         """Index of the Voronoi cell containing ``query``.

@@ -10,13 +10,26 @@ query time.
 This module composes the two substrates built earlier: the Delaunay-derived
 Voronoi neighbour map (:mod:`repro.geometry.voronoi`) and the R-tree
 (:mod:`repro.index.rtree`).
+
+**Data-object updates are incremental.**  :meth:`VoRTree.insert` and
+:meth:`VoRTree.delete` used to throw away the whole order-1 Voronoi diagram
+and re-run the construction over all n objects — O(n) (and worse) per
+update.  They now drive :meth:`VoronoiDiagram.insert_site` /
+:meth:`VoronoiDiagram.remove_site`, which carve only the affected Delaunay
+cavity / star, and patch just the neighbour lists those deltas report —
+O(affected cells) per update.  :meth:`VoRTree.full_rebuild` keeps the
+from-scratch path available as a fallback (degenerate geometry) and as the
+correctness oracle for the randomized equivalence tests.
+:meth:`VoRTree.batch_update` applies a burst of inserts and deletes as one
+epoch, switching to a single full rebuild when the burst is large enough
+that per-object patching would be wasted work.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import EmptyDatasetError, QueryError
+from repro.errors import EmptyDatasetError, GeometryError, QueryError
 from repro.geometry.point import Point
 from repro.geometry.voronoi import VoronoiDiagram, influential_neighbor_indexes
 from repro.index.rtree import RTree, RTreeEntry
@@ -27,23 +40,39 @@ class VoRTree:
 
     The tree also supports *data-object updates* (Section III of the paper
     mentions that the kNN set and IS must be refreshed when they happen):
-    :meth:`insert` and :meth:`delete` maintain the R-tree incrementally and
-    recompute the Voronoi neighbour lists of the active objects.  Deleted
-    objects keep their index (as tombstones) so that object identifiers held
-    by clients stay stable.
+    :meth:`insert` and :meth:`delete` maintain both the R-tree and the
+    Voronoi neighbour lists incrementally.  Deleted objects keep their index
+    (as tombstones) so that object identifiers held by clients stay stable.
 
     Args:
         points: data-object positions.  Object ``i`` is the i-th point.
         max_entries: R-tree node capacity.
+        maintenance: ``"incremental"`` (default) patches the Voronoi
+            neighbour lists locally on every update; ``"rebuild"`` restores
+            the pre-incremental behaviour of recomputing them from scratch
+            (kept selectable for benchmarking and as a safety valve).
     """
 
-    def __init__(self, points: Sequence[Point], max_entries: int = 16):
+    def __init__(
+        self,
+        points: Sequence[Point],
+        max_entries: int = 16,
+        maintenance: str = "incremental",
+    ):
         if not points:
             raise EmptyDatasetError("VoRTree requires at least one data object")
+        if maintenance not in ("incremental", "rebuild"):
+            raise QueryError(f"unknown maintenance mode {maintenance!r}")
+        self._maintenance = maintenance
         self._points: List[Point] = list(points)
         self._active: List[bool] = [True] * len(self._points)
-        self._neighbor_map: Dict[int, Set[int]] = {}
+        self._neighbor_map: Dict[int, FrozenSet[int]] = {}
         self._voronoi: Optional[VoronoiDiagram] = None
+        # Object index <-> site index in the shared Voronoi diagram.  The two
+        # drift apart once tombstones exist, because the diagram is (re)built
+        # over active objects only.
+        self._site_of_object: Dict[int, int] = {}
+        self._object_of_site: Dict[int, int] = {}
         self._rebuild_neighbor_map()
         entries = [RTreeEntry(point, index) for index, point in enumerate(self._points)]
         self._rtree = RTree.bulk_load(entries, max_entries=max_entries)
@@ -56,8 +85,22 @@ class VoRTree:
 
     @property
     def points(self) -> List[Point]:
-        """The positions of every object ever indexed (including tombstones)."""
+        """A copy of every object position ever indexed (including tombstones).
+
+        Hot paths should prefer :attr:`positions`, which avoids copying the
+        whole list on every access.
+        """
         return list(self._points)
+
+    @property
+    def positions(self) -> Sequence[Point]:
+        """Live read-only view of every object position (including tombstones).
+
+        The returned sequence is the tree's own storage: it grows as objects
+        are inserted, and indexing it by object index is always valid.  It
+        must not be mutated by callers.
+        """
+        return self._points
 
     def active_indexes(self) -> List[int]:
         """Indexes of the objects currently present (not deleted)."""
@@ -72,6 +115,8 @@ class VoRTree:
         """The order-1 Voronoi diagram of the active objects.
 
         None when only one active object remains (no diagram can be built).
+        The diagram may contain tombstoned sites after deletions; its active
+        sites always correspond 1:1 to the tree's active objects.
         """
         return self._voronoi
 
@@ -84,11 +129,15 @@ class VoRTree:
         """Position of data object ``index``."""
         return self._points[index]
 
-    def voronoi_neighbors(self, index: int) -> Set[int]:
-        """Precomputed order-1 Voronoi neighbours of data object ``index``."""
+    def voronoi_neighbors(self, index: int) -> FrozenSet[int]:
+        """Precomputed order-1 Voronoi neighbours of data object ``index``.
+
+        Returns a read-only (frozen) set — the tree's own record, not a
+        copy — so following the stored neighbour pointers is allocation-free.
+        """
         if not self.is_active(index):
             raise QueryError(f"object {index} does not exist (or was deleted)")
-        return set(self._neighbor_map.get(index, set()))
+        return self._neighbor_map.get(index, frozenset())
 
     # ------------------------------------------------------------------
     # Data-object updates
@@ -96,22 +145,33 @@ class VoRTree:
     def insert(self, point: Point) -> int:
         """Add a data object at ``point`` and return its new object index.
 
-        The R-tree is updated incrementally; the Voronoi neighbour lists of
-        the active objects are recomputed (the paper treats the neighbour
-        lists as a precomputed structure refreshed on data updates).
+        Both the R-tree and the Voronoi neighbour lists are updated
+        incrementally: only the objects whose Delaunay cavity the new point
+        carves get their neighbour lists re-derived.
         """
         index = len(self._points)
         self._points.append(point)
         self._active.append(True)
         self._rtree.insert(point, index)
-        self._rebuild_neighbor_map()
+        if self._voronoi is None or self._maintenance == "rebuild":
+            self._rebuild_neighbor_map()
+            return index
+        try:
+            site, changed = self._voronoi.insert_site(point)
+        except (GeometryError, EmptyDatasetError):
+            self._rebuild_neighbor_map()
+            return index
+        self._site_of_object[index] = site
+        self._object_of_site[site] = index
+        self._patch_neighbor_lists(changed)
         return index
 
     def delete(self, index: int) -> bool:
         """Remove data object ``index``.
 
         Returns True when the object existed and was removed.  The last
-        remaining active object cannot be deleted.
+        remaining active object cannot be deleted.  Only the neighbour lists
+        of the objects adjacent to the deleted one are re-derived.
         """
         if not self.is_active(index):
             return False
@@ -119,24 +179,120 @@ class VoRTree:
             raise QueryError("cannot delete the last remaining data object")
         self._active[index] = False
         self._rtree.delete(self._points[index], index)
-        self._rebuild_neighbor_map()
+        site = self._site_of_object.get(index)
+        if (
+            self._voronoi is None
+            or site is None
+            or len(self) < 2
+            or self._maintenance == "rebuild"
+        ):
+            self._rebuild_neighbor_map()
+            return True
+        try:
+            changed = self._voronoi.remove_site(site)
+        except (GeometryError, EmptyDatasetError):
+            self._rebuild_neighbor_map()
+            return True
+        del self._site_of_object[index]
+        del self._object_of_site[site]
+        self._neighbor_map.pop(index, None)
+        self._patch_neighbor_lists(changed)
         return True
 
+    def batch_update(
+        self, inserts: Sequence[Point] = (), deletes: Iterable[int] = ()
+    ) -> Tuple[List[int], List[int]]:
+        """Apply a burst of object updates as one epoch.
+
+        Deletions always refer to pre-existing object indexes (the points
+        inserted by the same batch cannot be deleted by it).  Insertions are
+        registered before deletions are applied, so a burst may replace the
+        entire population as long as at least one object survives — a batch
+        that would drain every object is rejected up front, before anything
+        is mutated.  Small bursts reuse the incremental per-object patching;
+        bursts that touch a sizable fraction of the data set fall back to
+        structural updates followed by a *single* neighbour-map rebuild,
+        which is cheaper than patching object by object.
+
+        Returns:
+            ``(new_indexes, deleted_indexes)``: the object indexes assigned
+            to the inserted points (in order) and the indexes that were
+            actually deleted.
+        """
+        insert_list = list(inserts)
+        delete_list: List[int] = []
+        seen: Set[int] = set()
+        for index in deletes:
+            if self.is_active(index) and index not in seen:
+                seen.add(index)
+                delete_list.append(index)
+        operations = len(insert_list) + len(delete_list)
+        if operations == 0:
+            return [], []
+        if len(self) + len(insert_list) - len(delete_list) < 1:
+            raise QueryError("batch update would remove every data object")
+        bulk_threshold = max(8, len(self) // 8)
+        if (
+            self._voronoi is not None
+            and self._maintenance == "incremental"
+            and operations < bulk_threshold
+        ):
+            new_indexes = [self.insert(point) for point in insert_list]
+            deleted = [index for index in delete_list if self.delete(index)]
+            return new_indexes, deleted
+        deleted = []
+        for index in delete_list:
+            self._active[index] = False
+            self._rtree.delete(self._points[index], index)
+            deleted.append(index)
+        new_indexes = []
+        for point in insert_list:
+            index = len(self._points)
+            self._points.append(point)
+            self._active.append(True)
+            self._rtree.insert(point, index)
+            new_indexes.append(index)
+        self._rebuild_neighbor_map()
+        return new_indexes, deleted
+
+    def full_rebuild(self) -> None:
+        """Recompute the Voronoi neighbour lists from scratch.
+
+        This is the pre-incremental O(n) update path, kept as the degenerate
+        -geometry fallback and as the oracle the randomized equivalence
+        tests compare the incremental path against.
+        """
+        self._rebuild_neighbor_map()
+
     def _rebuild_neighbor_map(self) -> None:
-        """Recompute the Voronoi neighbour lists of the active objects."""
+        """From-scratch rebuild of the diagram, site maps and neighbour lists."""
         active = self.active_indexes()
-        active_points = [self._points[i] for i in active]
-        if len(active_points) >= 2:
-            diagram = VoronoiDiagram(active_points)
+        if len(active) >= 2:
+            diagram = VoronoiDiagram(
+                [self._points[i] for i in active],
+                maintain_incrementally=self._maintenance == "incremental",
+            )
             self._voronoi = diagram
-            local_map = diagram.neighbor_map()
+            self._site_of_object = {obj: site for site, obj in enumerate(active)}
+            self._object_of_site = {site: obj for site, obj in enumerate(active)}
             self._neighbor_map = {
-                active[local]: {active[neighbor] for neighbor in neighbors}
-                for local, neighbors in local_map.items()
+                active[site]: frozenset(active[neighbor] for neighbor in neighbors)
+                for site, neighbors in diagram.neighbor_map().items()
             }
         else:
             self._voronoi = None
-            self._neighbor_map = {index: set() for index in active}
+            self._site_of_object = {}
+            self._object_of_site = {}
+            self._neighbor_map = {index: frozenset() for index in active}
+
+    def _patch_neighbor_lists(self, changed_sites: Iterable[int]) -> None:
+        """Re-derive the neighbour lists of the objects behind changed sites."""
+        for site in changed_sites:
+            obj = self._object_of_site[site]
+            self._neighbor_map[obj] = frozenset(
+                self._object_of_site[neighbor]
+                for neighbor in self._voronoi.neighbors_of(site)
+            )
 
     # ------------------------------------------------------------------
     # Queries used by the INS processor

@@ -130,6 +130,18 @@ class RoadNetwork:
         """All vertex identifiers."""
         return list(self._vertex_positions)
 
+    def has_vertex(self, vertex_id: int) -> bool:
+        """True when ``vertex_id`` is a vertex of the network.
+
+        O(1) — prefer this over materialising ``set(network.vertices())``
+        just to validate an identifier.
+        """
+        return vertex_id in self._vertex_positions
+
+    def has_vertices(self, vertex_ids: Iterable[int]) -> bool:
+        """True when every identifier in ``vertex_ids`` is a vertex."""
+        return all(vertex_id in self._vertex_positions for vertex_id in vertex_ids)
+
     def edges(self) -> List[Edge]:
         """All edges."""
         return list(self._edges.values())

@@ -79,9 +79,8 @@ class NetworkVoronoiDiagram:
     ):
         if not object_vertices:
             raise EmptyDatasetError("NetworkVoronoiDiagram requires at least one data object")
-        known = set(network.vertices())
         for vertex in object_vertices:
-            if vertex not in known:
+            if not network.has_vertex(vertex):
                 raise RoadNetworkError(f"object vertex {vertex} not in the network")
         self._network = network
         self._object_vertices = list(object_vertices)

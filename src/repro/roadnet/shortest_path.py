@@ -65,7 +65,7 @@ def bounded_dijkstra(
     Vertices farther than ``radius`` may be missing from the result (they
     are only included if settled before the bound is hit).
     """
-    if source not in set(network.vertices()):
+    if not network.has_vertex(source):
         raise RoadNetworkError(f"unknown source vertex {source}")
     distances: Dict[int, float] = {}
     heap: List[Tuple[float, int]] = [(0.0, source)]
@@ -109,10 +109,9 @@ def multi_source_dijkstra(
     """
     if not sources:
         raise RoadNetworkError("multi_source_dijkstra requires at least one source")
-    known_vertices = set(network.vertices())
-    for vertex in sources:
-        if vertex not in known_vertices:
-            raise RoadNetworkError(f"unknown source vertex {vertex}")
+    if not network.has_vertices(sources):
+        unknown = next(v for v in sources if not network.has_vertex(v))
+        raise RoadNetworkError(f"unknown source vertex {unknown}")
     distances: Dict[int, float] = {}
     owners: Dict[int, int] = {}
     heap: List[Tuple[float, int, int]] = [
@@ -192,7 +191,7 @@ def shortest_path_distance(
     stats: Optional[SearchStats] = None,
 ) -> float:
     """Network distance between two vertices (``inf`` when disconnected)."""
-    if target not in set(network.vertices()):
+    if not network.has_vertex(target):
         raise RoadNetworkError(f"unknown target vertex {target}")
     distances: Dict[int, float] = {}
     heap: List[Tuple[float, int]] = [(0.0, source)]

@@ -33,10 +33,13 @@ class TestNeighborLists:
         for index in range(len(small_points)):
             assert tree.voronoi_neighbors(index) == diagram.neighbors_of(index)
 
-    def test_neighbor_lists_are_copies(self, small_points):
+    def test_neighbor_lists_are_read_only(self, small_points):
+        """voronoi_neighbors returns a frozen view, not a per-call copy."""
         tree = VoRTree(small_points)
         neighbors = tree.voronoi_neighbors(0)
-        neighbors.add(999)
+        assert isinstance(neighbors, frozenset)
+        with pytest.raises(AttributeError):
+            neighbors.add(999)
         assert 999 not in tree.voronoi_neighbors(0)
 
 

@@ -1,0 +1,148 @@
+"""Randomized equivalence tests for the incremental VoR-tree update path.
+
+The acceptance property of the incremental maintenance work: a VoRTree that
+has absorbed an arbitrary shuffled sequence of object inserts and deletes
+must hold neighbour maps *identical* to a from-scratch rebuild over the
+surviving objects — :meth:`VoRTree.full_rebuild` (the pre-incremental O(n)
+path) is the oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.voronoi import VoronoiDiagram
+from repro.index.vortree import VoRTree
+from repro.workloads.datasets import uniform_points
+
+
+def snapshot_neighbor_map(tree):
+    return {index: set(tree.voronoi_neighbors(index)) for index in tree.active_indexes()}
+
+
+def fresh_diagram_map(tree):
+    """Independent oracle: a brand-new VoronoiDiagram over the active points."""
+    active = tree.active_indexes()
+    diagram = VoronoiDiagram([tree.point(index) for index in active])
+    return {
+        active[local]: {active[neighbor] for neighbor in neighbors}
+        for local, neighbors in diagram.neighbor_map().items()
+    }
+
+
+def apply_random_stream(tree, rng, operations, extent):
+    for _ in range(operations):
+        if rng.random() < 0.45 and len(tree) > 5:
+            tree.delete(rng.choice(tree.active_indexes()))
+        else:
+            tree.insert(Point(rng.uniform(0.0, extent), rng.uniform(0.0, extent)))
+
+
+class TestIncrementalEquivalence:
+    def test_incremental_matches_full_rebuild_after_shuffled_stream(self):
+        rng = random.Random(42)
+        tree = VoRTree(uniform_points(100, extent=1_000.0, seed=21))
+        for step in range(150):
+            apply_random_stream(tree, rng, 1, 1_000.0)
+            incremental = snapshot_neighbor_map(tree)
+            tree.full_rebuild()
+            rebuilt = snapshot_neighbor_map(tree)
+            assert incremental == rebuilt, f"diverged at step {step}"
+            # full_rebuild replaced the diagram; keep exercising the
+            # incremental path from the rebuilt state.
+
+    def test_incremental_matches_independent_diagram(self):
+        rng = random.Random(43)
+        tree = VoRTree(uniform_points(80, extent=1_000.0, seed=22))
+        apply_random_stream(tree, rng, 120, 1_000.0)
+        assert snapshot_neighbor_map(tree) == fresh_diagram_map(tree)
+
+    def test_tombstones_never_leak_into_neighbor_lists(self):
+        rng = random.Random(44)
+        tree = VoRTree(uniform_points(60, extent=1_000.0, seed=23))
+        apply_random_stream(tree, rng, 80, 1_000.0)
+        active = set(tree.active_indexes())
+        for index in active:
+            assert tree.voronoi_neighbors(index) <= active
+
+    def test_positions_view_is_live(self):
+        tree = VoRTree(uniform_points(20, extent=100.0, seed=24))
+        view = tree.positions
+        index = tree.insert(Point(55.0, 66.0))
+        assert view[index] == Point(55.0, 66.0)
+        assert len(view) == len(tree.points)
+
+
+class TestBatchUpdate:
+    def test_small_batch_matches_per_object_updates(self):
+        base = uniform_points(90, extent=1_000.0, seed=25)
+        batched = VoRTree(list(base))
+        sequential = VoRTree(list(base))
+
+        inserts = [Point(10.0, 20.0), Point(500.0, 510.0), Point(990.0, 40.0)]
+        deletes = [3, 17, 55]
+        new_indexes, removed = batched.batch_update(inserts, deletes)
+
+        for index in deletes:
+            sequential.delete(index)
+        expected_new = [sequential.insert(point) for point in inserts]
+
+        assert new_indexes == expected_new
+        assert removed == deletes
+        assert snapshot_neighbor_map(batched) == snapshot_neighbor_map(sequential)
+
+    def test_large_batch_takes_bulk_path_and_matches(self):
+        base = uniform_points(60, extent=1_000.0, seed=26)
+        batched = VoRTree(list(base))
+        sequential = VoRTree(list(base))
+        rng = random.Random(27)
+        inserts = [
+            Point(rng.uniform(0.0, 1_000.0), rng.uniform(0.0, 1_000.0))
+            for _ in range(25)
+        ]
+        deletes = list(range(0, 40, 2))  # 20 deletions: well above the threshold
+        batched.batch_update(inserts, deletes)
+        for index in deletes:
+            sequential.delete(index)
+        for point in inserts:
+            sequential.insert(point)
+        assert snapshot_neighbor_map(batched) == snapshot_neighbor_map(sequential)
+
+    def test_inactive_deletes_are_skipped(self):
+        tree = VoRTree(uniform_points(30, extent=100.0, seed=28))
+        tree.delete(5)
+        new_indexes, removed = tree.batch_update(deletes=[5, 7, 999])
+        assert new_indexes == []
+        assert removed == [7]
+
+    def test_empty_batch_is_a_noop(self):
+        tree = VoRTree(uniform_points(20, extent=100.0, seed=29))
+        before = snapshot_neighbor_map(tree)
+        assert tree.batch_update() == ([], [])
+        assert snapshot_neighbor_map(tree) == before
+
+    def test_draining_batch_is_rejected_before_mutating(self):
+        tree = VoRTree(uniform_points(10, extent=100.0, seed=30))
+        before = snapshot_neighbor_map(tree)
+        with pytest.raises(Exception):
+            tree.batch_update(deletes=list(range(10)))
+        # Nothing was applied: the tree is exactly as before.
+        assert len(tree) == 10
+        assert snapshot_neighbor_map(tree) == before
+        assert tree.nearest(Point(50.0, 50.0), 10)
+
+    def test_full_replacement_batch_is_allowed(self):
+        """Deleting every pre-existing object is fine when inserts survive."""
+        base = uniform_points(4, extent=100.0, seed=31)
+        tree = VoRTree(list(base))
+        replacement = [Point(5.0, 5.0), Point(95.0, 5.0), Point(50.0, 95.0)]
+        new_indexes, removed = tree.batch_update(replacement, deletes=range(4))
+        assert removed == [0, 1, 2, 3]
+        assert set(tree.active_indexes()) == set(new_indexes)
+        assert snapshot_neighbor_map(tree) == fresh_diagram_map(tree)
+
+    def test_duplicate_deletes_count_once(self):
+        tree = VoRTree(uniform_points(30, extent=100.0, seed=32))
+        _, removed = tree.batch_update(deletes=[4, 4, 4, 9])
+        assert removed == [4, 9]

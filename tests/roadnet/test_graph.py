@@ -44,6 +44,14 @@ class TestConstruction:
         with pytest.raises(RoadNetworkError):
             network.add_edge(a, b, length=0.0)
 
+    def test_has_vertex_and_has_vertices(self):
+        network, (a, b, c) = triangle_network()
+        assert network.has_vertex(a)
+        assert not network.has_vertex(77)
+        assert network.has_vertices([a, b, c])
+        assert network.has_vertices([])
+        assert not network.has_vertices([a, 77])
+
     def test_unknown_lookups_raise(self):
         network, _ = triangle_network()
         with pytest.raises(RoadNetworkError):
