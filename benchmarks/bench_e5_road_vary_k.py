@@ -5,7 +5,12 @@ V*-style and naive INE baselines on a grid network and a random planar
 network, for several k.  Expected shape: naive recomputes (and runs an INE
 search) every timestamp; INS-road needs the fewest recomputations; the
 V*-style method sits in between; all methods' costs grow with k.
+
+Run standalone (``python benchmarks/bench_e5_road_vary_k.py``, add
+``--smoke`` for a tiny-N sanity run) or via pytest.
 """
+
+import argparse
 
 from repro.roadnet.generators import place_objects, random_planar_network
 from repro.simulation.experiment import run_road_comparison
@@ -18,11 +23,14 @@ from benchmarks.conftest import emit_table
 K_VALUES = (1, 2, 4, 8, 16)
 STEPS = 150
 
+SMOKE_K_VALUES = (4,)
+SMOKE_STEPS = 25
 
-def build_random_planar_scenario(k: int) -> RoadScenario:
+
+def build_random_planar_scenario(k: int, steps: int = STEPS) -> RoadScenario:
     network = random_planar_network(250, extent=5_000.0, seed=65)
     objects = place_objects(network, 60, seed=66)
-    trajectory = network_random_walk(network, steps=STEPS, step_length=60.0, seed=67)
+    trajectory = network_random_walk(network, steps=steps, step_length=60.0, seed=67)
     return RoadScenario(
         name=f"planar250-n60-k{k}",
         network=network,
@@ -34,16 +42,25 @@ def build_random_planar_scenario(k: int) -> RoadScenario:
     )
 
 
-def sweep():
+def sweep(smoke: bool = False):
+    k_values = SMOKE_K_VALUES if smoke else K_VALUES
+    steps = SMOKE_STEPS if smoke else STEPS
     rows = []
-    for k in K_VALUES:
+    for k in k_values:
         scenarios = [
             default_road_scenario(
-                rows=15, columns=15, object_count=60, k=k, rho=1.6,
-                steps=STEPS, step_length=40.0, seed=68,
+                rows=8 if smoke else 15,
+                columns=8 if smoke else 15,
+                object_count=20 if smoke else 60,
+                k=k,
+                rho=1.6,
+                steps=steps,
+                step_length=40.0,
+                seed=68,
             ),
-            build_random_planar_scenario(k),
         ]
+        if not smoke:
+            scenarios.append(build_random_planar_scenario(k, steps))
         for scenario in scenarios:
             result = run_road_comparison(scenario)
             for method in result.methods:
@@ -80,3 +97,15 @@ def test_e5_road_vary_k(run_once):
         assert ins["recomputations"] <= vstar["recomputations"]
         assert ins["recomputations"] < naive["recomputations"]
         assert ins["comm_events"] < naive["comm_events"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny-N sanity run")
+    args = parser.parse_args()
+    for row in sweep(smoke=args.smoke):
+        print(row)
+
+
+if __name__ == "__main__":
+    main()

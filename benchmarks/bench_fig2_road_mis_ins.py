@@ -11,8 +11,12 @@ This benchmark reproduces that structure:
   query's kNN set and the network INS, and
 * reports their sizes and the Theorem 1 containment, along with the cost of
   the exact MIS (full decomposition) versus the INS lookup.
+
+Run standalone (``python benchmarks/bench_fig2_road_mis_ins.py``, add
+``--smoke`` to check only the cheap figure-like network) or via pytest.
 """
 
+import argparse
 import time
 
 from repro.geometry.point import Point
@@ -53,14 +57,19 @@ def figure2_like_network():
     return network, object_vertices
 
 
-def figure2_rows():
+def figure2_rows(smoke: bool = False):
     rows = []
     fig2_network, fig2_objects = figure2_like_network()
     configurations = [
         ("fig2-like", fig2_network, fig2_objects, 2),
-        ("grid-8x8", grid_network(8, 8, spacing=100.0), None, 2),
-        ("ring-radial", ring_radial_network(4, 8, ring_spacing=80.0), None, 3),
     ]
+    if not smoke:
+        # The order-k decompositions of the synthetic networks are the
+        # expensive part; the smoke run keeps only the figure-like network.
+        configurations += [
+            ("grid-8x8", grid_network(8, 8, spacing=100.0), None, 2),
+            ("ring-radial", ring_radial_network(4, 8, ring_spacing=80.0), None, 3),
+        ]
     for name, network, objects, k in configurations:
         if objects is None:
             objects = place_objects(network, max(10, network.vertex_count // 6), seed=41)
@@ -102,3 +111,15 @@ def test_fig2_network_mis_and_ins(run_once):
         format_table(rows, title="F2 (Figure 2 / Theorem 1): network MIS vs network INS"),
     )
     assert all(row["theorem1_holds"] for row in rows)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="figure-like network only")
+    args = parser.parse_args()
+    for row in figure2_rows(smoke=args.smoke):
+        print(row)
+
+
+if __name__ == "__main__":
+    main()

@@ -7,7 +7,12 @@ the INS road processor along a network random walk with k = 5 and reports
 the per-run statistics the demo visualises — how often the kNN set changed,
 how often a server recomputation was needed, and what the INS size looked
 like over time.
+
+Run standalone (``python benchmarks/bench_fig3_road_demo.py``, add
+``--smoke`` for a tiny-N sanity run) or via pytest.
 """
+
+import argparse
 
 from repro.core.ins_road import INSRoadProcessor
 from repro.simulation.metrics import summarize
@@ -18,9 +23,16 @@ from repro.workloads.scenarios import default_road_scenario
 from benchmarks.conftest import emit_table
 
 
-def run_demo():
+def run_demo(smoke: bool = False):
     scenario = default_road_scenario(
-        rows=12, columns=12, object_count=40, k=5, rho=1.6, steps=250, step_length=30.0, seed=52
+        rows=8 if smoke else 12,
+        columns=8 if smoke else 12,
+        object_count=18 if smoke else 40,
+        k=5,
+        rho=1.6,
+        steps=40 if smoke else 250,
+        step_length=30.0,
+        seed=52,
     )
     processor = INSRoadProcessor(
         scenario.network, scenario.object_vertices, scenario.k, rho=scenario.rho
@@ -54,3 +66,15 @@ def test_fig3_road_demo(run_once):
     assert row["knn_changes"] > 0
     assert row["recomputations"] < row["timestamps"]
     assert row["recomputations"] <= row["knn_changes"] + 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny-N sanity run")
+    args = parser.parse_args()
+    row, _ = run_demo(smoke=args.smoke)
+    print(row)
+
+
+if __name__ == "__main__":
+    main()

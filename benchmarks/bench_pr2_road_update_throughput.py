@@ -1,0 +1,156 @@
+"""PR2 — road-side object-update throughput: incremental vs rebuild.
+
+The seed's road stack was fully static: the only way to absorb a data-object
+insert, delete or move was to throw the whole network Voronoi diagram away
+and re-run the multi-source Dijkstra over the entire graph — O(|V| log |V| +
+|E|) *per object update*.  PR 2 gives :class:`NetworkVoronoiDiagram` local
+repair floods and adds :class:`MovingRoadKNNServer`, the road counterpart of
+the Euclidean server, so an E9-style update stream costs O(cells touched)
+per update.
+
+This benchmark drives that stream — n ≈ 1000 objects on a ≈5k-vertex grid
+network, one registered k = 8 moving query, 200 interleaved object updates
+(moves, inserts and deletes), the query re-answered after every update —
+through both maintenance modes and writes the headline numbers to
+``BENCH_PR2.json`` at the repository root (schema: ``{bench, n, k, seconds,
+updates_per_sec}``) so the performance trajectory of the project
+accumulates.
+
+Run standalone (``python benchmarks/bench_pr2_road_update_throughput.py``,
+add ``--smoke`` for a tiny-N sanity run) or via pytest
+(``pytest benchmarks/bench_pr2_road_update_throughput.py``).
+"""
+
+import argparse
+import json
+import pathlib
+import random
+import time
+
+from repro.core.road_server import MovingRoadKNNServer
+from repro.roadnet.generators import grid_network, place_objects
+from repro.simulation.report import format_table
+from repro.trajectory.road import network_random_walk
+
+from benchmarks.conftest import emit_table
+
+GRID_ROWS = 71  # 71 x 71 = 5041 vertices, ~9.9k edges
+OBJECT_COUNT = 1_000
+K = 8
+UPDATES = 200
+SPACING = 100.0
+
+SMOKE_GRID_ROWS = 10
+SMOKE_OBJECT_COUNT = 25
+SMOKE_UPDATES = 15
+
+#: Where the machine-readable result lands (committed with the PR so the
+#: perf trajectory accumulates release over release).
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+
+
+def run_update_stream(maintenance: str, smoke: bool = False) -> float:
+    """Wall-clock seconds for the update stream in one maintenance mode.
+
+    ``maintenance="rebuild"`` is exactly the seed's behaviour (every object
+    update pays a from-scratch diagram construction); ``"incremental"`` is
+    the local-repair path that is now the default.  The stream interleaves
+    moves, inserts and deletes (2:1:1) and re-answers the registered query
+    after every update, like E9 does in the plane.
+    """
+    rows = SMOKE_GRID_ROWS if smoke else GRID_ROWS
+    object_count = SMOKE_OBJECT_COUNT if smoke else OBJECT_COUNT
+    updates = SMOKE_UPDATES if smoke else UPDATES
+    network = grid_network(rows, rows, spacing=SPACING)
+    objects = place_objects(network, object_count, seed=201)
+    trajectory = network_random_walk(network, steps=updates, step_length=40.0, seed=202)
+    rng = random.Random(203)
+    server = MovingRoadKNNServer(network, objects, maintenance=maintenance)
+    query_id = server.register_query(trajectory[0], k=K if not smoke else 3)
+
+    started = time.perf_counter()
+    for step in range(1, updates + 1):
+        active = server.voronoi.active_object_indexes()
+        kind = step % 4
+        if kind == 0:
+            server.delete_object(rng.choice(active))
+        elif kind == 1:
+            server.insert_object(rng.choice(network.vertices()))
+        else:
+            server.move_object(rng.choice(active), rng.choice(network.vertices()))
+        server.update_position(query_id, trajectory[step])
+    return time.perf_counter() - started
+
+
+def run_benchmark(smoke: bool = False):
+    updates = SMOKE_UPDATES if smoke else UPDATES
+    rows = []
+    for mode in ("full_rebuild", "incremental"):
+        seconds = run_update_stream("rebuild" if mode == "full_rebuild" else mode, smoke=smoke)
+        rows.append(
+            {
+                "mode": mode,
+                "n": SMOKE_OBJECT_COUNT if smoke else OBJECT_COUNT,
+                "k": K if not smoke else 3,
+                "updates": updates,
+                "seconds": round(seconds, 3),
+                "updates_per_sec": round(updates / seconds, 1),
+            }
+        )
+    by_mode = {row["mode"]: row for row in rows}
+    speedup = by_mode["full_rebuild"]["seconds"] / by_mode["incremental"]["seconds"]
+    return rows, speedup
+
+
+def write_result(rows) -> None:
+    incremental = next(row for row in rows if row["mode"] == "incremental")
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "pr2_road_update_throughput",
+                "n": OBJECT_COUNT,
+                "k": K,
+                "grid_vertices": GRID_ROWS * GRID_ROWS,
+                "seconds": incremental["seconds"],
+                "updates_per_sec": incremental["updates_per_sec"],
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def test_pr2_road_update_throughput(run_once):
+    rows, speedup = run_once(run_benchmark)
+    write_result(rows)
+    for row in rows:
+        row["speedup"] = round(speedup, 1) if row["mode"] == "incremental" else 1.0
+    emit_table(
+        "PR2_road_update_throughput",
+        format_table(
+            rows,
+            title=(
+                f"PR2: road object-update throughput (n={OBJECT_COUNT}, k={K}, "
+                f"{GRID_ROWS}x{GRID_ROWS} grid, {UPDATES} updates)"
+            ),
+        ),
+    )
+    assert speedup >= 5.0, f"incremental road maintenance only {speedup:.1f}x faster"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny-N sanity run")
+    args = parser.parse_args()
+    rows, speedup = run_benchmark(smoke=args.smoke)
+    for row in rows:
+        print(row)
+    print(f"speedup: {speedup:.1f}x")
+    if not args.smoke:
+        write_result(rows)
+        print(f"written to {RESULT_PATH.name}")
+
+
+if __name__ == "__main__":
+    main()

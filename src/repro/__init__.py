@@ -32,6 +32,8 @@ from repro.core import (
     INSProcessor,
     INSRoadProcessor,
     MovingKNNProcessor,
+    MovingKNNServer,
+    MovingRoadKNNServer,
     ProcessorStats,
     QueryResult,
     UpdateAction,
@@ -80,6 +82,8 @@ __all__ = [
     "INSProcessor",
     "INSRoadProcessor",
     "MovingKNNProcessor",
+    "MovingKNNServer",
+    "MovingRoadKNNServer",
     "ProcessorStats",
     "QueryResult",
     "UpdateAction",

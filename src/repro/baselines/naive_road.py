@@ -14,7 +14,7 @@ from repro.errors import ConfigurationError
 from repro.core.objects import QueryResult, UpdateAction
 from repro.core.processor import MovingKNNProcessor
 from repro.roadnet.graph import RoadNetwork
-from repro.roadnet.knn import network_knn
+from repro.roadnet.knn import build_objects_at_vertex, network_knn
 from repro.roadnet.location import NetworkLocation
 from repro.roadnet.shortest_path import SearchStats
 
@@ -38,6 +38,9 @@ class NaiveRoadProcessor(MovingKNNProcessor[NetworkLocation]):
             )
         self._network = network
         self._object_vertices: List[int] = list(object_vertices)
+        # Built once: the data set is static, so the per-call O(n)
+        # construction inside network_knn would be pure waste per timestamp.
+        self._objects_at_vertex = build_objects_at_vertex(self._object_vertices)
         self._search_stats = SearchStats()
 
     @property
@@ -48,7 +51,12 @@ class NaiveRoadProcessor(MovingKNNProcessor[NetworkLocation]):
         with self._stats.time_construction():
             before = self._search_stats.settled_vertices
             nearest = network_knn(
-                self._network, self._object_vertices, position, self.k, stats=self._search_stats
+                self._network,
+                self._object_vertices,
+                position,
+                self.k,
+                stats=self._search_stats,
+                objects_at_vertex=self._objects_at_vertex,
             )
             self._stats.settled_vertices += self._search_stats.settled_vertices - before
             self._stats.full_recomputations += 1

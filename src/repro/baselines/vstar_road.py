@@ -30,7 +30,7 @@ from repro.errors import ConfigurationError
 from repro.core.objects import QueryResult, UpdateAction
 from repro.core.processor import MovingKNNProcessor
 from repro.roadnet.graph import RoadNetwork
-from repro.roadnet.knn import network_knn
+from repro.roadnet.knn import build_objects_at_vertex, network_knn
 from repro.roadnet.location import NetworkLocation
 from repro.roadnet.shortest_path import SearchStats, distances_from_location
 
@@ -71,6 +71,9 @@ class VStarRoadProcessor(MovingKNNProcessor[NetworkLocation]):
             raise ConfigurationError("step_length must be non-negative")
         self._network = network
         self._object_vertices: List[int] = list(object_vertices)
+        # Built once: the data set is static, so the per-call O(n)
+        # construction inside network_knn would be pure waste per retrieval.
+        self._objects_at_vertex = build_objects_at_vertex(self._object_vertices)
         self._auxiliary = auxiliary
         self._step_length = step_length
         self._search_stats = SearchStats()
@@ -105,6 +108,7 @@ class VStarRoadProcessor(MovingKNNProcessor[NetworkLocation]):
                 position,
                 self.k + self._auxiliary,
                 stats=self._search_stats,
+                objects_at_vertex=self._objects_at_vertex,
             )
             self._stats.settled_vertices += self._search_stats.settled_vertices - before
             self._candidates = [index for index, _ in nearest]

@@ -10,6 +10,9 @@
 * :mod:`repro.core.ins_euclidean` — the INS algorithm in the 2-D plane.
 * :mod:`repro.core.ins_road` — the INS algorithm on road networks
   (Theorems 1 and 2).
+* :mod:`repro.core.server` / :mod:`repro.core.road_server` — multi-query
+  servers composing the shared index structures with per-query client
+  state, in the plane and on road networks respectively.
 """
 
 from repro.core.objects import QueryResult, UpdateAction
@@ -24,9 +27,11 @@ from repro.core.processor import MovingKNNProcessor
 from repro.core.ins_euclidean import INSProcessor
 from repro.core.ins_road import INSRoadProcessor
 from repro.core.server import MovingKNNServer
+from repro.core.road_server import MovingRoadKNNServer
 
 __all__ = [
     "MovingKNNServer",
+    "MovingRoadKNNServer",
     "QueryResult",
     "UpdateAction",
     "ProcessorStats",

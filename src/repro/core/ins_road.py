@@ -20,12 +20,29 @@ Two validation modes are provided:
 * ``exact``: distances are computed on the full network with a targeted
   Dijkstra that stops when every held object is settled.  This mode is used
   by the tests as a cross-check and is also a fair "no Theorem 2" ablation.
+
+**Data-object updates** arrive through :meth:`INSRoadProcessor.notify_data_update`
+(the road server pushes the shared diagram's repair deltas).  The processor
+does not reconstruct anything eagerly — it accumulates the delta and settles
+it on its next timestamp:
+
+* a removal inside the prefetched set R invalidates R, so the next timestamp
+  pays one full retrieval;
+* any other delta touching the held pool (R ∪ I(R)) only refreshes I(R) and
+  the Theorem 2 sub-network from the already-repaired shared diagram — a few
+  dictionary unions instead of a reconstruction.  This is sound because
+  Theorem 1 is a statement about the *current* diagram: validation against a
+  freshly derived I(R) certifies the held kNN set against the current data
+  set, whatever changed;
+* a delta that leaves the pool untouched is absorbed for free: the
+  neighbour sets of every held object are unchanged, so the guard set the
+  next validation uses is already the correct one.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError, QueryError, RoadNetworkError
 from repro.core.objects import QueryResult, UpdateAction
@@ -77,17 +94,25 @@ class INSRoadProcessor(MovingKNNProcessor[NetworkLocation]):
                 f"validation_mode must be one of {self.VALIDATION_MODES}, got {validation_mode!r}"
             )
         self._network = network
-        self._object_vertices = list(object_vertices)
         self._rho = rho
-        self._prefetch_count = min(max(int(rho * k), k), len(object_vertices) - 1)
         self._validation_mode = validation_mode
         self._search_stats = SearchStats()
         with self._stats.time_precomputation():
             self._voronoi = (
                 voronoi
                 if voronoi is not None
-                else NetworkVoronoiDiagram(network, self._object_vertices, self._search_stats)
+                else NetworkVoronoiDiagram(network, list(object_vertices), self._search_stats)
             )
+        # Shared live views of the diagram's object storage: they grow as
+        # objects are inserted and are patched in place by moves, so data
+        # updates never copy per-object state into each registered query.
+        self._object_vertices: Sequence[int] = self._voronoi.vertex_assignments
+        population = self._voronoi.object_count()
+        if k >= population:
+            raise ConfigurationError(
+                f"k={k} must be smaller than the number of active data objects ({population})"
+            )
+        self._prefetch_count = min(max(int(rho * k), k), population - 1)
         # Client-side state.
         self._R: List[int] = []
         self._ins: Set[int] = set()
@@ -96,6 +121,12 @@ class INSRoadProcessor(MovingKNNProcessor[NetworkLocation]):
         self._restricted: Optional[RoadNetwork] = None
         self._restricted_vertex_map: Dict[int, int] = {}
         self._restricted_edge_map: Dict[int, int] = {}
+        # Data-update delta accumulated since the last answer (pushed by the
+        # road server); settled lazily on the next timestamp.
+        self._state_stale = False
+        self._pending_changed: Set[int] = set()
+        self._pending_removed: Set[int] = set()
+        self._last_position: Optional[NetworkLocation] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -135,10 +166,90 @@ class INSRoadProcessor(MovingKNNProcessor[NetworkLocation]):
         """The current prefetched set R."""
         return list(self._R)
 
+    @property
+    def state_stale(self) -> bool:
+        """True when a data-update delta is pending for the next timestamp."""
+        return self._state_stale
+
+    @property
+    def last_position(self) -> Optional[NetworkLocation]:
+        """The last query position processed (None before initialisation)."""
+        return self._last_position
+
+    # ------------------------------------------------------------------
+    # Data-object updates (pushed by the road server)
+    # ------------------------------------------------------------------
+    def notify_data_update(
+        self, changed: Iterable[int] = (), removed: Iterable[int] = ()
+    ) -> None:
+        """Record a diagram repair delta; settled lazily on the next timestamp.
+
+        Args:
+            changed: objects whose Voronoi neighbour sets (or cells) changed.
+            removed: objects deleted from the data set.
+        """
+        self._pending_changed.update(changed)
+        self._pending_removed.update(removed)
+        self._state_stale = True
+
+    def _consume_data_updates(self, position: NetworkLocation) -> Optional[QueryResult]:
+        """Settle the accumulated delta.
+
+        Returns a full-recompute :class:`QueryResult` when the delta forced a
+        retrieval, or None when the held state was refreshed (or untouched)
+        and the normal validation flow should proceed.
+        """
+        changed = self._pending_changed
+        removed = self._pending_removed
+        self._pending_changed = set()
+        self._pending_removed = set()
+        self._state_stale = False
+        if removed.intersection(self._R):
+            # The prefetched set lost a member: R no longer reflects the
+            # ⌊ρk⌋ nearest objects, recompute it from the server.
+            self._stats.validations += 1
+            self._retrieve(position)
+            distances = self._held_distances(position)
+            knn_distances = tuple(distances[index] for index in self._knn)
+            return QueryResult(
+                timestamp=self.current_timestamp,
+                knn=tuple(self._knn),
+                knn_distances=knn_distances,
+                guard_objects=frozenset(self.guard_set),
+                action=UpdateAction.FULL_RECOMPUTE,
+                was_valid=False,
+            )
+        pool = set(self._R) | self._ins
+        if removed & self._ins or changed & pool:
+            # The delta touched the held region: re-derive I(R) and the
+            # Theorem 2 sub-network from the repaired shared diagram (a few
+            # dictionary unions — no kNN recomputation).  The validation
+            # that follows certifies the held answer against the fresh
+            # guard set, which is what makes this refresh sound.
+            with self._stats.time_construction():
+                self._ins = self._voronoi.influential_neighbor_set(self._R)
+                self._stats.ins_refreshes += 1
+                incoming = len(self._ins - pool)
+                if incoming:
+                    # New guard objects crossed the server-client boundary:
+                    # that is a (small) communication event, charge it like
+                    # a case-(i) incremental fetch so comm_events stays an
+                    # honest round-trip count.
+                    self._stats.transmitted_objects += incoming
+                    self._stats.incremental_updates += 1
+                self._rebuild_restricted_network()
+        # A delta outside the pool left every held neighbour set unchanged:
+        # nothing to refresh, the normal validation is already sound.
+        return None
+
     # ------------------------------------------------------------------
     # Lifecycle hooks
     # ------------------------------------------------------------------
     def _initialize(self, position: NetworkLocation) -> QueryResult:
+        self._last_position = position
+        self._state_stale = False
+        self._pending_changed = set()
+        self._pending_removed = set()
         self._retrieve(position)
         distances = self._held_distances(position)
         knn_distances = tuple(distances[index] for index in self._knn)
@@ -152,6 +263,11 @@ class INSRoadProcessor(MovingKNNProcessor[NetworkLocation]):
         )
 
     def _update(self, position: NetworkLocation) -> QueryResult:
+        self._last_position = position
+        if self._state_stale:
+            forced = self._consume_data_updates(position)
+            if forced is not None:
+                return forced
         with self._stats.time_validation():
             self._stats.validations += 1
             distances = self._held_distances(position)
@@ -185,12 +301,18 @@ class INSRoadProcessor(MovingKNNProcessor[NetworkLocation]):
         """Server round trip: recompute R, I(R) and the kNN set at ``position``."""
         with self._stats.time_construction():
             before = self._search_stats.settled_vertices
+            # Deletions since registration may have shrunk the population
+            # below the configured prefetch size; shrink the request, but
+            # never below k.  The diagram's live vertex → objects map saves
+            # the O(n) dictionary construction inside network_knn.
+            count = max(self.k, min(self._prefetch_count, self._voronoi.object_count()))
             nearest = network_knn(
                 self._network,
                 self._object_vertices,
                 position,
-                self._prefetch_count,
+                count,
                 stats=self._search_stats,
+                objects_at_vertex=self._voronoi.vertex_objects(),
             )
             self._stats.settled_vertices += self._search_stats.settled_vertices - before
             self._R = [index for index, _ in nearest]

@@ -150,12 +150,15 @@ class MovingKNNServer:
             vortree=self._vortree,
             allow_incremental=self._allow_incremental,
         )
+        # Initialize before registering: a failing first answer must not
+        # leave a zombie query behind that inflates counts and gets
+        # invalidated forever.
+        processor.initialize(position)
         query_id = self._next_query_id
         self._next_query_id += 1
         self._queries[query_id] = RegisteredQuery(
             query_id=query_id, k=k, rho=rho, processor=processor
         )
-        processor.initialize(position)
         return query_id
 
     def unregister_query(self, query_id: int) -> None:

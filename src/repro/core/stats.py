@@ -26,6 +26,8 @@ class ProcessorStats:
         incremental_updates: updates that fetched a small amount of data
             (counted separately from full recomputations).
         full_recomputations: full answer + guard recomputations at the server.
+        ins_refreshes: guard-set refreshes triggered by data-object updates
+            that were absorbed from diagram deltas (no kNN recomputation).
         transmitted_objects: total data objects sent from server to client
             (the paper's communication cost proxy).
         distance_computations: point-to-point (or network) distance
@@ -48,6 +50,7 @@ class ProcessorStats:
     local_reorders: int = 0
     incremental_updates: int = 0
     full_recomputations: int = 0
+    ins_refreshes: int = 0
     transmitted_objects: int = 0
     distance_computations: int = 0
     index_node_accesses: int = 0
@@ -111,6 +114,7 @@ class ProcessorStats:
         self.local_reorders += other.local_reorders
         self.incremental_updates += other.incremental_updates
         self.full_recomputations += other.full_recomputations
+        self.ins_refreshes += other.ins_refreshes
         self.transmitted_objects += other.transmitted_objects
         self.distance_computations += other.distance_computations
         self.index_node_accesses += other.index_node_accesses
@@ -127,6 +131,7 @@ class ProcessorStats:
             "local_reorders": self.local_reorders,
             "incremental_updates": self.incremental_updates,
             "full_recomputations": self.full_recomputations,
+            "ins_refreshes": self.ins_refreshes,
             "communication_events": self.communication_events,
             "transmitted_objects": self.transmitted_objects,
             "distance_computations": self.distance_computations,

@@ -45,8 +45,10 @@ class VoronoiDiagram:
         bounding_box: optional clipping box for cell polygons.  When omitted,
             a box 3x the extent of the sites is used, which is enough for the
             demo rendering and the safe-region polygons of interior cells.
-            The box is fixed at construction time; sites inserted later are
-            still clipped against it.
+            The box grows lazily: a site inserted outside it re-derives the
+            box from the new extent (and invalidates the cached cell
+            polygons), so far-outside inserts no longer get over-clipped
+            cells.
         maintain_incrementally: when True the live Delaunay dual is built
             eagerly, so the same triangulation serves both the initial
             neighbour map and later :meth:`insert_site` /
@@ -139,7 +141,14 @@ class VoronoiDiagram:
         invalidated.  The patch is O(affected cells) via the live Delaunay
         dual; degenerate configurations fall back to a full refresh (in
         which case ``changed_sites`` is every active site).
+
+        A site landing outside the clipping box grows the box to cover it
+        (plus the usual margin) and drops every cached cell polygon, since
+        boundary cells clip differently against the larger box.  The
+        neighbour relation never depends on the box.
         """
+        if not self._bounding_box.contains_point(point):
+            self._grow_bounding_box(point)
         rebuilt = self._delaunay is None and self._ensure_live()
         if self._delaunay is None:
             index = self._append_site(point)
@@ -304,6 +313,20 @@ class VoronoiDiagram:
         box = BoundingBox.from_points(self._sites)
         margin = max(box.width, box.height, 1.0)
         return box.expanded(margin)
+
+    def _grow_bounding_box(self, point: Point) -> None:
+        """Grow the clipping box to cover ``point`` (ROADMAP open item).
+
+        The new box is derived from the union of the active sites' extent
+        and the incoming point, with the same margin rule as construction;
+        every cached cell polygon is dropped because boundary cells clip
+        against the box.
+        """
+        active_sites = [self._sites[index] for index in self.active_site_indexes()]
+        tight = BoundingBox.from_points(active_sites + [point])
+        margin = max(tight.width, tight.height, 1.0)
+        self._bounding_box = tight.expanded(margin)
+        self._cell_cache.clear()
 
 
 def influential_neighbor_indexes(

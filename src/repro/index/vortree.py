@@ -199,8 +199,19 @@ class VoRTree:
         self._patch_neighbor_lists(changed)
         return True
 
+    #: Bulk-rebuild crossover for :meth:`batch_update`, as a fraction of the
+    #: active population.  Measured, not guessed (the seed's guess was
+    #: n/8): at n = 1000/2000/4000 per-object patching beats one full
+    #: rebuild up to bursts of ~7% of the data set and loses beyond it
+    #: (see ``benchmarks/bench_pr2_batch_crossover.py``; the committed
+    #: measurement lives in ``benchmarks/results/PR2_batch_crossover.json``).
+    BULK_REBUILD_FRACTION = 0.07
+
     def batch_update(
-        self, inserts: Sequence[Point] = (), deletes: Iterable[int] = ()
+        self,
+        inserts: Sequence[Point] = (),
+        deletes: Iterable[int] = (),
+        strategy: Optional[str] = None,
     ) -> Tuple[List[int], List[int]]:
         """Apply a burst of object updates as one epoch.
 
@@ -210,15 +221,26 @@ class VoRTree:
         entire population as long as at least one object survives — a batch
         that would drain every object is rejected up front, before anything
         is mutated.  Small bursts reuse the incremental per-object patching;
-        bursts that touch a sizable fraction of the data set fall back to
-        structural updates followed by a *single* neighbour-map rebuild,
-        which is cheaper than patching object by object.
+        bursts that touch more than :data:`BULK_REBUILD_FRACTION` of the
+        data set fall back to structural updates followed by a *single*
+        neighbour-map rebuild, which is cheaper than patching object by
+        object.
+
+        Args:
+            inserts: points to add.
+            deletes: object indexes to remove.
+            strategy: override the crossover decision: ``"incremental"``
+                forces per-object patching, ``"bulk"`` forces the
+                single-rebuild path, None (default) picks by the measured
+                threshold.  Used by the crossover benchmark.
 
         Returns:
             ``(new_indexes, deleted_indexes)``: the object indexes assigned
             to the inserted points (in order) and the indexes that were
             actually deleted.
         """
+        if strategy not in (None, "incremental", "bulk"):
+            raise QueryError(f"unknown batch_update strategy {strategy!r}")
         insert_list = list(inserts)
         delete_list: List[int] = []
         seen: Set[int] = set()
@@ -231,12 +253,17 @@ class VoRTree:
             return [], []
         if len(self) + len(insert_list) - len(delete_list) < 1:
             raise QueryError("batch update would remove every data object")
-        bulk_threshold = max(8, len(self) // 8)
-        if (
+        bulk_threshold = max(8, int(len(self) * self.BULK_REBUILD_FRACTION))
+        incremental = (
             self._voronoi is not None
             and self._maintenance == "incremental"
             and operations < bulk_threshold
-        ):
+        )
+        if strategy == "incremental":
+            incremental = self._voronoi is not None and self._maintenance == "incremental"
+        elif strategy == "bulk":
+            incremental = False
+        if incremental:
             new_indexes = [self.insert(point) for point in insert_list]
             deleted = [index for index in delete_list if self.delete(index)]
             return new_indexes, deleted

@@ -12,12 +12,26 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import QueryError, RoadNetworkError
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.location import NetworkLocation
 from repro.roadnet.shortest_path import SearchStats
+
+
+def build_objects_at_vertex(object_vertices: Sequence[int]) -> Dict[int, List[int]]:
+    """The vertex → object-indexes map :func:`network_knn` searches with.
+
+    Long-lived callers with a static data set should build this once and
+    pass it to every :func:`network_knn` call instead of paying the O(n)
+    construction per query (callers with a *dynamic* data set get a live
+    map from :meth:`NetworkVoronoiDiagram.vertex_objects`).
+    """
+    objects_at_vertex: Dict[int, List[int]] = {}
+    for object_index, vertex in enumerate(object_vertices):
+        objects_at_vertex.setdefault(vertex, []).append(object_index)
+    return objects_at_vertex
 
 
 def network_knn(
@@ -26,6 +40,7 @@ def network_knn(
     location: NetworkLocation,
     k: int,
     stats: Optional[SearchStats] = None,
+    objects_at_vertex: Optional[Mapping[int, Sequence[int]]] = None,
 ) -> List[Tuple[int, float]]:
     """The ``k`` data objects nearest to ``location`` by network distance.
 
@@ -36,6 +51,12 @@ def network_knn(
         location: the query position on an edge.
         k: how many neighbours to return.
         stats: optional search-effort accumulator.
+        objects_at_vertex: optional prebuilt vertex → object-indexes map.
+            Long-lived callers (the road server, the network Voronoi
+            diagram) already maintain this map; passing it skips the O(n)
+            dictionary construction this function otherwise pays on every
+            call.  When given it is treated as authoritative — objects
+            missing from it (e.g. tombstoned ones) are not reported.
 
     Returns:
         A list of ``(object_index, distance)`` pairs, nearest first.  Several
@@ -52,9 +73,8 @@ def network_knn(
         raise QueryError(
             f"k={k} exceeds the number of data objects ({len(object_vertices)})"
         )
-    objects_at_vertex: Dict[int, List[int]] = {}
-    for object_index, vertex in enumerate(object_vertices):
-        objects_at_vertex.setdefault(vertex, []).append(object_index)
+    if objects_at_vertex is None:
+        objects_at_vertex = build_objects_at_vertex(object_vertices)
 
     location = location.validated(network)
     u, distance_u, v, distance_v = location.endpoint_distances(network)
@@ -93,13 +113,14 @@ def network_knn_from_vertex(
     source_vertex: int,
     k: int,
     stats: Optional[SearchStats] = None,
+    objects_at_vertex: Optional[Mapping[int, Sequence[int]]] = None,
 ) -> List[Tuple[int, float]]:
     """Network kNN where the query sits exactly on a vertex."""
     incident = network.incident_edges(source_vertex)
     if not incident:
         raise RoadNetworkError(f"vertex {source_vertex} has no incident edges")
     location = NetworkLocation.at_vertex(network, source_vertex)
-    return network_knn(network, object_vertices, location, k, stats)
+    return network_knn(network, object_vertices, location, k, stats, objects_at_vertex)
 
 
 def object_distances_from_location(

@@ -18,15 +18,49 @@ owner of a point at offset ``t`` is either ``owner(u)`` (reached through
 terms is minimised by the corresponding endpoint's owner.  When the two
 owners differ, the cells meet at a border point in the interior of the edge
 and the owners are Voronoi neighbours.
+
+**Data-object updates are incremental.**  The diagram used to be static: the
+only way to absorb an object insert, delete or move was to rebuild it from
+scratch with a whole-graph multi-source Dijkstra — O(|V| log |V| + |E|) per
+update.  :meth:`NetworkVoronoiDiagram.insert_object`,
+:meth:`NetworkVoronoiDiagram.remove_object` and
+:meth:`NetworkVoronoiDiagram.move_object` now repair the diagram locally:
+
+* an insert floods outward from the new object's vertex, conquering only the
+  vertices whose distance strictly improves (the standard "shrink the losing
+  cells" repair — a vertex whose old distance survives cannot relay a better
+  path, so the flood stops exactly at the new cell's border);
+* a delete re-floods only the removed object's cell, seeded from the
+  surviving cells on its boundary ("flood the freed region from its rim");
+* a move is a delete-repair followed by an insert-repair under the same
+  object index.
+
+Each repair patches the vertex distances/owners, the edge ownership, two
+inverted indexes (owner → owned vertices, owner → owned edges) and the
+neighbour map in place, and reports the set of objects whose neighbour sets
+changed — the same delta contract as the Euclidean
+:meth:`~repro.geometry.voronoi.VoronoiDiagram.insert_site`.  Removed objects
+keep their index as tombstones so identifiers held by callers stay stable.
+The from-scratch construction remains available as ``maintenance="rebuild"``
+(every update pays a full rebuild — the pre-incremental behaviour, kept
+selectable for benchmarking) and as :meth:`full_rebuild`, the correctness
+oracle of the randomized equivalence tests.
+
+The owner → edges inverted index also turns :meth:`cell_edges`,
+:meth:`cell_length` and :meth:`restricted_subnetwork` from O(|E|) scans into
+O(cell) lookups, which is what makes the Theorem 2 sub-network rebuild cheap
+enough to run per retrieval.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.errors import EmptyDatasetError, RoadNetworkError
-from repro.roadnet.graph import RoadNetwork
+from repro.errors import ConfigurationError, EmptyDatasetError, QueryError, RoadNetworkError
+from repro.roadnet.graph import Edge, RoadNetwork
 from repro.roadnet.shortest_path import SearchStats, multi_source_dijkstra
 
 #: Tolerance used when classifying border points at vertices.
@@ -68,89 +102,483 @@ class NetworkVoronoiDiagram:
         object_vertices: ``object_vertices[i]`` is the vertex of object ``i``.
             Multiple objects on the same vertex are allowed but the cell (and
             the neighbour relation) of co-located objects is shared.
-        stats: optional search-effort accumulator for the construction.
+        stats: optional search-effort accumulator for the construction and
+            for later incremental repairs.
+        maintenance: ``"incremental"`` (default) repairs the diagram locally
+            on every object update; ``"rebuild"`` restores the
+            pre-incremental behaviour of reconstructing it from scratch
+            (kept selectable for benchmarking and as a safety valve).
+
+    Internally every vertex is labelled with the *representative* of the
+    objects at its nearest object vertex (the first object listed there);
+    co-located non-representative objects have empty cells but share the
+    representative's neighbour relation, exactly as the from-scratch
+    construction produced.
     """
+
+    MAINTENANCE_MODES = ("incremental", "rebuild")
 
     def __init__(
         self,
         network: RoadNetwork,
         object_vertices: Sequence[int],
         stats: Optional[SearchStats] = None,
+        maintenance: str = "incremental",
     ):
         if not object_vertices:
             raise EmptyDatasetError("NetworkVoronoiDiagram requires at least one data object")
+        if maintenance not in self.MAINTENANCE_MODES:
+            raise ConfigurationError(
+                f"maintenance must be one of {self.MAINTENANCE_MODES}, got {maintenance!r}"
+            )
         for vertex in object_vertices:
             if not network.has_vertex(vertex):
                 raise RoadNetworkError(f"object vertex {vertex} not in the network")
         self._network = network
-        self._object_vertices = list(object_vertices)
-        # When several objects share a vertex the first one becomes the
-        # representative owner; the others have empty cells.
-        sources: Dict[int, int] = {}
-        for object_index, vertex in enumerate(self._object_vertices):
-            sources.setdefault(vertex, object_index)
-        self._vertex_distances, self._vertex_owners = multi_source_dijkstra(
-            network, sources, stats
-        )
+        self._maintenance = maintenance
+        self._stats = stats
+        self._object_vertices: List[int] = list(object_vertices)
+        self._active: List[bool] = [True] * len(self._object_vertices)
+        # Live state (all patched in place by the incremental repairs):
+        self._vertex_objects: Dict[int, List[int]] = {}
+        self._vertex_distances: Dict[int, float] = {}
+        self._vertex_owners: Dict[int, int] = {}
         self._edge_ownership: Dict[int, EdgeOwnership] = {}
-        self._neighbor_map: Dict[int, Set[int]] = {
-            index: set() for index in range(len(self._object_vertices))
-        }
-        self._build_edge_ownership()
-        self._merge_colocated_objects(sources)
+        # Inverted indexes, keyed by representative object index.
+        self._owner_vertices: Dict[int, Set[int]] = {}
+        self._owner_edges: Dict[int, Set[int]] = {}
+        # Geometric adjacency between representatives (cells sharing a border).
+        self._rep_neighbors: Dict[int, Set[int]] = {}
+        # Object-level neighbour sets (co-location lifted onto every member).
+        self._neighbor_map: Dict[int, Set[int]] = {}
+        self._full_build()
 
     # ------------------------------------------------------------------
-    # Construction helpers
+    # Construction (also the ``maintenance="rebuild"`` path and the oracle)
     # ------------------------------------------------------------------
-    def _build_edge_ownership(self) -> None:
+    def _full_build(self) -> None:
+        """From-scratch construction over the active objects."""
+        self._vertex_objects = {}
+        for index, vertex in enumerate(self._object_vertices):
+            if self._active[index]:
+                self._vertex_objects.setdefault(vertex, []).append(index)
+        if not self._vertex_objects:
+            raise EmptyDatasetError("NetworkVoronoiDiagram requires at least one data object")
+        sources = {vertex: group[0] for vertex, group in self._vertex_objects.items()}
+        self._vertex_distances, self._vertex_owners = multi_source_dijkstra(
+            self._network, sources, self._stats
+        )
+        reps = set(sources.values())
+        self._owner_vertices = {rep: set() for rep in reps}
+        for vertex, owner in self._vertex_owners.items():
+            self._owner_vertices[owner].add(vertex)
+        self._edge_ownership = {}
+        self._owner_edges = {rep: set() for rep in reps}
+        self._rep_neighbors = {rep: set() for rep in reps}
         for edge in self._network.edges():
             owner_u = self._vertex_owners.get(edge.u)
             owner_v = self._vertex_owners.get(edge.v)
             if owner_u is None or owner_v is None:
                 # Disconnected part of the network without any object.
                 continue
-            distance_u = self._vertex_distances[edge.u]
-            distance_v = self._vertex_distances[edge.v]
-            if owner_u == owner_v:
-                ownership = EdgeOwnership(edge.edge_id, owner_u, owner_v, None)
-            else:
-                # Border point: t + d(u, owner_u) == (length - t) + d(v, owner_v)
-                border = (edge.length + distance_v - distance_u) / 2.0
-                border = min(max(border, 0.0), edge.length)
-                ownership = EdgeOwnership(edge.edge_id, owner_u, owner_v, border)
-                self._neighbor_map[owner_u].add(owner_v)
-                self._neighbor_map[owner_v].add(owner_u)
-            self._edge_ownership[edge.edge_id] = ownership
-        # Vertices where several cells meet exactly (distance ties through
-        # different owners) also create adjacencies; detect them by checking,
-        # for every vertex, whether a neighbouring vertex's owner reaches it
-        # at the same distance.
-        for vertex in self._network.vertices():
-            owner = self._vertex_owners.get(vertex)
-            if owner is None:
-                continue
-            distance = self._vertex_distances[vertex]
-            for neighbor, length, _ in self._network.neighbors(vertex):
-                other_owner = self._vertex_owners.get(neighbor)
-                if other_owner is None or other_owner == owner:
-                    continue
-                through_other = self._vertex_distances[neighbor] + length
-                if abs(through_other - distance) <= _TIE_TOLERANCE * max(1.0, distance):
-                    self._neighbor_map[owner].add(other_owner)
-                    self._neighbor_map[other_owner].add(owner)
+            self._edge_ownership[edge.edge_id] = self._make_ownership(edge, owner_u, owner_v)
+            self._owner_edges[owner_u].add(edge.edge_id)
+            self._owner_edges[owner_v].add(edge.edge_id)
+            if owner_u != owner_v:
+                self._rep_neighbors[owner_u].add(owner_v)
+                self._rep_neighbors[owner_v].add(owner_u)
+        self._neighbor_map = {}
+        self._relift(reps)
 
-    def _merge_colocated_objects(self, sources: Dict[int, int]) -> None:
-        """Give co-located objects the representative's neighbours (and each other)."""
-        for object_index, vertex in enumerate(self._object_vertices):
-            representative = sources[vertex]
-            if representative == object_index:
+    def full_rebuild(self) -> Set[int]:
+        """Recompute the whole diagram from scratch.
+
+        This is the pre-incremental O(whole network) update path, kept as
+        the oracle the randomized equivalence tests compare the incremental
+        repairs against.  Returns the set of active object indexes (every
+        neighbour set must be considered changed).
+        """
+        self._full_build()
+        return set(self.active_object_indexes())
+
+    def _make_ownership(self, edge: Edge, owner_u: int, owner_v: int) -> EdgeOwnership:
+        if owner_u == owner_v:
+            return EdgeOwnership(edge.edge_id, owner_u, owner_v, None)
+        # Border point: t + d(u, owner_u) == (length - t) + d(v, owner_v)
+        distance_u = self._vertex_distances[edge.u]
+        distance_v = self._vertex_distances[edge.v]
+        border = (edge.length + distance_v - distance_u) / 2.0
+        border = min(max(border, 0.0), edge.length)
+        return EdgeOwnership(edge.edge_id, owner_u, owner_v, border)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def insert_object(self, vertex: int) -> Tuple[int, Set[int]]:
+        """Add a data object at ``vertex``; returns ``(index, changed)``.
+
+        ``changed`` contains every object whose neighbour set changed (the
+        new object included).  The repair floods outward from ``vertex``,
+        re-settling only the vertices the new cell conquers, then patches
+        the edge ownership and neighbour sets along the new border.
+        """
+        if not self._network.has_vertex(vertex):
+            raise RoadNetworkError(f"object vertex {vertex} not in the network")
+        index = len(self._object_vertices)
+        self._object_vertices.append(vertex)
+        self._active.append(True)
+        if self._maintenance == "rebuild":
+            self._full_build()
+            return index, set(self.active_object_indexes())
+        group = self._vertex_objects.setdefault(vertex, [])
+        group.append(index)
+        if len(group) > 1:
+            # Co-located with an existing object: the geometry is unchanged,
+            # only the lifted neighbour sets gain the new member.
+            rep = group[0]
+            changed = self._relift({rep} | self._rep_neighbors.get(rep, set()))
+        else:
+            changed = self._insert_repair(index)
+        return index, changed
+
+    def remove_object(self, index: int) -> Set[int]:
+        """Remove object ``index``; returns the objects whose neighbours changed.
+
+        The object keeps its index as a tombstone.  The freed cell (if any)
+        is re-flooded from the surviving cells on its boundary.  The last
+        remaining active object cannot be removed.
+        """
+        if not self.is_active(index):
+            raise QueryError(f"object {index} does not exist (or was removed)")
+        if self.object_count() <= 1:
+            raise EmptyDatasetError("cannot remove the last remaining data object")
+        self._active[index] = False
+        if self._maintenance == "rebuild":
+            self._full_build()
+            return set(self.active_object_indexes())
+        changed = self._detach(index)
+        changed.discard(index)
+        return changed
+
+    def move_object(self, index: int, new_vertex: int) -> Set[int]:
+        """Move object ``index`` to ``new_vertex``; returns the changed objects.
+
+        Implemented as a delete-repair followed by an insert-repair under
+        the same (stable) object index; the reported set is the union of the
+        two repairs' deltas and always contains ``index`` itself, so servers
+        can invalidate clients holding the moved object even when its
+        neighbour set happens to be preserved.
+        """
+        if not self.is_active(index):
+            raise QueryError(f"object {index} does not exist (or was removed)")
+        if not self._network.has_vertex(new_vertex):
+            raise RoadNetworkError(f"object vertex {new_vertex} not in the network")
+        if self._object_vertices[index] == new_vertex:
+            return set()
+        if self._maintenance == "rebuild":
+            self._object_vertices[index] = new_vertex
+            self._full_build()
+            return set(self.active_object_indexes())
+        changed = self._detach(index)
+        self._object_vertices[index] = new_vertex
+        group = self._vertex_objects.setdefault(new_vertex, [])
+        group.append(index)
+        if len(group) > 1:
+            rep = group[0]
+            changed |= self._relift({rep} | self._rep_neighbors.get(rep, set()))
+        else:
+            changed |= self._insert_repair(index)
+        changed.add(index)
+        return changed
+
+    def batch_update(
+        self,
+        inserts: Sequence[int] = (),
+        deletes: Iterable[int] = (),
+        moves: Iterable[Tuple[int, int]] = (),
+    ) -> Tuple[List[int], List[int], Set[int]]:
+        """Apply a burst of object updates as one epoch.
+
+        Inserts are applied first, then moves, then deletions, so a burst
+        may replace a large part of the population as long as at least one
+        object survives (a draining batch is rejected up front, before
+        anything is mutated).  Deletions refer to pre-existing object
+        indexes; inactive ones are skipped silently.  Small bursts reuse
+        the per-object local repairs; bursts whose operation count is a
+        sizable fraction of the population fall back to structural updates
+        followed by a *single* from-scratch build, which is cheaper than
+        repairing object by object.
+
+        Returns:
+            ``(new_indexes, deleted_indexes, changed)``: the indexes given
+            to the inserted objects (in order), the indexes actually
+            deleted, and the set of surviving objects whose neighbour sets
+            changed.
+        """
+        insert_list = list(inserts)
+        move_list = [(index, vertex) for index, vertex in moves]
+        delete_list: List[int] = []
+        seen: Set[int] = set()
+        for index in deletes:
+            if self.is_active(index) and index not in seen:
+                seen.add(index)
+                delete_list.append(index)
+        operations = len(insert_list) + len(move_list) + len(delete_list)
+        if operations == 0:
+            return [], [], set()
+        for vertex in insert_list:
+            if not self._network.has_vertex(vertex):
+                raise RoadNetworkError(f"object vertex {vertex} not in the network")
+        for index, vertex in move_list:
+            if not self.is_active(index):
+                raise QueryError(f"object {index} does not exist (or was removed)")
+            if not self._network.has_vertex(vertex):
+                raise RoadNetworkError(f"object vertex {vertex} not in the network")
+        if self.object_count() + len(insert_list) - len(delete_list) < 1:
+            raise EmptyDatasetError("batch update would remove every data object")
+        # Per-object repair costs O(one cell) each while a rebuild costs the
+        # whole network; with n objects covering the network a burst of ~n
+        # repairs does as much work as one rebuild, so fall back well below
+        # that point.
+        bulk_threshold = max(16, self.object_count() // 2)
+        if self._maintenance == "incremental" and operations < bulk_threshold:
+            changed: Set[int] = set()
+            new_indexes: List[int] = []
+            for vertex in insert_list:
+                index, delta = self.insert_object(vertex)
+                new_indexes.append(index)
+                changed |= delta
+            for index, vertex in move_list:
+                changed |= self.move_object(index, vertex)
+            deleted: List[int] = []
+            for index in delete_list:
+                if self.is_active(index):
+                    changed |= self.remove_object(index)
+                    deleted.append(index)
+            changed -= set(deleted)
+            return new_indexes, deleted, changed
+        # Structural bulk path: apply every mutation, build once.
+        new_indexes = []
+        for vertex in insert_list:
+            new_indexes.append(len(self._object_vertices))
+            self._object_vertices.append(vertex)
+            self._active.append(True)
+        for index, vertex in move_list:
+            self._object_vertices[index] = vertex
+        deleted = []
+        for index in delete_list:
+            self._active[index] = False
+            deleted.append(index)
+        self._full_build()
+        return new_indexes, deleted, set(self.active_object_indexes())
+
+    # -- repair internals ------------------------------------------------
+
+    def _detach(self, index: int) -> Set[int]:
+        """Take object ``index`` out of the diagram (its entry stays in
+        ``_object_vertices``; callers handle activation bookkeeping)."""
+        vertex = self._object_vertices[index]
+        group = self._vertex_objects[vertex]
+        if len(group) > 1:
+            if group[0] == index:
+                return self._promote_representative(vertex)
+            group.remove(index)
+            self._neighbor_map.pop(index, None)
+            rep = group[0]
+            return self._relift({rep} | self._rep_neighbors.get(rep, set()))
+        del self._vertex_objects[vertex]
+        return self._remove_repair(index)
+
+    def _promote_representative(self, vertex: int) -> Set[int]:
+        """Relabel a removed representative's cell to its co-located successor."""
+        group = self._vertex_objects[vertex]
+        old_rep = group.pop(0)
+        new_rep = group[0]
+        cell = self._owner_vertices.pop(old_rep)
+        self._owner_vertices[new_rep] = cell
+        for cell_vertex in cell:
+            self._vertex_owners[cell_vertex] = new_rep
+        edges = self._owner_edges.pop(old_rep, set())
+        self._owner_edges[new_rep] = edges
+        for edge_id in edges:
+            ownership = self._edge_ownership[edge_id]
+            self._edge_ownership[edge_id] = EdgeOwnership(
+                edge_id,
+                new_rep if ownership.owner_u == old_rep else ownership.owner_u,
+                new_rep if ownership.owner_v == old_rep else ownership.owner_v,
+                ownership.border_offset,
+            )
+        neighbors = self._rep_neighbors.pop(old_rep, set())
+        self._rep_neighbors[new_rep] = neighbors
+        for neighbor in neighbors:
+            adjacent = self._rep_neighbors[neighbor]
+            adjacent.discard(old_rep)
+            adjacent.add(new_rep)
+        self._neighbor_map.pop(old_rep, None)
+        return self._relift({new_rep} | neighbors)
+
+    def _insert_repair(self, index: int) -> Set[int]:
+        """Flood a brand-new cell outward from the object's vertex."""
+        start = self._object_vertices[index]
+        if self._stats is not None:
+            self._stats.searches += 1
+        # Conquer every vertex whose distance strictly improves.  A vertex
+        # that keeps its old distance cannot relay a shorter path (the old
+        # distances satisfy the triangle property), so the flood stops at
+        # the new cell's border.  Ties keep their old owner.
+        conquered: Dict[int, Optional[int]] = {}
+        heap: List[Tuple[float, int]] = [(0.0, start)]
+        while heap:
+            distance, vertex = heapq.heappop(heap)
+            if vertex in conquered:
                 continue
-            shared = set(self._neighbor_map[representative])
-            self._neighbor_map[object_index].update(shared)
-            self._neighbor_map[object_index].add(representative)
-            self._neighbor_map[representative].add(object_index)
-            for neighbor in shared:
-                self._neighbor_map[neighbor].add(object_index)
+            if distance >= self._vertex_distances.get(vertex, math.inf):
+                continue
+            conquered[vertex] = self._vertex_owners.get(vertex)
+            self._vertex_distances[vertex] = distance
+            self._vertex_owners[vertex] = index
+            if self._stats is not None:
+                self._stats.settled_vertices += 1
+            for neighbor, length, _ in self._network.neighbors(vertex):
+                if neighbor not in conquered:
+                    if self._stats is not None:
+                        self._stats.relaxed_edges += 1
+                    heapq.heappush(heap, (distance + length, neighbor))
+        cell = self._owner_vertices.setdefault(index, set())
+        for vertex, old_owner in conquered.items():
+            if old_owner is not None:
+                self._owner_vertices[old_owner].discard(vertex)
+            cell.add(vertex)
+        self._owner_edges.setdefault(index, set())
+        self._rep_neighbors.setdefault(index, set())
+        touched_edges = {
+            edge.edge_id
+            for vertex in conquered
+            for edge in self._network.incident_edges(vertex)
+        }
+        affected = {old for old in conquered.values() if old is not None}
+        affected.add(index)
+        affected |= self._reassign_edges(touched_edges)
+        return self._refresh_rep_neighbors(affected)
+
+    def _remove_repair(self, index: int) -> Set[int]:
+        """Re-flood a removed object's cell from the surviving boundary."""
+        cell = self._owner_vertices.pop(index)
+        old_neighbors = self._rep_neighbors.pop(index, set())
+        self._owner_edges.pop(index, None)
+        for vertex in cell:
+            del self._vertex_distances[vertex]
+            del self._vertex_owners[vertex]
+        # Seed a multi-source Dijkstra from the rim: every surviving vertex
+        # adjacent to the freed region offers its (final, unchanged)
+        # distance plus the connecting edge.  Distances outside the cell
+        # cannot change — their nearest object was not the removed one.
+        heap: List[Tuple[float, int, int]] = []
+        for vertex in cell:
+            for neighbor, length, _ in self._network.neighbors(vertex):
+                if neighbor not in cell:
+                    owner = self._vertex_owners.get(neighbor)
+                    if owner is not None:
+                        heap.append((self._vertex_distances[neighbor] + length, vertex, owner))
+        heapq.heapify(heap)
+        if self._stats is not None:
+            self._stats.searches += 1
+        settled: Set[int] = set()
+        while heap:
+            distance, vertex, owner = heapq.heappop(heap)
+            if vertex in settled:
+                continue
+            settled.add(vertex)
+            self._vertex_distances[vertex] = distance
+            self._vertex_owners[vertex] = owner
+            self._owner_vertices[owner].add(vertex)
+            if self._stats is not None:
+                self._stats.settled_vertices += 1
+            for neighbor, length, _ in self._network.neighbors(vertex):
+                if neighbor in cell and neighbor not in settled:
+                    if self._stats is not None:
+                        self._stats.relaxed_edges += 1
+                    heapq.heappush(heap, (distance + length, neighbor, owner))
+        # Vertices never reached again (the removed object served a whole
+        # component alone) become unowned, matching the from-scratch build.
+        touched_edges = {
+            edge.edge_id for vertex in cell for edge in self._network.incident_edges(vertex)
+        }
+        affected = self._reassign_edges(touched_edges)
+        affected.discard(index)
+        affected |= old_neighbors
+        changed = self._refresh_rep_neighbors(affected)
+        self._neighbor_map.pop(index, None)
+        return changed
+
+    def _reassign_edges(self, edge_ids: Iterable[int]) -> Set[int]:
+        """Recompute the ownership of the given edges; returns touched reps."""
+        touched: Set[int] = set()
+        for edge_id in edge_ids:
+            old = self._edge_ownership.get(edge_id)
+            if old is not None:
+                for owner in (old.owner_u, old.owner_v):
+                    touched.add(owner)
+                    owned = self._owner_edges.get(owner)
+                    if owned is not None:
+                        owned.discard(edge_id)
+            edge = self._network.edge(edge_id)
+            owner_u = self._vertex_owners.get(edge.u)
+            owner_v = self._vertex_owners.get(edge.v)
+            if owner_u is None or owner_v is None:
+                self._edge_ownership.pop(edge_id, None)
+                continue
+            self._edge_ownership[edge_id] = self._make_ownership(edge, owner_u, owner_v)
+            for owner in (owner_u, owner_v):
+                touched.add(owner)
+                self._owner_edges.setdefault(owner, set()).add(edge_id)
+        return touched
+
+    def _refresh_rep_neighbors(self, reps: Iterable[int]) -> Set[int]:
+        """Re-derive the geometric adjacency of ``reps`` from their edges.
+
+        Adjacency changes are always symmetric through a shared recomputed
+        edge, so both endpoints of every changed pair are in ``reps``.
+        Returns the set of objects whose lifted neighbour sets changed.
+        """
+        groups: Set[int] = set()
+        for rep in reps:
+            if rep not in self._owner_vertices:
+                continue
+            adjacent: Set[int] = set()
+            for edge_id in self._owner_edges.get(rep, ()):
+                ownership = self._edge_ownership[edge_id]
+                if ownership.owner_u != rep:
+                    adjacent.add(ownership.owner_u)
+                if ownership.owner_v != rep:
+                    adjacent.add(ownership.owner_v)
+            self._rep_neighbors[rep] = adjacent
+            groups.add(rep)
+        return self._relift(groups)
+
+    def _relift(self, reps: Iterable[int]) -> Set[int]:
+        """Recompute the object-level neighbour sets of the given groups.
+
+        An object's neighbour set is every member of its group's adjacent
+        groups plus its own co-located group members — exactly what the
+        from-scratch construction's co-location merge produced.  Returns
+        the objects whose sets actually changed.
+        """
+        changed: Set[int] = set()
+        for rep in reps:
+            if rep not in self._owner_vertices:
+                continue
+            members = self._vertex_objects[self._object_vertices[rep]]
+            adjacent: Set[int] = set()
+            for neighbor_rep in self._rep_neighbors.get(rep, ()):
+                adjacent.update(self._vertex_objects[self._object_vertices[neighbor_rep]])
+            member_set = set(members)
+            for member in members:
+                lifted = (adjacent | member_set) - {member}
+                if self._neighbor_map.get(member) != lifted:
+                    self._neighbor_map[member] = lifted
+                    changed.add(member)
+        return changed
 
     # ------------------------------------------------------------------
     # Accessors
@@ -161,13 +589,55 @@ class NetworkVoronoiDiagram:
         return self._network
 
     @property
+    def maintenance(self) -> str:
+        """The update-maintenance mode (``"incremental"`` or ``"rebuild"``)."""
+        return self._maintenance
+
+    @property
     def object_vertices(self) -> List[int]:
-        """Vertex of each data object, in object-index order."""
+        """Vertex of each object ever added, in object-index order.
+
+        Entries of removed (tombstoned) objects are stale; use
+        :meth:`is_active` / :meth:`active_object_indexes` to filter.
+        """
         return list(self._object_vertices)
 
+    @property
+    def vertex_assignments(self) -> Sequence[int]:
+        """Live read-only view of every object's vertex (tombstones included).
+
+        The returned sequence is the diagram's own storage: it grows as
+        objects are inserted and is patched in place by moves, so indexing
+        it by object index is always valid.  It must not be mutated.
+        """
+        return self._object_vertices
+
+    def vertex_objects(self) -> Mapping[int, Sequence[int]]:
+        """Live read-only vertex → active-objects map.
+
+        This is the prebuilt map :func:`repro.roadnet.knn.network_knn`
+        accepts, saving its O(n) per-call construction.  It must not be
+        mutated by callers.
+        """
+        return self._vertex_objects
+
     def object_count(self) -> int:
-        """Number of data objects."""
-        return len(self._object_vertices)
+        """Number of active data objects."""
+        return sum(self._active)
+
+    def is_active(self, index: int) -> bool:
+        """True when object ``index`` exists and has not been removed."""
+        return 0 <= index < len(self._object_vertices) and self._active[index]
+
+    def active_object_indexes(self) -> List[int]:
+        """Indexes of the objects currently present in the diagram."""
+        return [index for index, active in enumerate(self._active) if active]
+
+    def object_vertex(self, index: int) -> int:
+        """The vertex object ``index`` currently sits on."""
+        if not self.is_active(index):
+            raise QueryError(f"object {index} does not exist (or was removed)")
+        return self._object_vertices[index]
 
     def vertex_owner(self, vertex_id: int) -> Optional[int]:
         """Object index owning ``vertex_id`` (None for unreachable vertices)."""
@@ -183,10 +653,12 @@ class NetworkVoronoiDiagram:
 
     def neighbors_of(self, object_index: int) -> Set[int]:
         """Network Voronoi neighbours of object ``object_index``."""
+        if not self.is_active(object_index):
+            raise QueryError(f"object {object_index} does not exist (or was removed)")
         return set(self._neighbor_map[object_index])
 
     def neighbor_map(self) -> Dict[int, Set[int]]:
-        """A copy of the full object -> neighbour-set mapping."""
+        """A copy of the full object -> neighbour-set mapping (active objects)."""
         return {index: set(neighbors) for index, neighbors in self._neighbor_map.items()}
 
     def influential_neighbor_set(self, member_indexes: Iterable[int]) -> Set[int]:
@@ -204,20 +676,22 @@ class NetworkVoronoiDiagram:
         """Edges any part of which is owned by one of ``object_indexes``.
 
         This is the edge set of the Theorem 2 sub-network when called with
-        the union of the current kNN set and its INS.
+        the union of the current kNN set and its INS.  Answered from the
+        owner → edges inverted index in O(result), not O(|E|).
         """
-        wanted = set(object_indexes)
         result: Set[int] = set()
-        for edge_id, ownership in self._edge_ownership.items():
-            if ownership.owners() & wanted:
-                result.add(edge_id)
+        for index in set(object_indexes):
+            owned = self._owner_edges.get(index)
+            if owned:
+                result |= owned
         return result
 
     def cell_length(self, object_index: int) -> float:
         """Total network length owned by ``object_index``."""
         total = 0.0
-        for ownership in self._edge_ownership.values():
-            edge = self._network.edge(ownership.edge_id)
+        for edge_id in self._owner_edges.get(object_index, ()):
+            ownership = self._edge_ownership[edge_id]
+            edge = self._network.edge(edge_id)
             if ownership.owner_u == ownership.owner_v:
                 if ownership.owner_u == object_index:
                     total += edge.length

@@ -99,3 +99,31 @@ class TestInfluentialNeighborIndexes:
             expected |= diagram.neighbors_of(member)
         expected -= members
         assert influential_neighbor_indexes(diagram.neighbor_map(), members) == expected
+
+
+class TestLazyBoundingBoxGrowth:
+    def test_far_outside_insert_grows_the_box(self, small_points):
+        diagram = VoronoiDiagram(small_points, maintain_incrementally=True)
+        outside = Point(500.0, 500.0)
+        assert not diagram.bounding_box.contains_point(outside)
+        index, _ = diagram.insert_site(outside)
+        assert diagram.bounding_box.contains_point(outside)
+        # The far site's clipped cell must now contain the site itself,
+        # which the fixed construction-time box could not guarantee.
+        assert diagram.cell(index).contains(outside)
+
+    def test_inside_insert_keeps_the_box(self, small_points):
+        diagram = VoronoiDiagram(small_points, maintain_incrementally=True)
+        before = diagram.bounding_box
+        diagram.insert_site(Point(5.0, 5.0))
+        assert diagram.bounding_box == before
+
+    def test_growth_invalidates_cached_cells(self, small_points):
+        diagram = VoronoiDiagram(small_points, maintain_incrementally=True)
+        hull_cell_before = diagram.cell(2)  # hull site, clipped by the box
+        outside = Point(300.0, 8.0)
+        diagram.insert_site(outside)
+        hull_cell_after = diagram.cell(2)
+        # The hull site's cell re-clips against the larger box and is no
+        # longer the same polygon (it extends toward the new site now).
+        assert hull_cell_before.vertices != hull_cell_after.vertices

@@ -1,0 +1,402 @@
+"""Randomized equivalence tests for incremental NetworkVoronoiDiagram maintenance.
+
+The incremental repairs (insert/remove/move) are validated against the
+from-scratch construction, which remains the correctness oracle:
+
+* on networks with irrational edge lengths (random planar graphs) network
+  distances are tie-free, so vertex owners, edge ownership and the
+  neighbour map must match the oracle *exactly*;
+* on grid networks (every edge the same length) distance ties are endemic
+  and the tie-breaking differs between the repair flood and the oracle's
+  multi-source heap, so the tests compare distances exactly and check that
+  every structure is consistent with the diagram's own (valid) owner
+  choice — the "modulo distance ties" contract.
+
+The delta contract (every object whose neighbour set changed is reported)
+is what the road server's invalidation relies on, so it gets its own test.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import EmptyDatasetError, QueryError
+from repro.roadnet.generators import grid_network, place_objects, random_planar_network
+from repro.roadnet.network_voronoi import NetworkVoronoiDiagram
+from repro.roadnet.shortest_path import dijkstra
+
+
+def apply_random_stream(diagram, network, rng, steps):
+    """Drive a mixed insert/remove/move stream; returns the last delta."""
+    changed = set()
+    for _ in range(steps):
+        op = rng.random()
+        active = diagram.active_object_indexes()
+        if op < 0.4:
+            _, changed = diagram.insert_object(rng.choice(network.vertices()))
+        elif op < 0.7 and len(active) > 2:
+            changed = diagram.remove_object(rng.choice(active))
+        else:
+            changed = diagram.move_object(rng.choice(active), rng.choice(network.vertices()))
+    return changed
+
+
+def oracle_for(diagram, network):
+    """A from-scratch diagram over the active objects plus the index remap."""
+    active = diagram.active_object_indexes()
+    oracle = NetworkVoronoiDiagram(network, [diagram.object_vertex(i) for i in active])
+    remap = {position: index for position, index in enumerate(active)}
+    return oracle, remap
+
+
+def assert_distances_match(diagram, oracle, network):
+    for vertex in network.vertices():
+        expected = oracle._vertex_distances.get(vertex, math.inf)
+        actual = diagram._vertex_distances.get(vertex, math.inf)
+        assert actual == pytest.approx(expected, abs=1e-9), vertex
+
+
+def assert_self_consistent(diagram, network):
+    """Structures must be exactly what a build from the diagram's own
+    vertex owners would produce (tie-insensitive check)."""
+    # Owners achieve the (oracle-exact) stored distance.
+    distance_cache = {}
+    for vertex, owner in diagram._vertex_owners.items():
+        source = diagram.object_vertex(owner)
+        if source not in distance_cache:
+            distance_cache[source] = dijkstra(network, source)
+        assert distance_cache[source][vertex] == pytest.approx(
+            diagram._vertex_distances[vertex], abs=1e-9
+        )
+    # Edge ownership, inverted indexes and rep adjacency re-derived from the
+    # vertex owners must equal the maintained state.
+    owner_edges = {}
+    rep_neighbors = {}
+    for edge in network.edges():
+        owner_u = diagram._vertex_owners.get(edge.u)
+        owner_v = diagram._vertex_owners.get(edge.v)
+        ownership = diagram.edge_ownership(edge.edge_id)
+        if owner_u is None or owner_v is None:
+            assert ownership is None
+            continue
+        assert ownership is not None
+        assert (ownership.owner_u, ownership.owner_v) == (owner_u, owner_v)
+        if owner_u != owner_v:
+            du = diagram._vertex_distances[edge.u]
+            dv = diagram._vertex_distances[edge.v]
+            border = min(max((edge.length + dv - du) / 2.0, 0.0), edge.length)
+            assert ownership.border_offset == pytest.approx(border, abs=1e-9)
+            rep_neighbors.setdefault(owner_u, set()).add(owner_v)
+            rep_neighbors.setdefault(owner_v, set()).add(owner_u)
+        owner_edges.setdefault(owner_u, set()).add(edge.edge_id)
+        owner_edges.setdefault(owner_v, set()).add(edge.edge_id)
+    for rep, edges in owner_edges.items():
+        assert diagram._owner_edges.get(rep, set()) == edges
+    for rep, edges in diagram._owner_edges.items():
+        if edges:
+            assert owner_edges.get(rep) == edges
+    for rep in owner_edges:
+        assert diagram._rep_neighbors.get(rep, set()) == rep_neighbors.get(rep, set())
+    # Lifted object-level sets match the group semantics.
+    for index in diagram.active_object_indexes():
+        vertex = diagram.object_vertex(index)
+        group = diagram._vertex_objects[vertex]
+        rep = group[0]
+        adjacent = set()
+        for neighbor_rep in rep_neighbors.get(rep, ()):
+            adjacent.update(diagram._vertex_objects[diagram.object_vertex(neighbor_rep)])
+        expected = (adjacent | set(group)) - {index}
+        assert diagram.neighbors_of(index) == expected
+
+
+class TestTieFreeEquivalence:
+    """On irrational edge lengths the incremental diagram must equal the
+    oracle exactly — owners, edge ownership, neighbour map, cell edges."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_stream_matches_oracle(self, seed):
+        rng = random.Random(seed)
+        network = random_planar_network(120, extent=2_000.0, seed=seed)
+        objects = place_objects(network, 12, seed=seed + 40)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        apply_random_stream(diagram, network, rng, steps=120)
+        oracle, remap = oracle_for(diagram, network)
+        assert_distances_match(diagram, oracle, network)
+        # Owners compare by *vertex*: co-located objects (a move can land on
+        # an occupied vertex) are a distance-0 tie, and the two builds may
+        # elect different representatives of the same shared cell.
+        for vertex in network.vertices():
+            oracle_owner = oracle.vertex_owner(vertex)
+            if oracle_owner is None:
+                assert diagram.vertex_owner(vertex) is None
+            else:
+                assert diagram.object_vertex(
+                    diagram.vertex_owner(vertex)
+                ) == oracle.object_vertices[oracle_owner]
+        for edge in network.edges():
+            mine = diagram.edge_ownership(edge.edge_id)
+            theirs = oracle.edge_ownership(edge.edge_id)
+            if theirs is None:
+                assert mine is None
+                continue
+            assert diagram.object_vertex(mine.owner_u) == oracle.object_vertices[theirs.owner_u]
+            assert diagram.object_vertex(mine.owner_v) == oracle.object_vertices[theirs.owner_v]
+            if theirs.is_split:
+                assert mine.border_offset == pytest.approx(theirs.border_offset, abs=1e-9)
+        # The lifted neighbour map is representative-independent, so it must
+        # match exactly.
+        oracle_map = {
+            remap[position]: {remap[other] for other in neighbors}
+            for position, neighbors in oracle.neighbor_map().items()
+        }
+        assert diagram.neighbor_map() == oracle_map
+        # Inverted-index cell queries agree with the oracle's scans when
+        # aggregated per co-located group (the group shares one cell).
+        reverse = {index: position for position, index in remap.items()}
+        groups = {}
+        for index in diagram.active_object_indexes():
+            groups.setdefault(diagram.object_vertex(index), set()).add(index)
+        for vertex, group in groups.items():
+            oracle_group = {reverse[index] for index in group}
+            assert diagram.cell_edges(group) == oracle.cell_edges(oracle_group)
+            mine_length = sum(diagram.cell_length(index) for index in group)
+            oracle_length = sum(oracle.cell_length(position) for position in oracle_group)
+            assert mine_length == pytest.approx(oracle_length, abs=1e-6)
+
+
+class TestTieTolerantEquivalence:
+    """Grid networks tie constantly: distances must still match the oracle
+    exactly, and every structure must be consistent with the diagram's own
+    owner assignment."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_stream_stays_consistent(self, seed):
+        rng = random.Random(seed + 10)
+        network = grid_network(9, 9, spacing=50.0)
+        objects = place_objects(network, 10, seed=seed + 60)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        for _ in range(4):
+            apply_random_stream(diagram, network, rng, steps=30)
+            oracle, _ = oracle_for(diagram, network)
+            assert_distances_match(diagram, oracle, network)
+            assert_self_consistent(diagram, network)
+
+    def test_cell_lengths_still_sum_to_network_length(self):
+        rng = random.Random(5)
+        network = grid_network(8, 8, spacing=25.0)
+        objects = place_objects(network, 9, seed=77)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        apply_random_stream(diagram, network, rng, steps=80)
+        total = sum(diagram.cell_length(i) for i in diagram.active_object_indexes())
+        assert total == pytest.approx(network.total_length)
+
+
+class TestDeltaContract:
+    """Every object whose neighbour set changed must be reported — the road
+    server's query invalidation is built on this."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_changed_sets_cover_every_difference(self, seed):
+        rng = random.Random(seed + 20)
+        network = (
+            grid_network(9, 9, spacing=40.0)
+            if seed % 2 == 0
+            else random_planar_network(100, extent=1_500.0, seed=seed)
+        )
+        objects = place_objects(network, 10, seed=seed + 30)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        shadow = diagram.neighbor_map()
+        for step in range(150):
+            op = rng.random()
+            active = diagram.active_object_indexes()
+            removed = None
+            if op < 0.4:
+                _, changed = diagram.insert_object(rng.choice(network.vertices()))
+            elif op < 0.7 and len(active) > 2:
+                removed = rng.choice(active)
+                changed = diagram.remove_object(removed)
+            else:
+                changed = diagram.move_object(rng.choice(active), rng.choice(network.vertices()))
+            now = diagram.neighbor_map()
+            for index, neighbors in now.items():
+                if shadow.get(index) != neighbors:
+                    assert index in changed, (step, index)
+            for index in shadow:
+                if index not in now:
+                    assert index == removed, (step, index)
+            shadow = now
+
+
+class TestColocatedObjects:
+    def test_insert_onto_occupied_vertex_shares_the_cell(self):
+        network = grid_network(4, 4, spacing=10.0)
+        diagram = NetworkVoronoiDiagram(network, [0, 15])
+        index, changed = diagram.insert_object(0)
+        assert index == 2
+        assert 0 in diagram.neighbors_of(index)
+        assert index in diagram.neighbors_of(0)
+        assert diagram.neighbors_of(index) - {0} == diagram.neighbors_of(0) - {index}
+        assert index in changed and 0 in changed
+        # The co-located object owns nothing itself (the representative does).
+        assert diagram.cell_edges({index}) == set()
+        assert diagram.cell_length(index) == 0.0
+
+    def test_remove_non_representative_keeps_the_cell(self):
+        network = grid_network(4, 4, spacing=10.0)
+        diagram = NetworkVoronoiDiagram(network, [0, 0, 15])
+        before = diagram.cell_edges({0})
+        changed = diagram.remove_object(1)
+        assert not diagram.is_active(1)
+        assert diagram.cell_edges({0}) == before
+        assert 1 not in diagram.neighbors_of(0)
+        assert 0 in changed and 2 in changed
+
+    def test_remove_representative_promotes_the_colocated_object(self):
+        network = grid_network(4, 4, spacing=10.0)
+        diagram = NetworkVoronoiDiagram(network, [0, 0, 15])
+        cell_before = diagram.cell_edges({0})
+        assert diagram.cell_edges({1}) == set()
+        diagram.remove_object(0)
+        # Object 1 inherits the whole cell and the adjacency.
+        assert diagram.cell_edges({1}) == cell_before
+        assert diagram.vertex_owner(0) == 1
+        assert 2 in diagram.neighbors_of(1)
+        oracle, remap = oracle_for(diagram, network)
+        assert diagram.neighbor_map() == {
+            remap[position]: {remap[other] for other in neighbors}
+            for position, neighbors in oracle.neighbor_map().items()
+        }
+
+    def test_move_between_shared_vertices_matches_oracle(self):
+        # A tie-free network so the lifted neighbour map must match exactly.
+        network = random_planar_network(60, extent=800.0, seed=33)
+        vertices = network.vertices()
+        diagram = NetworkVoronoiDiagram(
+            network, [vertices[0], vertices[0], vertices[40], vertices[20]]
+        )
+        # Move a co-located member onto another occupied vertex, then away.
+        for destination in (vertices[40], vertices[7]):
+            diagram.move_object(1, destination)
+            oracle, remap = oracle_for(diagram, network)
+            assert diagram.neighbor_map() == {
+                remap[position]: {remap[other] for other in neighbors}
+                for position, neighbors in oracle.neighbor_map().items()
+            }
+
+
+class TestMaintenanceModes:
+    def test_rebuild_mode_reports_every_active_object(self):
+        network = grid_network(5, 5, spacing=10.0)
+        objects = place_objects(network, 6, seed=90)
+        diagram = NetworkVoronoiDiagram(network, objects, maintenance="rebuild")
+        index, changed = diagram.insert_object(network.vertices()[0])
+        assert changed == set(diagram.active_object_indexes())
+        changed = diagram.remove_object(index)
+        assert changed == set(diagram.active_object_indexes())
+
+    def test_rebuild_and_incremental_agree_on_tie_free_networks(self):
+        network = random_planar_network(80, extent=1_000.0, seed=8)
+        objects = place_objects(network, 8, seed=91)
+        incremental = NetworkVoronoiDiagram(network, objects)
+        rebuild = NetworkVoronoiDiagram(network, objects, maintenance="rebuild")
+        rng = random.Random(9)
+        script = []
+        for _ in range(40):
+            op = rng.random()
+            active = incremental.active_object_indexes()
+            if op < 0.4:
+                script.append(("insert", rng.choice(network.vertices())))
+            elif op < 0.7 and len(active) > 2:
+                script.append(("remove", rng.choice(active)))
+            else:
+                script.append(("move", rng.choice(active), rng.choice(network.vertices())))
+            operation = script[-1]
+            for diagram in (incremental, rebuild):
+                if operation[0] == "insert":
+                    diagram.insert_object(operation[1])
+                elif operation[0] == "remove":
+                    diagram.remove_object(operation[1])
+                else:
+                    diagram.move_object(operation[1], operation[2])
+        assert incremental.neighbor_map() == rebuild.neighbor_map()
+        for index in incremental.active_object_indexes():
+            assert incremental.cell_edges({index}) == rebuild.cell_edges({index})
+
+    def test_unknown_maintenance_mode_raises(self):
+        from repro.errors import ConfigurationError
+
+        network = grid_network(3, 3)
+        with pytest.raises(ConfigurationError):
+            NetworkVoronoiDiagram(network, [0], maintenance="magic")
+
+
+class TestBatchUpdate:
+    def test_small_batch_matches_oracle(self):
+        network = random_planar_network(80, extent=1_000.0, seed=12)
+        objects = place_objects(network, 10, seed=13)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        new_indexes, deleted, changed = diagram.batch_update(
+            inserts=[network.vertices()[3]],
+            deletes=[2],
+            moves=[(4, network.vertices()[7])],
+        )
+        assert len(new_indexes) == 1 and deleted == [2]
+        assert changed and all(diagram.is_active(index) for index in changed)
+        oracle, remap = oracle_for(diagram, network)
+        assert diagram.neighbor_map() == {
+            remap[position]: {remap[other] for other in neighbors}
+            for position, neighbors in oracle.neighbor_map().items()
+        }
+
+    def test_large_batch_takes_the_bulk_path_and_matches_oracle(self):
+        network = random_planar_network(80, extent=1_000.0, seed=14)
+        objects = place_objects(network, 10, seed=15)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        rng = random.Random(16)
+        inserts = [rng.choice(network.vertices()) for _ in range(20)]
+        new_indexes, deleted, changed = diagram.batch_update(
+            inserts=inserts, deletes=[0, 1, 2]
+        )
+        assert len(new_indexes) == 20 and set(deleted) == {0, 1, 2}
+        assert changed == set(diagram.active_object_indexes())
+        oracle, remap = oracle_for(diagram, network)
+        assert diagram.neighbor_map() == {
+            remap[position]: {remap[other] for other in neighbors}
+            for position, neighbors in oracle.neighbor_map().items()
+        }
+
+    def test_draining_batch_is_rejected(self):
+        network = grid_network(3, 3)
+        diagram = NetworkVoronoiDiagram(network, [0, 1])
+        with pytest.raises(EmptyDatasetError):
+            diagram.batch_update(deletes=[0, 1])
+
+
+class TestGuards:
+    def test_remove_last_object_raises(self):
+        network = grid_network(3, 3)
+        diagram = NetworkVoronoiDiagram(network, [4])
+        with pytest.raises(EmptyDatasetError):
+            diagram.remove_object(0)
+
+    def test_remove_twice_raises(self):
+        network = grid_network(3, 3)
+        diagram = NetworkVoronoiDiagram(network, [0, 4])
+        diagram.remove_object(0)
+        with pytest.raises(QueryError):
+            diagram.remove_object(0)
+
+    def test_tombstone_identity_is_stable(self):
+        network = grid_network(4, 4)
+        diagram = NetworkVoronoiDiagram(network, [0, 5, 15])
+        diagram.remove_object(1)
+        index, _ = diagram.insert_object(10)
+        assert index == 3  # tombstone index 1 is never reused
+        assert not diagram.is_active(1)
+        assert diagram.active_object_indexes() == [0, 2, 3]
+
+    def test_move_to_same_vertex_is_a_noop(self):
+        network = grid_network(4, 4)
+        diagram = NetworkVoronoiDiagram(network, [0, 15])
+        assert diagram.move_object(0, 0) == set()
