@@ -1,0 +1,188 @@
+"""PR3 — serving-engine throughput: delta-scoped vs flag invalidation.
+
+Before PR 3 the Euclidean :class:`MovingKNNServer` invalidated *every*
+registered query on *every* data epoch, so with M registered queries each
+object-update burst cost M full retrievals at the next timestamps — even
+when the update landed nowhere near most queries.  The unified serving
+engine pushes each epoch's repair delta instead (the objects whose Voronoi
+neighbour lists changed), and a query pays only for updates that touched
+its held pool: a removal inside its prefetched set costs one retrieval, a
+delta elsewhere in the pool an I(R)-only refresh, a delta outside it
+nothing at all.
+
+This benchmark drives the headline stream — M = 64 concurrent k = 8 queries
+over n = 2000 uniform objects, 200 mixed update epochs (insert/delete/move)
+interleaved with the query movement — through both invalidation modes of
+the *same* engine and writes the numbers to ``BENCH_PR3.json`` at the
+repository root.  Two speedups are reported: the *serving* speedup over the
+client-side cost the invalidation contract actually controls (per-query
+retrieval + validation seconds, i.e. the aggregate
+:attr:`ProcessorStats.total_seconds`), and the end-to-end *wall* speedup,
+which also contains the per-epoch index maintenance both modes share (and
+which therefore dilutes the ratio).  Both modes are also checked to report
+identical answers along the way (the randomized equivalence suite in
+``tests/core/test_server_delta_equivalence.py`` proves the same against a
+brute-force oracle).
+
+Run standalone (``python benchmarks/bench_pr3_server_delta_refresh.py``,
+add ``--smoke`` for a tiny-N sanity run) or via pytest
+(``pytest benchmarks/bench_pr3_server_delta_refresh.py``).
+"""
+
+import argparse
+import json
+import pathlib
+
+from repro.simulation.server_sim import simulate_server
+from repro.simulation.report import format_table
+from repro.workloads.scenarios import ChurnSpec, euclidean_server_scenario
+
+from benchmarks.conftest import emit_table
+
+QUERIES = 64
+OBJECT_COUNT = 2_000
+K = 8
+UPDATE_EPOCHS = 200
+#: One mixed batch per timestamp: 1 insert, 1 delete, 1 move.
+CHURN = ChurnSpec(interval=1, inserts=1, deletes=1, moves=1)
+#: Steady-state serving: timestamps are frequent, so a query moves only a
+#: little between consecutive data epochs.
+STEP_LENGTH = 20.0
+
+SMOKE_QUERIES = 6
+SMOKE_OBJECT_COUNT = 150
+SMOKE_UPDATE_EPOCHS = 12
+
+#: Where the machine-readable result lands (committed with the PR so the
+#: perf trajectory accumulates release over release).
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+
+
+def build_scenario(smoke: bool = False):
+    """The benchmark workload (update epochs = timestamps - 1)."""
+    return euclidean_server_scenario(
+        data="uniform",
+        churn=CHURN,
+        queries=SMOKE_QUERIES if smoke else QUERIES,
+        object_count=SMOKE_OBJECT_COUNT if smoke else OBJECT_COUNT,
+        k=3 if smoke else K,
+        steps=(SMOKE_UPDATE_EPOCHS if smoke else UPDATE_EPOCHS),
+        step_length=STEP_LENGTH,
+        seed=71,
+    )
+
+
+def run_benchmark(smoke: bool = False):
+    """Drive the same stream through both invalidation modes.
+
+    Returns ``(rows, speedups, answers_identical)`` where ``speedups`` is
+    ``{"serving": ..., "wall": ...}``.
+    """
+    scenario = build_scenario(smoke=smoke)
+    runs = {}
+    for mode in ("flag", "delta"):
+        runs[mode] = simulate_server(scenario, invalidation=mode)
+    rows = []
+    for mode, run in runs.items():
+        stats = run.aggregate
+        rows.append(
+            {
+                "invalidation": mode,
+                "queries": scenario.query_count,
+                "n": len(scenario.points),
+                "updates": run.epochs,
+                "wall_s": round(run.elapsed_seconds, 3),
+                "serving_s": round(stats.total_seconds, 3),
+                "retrievals": stats.full_recomputations,
+                "ins_refreshes": stats.ins_refreshes,
+                "absorbed": stats.absorbed_updates,
+                "transmitted": stats.transmitted_objects,
+            }
+        )
+    speedups = {
+        "serving": runs["flag"].aggregate.total_seconds
+        / runs["delta"].aggregate.total_seconds,
+        "wall": runs["flag"].elapsed_seconds / runs["delta"].elapsed_seconds,
+    }
+    answers_identical = all(
+        [r.knn_set for r in runs["delta"].results[qid]]
+        == [r.knn_set for r in runs["flag"].results[qid]]
+        for qid in runs["delta"].results
+    )
+    return rows, speedups, answers_identical
+
+
+def write_result(rows, speedups) -> None:
+    by_mode = {row["invalidation"]: row for row in rows}
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "pr3_server_delta_refresh",
+                "n": OBJECT_COUNT,
+                "queries": QUERIES,
+                "k": K,
+                "updates": by_mode["delta"]["updates"],
+                "delta_serving_seconds": by_mode["delta"]["serving_s"],
+                "flag_serving_seconds": by_mode["flag"]["serving_s"],
+                "serving_speedup": round(speedups["serving"], 2),
+                "delta_wall_seconds": by_mode["delta"]["wall_s"],
+                "flag_wall_seconds": by_mode["flag"]["wall_s"],
+                "wall_speedup": round(speedups["wall"], 2),
+                "delta_retrievals": by_mode["delta"]["retrievals"],
+                "flag_retrievals": by_mode["flag"]["retrievals"],
+                "delta_transmitted": by_mode["delta"]["transmitted"],
+                "flag_transmitted": by_mode["flag"]["transmitted"],
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def test_pr3_server_delta_refresh(run_once):
+    rows, speedups, answers_identical = run_once(run_benchmark)
+    write_result(rows, speedups)
+    for row in rows:
+        is_delta = row["invalidation"] == "delta"
+        row["serving_speedup"] = round(speedups["serving"], 2) if is_delta else 1.0
+    emit_table(
+        "PR3_server_delta_refresh",
+        format_table(
+            rows,
+            title=(
+                f"PR3: delta-scoped vs flag invalidation "
+                f"(M={QUERIES} queries, n={OBJECT_COUNT}, k={K}, "
+                f"{UPDATE_EPOCHS} update epochs)"
+            ),
+        ),
+    )
+    assert answers_identical, "delta and flag modes diverged"
+    by_mode = {row["invalidation"]: row for row in rows}
+    assert by_mode["delta"]["retrievals"] < by_mode["flag"]["retrievals"]
+    assert by_mode["delta"]["transmitted"] < by_mode["flag"]["transmitted"]
+    assert speedups["wall"] > 1.0, f"delta mode lost end-to-end: {speedups['wall']:.2f}x"
+    assert (
+        speedups["serving"] >= 1.5
+    ), f"delta-scoped invalidation only {speedups['serving']:.2f}x faster"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny-N sanity run")
+    args = parser.parse_args()
+    rows, speedups, answers_identical = run_benchmark(smoke=args.smoke)
+    for row in rows:
+        print(row)
+    print(
+        f"serving speedup: {speedups['serving']:.2f}x, "
+        f"wall speedup: {speedups['wall']:.2f}x, "
+        f"answers identical: {answers_identical}"
+    )
+    if not args.smoke:
+        write_result(rows, speedups)
+        print(f"written to {RESULT_PATH.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,7 @@ from repro.core import (
     MovingRoadKNNServer,
     ProcessorStats,
     QueryResult,
+    ServingEngine,
     UpdateAction,
     influential_neighbor_set,
     minimal_influential_set,
@@ -59,7 +60,7 @@ from repro.roadnet import (
     random_planar_network,
     ring_radial_network,
 )
-from repro.simulation import simulate, summarize
+from repro.simulation import simulate, simulate_server, summarize
 from repro.trajectory import (
     circular_trajectory,
     linear_trajectory,
@@ -67,10 +68,13 @@ from repro.trajectory import (
     random_waypoint_trajectory,
 )
 from repro.workloads import (
+    ChurnSpec,
     clustered_points,
     default_euclidean_scenario,
     default_road_scenario,
+    euclidean_server_scenario,
     fig4_scenario,
+    road_server_scenario,
     uniform_points,
 )
 
@@ -84,6 +88,7 @@ __all__ = [
     "MovingKNNProcessor",
     "MovingKNNServer",
     "MovingRoadKNNServer",
+    "ServingEngine",
     "ProcessorStats",
     "QueryResult",
     "UpdateAction",
@@ -114,11 +119,15 @@ __all__ = [
     "place_objects",
     # simulation / workloads / trajectories
     "simulate",
+    "simulate_server",
     "summarize",
     "uniform_points",
     "clustered_points",
+    "ChurnSpec",
     "default_euclidean_scenario",
     "default_road_scenario",
+    "euclidean_server_scenario",
+    "road_server_scenario",
     "fig4_scenario",
     "linear_trajectory",
     "circular_trajectory",

@@ -10,9 +10,11 @@
 * :mod:`repro.core.ins_euclidean` — the INS algorithm in the 2-D plane.
 * :mod:`repro.core.ins_road` — the INS algorithm on road networks
   (Theorems 1 and 2).
-* :mod:`repro.core.server` / :mod:`repro.core.road_server` — multi-query
-  servers composing the shared index structures with per-query client
-  state, in the plane and on road networks respectively.
+* :mod:`repro.core.engine` — the generic serving engine (query lifecycle,
+  epoch counter, delta-scoped invalidation dispatch, aggregate stats).
+* :mod:`repro.core.server` / :mod:`repro.core.road_server` — the thin
+  metric-specific servers composing the shared index structures with
+  per-query client state, in the plane and on road networks respectively.
 """
 
 from repro.core.objects import QueryResult, UpdateAction
@@ -26,10 +28,12 @@ from repro.core.influential import (
 from repro.core.processor import MovingKNNProcessor
 from repro.core.ins_euclidean import INSProcessor
 from repro.core.ins_road import INSRoadProcessor
+from repro.core.engine import ServingEngine
 from repro.core.server import MovingKNNServer
 from repro.core.road_server import MovingRoadKNNServer
 
 __all__ = [
+    "ServingEngine",
     "MovingKNNServer",
     "MovingRoadKNNServer",
     "QueryResult",

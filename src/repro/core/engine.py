@@ -1,0 +1,253 @@
+"""The generic multi-query serving engine.
+
+The paper's system is a *server*: one shared, expensive index answers many
+concurrent moving kNN queries while the underlying data objects churn.  The
+Euclidean :class:`~repro.core.server.MovingKNNServer` and the road-network
+:class:`~repro.core.road_server.MovingRoadKNNServer` are two metric-specific
+instances of the same machine, and this module is that machine:
+
+* **query lifecycle** — registration hands out monotonically increasing
+  query identifiers; every registered query owns one processor (answer,
+  prefetched set, guard set) initialised before it is admitted, so a
+  failing first answer never leaves a zombie query behind;
+* **epoch counter** — every mutation batch (a single insert/delete/move
+  counts as a batch of one) advances one data epoch, so clients can cheaply
+  detect whether the data set changed since they last looked;
+* **invalidation dispatch** — the engine pushes each epoch's *repair delta*
+  (the objects whose Voronoi neighbour sets changed, plus the removed
+  objects) to every registered processor, which settles it lazily on its
+  next timestamp: a removal inside its prefetched set costs one retrieval,
+  a delta elsewhere in its held pool an I(R)-only refresh, and a delta
+  outside its pool nothing at all.  The pre-delta behaviour — flag every
+  query for a full refresh on every epoch, regardless of where the update
+  landed — survives as the ``"flag"`` fallback mode and as the oracle of
+  the randomized delta-equivalence tests;
+* **population guard** — a mutation that would leave fewer objects than
+  some registered query's ``k`` requires fails loudly at the mutation
+  instead of deep inside that query's next retrieval;
+* **aggregate statistics** — cost counters summed across queries for
+  capacity planning.
+
+Subclasses provide the metric-specific 20%: constructing the shared index,
+building a processor for a new query, and translating object mutations into
+index repairs that report their deltas.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    TypeVar,
+)
+
+from repro.errors import ConfigurationError, QueryError
+from repro.core.objects import QueryResult
+from repro.core.stats import ProcessorStats
+
+PositionT = TypeVar("PositionT")
+
+
+class ServableProcessor(Protocol[PositionT]):
+    """What the engine needs from a registered query's processor."""
+
+    def update(self, position: PositionT) -> QueryResult: ...
+
+    def notify_data_update(
+        self, changed: Iterable[int], removed: Iterable[int]
+    ) -> None: ...
+
+    def invalidate(self) -> None: ...
+
+    @property
+    def stats(self) -> ProcessorStats: ...
+
+    @property
+    def last_position(self) -> Optional[PositionT]: ...
+
+
+#: A registration record: any object exposing ``query_id``, ``k`` and a
+#: ``processor`` satisfying :class:`ServableProcessor` (the servers use
+#: frozen dataclasses).
+RecordT = TypeVar("RecordT")
+
+
+class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
+    """Generic moving-query serving engine (see the module docstring).
+
+    Args:
+        invalidation: how data-object updates reach the registered queries.
+            ``"delta"`` (default) pushes the repair delta so each query pays
+            only for updates that touched its held pool; ``"flag"`` restores
+            the blanket pre-delta contract (every query refreshes fully on
+            every epoch), kept as a fallback and as the equivalence oracle.
+    """
+
+    INVALIDATION_MODES = ("delta", "flag")
+
+    def __init__(self, invalidation: str = "delta"):
+        if invalidation not in self.INVALIDATION_MODES:
+            raise ConfigurationError(
+                f"invalidation must be one of {self.INVALIDATION_MODES}, got {invalidation!r}"
+            )
+        self._invalidation = invalidation
+        self._queries: Dict[int, RecordT] = {}
+        self._next_query_id = 0
+        self._epoch = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def invalidation(self) -> str:
+        """The invalidation mode (``"delta"`` or ``"flag"``)."""
+        return self._invalidation
+
+    @property
+    @abc.abstractmethod
+    def object_count(self) -> int:
+        """Number of active data objects in the shared index."""
+
+    @property
+    def query_count(self) -> int:
+        """Number of currently registered queries."""
+        return len(self._queries)
+
+    @property
+    def epoch(self) -> int:
+        """The current data epoch.
+
+        Incremented once per mutation batch (a single object update counts
+        as a batch of one), so clients can cheaply detect whether the data
+        set changed since they last looked.
+        """
+        return self._epoch
+
+    def query_ids(self) -> List[int]:
+        """Identifiers of the registered queries."""
+        return list(self._queries)
+
+    def __iter__(self) -> Iterator[RecordT]:
+        return iter(self._queries.values())
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+    def _admit(self, make_record: Callable[[int], RecordT]) -> int:
+        """Register an already-initialised query and return its identifier.
+
+        ``make_record`` receives the allocated query id and returns the
+        registration record (which must expose ``processor`` and ``k``).
+        Callers initialise the processor *before* admitting it, so a failing
+        first answer cannot leave a zombie query behind that inflates counts
+        and receives deltas forever.
+        """
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        self._queries[query_id] = make_record(query_id)
+        return query_id
+
+    def unregister_query(self, query_id: int) -> None:
+        """Remove a query (raises QueryError when it does not exist)."""
+        if query_id not in self._queries:
+            raise QueryError(f"unknown query {query_id}")
+        del self._queries[query_id]
+
+    def _processor(self, query_id: int) -> ServableProcessor[PositionT]:
+        if query_id not in self._queries:
+            raise QueryError(f"unknown query {query_id}")
+        return self._queries[query_id].processor
+
+    def update_position(self, query_id: int, position: PositionT) -> QueryResult:
+        """Advance one query to its next position and return its answer."""
+        return self._processor(query_id).update(position)
+
+    def answer(self, query_id: int) -> QueryResult:
+        """Re-answer a query at its current position without moving it.
+
+        Useful right after a data-object update when the client wants the
+        refreshed result before its next movement.
+        """
+        processor = self._processor(query_id)
+        if processor.last_position is None:
+            raise QueryError(f"query {query_id} has no known position")
+        return processor.update(processor.last_position)
+
+    # ------------------------------------------------------------------
+    # Epoch orchestration
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dedup_active_deletes(
+        deletes: Iterable[int], is_active: Callable[[int], bool]
+    ) -> List[int]:
+        """Filter a deletion list to active objects, deduped in input order.
+
+        Shared by both servers' ``batch_update`` so the population guard
+        counts each doomed object once and ``deleted_indexes`` comes back
+        in the order the caller asked for.
+        """
+        seen = set()
+        delete_list: List[int] = []
+        for index in deletes:
+            if is_active(index) and index not in seen:
+                seen.add(index)
+                delete_list.append(index)
+        return delete_list
+
+    def _check_population(self, resulting_count: int) -> None:
+        """Reject a mutation that would starve a registered query.
+
+        Every registered query needs ``k < population`` (one guard object
+        must exist); checking at the mutation makes the violation fail at
+        its cause instead of deep inside that query's next retrieval.
+        """
+        for registered in self._queries.values():
+            if registered.k >= resulting_count:
+                raise QueryError(
+                    f"update would leave {resulting_count} data objects, too few "
+                    f"for query {registered.query_id} with k={registered.k}"
+                )
+
+    def _commit_epoch(
+        self, changed: Iterable[int], removed: Iterable[int] = ()
+    ) -> int:
+        """Advance the data epoch and dispatch the invalidation round.
+
+        In ``"delta"`` mode every registered processor receives the repair
+        delta and settles it lazily (shared-state invalidation: nothing is
+        copied).  In ``"flag"`` mode the delta is discarded and every
+        processor is forced to refresh fully on its next timestamp.
+        Returns the new epoch number.
+        """
+        self._epoch += 1
+        if self._invalidation == "flag":
+            for registered in self._queries.values():
+                registered.processor.invalidate()
+        else:
+            for registered in self._queries.values():
+                registered.processor.notify_data_update(changed, removed)
+        return self._epoch
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    def aggregate_stats(self) -> ProcessorStats:
+        """Sum of the cost counters of every registered query."""
+        total = ProcessorStats()
+        for registered in self._queries.values():
+            total.merge(registered.processor.stats)
+        return total
+
+    def per_query_stats(self) -> Dict[int, ProcessorStats]:
+        """Cost counters per registered query."""
+        return {
+            query_id: registered.processor.stats
+            for query_id, registered in self._queries.items()
+        }

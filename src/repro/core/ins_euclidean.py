@@ -25,6 +25,27 @@ Protocol reproduced from the paper:
    ``R`` and the server recomputes ``R`` and ``I(R)`` from scratch
    (case (ii) fallback / case (i) with an unknown neighbour list).
 
+**Data-object updates** arrive through :meth:`INSProcessor.notify_data_update`
+(the serving engine pushes the VoR-tree's repair deltas).  The processor
+does not reconstruct anything eagerly — it accumulates the delta and
+settles it on its next timestamp, exactly like the road-side
+:class:`~repro.core.ins_road.INSRoadProcessor`:
+
+* a removal inside the prefetched set R invalidates R, so the next
+  timestamp pays one full retrieval;
+* any other delta touching the held pool (R ∪ I(R)) only refreshes I(R)
+  from the already-patched shared neighbour lists (a few set unions).  This
+  is sound because the INS guarantee is a statement about the *current*
+  diagram: validation against a freshly derived I(R) certifies the held kNN
+  set against the current data set, whatever changed;
+* a delta that leaves the pool untouched is absorbed for free: if an
+  unseen object were among the true kNN it would, by the Voronoi chain
+  property, be a neighbour of some held object — and then the delta would
+  have touched the pool.
+
+The pre-delta behaviour (every update forces a full retrieval) survives as
+:meth:`INSProcessor.invalidate`, the engine's ``"flag"`` fallback mode.
+
 Cost accounting: every retrieval transmits ``|R| + |I(R)|`` objects; every
 validation and local recomposition counts its distance computations.
 """
@@ -33,7 +54,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError, QueryError
 from repro.core.objects import QueryResult, UpdateAction
@@ -109,9 +130,12 @@ class INSProcessor(MovingKNNProcessor[Point]):
         self._guard: FrozenSet[int] = frozenset()
         # Per-member Voronoi neighbour lists (needed for incremental updates).
         self._neighbor_lists: Dict[int, Set[int]] = {}
-        # Set when the server-side data changed; forces a retrieval on the
-        # next timestamp (Section III: data-object updates refresh the IS).
+        # Data-update delta accumulated since the last answer (pushed by the
+        # serving engine); settled lazily on the next timestamp.
         self._state_stale = False
+        self._force_refresh = False
+        self._pending_changed: Set[int] = set()
+        self._pending_removed: Set[int] = set()
         self._last_position: Optional[Point] = None
 
     # ------------------------------------------------------------------
@@ -156,35 +180,127 @@ class INSProcessor(MovingKNNProcessor[Point]):
         """Whether case (i) single-object incremental updates are enabled."""
         return self._allow_incremental
 
+    @property
+    def state_stale(self) -> bool:
+        """True when a data-update delta is pending for the next timestamp."""
+        return self._state_stale
+
+    @property
+    def last_position(self) -> Optional[Point]:
+        """The last query position processed (None before initialisation)."""
+        return self._last_position
+
     # ------------------------------------------------------------------
     # Data-object updates (Section III, last paragraph)
     # ------------------------------------------------------------------
+    def notify_data_update(
+        self, changed: Iterable[int] = (), removed: Iterable[int] = ()
+    ) -> None:
+        """Record a VoR-tree repair delta; settled lazily on the next timestamp.
+
+        Args:
+            changed: objects whose Voronoi neighbour lists changed.
+            removed: objects deleted from the data set.
+        """
+        self._pending_changed.update(changed)
+        self._pending_removed.update(removed)
+        self._state_stale = True
+
+    def invalidate(self) -> None:
+        """Blanket invalidation: force a full retrieval on the next timestamp.
+
+        This is the pre-delta contract (every registered query refreshes on
+        every epoch), kept as the serving engine's ``"flag"`` fallback mode
+        and as the oracle of the delta-equivalence tests.
+        """
+        self._force_refresh = True
+        self._state_stale = True
+
     def insert_object(self, point: Point) -> int:
         """Insert a new data object at ``point`` and return its object index.
 
-        The server-side VoR-tree is updated incrementally; the client-held
-        answer is marked stale so the next timestamp refreshes the kNN set
-        and the IS.  (``self._points`` is a live view of the tree's storage,
-        so no position list is copied.)
+        The server-side VoR-tree is updated incrementally and the repair
+        delta is queued for the client-held answer, which settles it lazily
+        on the next timestamp.  (``self._points`` is a live view of the
+        tree's storage, so no position list is copied.)
         """
         with self._stats.time_construction():
-            index = self._vortree.insert(point)
-        self._state_stale = True
+            index, changed = self._vortree.insert(point)
+        self.notify_data_update(changed)
         return index
 
     def delete_object(self, index: int) -> bool:
         """Delete data object ``index`` (returns False when it did not exist)."""
         with self._stats.time_construction():
-            removed = self._vortree.delete(index)
+            removed, changed = self._vortree.delete(index)
         if removed:
-            self._state_stale = True
+            self.notify_data_update(changed, (index,))
         return removed
+
+    def _consume_data_updates(self, position: Point) -> Optional[QueryResult]:
+        """Settle the accumulated data-update delta.
+
+        Returns a full-recompute :class:`QueryResult` when the delta forced
+        a retrieval, or None when the held state was refreshed (or
+        untouched) and the normal validation flow should proceed.
+        """
+        changed = self._pending_changed
+        removed = self._pending_removed
+        force = self._force_refresh
+        self._pending_changed = set()
+        self._pending_removed = set()
+        self._force_refresh = False
+        self._state_stale = False
+        if force or removed.intersection(self._R):
+            # Blanket invalidation, or the prefetched set lost a member: R
+            # no longer reflects the ⌊ρk⌋ nearest objects, recompute it.
+            self._stats.validations += 1
+            self._retrieve(position)
+            distances = self._distances(position, self._knn)
+            return QueryResult(
+                timestamp=self.current_timestamp,
+                knn=tuple(self._knn),
+                knn_distances=tuple(distances),
+                guard_objects=self._guard,
+                action=UpdateAction.FULL_RECOMPUTE,
+                was_valid=False,
+            )
+        if removed & self._ins or changed & self._pool:
+            # The delta touched the held region: re-derive I(R) (and the
+            # neighbour lists the incremental mode relies on) from the
+            # already-patched shared tree — a few set unions, no kNN
+            # recomputation.  The validation that follows certifies the
+            # held answer against the fresh guard set, which is what makes
+            # this refresh sound.
+            with self._stats.time_construction():
+                for member in changed.intersection(self._R):
+                    self._neighbor_lists[member] = self._vortree.voronoi_neighbors(member)
+                self._ins = self._vortree.influential_neighbor_set(self._R)
+                self._stats.ins_refreshes += 1
+                incoming = len(self._ins - self._pool)
+                if incoming:
+                    # New guard objects crossed the server-client boundary:
+                    # charge them like a case-(i) incremental fetch so
+                    # comm_events stays an honest round-trip count.
+                    self._stats.transmitted_objects += incoming
+                    self._stats.incremental_updates += 1
+                self._refresh_cached_sets()
+        else:
+            # The delta missed the pool: every held neighbour list is
+            # unchanged, so the guard set the next validation uses is
+            # already the correct one.  Free.
+            self._stats.absorbed_updates += 1
+        return None
 
     # ------------------------------------------------------------------
     # Lifecycle hooks
     # ------------------------------------------------------------------
     def _initialize(self, position: Point) -> QueryResult:
         self._last_position = position
+        self._state_stale = False
+        self._force_refresh = False
+        self._pending_changed = set()
+        self._pending_removed = set()
         self._retrieve(position)
         distances = self._distances(position, self._knn)
         return QueryResult(
@@ -199,19 +315,10 @@ class INSProcessor(MovingKNNProcessor[Point]):
     def _update(self, position: Point) -> QueryResult:
         self._last_position = position
         if self._state_stale:
-            # The data set changed since the last answer: refresh everything.
-            self._state_stale = False
-            self._stats.validations += 1
-            self._retrieve(position)
-            distances = self._distances(position, self._knn)
-            return QueryResult(
-                timestamp=self.current_timestamp,
-                knn=tuple(self._knn),
-                knn_distances=tuple(distances),
-                guard_objects=self._guard,
-                action=UpdateAction.FULL_RECOMPUTE,
-                was_valid=False,
-            )
+            # The data set changed since the last answer: settle the delta.
+            forced = self._consume_data_updates(position)
+            if forced is not None:
+                return forced
         with self._stats.time_validation():
             self._stats.validations += 1
             pool_distances = self._pool_distances(position)

@@ -41,6 +41,7 @@ it on its next timestamp:
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -124,6 +125,7 @@ class INSRoadProcessor(MovingKNNProcessor[NetworkLocation]):
         # Data-update delta accumulated since the last answer (pushed by the
         # road server); settled lazily on the next timestamp.
         self._state_stale = False
+        self._force_refresh = False
         self._pending_changed: Set[int] = set()
         self._pending_removed: Set[int] = set()
         self._last_position: Optional[NetworkLocation] = None
@@ -192,6 +194,16 @@ class INSRoadProcessor(MovingKNNProcessor[NetworkLocation]):
         self._pending_removed.update(removed)
         self._state_stale = True
 
+    def invalidate(self) -> None:
+        """Blanket invalidation: force a full retrieval on the next timestamp.
+
+        The serving engine's ``"flag"`` fallback mode (the pre-delta
+        contract: every query refreshes fully on every epoch), kept as the
+        oracle of the delta-equivalence tests.
+        """
+        self._force_refresh = True
+        self._state_stale = True
+
     def _consume_data_updates(self, position: NetworkLocation) -> Optional[QueryResult]:
         """Settle the accumulated delta.
 
@@ -201,12 +213,14 @@ class INSRoadProcessor(MovingKNNProcessor[NetworkLocation]):
         """
         changed = self._pending_changed
         removed = self._pending_removed
+        force = self._force_refresh
         self._pending_changed = set()
         self._pending_removed = set()
+        self._force_refresh = False
         self._state_stale = False
-        if removed.intersection(self._R):
-            # The prefetched set lost a member: R no longer reflects the
-            # ⌊ρk⌋ nearest objects, recompute it from the server.
+        if force or removed.intersection(self._R):
+            # Blanket invalidation, or the prefetched set lost a member: R
+            # no longer reflects the ⌊ρk⌋ nearest objects, recompute it.
             self._stats.validations += 1
             self._retrieve(position)
             distances = self._held_distances(position)
@@ -238,8 +252,11 @@ class INSRoadProcessor(MovingKNNProcessor[NetworkLocation]):
                     self._stats.transmitted_objects += incoming
                     self._stats.incremental_updates += 1
                 self._rebuild_restricted_network()
-        # A delta outside the pool left every held neighbour set unchanged:
-        # nothing to refresh, the normal validation is already sound.
+        else:
+            # A delta outside the pool left every held neighbour set
+            # unchanged: nothing to refresh, the normal validation is
+            # already sound.  Free.
+            self._stats.absorbed_updates += 1
         return None
 
     # ------------------------------------------------------------------
@@ -248,6 +265,7 @@ class INSRoadProcessor(MovingKNNProcessor[NetworkLocation]):
     def _initialize(self, position: NetworkLocation) -> QueryResult:
         self._last_position = position
         self._state_stale = False
+        self._force_refresh = False
         self._pending_changed = set()
         self._pending_removed = set()
         self._retrieve(position)
@@ -397,7 +415,11 @@ class INSRoadProcessor(MovingKNNProcessor[NetworkLocation]):
     ) -> UpdateAction:
         """Recompose the answer from R when possible, else retrieve."""
         with self._stats.time_validation():
-            candidate = sorted(self._R, key=lambda index: (distances[index], index))[: self.k]
+            # Top-k by a bounded heap instead of sorting all of R — the
+            # same O(|R| log k) selection the Euclidean processor uses.
+            candidate = heapq.nsmallest(
+                self.k, self._R, key=lambda index: (distances[index], index)
+            )
             guard = (set(self._R) | self._ins) - set(candidate)
             farthest = max(distances[index] for index in candidate)
             nearest_guard = min(distances[index] for index in guard) if guard else math.inf

@@ -1,42 +1,42 @@
-"""A multi-query moving-kNN server for road networks.
+"""The road-network multi-query moving-kNN server.
 
-The road-network counterpart of :class:`repro.core.server.MovingKNNServer`:
-one server answers *many* concurrent moving kNN queries over the same
-road-side data set.
+The road counterpart of :class:`~repro.core.server.MovingKNNServer` and,
+like it, a thin metric-specific subclass of the generic
+:class:`~repro.core.engine.ServingEngine`: one shared, incrementally
+maintained :class:`~repro.roadnet.network_voronoi.NetworkVoronoiDiagram`
+(the expensive structure — a whole-graph multi-source Dijkstra to build)
+serves every registered :class:`INSRoadProcessor` client, and the engine
+owns the query lifecycle, the epoch counter, the population guard and the
+invalidation dispatch.  This module contributes only the road 20%:
 
-* one shared, incrementally maintained
-  :class:`~repro.roadnet.network_voronoi.NetworkVoronoiDiagram` (the
-  expensive structure — a whole-graph multi-source Dijkstra to build) serves
-  every query,
-* each registered query gets its own :class:`INSRoadProcessor` client state
-  (answer, prefetched set, guard set, Theorem 2 sub-network) with its own
-  ``k``, ``ρ`` and validation mode,
-* data-object updates are applied once to the shared diagram — a *local*
-  repair flood, not a rebuild — and the repair's delta (the objects whose
-  neighbour sets changed) is pushed to every registered query by flag,
-* :meth:`MovingRoadKNNServer.batch_update` applies a whole burst of inserts,
-  moves and deletes as one *epoch*: one diagram patch (or, for very large
-  bursts, one rebuild), one invalidation round.
+* constructing the shared diagram and the per-query processors (each with
+  its own ``k``, ``ρ``, validation mode and Theorem 2 sub-network),
+* translating object mutations (:meth:`MovingRoadKNNServer.insert_object`,
+  :meth:`~MovingRoadKNNServer.delete_object`,
+  :meth:`~MovingRoadKNNServer.move_object`,
+  :meth:`~MovingRoadKNNServer.batch_update`) into *local* repair floods —
+  O(cells touched) per update, with a whole burst applied as one epoch.
 
-Updates are cheap on both sides of the interface.  Server-side, the repair
-touches only the cells around the updated object.  Client-side, processors
-share the diagram's live vertex-assignment view, so an update never copies
-the n-object list into each of the (possibly thousands of) registered
-queries — they accumulate the delta and settle it lazily on their next
-timestamp: a removal inside their prefetched set forces one retrieval, a
-delta elsewhere in their held pool refreshes I(R) from the repaired diagram
-(a few dictionary unions), and a delta outside their pool costs nothing.
+**Invalidation is delta-scoped** — the contract this server pioneered and
+the engine now shares with the Euclidean side: every repair reports the
+objects whose Voronoi neighbour sets changed, the engine pushes exactly
+that delta to each registered query, and a client settles it lazily on its
+next timestamp (removal inside its prefetched set → one retrieval; delta
+elsewhere in its held pool → I(R) + sub-network refreshed from the repaired
+diagram; delta outside its pool → free, counted as an absorbed update).
+Processors share the diagram's live vertex-assignment view, so an update
+never copies the n-object list into each registered query.  The blanket
+refresh-everyone behaviour survives as ``invalidation="flag"``, the
+fallback mode and the oracle of the randomized delta-equivalence tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import QueryError
+from repro.core.engine import ServingEngine
 from repro.core.ins_road import INSRoadProcessor
-from repro.core.objects import QueryResult
-from repro.core.stats import ProcessorStats
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.location import NetworkLocation
 from repro.roadnet.network_voronoi import NetworkVoronoiDiagram
@@ -74,7 +74,7 @@ class RoadBatchUpdateResult:
     epoch: int
 
 
-class MovingRoadKNNServer:
+class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
     """Serve many concurrent moving kNN queries over one road-side data set.
 
     Args:
@@ -85,6 +85,10 @@ class MovingRoadKNNServer:
             :class:`NetworkVoronoiDiagram`).
         stats: optional search-effort accumulator shared with the diagram's
             construction and repairs.
+        invalidation: ``"delta"`` (default) pushes each epoch's repair
+            delta to the registered queries; ``"flag"`` restores the
+            blanket refresh-everyone contract (see
+            :class:`~repro.core.engine.ServingEngine`).
     """
 
     def __init__(
@@ -93,15 +97,14 @@ class MovingRoadKNNServer:
         object_vertices: Sequence[int],
         maintenance: str = "incremental",
         stats: Optional[SearchStats] = None,
+        invalidation: str = "delta",
     ):
+        super().__init__(invalidation=invalidation)
         self._network = network
         self._search_stats = stats if stats is not None else SearchStats()
         self._voronoi = NetworkVoronoiDiagram(
             network, list(object_vertices), self._search_stats, maintenance=maintenance
         )
-        self._queries: Dict[int, RegisteredRoadQuery] = {}
-        self._next_query_id = 0
-        self._epoch = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -122,31 +125,14 @@ class MovingRoadKNNServer:
         return self._search_stats
 
     @property
+    def maintenance(self) -> str:
+        """The shared diagram's maintenance mode (``"incremental"``/``"rebuild"``)."""
+        return self._voronoi.maintenance
+
+    @property
     def object_count(self) -> int:
         """Number of active data objects."""
         return self._voronoi.object_count()
-
-    @property
-    def query_count(self) -> int:
-        """Number of currently registered queries."""
-        return len(self._queries)
-
-    @property
-    def epoch(self) -> int:
-        """The current data epoch.
-
-        Incremented once per mutation batch (a single insert/move/delete
-        counts as a batch of one), so clients can cheaply detect whether
-        the data set changed since they last looked.
-        """
-        return self._epoch
-
-    def query_ids(self) -> List[int]:
-        """Identifiers of the registered queries."""
-        return list(self._queries)
-
-    def __iter__(self) -> Iterator[RegisteredRoadQuery]:
-        return iter(self._queries.values())
 
     def object_vertex(self, index: int) -> int:
         """The vertex data object ``index`` currently sits on."""
@@ -174,45 +160,19 @@ class MovingRoadKNNServer:
             validation_mode=validation_mode,
             voronoi=self._voronoi,
         )
-        # Initialize before registering: a failing first answer (bad
+        # Initialize before admitting: a failing first answer (bad
         # location, unreachable region) must not leave a zombie query
-        # behind that inflates counts and receives deltas forever.
+        # behind.
         processor.initialize(position)
-        query_id = self._next_query_id
-        self._next_query_id += 1
-        self._queries[query_id] = RegisteredRoadQuery(
-            query_id=query_id,
-            k=k,
-            rho=rho,
-            validation_mode=validation_mode,
-            processor=processor,
+        return self._admit(
+            lambda query_id: RegisteredRoadQuery(
+                query_id=query_id,
+                k=k,
+                rho=rho,
+                validation_mode=validation_mode,
+                processor=processor,
+            )
         )
-        return query_id
-
-    def unregister_query(self, query_id: int) -> None:
-        """Remove a query (raises QueryError when it does not exist)."""
-        if query_id not in self._queries:
-            raise QueryError(f"unknown query {query_id}")
-        del self._queries[query_id]
-
-    def update_position(self, query_id: int, position: NetworkLocation) -> QueryResult:
-        """Advance one query to its next position and return its answer."""
-        if query_id not in self._queries:
-            raise QueryError(f"unknown query {query_id}")
-        return self._queries[query_id].processor.update(position)
-
-    def answer(self, query_id: int) -> QueryResult:
-        """Re-answer a query at its current position without moving it.
-
-        Useful right after a data-object update when the client wants the
-        refreshed result before its next movement.
-        """
-        if query_id not in self._queries:
-            raise QueryError(f"unknown query {query_id}")
-        processor = self._queries[query_id].processor
-        if processor.last_position is None:
-            raise QueryError(f"query {query_id} has no known position")
-        return processor.update(processor.last_position)
 
     # ------------------------------------------------------------------
     # Data-object updates
@@ -221,12 +181,11 @@ class MovingRoadKNNServer:
         """Insert a data object at ``vertex``; returns its object index.
 
         The shared diagram absorbs the insert with a local repair flood and
-        every registered query receives the repair delta by flag — no
-        per-query state is copied.
+        every registered query receives the repair delta — no per-query
+        state is copied.
         """
         index, changed = self._voronoi.insert_object(vertex)
-        self._epoch += 1
-        self._push_delta(changed, ())
+        self._commit_epoch(changed)
         return index
 
     def delete_object(self, index: int) -> bool:
@@ -241,8 +200,7 @@ class MovingRoadKNNServer:
             return False
         self._check_population(self._voronoi.object_count() - 1)
         changed = self._voronoi.remove_object(index)
-        self._epoch += 1
-        self._push_delta(changed, (index,))
+        self._commit_epoch(changed, (index,))
         return True
 
     def move_object(self, index: int, vertex: int) -> FrozenSet[int]:
@@ -254,8 +212,7 @@ class MovingRoadKNNServer:
         changed = self._voronoi.move_object(index, vertex)
         if not changed:
             return frozenset()
-        self._epoch += 1
-        self._push_delta(changed, ())
+        self._commit_epoch(changed)
         return frozenset(changed)
 
     def batch_update(
@@ -275,7 +232,7 @@ class MovingRoadKNNServer:
                 for some registered query's ``k``.
         """
         insert_list = list(inserts)
-        delete_list = [index for index in set(deletes) if self._voronoi.is_active(index)]
+        delete_list = self._dedup_active_deletes(deletes, self._voronoi.is_active)
         self._check_population(
             self._voronoi.object_count() + len(insert_list) - len(delete_list)
         )
@@ -283,47 +240,10 @@ class MovingRoadKNNServer:
             insert_list, delete_list, moves
         )
         if new_indexes or deleted or changed:
-            self._epoch += 1
-            self._push_delta(changed, deleted)
+            self._commit_epoch(changed, deleted)
         return RoadBatchUpdateResult(
             new_indexes=tuple(new_indexes),
             deleted_indexes=tuple(deleted),
             changed_objects=frozenset(changed),
             epoch=self._epoch,
         )
-
-    def _check_population(self, resulting_count: int) -> None:
-        """Reject a mutation that would starve a registered query.
-
-        Every registered query needs ``k < population`` (one guard object
-        must exist); checking at the mutation makes the violation fail at
-        its cause instead of deep inside that query's next retrieval.
-        """
-        for registered in self._queries.values():
-            if registered.k >= resulting_count:
-                raise QueryError(
-                    f"update would leave {resulting_count} data objects, too few "
-                    f"for query {registered.query_id} with k={registered.k}"
-                )
-
-    def _push_delta(self, changed: Iterable[int], removed: Iterable[int]) -> None:
-        """Shared-state invalidation: flag every query, copy nothing."""
-        for registered in self._queries.values():
-            registered.processor.notify_data_update(changed, removed)
-
-    # ------------------------------------------------------------------
-    # Aggregate statistics
-    # ------------------------------------------------------------------
-    def aggregate_stats(self) -> ProcessorStats:
-        """Sum of the cost counters of every registered query."""
-        total = ProcessorStats()
-        for registered in self._queries.values():
-            total.merge(registered.processor.stats)
-        return total
-
-    def per_query_stats(self) -> Dict[int, ProcessorStats]:
-        """Cost counters per registered query."""
-        return {
-            query_id: registered.processor.stats
-            for query_id, registered in self._queries.items()
-        }

@@ -1,38 +1,40 @@
-"""A multi-query MkNN server.
+"""The Euclidean multi-query MkNN server.
 
-The INSQ demonstration drives a single moving query, but the system it
-showcases is meant for location-based services where one server answers
-*many* concurrent moving kNN queries over the same data set.  This module
-provides that server-side composition:
+A thin metric-specific subclass of the generic
+:class:`~repro.core.engine.ServingEngine`: one shared, incrementally
+maintained :class:`~repro.index.vortree.VoRTree` (the expensive structure)
+serves every registered :class:`INSProcessor` client, and the engine owns
+the query lifecycle, the epoch counter, the population guard and the
+invalidation dispatch.  This module contributes only the Euclidean 20%:
 
-* one shared, precomputed :class:`~repro.index.vortree.VoRTree` (the
-  expensive structure) serves every query,
-* each registered query gets its own :class:`INSProcessor` client state
-  (answer, prefetched set, guard set) with its own ``k`` and ``ρ``,
-* data-object updates are applied once to the shared tree and invalidate
-  every registered query's client state, exactly as Section III prescribes,
-* aggregate statistics across queries are available for capacity planning.
+* constructing the shared VoR-tree and the per-query processors,
+* translating object mutations (:meth:`MovingKNNServer.insert_object`,
+  :meth:`~MovingKNNServer.delete_object`,
+  :meth:`~MovingKNNServer.batch_update`) into incremental tree repairs —
+  O(affected cells) per update, with a whole burst applied as one epoch.
 
-Data-object updates are cheap on both sides of the interface.  Server-side,
-the shared VoR-tree patches its Voronoi neighbour lists incrementally
-(O(affected cells) per update instead of a full O(n) rebuild) and
-:meth:`MovingKNNServer.batch_update` applies a whole burst of inserts and
-deletes as one *epoch*: one neighbour-map patch, one invalidation round.
-Client-side, every registered processor shares the tree's live position
-view, so an update never copies the n-point list into each of the (possibly
-thousands of) registered queries — their state is merely marked stale and
-refreshed lazily on their next timestamp.
+**Invalidation is delta-scoped** (the road server's contract, now shared):
+every mutation returns the set of objects whose Voronoi neighbour lists
+changed, and the engine pushes exactly that delta to each registered query.
+A client settles it lazily on its next timestamp — a removal inside its
+prefetched set R costs one retrieval, a delta elsewhere in its held pool
+(R ∪ I(R)) an I(R)-only refresh from the already-patched tree, and a delta
+outside its pool nothing at all (counted as an absorbed update).  Since the
+processors share the tree's live position view, an update never copies the
+n-point list into each of the (possibly thousands of) registered queries.
+The blanket pre-delta behaviour — every query refreshes fully on every
+epoch — survives as ``invalidation="flag"``, the fallback mode and the
+oracle of the randomized delta-equivalence tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, Sequence, Tuple
 
-from repro.errors import ConfigurationError, EmptyDatasetError, QueryError
+from repro.errors import ConfigurationError, EmptyDatasetError
+from repro.core.engine import ServingEngine
 from repro.core.ins_euclidean import INSProcessor
-from repro.core.objects import QueryResult
-from repro.core.stats import ProcessorStats
 from repro.geometry.point import Point
 from repro.index.vortree import VoRTree
 
@@ -55,16 +57,19 @@ class BatchUpdateResult:
         new_indexes: object indexes assigned to the inserted points, in
             input order.
         deleted_indexes: object indexes that were actually deleted.
+        changed_objects: surviving objects whose Voronoi neighbour lists
+            changed (the delta pushed to the registered queries).
         epoch: the data epoch after applying the batch (monotonically
             increasing; one step per mutation batch, however large).
     """
 
     new_indexes: Tuple[int, ...]
     deleted_indexes: Tuple[int, ...]
+    changed_objects: FrozenSet[int]
     epoch: int
 
 
-class MovingKNNServer:
+class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
     """Serve many concurrent moving kNN queries over one data set.
 
     Args:
@@ -75,6 +80,10 @@ class MovingKNNServer:
         maintenance: Voronoi neighbour-list maintenance mode of the shared
             VoR-tree (``"incremental"`` or ``"rebuild"``; see
             :class:`VoRTree`).
+        invalidation: ``"delta"`` (default) pushes each epoch's repair
+            delta to the registered queries; ``"flag"`` restores the
+            blanket refresh-everyone contract (see
+            :class:`~repro.core.engine.ServingEngine`).
     """
 
     def __init__(
@@ -83,16 +92,15 @@ class MovingKNNServer:
         max_entries: int = 16,
         allow_incremental: bool = False,
         maintenance: str = "incremental",
+        invalidation: str = "delta",
     ):
+        super().__init__(invalidation=invalidation)
         if not points:
             raise EmptyDatasetError("MovingKNNServer requires at least one data object")
         self._vortree = VoRTree(
             list(points), max_entries=max_entries, maintenance=maintenance
         )
         self._allow_incremental = allow_incremental
-        self._queries: Dict[int, RegisteredQuery] = {}
-        self._next_query_id = 0
-        self._epoch = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -103,31 +111,14 @@ class MovingKNNServer:
         return self._vortree
 
     @property
+    def maintenance(self) -> str:
+        """The shared tree's maintenance mode (``"incremental"``/``"rebuild"``)."""
+        return self._vortree.maintenance
+
+    @property
     def object_count(self) -> int:
         """Number of active data objects."""
         return len(self._vortree)
-
-    @property
-    def query_count(self) -> int:
-        """Number of currently registered queries."""
-        return len(self._queries)
-
-    @property
-    def epoch(self) -> int:
-        """The current data epoch.
-
-        Incremented once per mutation batch (a single insert/delete counts
-        as a batch of one), so clients can cheaply detect whether the data
-        set changed since they last looked.
-        """
-        return self._epoch
-
-    def query_ids(self) -> List[int]:
-        """Identifiers of the registered queries."""
-        return list(self._queries)
-
-    def __iter__(self) -> Iterator[RegisteredQuery]:
-        return iter(self._queries.values())
 
     # ------------------------------------------------------------------
     # Query lifecycle
@@ -150,63 +141,43 @@ class MovingKNNServer:
             vortree=self._vortree,
             allow_incremental=self._allow_incremental,
         )
-        # Initialize before registering: a failing first answer must not
-        # leave a zombie query behind that inflates counts and gets
-        # invalidated forever.
+        # Initialize before admitting: a failing first answer must not
+        # leave a zombie query behind.
         processor.initialize(position)
-        query_id = self._next_query_id
-        self._next_query_id += 1
-        self._queries[query_id] = RegisteredQuery(
-            query_id=query_id, k=k, rho=rho, processor=processor
+        return self._admit(
+            lambda query_id: RegisteredQuery(
+                query_id=query_id, k=k, rho=rho, processor=processor
+            )
         )
-        return query_id
-
-    def unregister_query(self, query_id: int) -> None:
-        """Remove a query (raises QueryError when it does not exist)."""
-        if query_id not in self._queries:
-            raise QueryError(f"unknown query {query_id}")
-        del self._queries[query_id]
-
-    def update_position(self, query_id: int, position: Point) -> QueryResult:
-        """Advance one query to its next position and return its answer."""
-        if query_id not in self._queries:
-            raise QueryError(f"unknown query {query_id}")
-        return self._queries[query_id].processor.update(position)
-
-    def answer(self, query_id: int) -> QueryResult:
-        """Re-answer a query at its current position without moving it.
-
-        Useful right after a data-object update when the client wants the
-        refreshed result before its next movement.
-        """
-        if query_id not in self._queries:
-            raise QueryError(f"unknown query {query_id}")
-        processor = self._queries[query_id].processor
-        if processor._last_position is None:
-            raise QueryError(f"query {query_id} has no known position")
-        return processor.update(processor._last_position)
 
     # ------------------------------------------------------------------
     # Data-object updates
     # ------------------------------------------------------------------
     def insert_object(self, point: Point) -> int:
-        """Insert a data object; every registered query is marked stale.
+        """Insert a data object; the repair delta reaches every query.
 
         The registered processors share the tree's live position view, so
         no per-query state is copied — the insert is one incremental
-        neighbour-map patch plus one stale flag per query.
+        neighbour-map patch plus one delta push per query.
         """
-        index = self._vortree.insert(point)
-        self._epoch += 1
-        self._invalidate_queries()
+        index, changed = self._vortree.insert(point)
+        self._commit_epoch(changed)
         return index
 
     def delete_object(self, index: int) -> bool:
-        """Delete a data object; every registered query is marked stale."""
-        removed = self._vortree.delete(index)
+        """Delete a data object (returns False when already gone).
+
+        Raises:
+            QueryError: when the deletion would leave fewer objects than
+                some registered query's ``k`` requires — failing loudly at
+                the mutation instead of at that query's next timestamp.
+        """
+        if not self._vortree.is_active(index):
+            return False
+        self._check_population(len(self._vortree) - 1)
+        removed, changed = self._vortree.delete(index)
         if removed:
-            self._epoch += 1
-            self._invalidate_queries()
+            self._commit_epoch(changed, (index,))
         return removed
 
     def batch_update(
@@ -221,35 +192,24 @@ class MovingKNNServer:
         insertions are registered first, so a burst may replace the whole
         population as long as one object survives (see
         :meth:`VoRTree.batch_update`).
+
+        Raises:
+            QueryError: when the surviving population would be too small
+                for some registered query's ``k``.
         """
-        new_indexes, deleted = self._vortree.batch_update(inserts, deletes)
+        insert_list = list(inserts)
+        delete_list = self._dedup_active_deletes(deletes, self._vortree.is_active)
+        self._check_population(
+            len(self._vortree) + len(insert_list) - len(delete_list)
+        )
+        new_indexes, deleted, changed = self._vortree.batch_update(
+            insert_list, delete_list
+        )
         if new_indexes or deleted:
-            self._epoch += 1
-            self._invalidate_queries()
+            self._commit_epoch(changed, deleted)
         return BatchUpdateResult(
             new_indexes=tuple(new_indexes),
             deleted_indexes=tuple(deleted),
+            changed_objects=frozenset(changed),
             epoch=self._epoch,
         )
-
-    def _invalidate_queries(self) -> None:
-        """Shared-state invalidation: flag every query, copy nothing."""
-        for registered in self._queries.values():
-            registered.processor._state_stale = True
-
-    # ------------------------------------------------------------------
-    # Aggregate statistics
-    # ------------------------------------------------------------------
-    def aggregate_stats(self) -> ProcessorStats:
-        """Sum of the cost counters of every registered query."""
-        total = ProcessorStats()
-        for registered in self._queries.values():
-            total.merge(registered.processor.stats)
-        return total
-
-    def per_query_stats(self) -> Dict[int, ProcessorStats]:
-        """Cost counters per registered query."""
-        return {
-            query_id: registered.processor.stats
-            for query_id, registered in self._queries.items()
-        }

@@ -28,6 +28,9 @@ class ProcessorStats:
         full_recomputations: full answer + guard recomputations at the server.
         ins_refreshes: guard-set refreshes triggered by data-object updates
             that were absorbed from diagram deltas (no kNN recomputation).
+        absorbed_updates: data-update epochs whose delta missed the client's
+            held pool entirely and therefore cost the client nothing (the
+            free case of the delta-scoped invalidation contract).
         transmitted_objects: total data objects sent from server to client
             (the paper's communication cost proxy).
         distance_computations: point-to-point (or network) distance
@@ -51,6 +54,7 @@ class ProcessorStats:
     incremental_updates: int = 0
     full_recomputations: int = 0
     ins_refreshes: int = 0
+    absorbed_updates: int = 0
     transmitted_objects: int = 0
     distance_computations: int = 0
     index_node_accesses: int = 0
@@ -115,6 +119,7 @@ class ProcessorStats:
         self.incremental_updates += other.incremental_updates
         self.full_recomputations += other.full_recomputations
         self.ins_refreshes += other.ins_refreshes
+        self.absorbed_updates += other.absorbed_updates
         self.transmitted_objects += other.transmitted_objects
         self.distance_computations += other.distance_computations
         self.index_node_accesses += other.index_node_accesses
@@ -132,6 +137,7 @@ class ProcessorStats:
             "incremental_updates": self.incremental_updates,
             "full_recomputations": self.full_recomputations,
             "ins_refreshes": self.ins_refreshes,
+            "absorbed_updates": self.absorbed_updates,
             "communication_events": self.communication_events,
             "transmitted_objects": self.transmitted_objects,
             "distance_computations": self.distance_computations,

@@ -44,8 +44,14 @@ class HalfPlane:
         return self.a * p.x + self.b * p.y - self.c
 
     def contains(self, p: Point, tolerance: float = 1e-9) -> bool:
-        """True when ``p`` satisfies the half-plane inequality."""
-        scale = max(abs(self.a), abs(self.b), abs(self.c), 1.0)
+        """True when ``p`` satisfies the half-plane inequality.
+
+        The tolerance is relative to the coefficient magnitude: flooring the
+        scale at 1.0 would turn it absolute for tiny-coefficient boundaries
+        (bisectors of nearly coincident points), misclassifying points that
+        are strictly outside.
+        """
+        scale = max(abs(self.a), abs(self.b), abs(self.c)) or 1.0
         return self.evaluate(p) <= tolerance * scale
 
     def boundary_intersection(self, p: Point, q: Point) -> Point:

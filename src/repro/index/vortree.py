@@ -11,18 +11,24 @@ This module composes the two substrates built earlier: the Delaunay-derived
 Voronoi neighbour map (:mod:`repro.geometry.voronoi`) and the R-tree
 (:mod:`repro.index.rtree`).
 
-**Data-object updates are incremental.**  :meth:`VoRTree.insert` and
-:meth:`VoRTree.delete` used to throw away the whole order-1 Voronoi diagram
-and re-run the construction over all n objects — O(n) (and worse) per
-update.  They now drive :meth:`VoronoiDiagram.insert_site` /
-:meth:`VoronoiDiagram.remove_site`, which carve only the affected Delaunay
-cavity / star, and patch just the neighbour lists those deltas report —
-O(affected cells) per update.  :meth:`VoRTree.full_rebuild` keeps the
-from-scratch path available as a fallback (degenerate geometry) and as the
-correctness oracle for the randomized equivalence tests.
-:meth:`VoRTree.batch_update` applies a burst of inserts and deletes as one
-epoch, switching to a single full rebuild when the burst is large enough
-that per-object patching would be wasted work.
+**Data-object updates are incremental and report their deltas.**
+:meth:`VoRTree.insert` and :meth:`VoRTree.delete` used to throw away the
+whole order-1 Voronoi diagram and re-run the construction over all n
+objects — O(n) (and worse) per update.  They now drive
+:meth:`VoronoiDiagram.insert_site` / :meth:`VoronoiDiagram.remove_site`,
+which carve only the affected Delaunay cavity / star, and patch just the
+neighbour lists those deltas report — O(affected cells) per update.  Every
+mutation also *returns* the set of objects whose Voronoi neighbour lists
+changed (the same delta contract as
+:meth:`repro.roadnet.network_voronoi.NetworkVoronoiDiagram.insert_object`),
+which is what lets the serving engine invalidate only the queries whose
+held pool the update actually touched instead of flagging every client.
+:meth:`VoRTree.full_rebuild` keeps the from-scratch path available as a
+fallback (degenerate geometry) and as the correctness oracle for the
+randomized equivalence tests.  :meth:`VoRTree.batch_update` applies a burst
+of inserts and deletes as one epoch, switching to a single full rebuild
+when the burst is large enough that per-object patching would be wasted
+work.
 """
 
 from __future__ import annotations
@@ -121,6 +127,11 @@ class VoRTree:
         return self._voronoi
 
     @property
+    def maintenance(self) -> str:
+        """The neighbour-list maintenance mode (``"incremental"``/``"rebuild"``)."""
+        return self._maintenance
+
+    @property
     def rtree(self) -> RTree:
         """The underlying R-tree (exposed for cost accounting in benchmarks)."""
         return self._rtree
@@ -142,12 +153,15 @@ class VoRTree:
     # ------------------------------------------------------------------
     # Data-object updates
     # ------------------------------------------------------------------
-    def insert(self, point: Point) -> int:
-        """Add a data object at ``point`` and return its new object index.
+    def insert(self, point: Point) -> Tuple[int, Set[int]]:
+        """Add a data object at ``point``; returns ``(index, changed)``.
 
-        Both the R-tree and the Voronoi neighbour lists are updated
-        incrementally: only the objects whose Delaunay cavity the new point
-        carves get their neighbour lists re-derived.
+        ``changed`` is the set of objects whose Voronoi neighbour lists
+        changed (the new object included) — the delta a server pushes to its
+        registered queries.  Both the R-tree and the neighbour lists are
+        updated incrementally: only the objects whose Delaunay cavity the
+        new point carves get their lists re-derived.  When the geometry
+        forces a from-scratch rebuild, ``changed`` is every active object.
         """
         index = len(self._points)
         self._points.append(point)
@@ -155,26 +169,31 @@ class VoRTree:
         self._rtree.insert(point, index)
         if self._voronoi is None or self._maintenance == "rebuild":
             self._rebuild_neighbor_map()
-            return index
+            return index, set(self.active_indexes())
         try:
-            site, changed = self._voronoi.insert_site(point)
+            site, changed_sites = self._voronoi.insert_site(point)
         except (GeometryError, EmptyDatasetError):
             self._rebuild_neighbor_map()
-            return index
+            return index, set(self.active_indexes())
         self._site_of_object[index] = site
         self._object_of_site[site] = index
-        self._patch_neighbor_lists(changed)
-        return index
+        changed = self._patch_neighbor_lists(changed_sites)
+        changed.add(index)
+        return index, changed
 
-    def delete(self, index: int) -> bool:
-        """Remove data object ``index``.
+    def delete(self, index: int) -> Tuple[bool, Set[int]]:
+        """Remove data object ``index``; returns ``(removed, changed)``.
 
-        Returns True when the object existed and was removed.  The last
-        remaining active object cannot be deleted.  Only the neighbour lists
-        of the objects adjacent to the deleted one are re-derived.
+        ``removed`` is True when the object existed and was removed;
+        ``changed`` is the set of surviving objects whose neighbour lists
+        changed (the deleted object is reported separately by callers).
+        The last remaining active object cannot be deleted.  Only the
+        neighbour lists of the objects adjacent to the deleted one are
+        re-derived; a degenerate-geometry fallback rebuilds from scratch
+        and reports every active object as changed.
         """
         if not self.is_active(index):
-            return False
+            return False, set()
         if len(self) <= 1:
             raise QueryError("cannot delete the last remaining data object")
         self._active[index] = False
@@ -187,17 +206,18 @@ class VoRTree:
             or self._maintenance == "rebuild"
         ):
             self._rebuild_neighbor_map()
-            return True
+            return True, set(self.active_indexes())
         try:
-            changed = self._voronoi.remove_site(site)
+            changed_sites = self._voronoi.remove_site(site)
         except (GeometryError, EmptyDatasetError):
             self._rebuild_neighbor_map()
-            return True
+            return True, set(self.active_indexes())
         del self._site_of_object[index]
         del self._object_of_site[site]
         self._neighbor_map.pop(index, None)
-        self._patch_neighbor_lists(changed)
-        return True
+        changed = self._patch_neighbor_lists(changed_sites)
+        changed.discard(index)
+        return True, changed
 
     #: Bulk-rebuild crossover for :meth:`batch_update`, as a fraction of the
     #: active population.  Measured, not guessed (the seed's guess was
@@ -212,7 +232,7 @@ class VoRTree:
         inserts: Sequence[Point] = (),
         deletes: Iterable[int] = (),
         strategy: Optional[str] = None,
-    ) -> Tuple[List[int], List[int]]:
+    ) -> Tuple[List[int], List[int], Set[int]]:
         """Apply a burst of object updates as one epoch.
 
         Deletions always refer to pre-existing object indexes (the points
@@ -235,9 +255,11 @@ class VoRTree:
                 threshold.  Used by the crossover benchmark.
 
         Returns:
-            ``(new_indexes, deleted_indexes)``: the object indexes assigned
-            to the inserted points (in order) and the indexes that were
-            actually deleted.
+            ``(new_indexes, deleted_indexes, changed)``: the object indexes
+            assigned to the inserted points (in order), the indexes that
+            were actually deleted, and the set of surviving objects whose
+            Voronoi neighbour lists changed (the epoch's invalidation
+            delta; every active object on the bulk-rebuild path).
         """
         if strategy not in (None, "incremental", "bulk"):
             raise QueryError(f"unknown batch_update strategy {strategy!r}")
@@ -250,7 +272,7 @@ class VoRTree:
                 delete_list.append(index)
         operations = len(insert_list) + len(delete_list)
         if operations == 0:
-            return [], []
+            return [], [], set()
         if len(self) + len(insert_list) - len(delete_list) < 1:
             raise QueryError("batch update would remove every data object")
         bulk_threshold = max(8, int(len(self) * self.BULK_REBUILD_FRACTION))
@@ -264,9 +286,20 @@ class VoRTree:
         elif strategy == "bulk":
             incremental = False
         if incremental:
-            new_indexes = [self.insert(point) for point in insert_list]
-            deleted = [index for index in delete_list if self.delete(index)]
-            return new_indexes, deleted
+            changed: Set[int] = set()
+            new_indexes = []
+            for point in insert_list:
+                index, delta = self.insert(point)
+                new_indexes.append(index)
+                changed |= delta
+            deleted = []
+            for index in delete_list:
+                removed, delta = self.delete(index)
+                if removed:
+                    deleted.append(index)
+                    changed |= delta
+            changed -= set(deleted)
+            return new_indexes, deleted, changed
         deleted = []
         for index in delete_list:
             self._active[index] = False
@@ -280,7 +313,7 @@ class VoRTree:
             self._rtree.insert(point, index)
             new_indexes.append(index)
         self._rebuild_neighbor_map()
-        return new_indexes, deleted
+        return new_indexes, deleted, set(self.active_indexes())
 
     def full_rebuild(self) -> None:
         """Recompute the Voronoi neighbour lists from scratch.
@@ -312,14 +345,20 @@ class VoRTree:
             self._object_of_site = {}
             self._neighbor_map = {index: frozenset() for index in active}
 
-    def _patch_neighbor_lists(self, changed_sites: Iterable[int]) -> None:
-        """Re-derive the neighbour lists of the objects behind changed sites."""
+    def _patch_neighbor_lists(self, changed_sites: Iterable[int]) -> Set[int]:
+        """Re-derive the neighbour lists of the objects behind changed sites.
+
+        Returns the set of affected *object* indexes (the mutation delta).
+        """
+        changed_objects: Set[int] = set()
         for site in changed_sites:
             obj = self._object_of_site[site]
             self._neighbor_map[obj] = frozenset(
                 self._object_of_site[neighbor]
                 for neighbor in self._voronoi.neighbors_of(site)
             )
+            changed_objects.add(obj)
+        return changed_objects
 
     # ------------------------------------------------------------------
     # Queries used by the INS processor

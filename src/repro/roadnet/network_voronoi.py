@@ -291,11 +291,24 @@ class NetworkVoronoiDiagram:
         changed.add(index)
         return changed
 
+    #: Bulk-rebuild crossover for :meth:`batch_update`, as a fraction of the
+    #: active population.  Measured, not guessed (the seed of this threshold
+    #: was ``max(16, n/2)``): at n = 250/500/1000 on a 1600-vertex grid the
+    #: per-object repairs beat one full build up to bursts of ~30-50% of the
+    #: population, the crossover shrinking as the population grows (denser
+    #: populations mean cheaper rebuild floods relative to n repairs), so
+    #: the constant takes the large-n end (see
+    #: ``benchmarks/bench_pr3_road_batch_crossover.py``; the committed
+    #: measurement lives in
+    #: ``benchmarks/results/PR3_road_batch_crossover.json``).
+    BULK_REBUILD_FRACTION = 0.3
+
     def batch_update(
         self,
         inserts: Sequence[int] = (),
         deletes: Iterable[int] = (),
         moves: Iterable[Tuple[int, int]] = (),
+        strategy: Optional[str] = None,
     ) -> Tuple[List[int], List[int], Set[int]]:
         """Apply a burst of object updates as one epoch.
 
@@ -304,10 +317,19 @@ class NetworkVoronoiDiagram:
         object survives (a draining batch is rejected up front, before
         anything is mutated).  Deletions refer to pre-existing object
         indexes; inactive ones are skipped silently.  Small bursts reuse
-        the per-object local repairs; bursts whose operation count is a
-        sizable fraction of the population fall back to structural updates
-        followed by a *single* from-scratch build, which is cheaper than
-        repairing object by object.
+        the per-object local repairs; bursts that touch more than
+        :data:`BULK_REBUILD_FRACTION` of the population fall back to
+        structural updates followed by a *single* from-scratch build, which
+        is cheaper than repairing object by object.
+
+        Args:
+            inserts: vertices to place new objects on.
+            deletes: object indexes to remove.
+            moves: ``(object index, new vertex)`` relocations.
+            strategy: override the crossover decision: ``"incremental"``
+                forces per-object repairs, ``"bulk"`` forces the
+                single-build path, None (default) picks by the measured
+                threshold.  Used by the crossover benchmark.
 
         Returns:
             ``(new_indexes, deleted_indexes, changed)``: the indexes given
@@ -315,6 +337,8 @@ class NetworkVoronoiDiagram:
             deleted, and the set of surviving objects whose neighbour sets
             changed.
         """
+        if strategy not in (None, "incremental", "bulk"):
+            raise QueryError(f"unknown batch_update strategy {strategy!r}")
         insert_list = list(inserts)
         move_list = [(index, vertex) for index, vertex in moves]
         delete_list: List[int] = []
@@ -337,11 +361,17 @@ class NetworkVoronoiDiagram:
         if self.object_count() + len(insert_list) - len(delete_list) < 1:
             raise EmptyDatasetError("batch update would remove every data object")
         # Per-object repair costs O(one cell) each while a rebuild costs the
-        # whole network; with n objects covering the network a burst of ~n
-        # repairs does as much work as one rebuild, so fall back well below
-        # that point.
-        bulk_threshold = max(16, self.object_count() // 2)
-        if self._maintenance == "incremental" and operations < bulk_threshold:
+        # whole network; the crossover between the two is measured by
+        # bench_pr3_road_batch_crossover.py (see BULK_REBUILD_FRACTION).
+        bulk_threshold = max(
+            16, int(self.object_count() * self.BULK_REBUILD_FRACTION)
+        )
+        incremental = self._maintenance == "incremental" and operations < bulk_threshold
+        if strategy == "incremental":
+            incremental = self._maintenance == "incremental"
+        elif strategy == "bulk":
+            incremental = False
+        if incremental:
             changed: Set[int] = set()
             new_indexes: List[int] = []
             for vertex in insert_list:
@@ -611,6 +641,11 @@ class NetworkVoronoiDiagram:
         it by object index is always valid.  It must not be mutated.
         """
         return self._object_vertices
+
+    @property
+    def maintenance(self) -> str:
+        """The update-maintenance mode (``"incremental"``/``"rebuild"``)."""
+        return self._maintenance
 
     def vertex_objects(self) -> Mapping[int, Sequence[int]]:
         """Live read-only vertex → active-objects map.

@@ -1,0 +1,272 @@
+"""Drive a multi-query server through a concurrent workload.
+
+Where :func:`repro.simulation.simulator.simulate` runs *one* processor along
+*one* trajectory, this module drives a whole serving engine: M concurrent
+query streams advance in lockstep over one shared index while a mixed
+object-update stream (inserts, deletes, moves — see
+:class:`repro.workloads.scenarios.ChurnSpec`) mutates the data set between
+timestamps, each batch applied as a single data epoch.  This is the "heavy
+traffic" shape of the system: many clients, one index, continuous churn.
+
+:func:`simulate_server` accepts either scenario flavour
+(:class:`~repro.workloads.scenarios.EuclideanServerScenario` or
+:class:`~repro.workloads.scenarios.RoadServerScenario`), builds the matching
+server, and returns a :class:`ServerSimulationRun` with per-query result
+streams, the aggregate cost counters and (optionally) brute-force
+correctness checking of every reported answer — the hook the randomized
+delta-vs-flag equivalence tests and the PR3 serving benchmark are built on.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.core.objects import QueryResult
+from repro.core.road_server import MovingRoadKNNServer
+from repro.core.server import MovingKNNServer
+from repro.core.stats import ProcessorStats
+from repro.geometry.point import Point
+from repro.roadnet.shortest_path import distances_from_location
+from repro.simulation.simulator import check_knn_answer
+from repro.workloads.scenarios import (
+    EuclideanServerScenario,
+    RoadServerScenario,
+)
+
+ServerScenario = Union[EuclideanServerScenario, RoadServerScenario]
+
+
+@dataclass
+class ServerSimulationRun:
+    """The outcome of driving one server through one server scenario.
+
+    Attributes:
+        scenario: the scenario name.
+        invalidation: the server's invalidation mode (``"delta"``/``"flag"``).
+        results: per query id, one :class:`QueryResult` per timestamp.
+        epochs: data epochs applied by the update stream.
+        update_counts: applied object mutations by kind
+            (``{"inserts": ..., "deletes": ..., "moves": ...}``).
+        aggregate: cost counters summed over every registered query.
+        elapsed_seconds: wall-clock time of the whole run (index
+            construction excluded, update stream included).
+        mismatches: ``(timestamp, query_id)`` pairs whose reported answer
+            was provably wrong against the brute-force oracle (only
+            populated when ``check_answers=True``).
+    """
+
+    scenario: str
+    invalidation: str
+    results: Dict[int, List[QueryResult]]
+    epochs: int
+    update_counts: Dict[str, int]
+    aggregate: ProcessorStats
+    elapsed_seconds: float
+    mismatches: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def timestamps(self) -> int:
+        """Timestamps every query stream was advanced through."""
+        return min(len(stream) for stream in self.results.values()) if self.results else 0
+
+    @property
+    def is_correct(self) -> bool:
+        """True when no oracle mismatch was recorded."""
+        return not self.mismatches
+
+
+def build_server(
+    scenario: ServerScenario,
+    maintenance: str = "incremental",
+    invalidation: str = "delta",
+):
+    """Construct the matching (empty) server for a server scenario."""
+    if isinstance(scenario, EuclideanServerScenario):
+        return MovingKNNServer(
+            scenario.points, maintenance=maintenance, invalidation=invalidation
+        )
+    return MovingRoadKNNServer(
+        scenario.network,
+        scenario.object_vertices,
+        maintenance=maintenance,
+        invalidation=invalidation,
+    )
+
+
+def _population_floor(server) -> int:
+    """Smallest population the update stream must leave behind."""
+    max_k = max((registered.k for registered in server), default=1)
+    return max_k + 2
+
+
+def _apply_euclidean_churn(
+    server: MovingKNNServer,
+    scenario: EuclideanServerScenario,
+    rng: random.Random,
+    counts: Dict[str, int],
+) -> None:
+    """One mixed update epoch: inserts, deletes and delete+reinsert moves."""
+    churn = scenario.churn
+    active = server.vortree.active_indexes()
+    removable = max(0, len(active) - _population_floor(server))
+    deletes = rng.sample(active, min(churn.deletes, removable))
+    excluded = set(deletes)
+    remaining = [index for index in active if index not in excluded]
+    move_victims = rng.sample(remaining, min(churn.moves, len(remaining)))
+    new_points = [
+        Point(rng.uniform(0.0, scenario.extent), rng.uniform(0.0, scenario.extent))
+        for _ in range(churn.inserts + len(move_victims))
+    ]
+    if not new_points and not deletes and not move_victims:
+        return
+    server.batch_update(inserts=new_points, deletes=deletes + move_victims)
+    counts["inserts"] += churn.inserts
+    counts["deletes"] += len(deletes)
+    counts["moves"] += len(move_victims)
+
+
+def _apply_road_churn(
+    server: MovingRoadKNNServer,
+    scenario: RoadServerScenario,
+    rng: random.Random,
+    counts: Dict[str, int],
+) -> None:
+    """One mixed update epoch: inserts, deletes and vertex relocations."""
+    churn = scenario.churn
+    vertices = scenario.network.vertices()
+    active = server.voronoi.active_object_indexes()
+    removable = max(0, len(active) - _population_floor(server))
+    deletes = rng.sample(active, min(churn.deletes, removable))
+    excluded = set(deletes)
+    remaining = [index for index in active if index not in excluded]
+    move_victims = rng.sample(remaining, min(churn.moves, len(remaining)))
+    moves = [(index, rng.choice(vertices)) for index in move_victims]
+    inserts = [rng.choice(vertices) for _ in range(churn.inserts)]
+    if not inserts and not deletes and not moves:
+        return
+    server.batch_update(inserts=inserts, deletes=deletes, moves=moves)
+    counts["inserts"] += len(inserts)
+    counts["deletes"] += len(deletes)
+    counts["moves"] += len(moves)
+
+
+def _euclidean_oracle(server: MovingKNNServer, position: Point) -> Dict[int, float]:
+    tree = server.vortree
+    return {
+        index: position.distance_to(tree.point(index))
+        for index in tree.active_indexes()
+    }
+
+
+def _road_oracle(server: MovingRoadKNNServer, position) -> Dict[int, float]:
+    import math
+
+    vertex_distances = distances_from_location(server.network, position)
+    return {
+        index: vertex_distances.get(server.object_vertex(index), math.inf)
+        for index in server.voronoi.active_object_indexes()
+    }
+
+
+def simulate_server(
+    scenario: ServerScenario,
+    invalidation: str = "delta",
+    maintenance: str = "incremental",
+    check_answers: bool = False,
+    oracle_tolerance: float = 1e-7,
+    server=None,
+) -> ServerSimulationRun:
+    """Drive M concurrent query streams interleaved with the update stream.
+
+    Timestamp 0 registers every query at its trajectory's start.  At every
+    later timestamp the update stream first applies one mixed mutation
+    batch (when the scenario's churn interval says so — one data epoch,
+    one invalidation round), then every query advances one step and its
+    answer is recorded (and, with ``check_answers=True``, verified against
+    a brute-force oracle over the current population, tie-aware).
+
+    Args:
+        scenario: a Euclidean or road server scenario.
+        invalidation: ``"delta"`` (delta-scoped invalidation, the default)
+            or ``"flag"`` (blanket refresh-everyone fallback).
+        maintenance: index maintenance mode (``"incremental"``/``"rebuild"``).
+        check_answers: verify every reported answer against brute force.
+        oracle_tolerance: tie tolerance of the correctness check.
+        server: optionally reuse an existing (query-free) server built for
+            this scenario; when omitted one is constructed.
+
+    Returns:
+        A :class:`ServerSimulationRun`.
+    """
+    euclidean = isinstance(scenario, EuclideanServerScenario)
+    if server is None:
+        server = build_server(
+            scenario, maintenance=maintenance, invalidation=invalidation
+        )
+    else:
+        # A supplied server must actually be the run the caller asked for:
+        # a mode mismatch or leftover registered queries would silently
+        # corrupt mode-vs-mode comparisons and aggregate counters.
+        if server.invalidation != invalidation:
+            raise ConfigurationError(
+                f"supplied server runs invalidation={server.invalidation!r}, "
+                f"but the simulation asked for {invalidation!r}"
+            )
+        if server.maintenance != maintenance:
+            raise ConfigurationError(
+                f"supplied server runs maintenance={server.maintenance!r}, "
+                f"but the simulation asked for {maintenance!r}"
+            )
+        if server.query_count:
+            raise ConfigurationError(
+                f"supplied server already has {server.query_count} registered "
+                "queries; simulate_server needs a query-free server"
+            )
+    rng = random.Random(scenario.seed + 977)
+    counts = {"inserts": 0, "deletes": 0, "moves": 0}
+    apply_churn = _apply_euclidean_churn if euclidean else _apply_road_churn
+    oracle = _euclidean_oracle if euclidean else _road_oracle
+
+    results: Dict[int, List[QueryResult]] = {}
+    mismatches: List[Tuple[int, int]] = []
+    started = time.perf_counter()
+    # Registration computes each query's first answer (timestamp 0); the
+    # recorded streams start at timestamp 1.
+    query_ids = [
+        server.register_query(trajectory[0], k=k, rho=scenario.rho)
+        for trajectory, k in zip(scenario.trajectories, scenario.ks)
+    ]
+    for query_id in query_ids:
+        results[query_id] = []
+    epochs_before = server.epoch
+    for step in range(1, scenario.timestamps):
+        if scenario.churn.interval and step % scenario.churn.interval == 0:
+            apply_churn(server, scenario, rng, counts)
+        for query_id, trajectory, registered_k in zip(
+            query_ids, scenario.trajectories, scenario.ks
+        ):
+            result = server.update_position(query_id, trajectory[step])
+            results[query_id].append(result)
+            if check_answers:
+                # Check against the *registered* k (not the answer's own
+                # length) so an under-filled answer cannot pass vacuously.
+                all_distances = oracle(server, trajectory[step])
+                if not check_knn_answer(
+                    result.knn, all_distances, registered_k, oracle_tolerance
+                ):
+                    mismatches.append((step, query_id))
+    elapsed = time.perf_counter() - started
+    return ServerSimulationRun(
+        scenario=scenario.name,
+        invalidation=server.invalidation,
+        results=results,
+        epochs=server.epoch - epochs_before,
+        update_counts=counts,
+        aggregate=server.aggregate_stats(),
+        elapsed_seconds=elapsed,
+        mismatches=mismatches,
+    )

@@ -3,12 +3,24 @@
 A scenario bundles everything a simulation run needs — the data objects, the
 query trajectory and the query parameters — so that examples, integration
 tests and benchmarks all exercise the exact same workloads.
+
+Two families are provided:
+
+* *single-query* scenarios (:class:`EuclideanScenario`,
+  :class:`RoadScenario`) — one processor, one trajectory; the shape the
+  E-series experiments use;
+* *server* scenarios (:class:`EuclideanServerScenario`,
+  :class:`RoadServerScenario`) — M concurrent query streams over one shared
+  index, interleaved with a mixed object-update stream whose churn is
+  described by a :class:`ChurnSpec`; the shape the multi-query serving
+  engine is exercised with (see
+  :func:`repro.simulation.server_sim.simulate_server`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
@@ -18,7 +30,12 @@ from repro.roadnet.generators import grid_network, place_objects
 from repro.roadnet.location import NetworkLocation
 from repro.trajectory.euclidean import random_waypoint_trajectory
 from repro.trajectory.road import network_random_walk
-from repro.workloads.datasets import DEFAULT_EXTENT, data_space, uniform_points
+from repro.workloads.datasets import (
+    DEFAULT_EXTENT,
+    clustered_points,
+    data_space,
+    uniform_points,
+)
 
 
 @dataclass(frozen=True)
@@ -125,6 +142,231 @@ def fig4_scenario(seed: int = 23) -> EuclideanScenario:
         k=5,
         rho=1.6,
         step_length=12.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Server scenarios: M concurrent queries + a mixed object-update stream
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChurnSpec:
+    """The mixed object-update stream of a server scenario.
+
+    Every ``interval`` timestamps the update stream applies one batch of
+    ``inserts`` object insertions, ``deletes`` deletions and ``moves``
+    relocations (a move is a delete + reinsert elsewhere on the Euclidean
+    side, a vertex relocation on the road side) as a single data epoch.
+
+    Attributes:
+        interval: timestamps between update epochs (0 disables updates).
+        inserts: object insertions per epoch.
+        deletes: object deletions per epoch.
+        moves: object relocations per epoch.
+    """
+
+    interval: int
+    inserts: int
+    deletes: int
+    moves: int
+
+    def __post_init__(self):
+        if self.interval < 0:
+            raise ConfigurationError("churn interval must be non-negative")
+        if min(self.inserts, self.deletes, self.moves) < 0:
+            raise ConfigurationError("churn operation counts must be non-negative")
+
+    @property
+    def operations_per_epoch(self) -> int:
+        """Total object mutations per update epoch."""
+        return self.inserts + self.deletes + self.moves
+
+
+#: Occasional background churn: one small mixed batch every 4 timestamps.
+LOW_CHURN = ChurnSpec(interval=4, inserts=1, deletes=1, moves=1)
+#: Heavy traffic: a larger mixed batch on every single timestamp.
+HIGH_CHURN = ChurnSpec(interval=1, inserts=2, deletes=2, moves=4)
+#: A static data set (no update stream at all).
+NO_CHURN = ChurnSpec(interval=0, inserts=0, deletes=0, moves=0)
+
+_CHURN_PROFILES = {"low": LOW_CHURN, "high": HIGH_CHURN, "none": NO_CHURN}
+
+
+def _resolve_churn(churn: Union[str, ChurnSpec]) -> ChurnSpec:
+    if isinstance(churn, ChurnSpec):
+        return churn
+    if churn not in _CHURN_PROFILES:
+        raise ConfigurationError(
+            f"churn must be a ChurnSpec or one of {sorted(_CHURN_PROFILES)}, got {churn!r}"
+        )
+    return _CHURN_PROFILES[churn]
+
+
+@dataclass(frozen=True)
+class EuclideanServerScenario:
+    """A complete multi-query 2-D plane server workload.
+
+    Attributes:
+        name: scenario identifier used in reports.
+        points: initial data-object positions.
+        trajectories: one query trajectory per concurrent query (all the
+            same length; position 0 is the registration position).
+        ks: per-query ``k`` (same length as ``trajectories``).
+        rho: INS prefetch ratio shared by every query.
+        churn: the mixed object-update stream.
+        extent: side length of the data space (newly inserted and moved
+            objects are drawn uniformly from it).
+        seed: base seed of the update stream.
+    """
+
+    name: str
+    points: List[Point]
+    trajectories: List[List[Point]]
+    ks: List[int]
+    rho: float
+    churn: ChurnSpec
+    extent: float
+    seed: int
+
+    @property
+    def query_count(self) -> int:
+        """Number of concurrent queries."""
+        return len(self.trajectories)
+
+    @property
+    def timestamps(self) -> int:
+        """Number of timestamps every query stream is advanced through."""
+        return min(len(trajectory) for trajectory in self.trajectories)
+
+
+@dataclass(frozen=True)
+class RoadServerScenario:
+    """A complete multi-query road-network server workload.
+
+    Attributes:
+        name: scenario identifier used in reports.
+        network: the road network shared by every query.
+        object_vertices: initial vertex of each data object.
+        trajectories: one query trajectory per concurrent query.
+        ks: per-query ``k`` (same length as ``trajectories``).
+        rho: INS prefetch ratio shared by every query.
+        churn: the mixed object-update stream (inserted and moved objects
+            land on uniformly drawn network vertices).
+        seed: base seed of the update stream.
+    """
+
+    name: str
+    network: RoadNetwork
+    object_vertices: List[int]
+    trajectories: List[List[NetworkLocation]]
+    ks: List[int]
+    rho: float
+    churn: ChurnSpec
+    seed: int
+
+    @property
+    def query_count(self) -> int:
+        """Number of concurrent queries."""
+        return len(self.trajectories)
+
+    @property
+    def timestamps(self) -> int:
+        """Number of timestamps every query stream is advanced through."""
+        return min(len(trajectory) for trajectory in self.trajectories)
+
+
+def euclidean_server_scenario(
+    data: str = "uniform",
+    churn: Union[str, ChurnSpec] = "low",
+    queries: int = 8,
+    object_count: int = 600,
+    k: int = 4,
+    steps: int = 40,
+    step_length: float = 60.0,
+    rho: float = 1.6,
+    extent: float = DEFAULT_EXTENT,
+    seed: int = 47,
+) -> EuclideanServerScenario:
+    """A multi-query Euclidean server workload.
+
+    Args:
+        data: ``"uniform"`` or ``"clustered"`` (the Gaussian-mixture skew of
+            real POI data — dense downtown clusters, sparse outskirts).
+        churn: ``"low"``, ``"high"``, ``"none"`` or an explicit
+            :class:`ChurnSpec`.
+        queries: number of concurrent query streams (k varies slightly
+            across them so the per-query client states differ).
+        object_count, k, steps, step_length, rho, extent, seed: as in
+            :func:`default_euclidean_scenario`.
+    """
+    if data not in ("uniform", "clustered"):
+        raise ConfigurationError(f"data must be 'uniform' or 'clustered', got {data!r}")
+    if queries < 1:
+        raise ConfigurationError("queries must be at least 1")
+    if object_count <= k + 2:
+        raise ConfigurationError("object_count must comfortably exceed k")
+    if data == "clustered":
+        points = clustered_points(object_count, extent=extent, seed=seed)
+    else:
+        points = uniform_points(object_count, extent=extent, seed=seed)
+    trajectories = [
+        random_waypoint_trajectory(
+            data_space(extent), steps=steps, step_length=step_length, seed=seed + 100 + i
+        )
+        for i in range(queries)
+    ]
+    ks = [k + (i % 3) for i in range(queries)]
+    spec = _resolve_churn(churn)
+    churn_tag = churn if isinstance(churn, str) else "custom"
+    return EuclideanServerScenario(
+        name=f"server-{data}-{churn_tag}-m{queries}-n{object_count}-k{k}",
+        points=points,
+        trajectories=trajectories,
+        ks=ks,
+        rho=rho,
+        churn=spec,
+        extent=extent,
+        seed=seed,
+    )
+
+
+def road_server_scenario(
+    churn: Union[str, ChurnSpec] = "low",
+    queries: int = 4,
+    rows: int = 10,
+    columns: int = 10,
+    object_count: int = 30,
+    k: int = 3,
+    steps: int = 40,
+    step_length: float = 40.0,
+    spacing: float = 100.0,
+    rho: float = 1.6,
+    seed: int = 53,
+) -> RoadServerScenario:
+    """A multi-query road-network server workload on a grid network."""
+    if queries < 1:
+        raise ConfigurationError("queries must be at least 1")
+    if object_count <= k + 2:
+        raise ConfigurationError("object_count must comfortably exceed k")
+    network = grid_network(rows, columns, spacing=spacing)
+    object_vertices = place_objects(network, object_count, seed=seed)
+    trajectories = [
+        network_random_walk(
+            network, steps=steps, step_length=step_length, seed=seed + 100 + i
+        )
+        for i in range(queries)
+    ]
+    ks = [k + (i % 2) for i in range(queries)]
+    spec = _resolve_churn(churn)
+    churn_tag = churn if isinstance(churn, str) else "custom"
+    return RoadServerScenario(
+        name=f"server-grid{rows}x{columns}-{churn_tag}-m{queries}-n{object_count}-k{k}",
+        network=network,
+        object_vertices=object_vertices,
+        trajectories=trajectories,
+        ks=ks,
+        rho=rho,
+        churn=spec,
+        seed=seed,
     )
 
 

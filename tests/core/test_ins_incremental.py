@@ -128,7 +128,8 @@ class TestObjectUpdates:
 class TestVoRTreeUpdates:
     def test_insert_and_query(self, dataset):
         tree = VoRTree(list(dataset[:50]))
-        index = tree.insert(Point(123.0, 456.0))
+        index, changed = tree.insert(Point(123.0, 456.0))
+        assert index in changed
         assert tree.is_active(index)
         assert len(tree) == 51
         assert index in tree.nearest(Point(123.0, 456.0), 1)
@@ -136,7 +137,8 @@ class TestVoRTreeUpdates:
     def test_delete_removes_from_queries_and_neighbors(self, dataset):
         tree = VoRTree(list(dataset[:50]))
         victim = tree.nearest(Point(500.0, 500.0), 1)[0]
-        assert tree.delete(victim)
+        removed, changed = tree.delete(victim)
+        assert removed and victim not in changed
         assert not tree.is_active(victim)
         assert victim not in tree.nearest(Point(500.0, 500.0), 10)
         for index in tree.active_indexes():
@@ -144,14 +146,14 @@ class TestVoRTreeUpdates:
 
     def test_delete_twice_returns_false(self, dataset):
         tree = VoRTree(list(dataset[:10]))
-        assert tree.delete(3)
-        assert not tree.delete(3)
+        assert tree.delete(3)[0]
+        assert not tree.delete(3)[0]
 
     def test_cannot_delete_last_object(self):
         from repro.errors import QueryError
 
         tree = VoRTree([Point(0, 0), Point(1, 1)])
-        assert tree.delete(0)
+        assert tree.delete(0)[0]
         with pytest.raises(QueryError):
             tree.delete(1)
 

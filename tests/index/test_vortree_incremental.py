@@ -69,9 +69,26 @@ class TestIncrementalEquivalence:
     def test_positions_view_is_live(self):
         tree = VoRTree(uniform_points(20, extent=100.0, seed=24))
         view = tree.positions
-        index = tree.insert(Point(55.0, 66.0))
+        index, _ = tree.insert(Point(55.0, 66.0))
         assert view[index] == Point(55.0, 66.0)
         assert len(view) == len(tree.points)
+
+    def test_mutations_report_their_deltas(self):
+        """insert/delete return exactly the objects whose lists changed."""
+        tree = VoRTree(uniform_points(50, extent=1_000.0, seed=26))
+        before = snapshot_neighbor_map(tree)
+        index, changed = tree.insert(Point(431.0, 567.0))
+        after = snapshot_neighbor_map(tree)
+        expected = {
+            obj for obj in after if before.get(obj) != after[obj]
+        }
+        assert index in changed
+        assert expected <= changed
+        removed, changed = tree.delete(index)
+        assert removed
+        final = snapshot_neighbor_map(tree)
+        assert index not in changed
+        assert {obj for obj in final if final[obj] != after.get(obj)} <= changed
 
 
 class TestBatchUpdate:
@@ -82,14 +99,18 @@ class TestBatchUpdate:
 
         inserts = [Point(10.0, 20.0), Point(500.0, 510.0), Point(990.0, 40.0)]
         deletes = [3, 17, 55]
-        new_indexes, removed = batched.batch_update(inserts, deletes)
+        new_indexes, removed, changed = batched.batch_update(inserts, deletes)
 
         for index in deletes:
             sequential.delete(index)
-        expected_new = [sequential.insert(point) for point in inserts]
+        expected_new = [sequential.insert(point)[0] for point in inserts]
 
         assert new_indexes == expected_new
         assert removed == deletes
+        # The reported delta never contains deleted objects and always
+        # covers the inserted ones.
+        assert changed.isdisjoint(removed)
+        assert set(new_indexes) <= changed
         assert snapshot_neighbor_map(batched) == snapshot_neighbor_map(sequential)
 
     def test_large_batch_takes_bulk_path_and_matches(self):
@@ -112,14 +133,14 @@ class TestBatchUpdate:
     def test_inactive_deletes_are_skipped(self):
         tree = VoRTree(uniform_points(30, extent=100.0, seed=28))
         tree.delete(5)
-        new_indexes, removed = tree.batch_update(deletes=[5, 7, 999])
+        new_indexes, removed, _ = tree.batch_update(deletes=[5, 7, 999])
         assert new_indexes == []
         assert removed == [7]
 
     def test_empty_batch_is_a_noop(self):
         tree = VoRTree(uniform_points(20, extent=100.0, seed=29))
         before = snapshot_neighbor_map(tree)
-        assert tree.batch_update() == ([], [])
+        assert tree.batch_update() == ([], [], set())
         assert snapshot_neighbor_map(tree) == before
 
     def test_draining_batch_is_rejected_before_mutating(self):
@@ -137,12 +158,12 @@ class TestBatchUpdate:
         base = uniform_points(4, extent=100.0, seed=31)
         tree = VoRTree(list(base))
         replacement = [Point(5.0, 5.0), Point(95.0, 5.0), Point(50.0, 95.0)]
-        new_indexes, removed = tree.batch_update(replacement, deletes=range(4))
+        new_indexes, removed, _ = tree.batch_update(replacement, deletes=range(4))
         assert removed == [0, 1, 2, 3]
         assert set(tree.active_indexes()) == set(new_indexes)
         assert snapshot_neighbor_map(tree) == fresh_diagram_map(tree)
 
     def test_duplicate_deletes_count_once(self):
         tree = VoRTree(uniform_points(30, extent=100.0, seed=32))
-        _, removed = tree.batch_update(deletes=[4, 4, 4, 9])
+        _, removed, _ = tree.batch_update(deletes=[4, 4, 4, 9])
         assert removed == [4, 9]

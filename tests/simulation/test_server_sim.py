@@ -1,0 +1,103 @@
+"""Tests for repro.simulation.server_sim (the multi-query server driver)."""
+
+import pytest
+
+from repro.core.road_server import MovingRoadKNNServer
+from repro.core.server import MovingKNNServer
+from repro.simulation.server_sim import build_server, simulate_server
+from repro.workloads.scenarios import (
+    ChurnSpec,
+    euclidean_server_scenario,
+    road_server_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def euclidean_scenario():
+    return euclidean_server_scenario(
+        queries=4, object_count=150, k=3, steps=18, churn="high", extent=1_000.0, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def road_scenario():
+    return road_server_scenario(
+        queries=3, rows=7, columns=7, object_count=16, k=3, steps=14, churn="low", seed=5
+    )
+
+
+class TestBuildServer:
+    def test_builds_the_matching_server(self, euclidean_scenario, road_scenario):
+        assert isinstance(build_server(euclidean_scenario), MovingKNNServer)
+        assert isinstance(build_server(road_scenario), MovingRoadKNNServer)
+
+    def test_invalidation_mode_is_forwarded(self, euclidean_scenario):
+        server = build_server(euclidean_scenario, invalidation="flag")
+        assert server.invalidation == "flag"
+
+    def test_supplied_server_must_match_the_requested_run(self, euclidean_scenario):
+        from repro.errors import ConfigurationError
+        from repro.geometry.point import Point
+
+        mismatched = build_server(euclidean_scenario, invalidation="delta")
+        with pytest.raises(ConfigurationError):
+            simulate_server(euclidean_scenario, invalidation="flag", server=mismatched)
+        wrong_maintenance = build_server(euclidean_scenario, maintenance="rebuild")
+        with pytest.raises(ConfigurationError):
+            simulate_server(euclidean_scenario, server=wrong_maintenance)
+        occupied = build_server(euclidean_scenario)
+        occupied.register_query(Point(100.0, 100.0), k=3)
+        with pytest.raises(ConfigurationError):
+            simulate_server(euclidean_scenario, server=occupied)
+
+
+class TestSimulateServer:
+    def test_every_query_stream_is_advanced(self, euclidean_scenario):
+        run = simulate_server(euclidean_scenario, check_answers=True)
+        assert run.is_correct
+        assert len(run.results) == euclidean_scenario.query_count
+        for stream in run.results.values():
+            assert len(stream) == euclidean_scenario.timestamps - 1
+        # Per-query k follows the scenario's ks.
+        for stream, k in zip(run.results.values(), euclidean_scenario.ks):
+            assert all(result.k == k for result in stream)
+
+    def test_update_stream_applies_churn_as_epochs(self, euclidean_scenario):
+        run = simulate_server(euclidean_scenario)
+        churn = euclidean_scenario.churn
+        expected_epochs = (euclidean_scenario.timestamps - 1) // churn.interval
+        assert run.epochs == expected_epochs
+        assert run.update_counts["inserts"] == expected_epochs * churn.inserts
+        assert run.update_counts["moves"] > 0
+        assert run.aggregate.timestamps > 0
+
+    def test_no_churn_means_no_epochs(self):
+        scenario = euclidean_server_scenario(
+            queries=2, object_count=80, k=3, steps=8, churn="none", extent=1_000.0, seed=7
+        )
+        run = simulate_server(scenario, check_answers=True)
+        assert run.is_correct
+        assert run.epochs == 0
+        assert run.update_counts == {"inserts": 0, "deletes": 0, "moves": 0}
+
+    def test_road_scenario_runs_correctly(self, road_scenario):
+        run = simulate_server(road_scenario, check_answers=True)
+        assert run.is_correct
+        assert run.epochs > 0
+        assert len(run.results) == road_scenario.query_count
+
+    def test_population_never_starves_registered_queries(self):
+        # Aggressive deletion churn against a small population: the driver
+        # must clamp deletes to the population floor instead of tripping
+        # the engine's population guard.
+        scenario = euclidean_server_scenario(
+            queries=2,
+            object_count=12,
+            k=4,
+            steps=20,
+            churn=ChurnSpec(interval=1, inserts=0, deletes=4, moves=0),
+            extent=1_000.0,
+            seed=11,
+        )
+        run = simulate_server(scenario, check_answers=True)
+        assert run.is_correct

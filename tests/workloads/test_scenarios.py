@@ -5,9 +5,15 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.workloads.datasets import data_space
 from repro.workloads.scenarios import (
+    ChurnSpec,
+    HIGH_CHURN,
+    LOW_CHURN,
+    NO_CHURN,
     default_euclidean_scenario,
     default_road_scenario,
+    euclidean_server_scenario,
     fig4_scenario,
+    road_server_scenario,
 )
 
 
@@ -63,3 +69,68 @@ class TestRoadScenarios:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             default_road_scenario(object_count=2, k=5)
+
+
+class TestChurnSpecs:
+    def test_named_profiles(self):
+        assert LOW_CHURN.interval == 4
+        assert HIGH_CHURN.interval == 1
+        assert NO_CHURN.operations_per_epoch == 0
+        assert HIGH_CHURN.operations_per_epoch == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChurnSpec(interval=-1, inserts=1, deletes=1, moves=1)
+        with pytest.raises(ConfigurationError):
+            ChurnSpec(interval=1, inserts=-1, deletes=0, moves=0)
+
+
+class TestServerScenarios:
+    def test_euclidean_server_scenario_shape(self):
+        scenario = euclidean_server_scenario(
+            queries=5, object_count=120, k=3, steps=15, churn="high", seed=9
+        )
+        assert scenario.query_count == 5
+        assert len(scenario.ks) == 5
+        assert all(k >= 3 for k in scenario.ks)
+        assert len(scenario.points) == 120
+        assert scenario.churn == HIGH_CHURN
+        assert scenario.timestamps >= 15
+
+    def test_clustered_data_variant(self):
+        uniform = euclidean_server_scenario(data="uniform", object_count=100, seed=4)
+        clustered = euclidean_server_scenario(data="clustered", object_count=100, seed=4)
+        assert uniform.points != clustered.points
+        assert "clustered" in clustered.name
+
+    def test_road_server_scenario_shape(self):
+        scenario = road_server_scenario(
+            queries=3, rows=6, columns=6, object_count=12, k=3, steps=10, churn="low"
+        )
+        assert scenario.query_count == 3
+        assert scenario.churn == LOW_CHURN
+        vertices = set(scenario.network.vertices())
+        assert all(v in vertices for v in scenario.object_vertices)
+        for trajectory in scenario.trajectories:
+            for location in trajectory:
+                location.validated(scenario.network)
+
+    def test_custom_churn_and_validation(self):
+        spec = ChurnSpec(interval=2, inserts=0, deletes=0, moves=3)
+        scenario = euclidean_server_scenario(churn=spec, object_count=80, seed=6)
+        assert scenario.churn is spec
+        with pytest.raises(ConfigurationError):
+            euclidean_server_scenario(churn="medium")
+        with pytest.raises(ConfigurationError):
+            euclidean_server_scenario(data="poisson")
+        with pytest.raises(ConfigurationError):
+            euclidean_server_scenario(queries=0)
+        with pytest.raises(ConfigurationError):
+            road_server_scenario(object_count=4, k=3)
+
+    def test_reproducibility(self):
+        a = euclidean_server_scenario(queries=3, object_count=90, steps=8, seed=12)
+        b = euclidean_server_scenario(queries=3, object_count=90, steps=8, seed=12)
+        assert a.points == b.points
+        assert a.trajectories == b.trajectories
+        assert a.ks == b.ks
