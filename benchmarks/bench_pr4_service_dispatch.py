@@ -1,0 +1,189 @@
+"""PR4 — the service front door: communication accounting + sharded dispatch.
+
+PR 4 put one designed surface in front of both metric servers: a
+metric-agnostic :class:`~repro.service.service.KNNService` with
+:class:`~repro.service.session.Session` handles, a typed message protocol
+whose payloads are accounted into
+:class:`~repro.core.stats.CommunicationStats` (the paper's headline metric,
+measured instead of estimated), and a
+:class:`~repro.service.dispatch.ShardedDispatcher` that partitions the
+session set across worker threads between epochs.
+
+This benchmark drives the PR3-sized headline stream — M = 64 concurrent
+k = 8 sessions over n = 2000 uniform objects, 200 mixed update epochs
+(insert/delete/move interleaved with the query movement) — through
+``simulate_server`` at ``workers=1`` and ``workers=4`` and writes the
+numbers to ``BENCH_PR4.json`` at the repository root:
+
+* **messages and objects transmitted** (uplink + downlink) — the
+  communication bill of the whole run, now first-class;
+* **wall clock** for both worker counts;
+* **bit-identical answers**: the sharding is deterministic (session ``i``
+  always lands in shard ``i mod workers``, shards preserve order), so the
+  worker count must never change a single reported neighbour or distance.
+
+Within one CPython process the GIL serialises the pure-Python serving work,
+so ``workers=4`` is a *correctness and dispatch-contract* benchmark — the
+scaffolding the next scale steps (multi-process sharding, network
+transport) plug into — not a linear speedup; the wall-clock ratio is
+reported honestly for exactly that reason.
+
+Run standalone (``python benchmarks/bench_pr4_service_dispatch.py``, add
+``--smoke`` for a tiny-N sanity run) or via pytest
+(``pytest benchmarks/bench_pr4_service_dispatch.py``).
+"""
+
+import argparse
+import json
+import pathlib
+
+from repro.simulation.server_sim import simulate_server
+from repro.simulation.report import format_table
+from repro.workloads.scenarios import ChurnSpec, euclidean_server_scenario
+
+from benchmarks.conftest import emit_table
+
+QUERIES = 64
+OBJECT_COUNT = 2_000
+K = 8
+UPDATE_EPOCHS = 200
+#: One mixed batch per timestamp: 1 insert, 1 delete, 1 move.
+CHURN = ChurnSpec(interval=1, inserts=1, deletes=1, moves=1)
+STEP_LENGTH = 20.0
+WORKER_COUNTS = (1, 4)
+
+SMOKE_QUERIES = 6
+SMOKE_OBJECT_COUNT = 150
+SMOKE_UPDATE_EPOCHS = 12
+
+#: Where the machine-readable result lands (committed with the PR so the
+#: perf trajectory accumulates release over release).
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+
+
+def build_scenario(smoke: bool = False):
+    """The PR3-sized benchmark workload (update epochs = timestamps - 1)."""
+    return euclidean_server_scenario(
+        data="uniform",
+        churn=CHURN,
+        queries=SMOKE_QUERIES if smoke else QUERIES,
+        object_count=SMOKE_OBJECT_COUNT if smoke else OBJECT_COUNT,
+        k=3 if smoke else K,
+        steps=(SMOKE_UPDATE_EPOCHS if smoke else UPDATE_EPOCHS),
+        step_length=STEP_LENGTH,
+        seed=71,
+    )
+
+
+def answer_stream(run):
+    """Every reported answer of a run, in a comparable canonical form."""
+    return {
+        query_id: [(result.knn, result.knn_distances) for result in stream]
+        for query_id, stream in run.results.items()
+    }
+
+
+def run_benchmark(smoke: bool = False):
+    """Drive the same stream at every worker count.
+
+    Returns ``(rows, answers_identical, communication_identical)``.
+    """
+    scenario = build_scenario(smoke=smoke)
+    runs = {}
+    for workers in WORKER_COUNTS:
+        runs[workers] = simulate_server(scenario, workers=workers)
+    rows = []
+    for workers, run in runs.items():
+        comm = run.communication
+        rows.append(
+            {
+                "workers": workers,
+                "queries": scenario.query_count,
+                "n": len(scenario.points),
+                "updates": run.epochs,
+                "wall_s": round(run.elapsed_seconds, 3),
+                "messages": comm.messages,
+                "uplink_msgs": comm.uplink_messages,
+                "downlink_msgs": comm.downlink_messages,
+                "objects": comm.objects_transmitted,
+                "retrievals": run.aggregate.full_recomputations,
+            }
+        )
+    baseline = runs[WORKER_COUNTS[0]]
+    answers_identical = all(
+        answer_stream(runs[workers]) == answer_stream(baseline)
+        for workers in WORKER_COUNTS[1:]
+    )
+    communication_identical = all(
+        runs[workers].communication.as_dict() == baseline.communication.as_dict()
+        for workers in WORKER_COUNTS[1:]
+    )
+    return rows, answers_identical, communication_identical
+
+
+def write_result(rows, answers_identical, communication_identical) -> None:
+    by_workers = {row["workers"]: row for row in rows}
+    one, four = by_workers[1], by_workers[4]
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "pr4_service_dispatch",
+                "n": OBJECT_COUNT,
+                "queries": QUERIES,
+                "k": K,
+                "updates": one["updates"],
+                "messages": one["messages"],
+                "uplink_messages": one["uplink_msgs"],
+                "downlink_messages": one["downlink_msgs"],
+                "objects_transmitted": one["objects"],
+                "workers1_wall_seconds": one["wall_s"],
+                "workers4_wall_seconds": four["wall_s"],
+                "workers4_wall_ratio": round(four["wall_s"] / one["wall_s"], 2),
+                "answers_bit_identical": answers_identical,
+                "communication_identical": communication_identical,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def test_pr4_service_dispatch(run_once):
+    rows, answers_identical, communication_identical = run_once(run_benchmark)
+    assert answers_identical, "worker counts diverged on answers"
+    assert communication_identical, "worker counts diverged on communication"
+    write_result(rows, answers_identical, communication_identical)
+    emit_table(
+        "PR4_service_dispatch",
+        format_table(
+            rows,
+            title=(
+                f"PR4: service-layer dispatch, workers=1 vs workers=4 "
+                f"(M={QUERIES} sessions, n={OBJECT_COUNT}, k={K}, "
+                f"{UPDATE_EPOCHS} update epochs)"
+            ),
+        ),
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny-N sanity run")
+    args = parser.parse_args()
+    rows, answers_identical, communication_identical = run_benchmark(smoke=args.smoke)
+    for row in rows:
+        print(row)
+    print(
+        f"answers identical across worker counts: {answers_identical}, "
+        f"communication identical: {communication_identical}"
+    )
+    if not (answers_identical and communication_identical):
+        raise SystemExit(1)
+    if not args.smoke:
+        write_result(rows, answers_identical, communication_identical)
+        print(f"written to {RESULT_PATH.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,14 +1,18 @@
-"""Quickstart: answer a moving kNN query with the INS algorithm.
+"""Quickstart: serve a moving kNN query through the service front door.
 
 This example mirrors the paper's headline use case: a user moves through a
 city and continuously wants their k nearest points of interest.  It shows
-the three-step API:
+the metric-agnostic service API:
 
-1. build the data set (here: synthetic POIs),
-2. create an :class:`~repro.core.ins_euclidean.INSProcessor` with the query
-   parameters (k and the prefetch ratio ρ),
+1. open a service over the data set (``metric="euclidean"`` here; pass
+   ``metric="road"`` plus a road network and vertex ids for the road mode
+   and nothing else changes),
+2. open a :class:`~repro.service.session.Session` with the query
+   parameters (k and the prefetch ratio ρ) — a context-managed handle that
+   unregisters itself when done,
 3. feed it the query's positions one timestamp at a time and read the
-   answers and the cost counters.
+   answers and the communication bill (messages and objects over the wire,
+   the metric the INSQ system is designed to minimise).
 
 Run with::
 
@@ -17,47 +21,47 @@ Run with::
 
 from __future__ import annotations
 
-from repro import INSProcessor, uniform_points, random_waypoint_trajectory
-from repro.simulation import simulate, summarize
+from repro import open_service, random_waypoint_trajectory, uniform_points
 from repro.workloads.datasets import data_space
 
 
 def main() -> None:
-    # 1. Data objects: 2 000 points of interest in a 10 km x 10 km city.
-    points = uniform_points(2_000, seed=7)
+    # 1. Data objects: 2 000 points of interest in a 10 km x 10 km city,
+    #    behind the one front door both metrics share.
+    service = open_service(metric="euclidean", objects=uniform_points(2_000, seed=7))
 
-    # 2. The moving query: k = 5 nearest POIs, prefetch ratio rho = 1.6
-    #    (the defaults the INSQ demonstration uses).
-    processor = INSProcessor(points, k=5, rho=1.6)
-
-    # 3. A pedestrian random-waypoint trajectory: 500 steps of 25 m each.
+    # 2. A pedestrian random-waypoint trajectory: 500 steps of 25 m each.
     trajectory = random_waypoint_trajectory(
         data_space(), steps=500, step_length=25.0, seed=11
     )
 
-    run = simulate(processor, trajectory)
-    summary = summarize(run)
+    # 3. One session = one moving query: k = 5 nearest POIs, prefetch
+    #    ratio rho = 1.6 (the defaults the INSQ demonstration uses).
+    with service.open_session(trajectory[0], k=5, rho=1.6) as session:
+        responses = [session.update(position) for position in trajectory[1:]]
+        stats = session.stats
+        comm = session.communication.snapshot()
 
-    print("INS moving kNN query — quickstart")
-    print("=" * 48)
-    print(f"data objects            : {len(points)}")
-    print(f"timestamps processed    : {summary.timestamps}")
-    print(f"kNN set changes         : {summary.knn_changes}")
-    print(f"server recomputations   : {summary.full_recomputations}")
-    print(f"local (free) reorders   : {summary.local_reorders}")
-    print(f"objects sent to client  : {summary.transmitted_objects}")
-    print(f"client distance checks  : {summary.distance_computations}")
-    print(f"wall-clock time         : {summary.elapsed_seconds:.3f}s")
-    print()
-    print("first three answers:")
-    for result in run.results[:3]:
-        print(" ", result.describe())
-    print()
-    print(
-        "Only "
-        f"{summary.full_recomputations} of {summary.timestamps} timestamps needed the server — "
-        "that is the point of the influential neighbor set."
-    )
+        print("INS moving kNN query — service quickstart")
+        print("=" * 48)
+        print(f"data objects            : {service.object_count}")
+        print(f"timestamps processed    : {stats.timestamps}")
+        print(f"server round trips      : {stats.communication_events}")
+        print(f"local (free) reorders   : {stats.local_reorders}")
+        print(f"messages on the wire    : {comm.messages}")
+        print(f"objects sent to client  : {comm.downlink_objects}")
+        print(f"client distance checks  : {stats.distance_computations}")
+        print()
+        print("first three answers:")
+        for response in responses[:3]:
+            print(" ", response.describe())
+        print()
+        quiet = sum(1 for response in responses if response.round_trips == 0)
+        print(
+            f"{quiet} of {len(responses)} timestamps needed no communication at all — "
+            "that is the point of the influential neighbor set."
+        )
+    # The session closed itself here; the service keeps serving others.
 
 
 if __name__ == "__main__":

@@ -6,29 +6,42 @@ This package reproduces the system described in
     "INSQ: An Influential Neighbor Set Based Moving kNN Query Processing
     System", ICDE 2016 (demonstration).
 
-The public API exposes:
+The front door is the metric-agnostic service layer (:mod:`repro.service`):
+:func:`~repro.service.service.open_service` hides which serving engine
+backs a workload, :class:`~repro.service.session.Session` handles replace
+raw query ids, and every exchange is accounted into
+:class:`~repro.core.stats.CommunicationStats` — the paper's headline
+metric (messages and objects over the wire) as a first-class quantity.
+
+Quickstart (2-D plane; swap ``metric="road"`` plus a network for roads)::
+
+    from repro import open_service, uniform_points, random_waypoint_trajectory
+    from repro.workloads.datasets import data_space
+
+    service = open_service(metric="euclidean", objects=uniform_points(1000, seed=1))
+    trajectory = random_waypoint_trajectory(data_space(), steps=100, step_length=50.0)
+    with service.open_session(trajectory[0], k=5, rho=1.6) as session:
+        for position in trajectory[1:]:
+            response = session.update(position)
+        print(response.knn, "after", session.communication.messages, "messages")
+
+Beneath the service layer the package exposes:
 
 * the INS processors (:class:`~repro.core.ins_euclidean.INSProcessor` and
-  :class:`~repro.core.ins_road.INSRoadProcessor`),
+  :class:`~repro.core.ins_road.INSRoadProcessor`) and the raw servers
+  (:class:`~repro.core.server.MovingKNNServer`,
+  :class:`~repro.core.road_server.MovingRoadKNNServer`) — the
+  implementation layer, still importable and fully functional,
 * the baselines they are compared against,
 * the geometric and road-network substrates they are built on,
 * workload generators, trajectories and the simulation harness used by the
-  examples and benchmarks.
-
-Quickstart (2-D plane)::
-
-    from repro import INSProcessor, uniform_points, random_waypoint_trajectory
-    from repro.workloads.datasets import data_space
-    from repro.simulation import simulate
-
-    points = uniform_points(1000, seed=1)
-    trajectory = random_waypoint_trajectory(data_space(), steps=100, step_length=50.0)
-    processor = INSProcessor(points, k=5, rho=1.6)
-    run = simulate(processor, trajectory)
-    print(run.stats.full_recomputations, "recomputations over", run.timestamps, "timestamps")
+  examples and benchmarks (:func:`~repro.simulation.server_sim.
+  simulate_server` drives M concurrent sessions, optionally sharded
+  across ``workers=N`` dispatcher threads).
 """
 
 from repro.core import (
+    CommunicationStats,
     INSProcessor,
     INSRoadProcessor,
     MovingKNNProcessor,
@@ -40,6 +53,15 @@ from repro.core import (
     UpdateAction,
     influential_neighbor_set,
     minimal_influential_set,
+)
+from repro.service import (
+    KNNResponse,
+    KNNService,
+    PositionUpdate,
+    Session,
+    ShardedDispatcher,
+    UpdateBatch,
+    open_service,
 )
 from repro.baselines import (
     NaiveProcessor,
@@ -82,6 +104,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # the service front door
+    "open_service",
+    "KNNService",
+    "Session",
+    "ShardedDispatcher",
+    "PositionUpdate",
+    "KNNResponse",
+    "UpdateBatch",
+    "CommunicationStats",
     # core
     "INSProcessor",
     "INSRoadProcessor",

@@ -9,6 +9,14 @@ original demonstration lets a user do:
 * ``demo-road`` — simulate the Road Network mode (Fig. 3).
 * ``compare`` — run the method comparison on a configurable workload and
   print the experiment table.
+
+A fourth subcommand exercises the serving system itself:
+
+* ``serve`` — drive M concurrent query sessions plus a mixed object-update
+  stream through the metric-agnostic ``repro.service`` front door
+  (optionally sharded across ``--workers`` dispatcher threads) and report
+  the communication bill: messages and objects over the wire, per the
+  paper's headline metric.
 """
 
 from __future__ import annotations
@@ -24,13 +32,16 @@ from repro.simulation.experiment import (
     run_road_comparison,
 )
 from repro.simulation.report import format_table
+from repro.simulation.server_sim import simulate_server
 from repro.simulation.simulator import simulate
 from repro.viz.ascii_network import render_network_state
 from repro.viz.ascii_plane import render_plane_state
 from repro.workloads.scenarios import (
     default_euclidean_scenario,
     default_road_scenario,
+    euclidean_server_scenario,
     fig4_scenario,
+    road_server_scenario,
 )
 
 
@@ -67,6 +78,37 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--k", type=int, default=5, help="number of nearest neighbours")
     compare.add_argument("--rho", type=float, default=1.6, help="prefetch ratio")
     compare.add_argument("--steps", type=int, default=300, help="trajectory length")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="drive M concurrent sessions + churn through the service layer",
+    )
+    serve.add_argument("--metric", choices=("euclidean", "road"), default="euclidean")
+    serve.add_argument("--queries", type=int, default=16, help="concurrent sessions")
+    serve.add_argument(
+        "--n", type=int, default=None,
+        help="number of data objects (default: 600 euclidean, 40 road)",
+    )
+    serve.add_argument("--k", type=int, default=4, help="number of nearest neighbours")
+    serve.add_argument("--rho", type=float, default=1.6, help="prefetch ratio")
+    serve.add_argument("--steps", type=int, default=40, help="timestamps per session")
+    serve.add_argument(
+        "--churn", choices=("low", "high", "none"), default="low",
+        help="object-update stream intensity",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the session set across N dispatcher threads",
+    )
+    serve.add_argument(
+        "--invalidation", choices=("delta", "flag"), default="delta",
+        help="how data updates reach the sessions",
+    )
+    serve.add_argument(
+        "--check", action="store_true",
+        help="verify every answer against a brute-force oracle",
+    )
+    serve.add_argument("--seed", type=int, default=47, help="workload seed")
     return parser
 
 
@@ -138,6 +180,58 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    if args.metric == "euclidean":
+        scenario = euclidean_server_scenario(
+            churn=args.churn,
+            queries=args.queries,
+            object_count=args.n if args.n is not None else 600,
+            k=args.k,
+            steps=args.steps,
+            rho=args.rho,
+            seed=args.seed,
+        )
+    else:
+        scenario = road_server_scenario(
+            churn=args.churn,
+            queries=args.queries,
+            object_count=args.n if args.n is not None else 40,
+            k=args.k,
+            steps=args.steps,
+            rho=args.rho,
+            seed=args.seed,
+        )
+    run = simulate_server(
+        scenario,
+        invalidation=args.invalidation,
+        check_answers=args.check,
+        workers=args.workers,
+    )
+    stats = run.aggregate
+    comm = run.communication
+    print(f"scenario                : {run.scenario}")
+    print(f"sessions x timestamps   : {len(run.results)} x {run.timestamps}")
+    print(f"workers                 : {run.workers}")
+    print(f"invalidation            : {run.invalidation}")
+    print(f"data epochs applied     : {run.epochs}  {run.update_counts}")
+    print(f"retrievals              : {stats.full_recomputations}")
+    print(f"ins refreshes / absorbed: {stats.ins_refreshes} / {stats.absorbed_updates}")
+    print("communication bill")
+    print(f"  uplink   messages     : {comm.uplink_messages}")
+    print(f"  uplink   objects      : {comm.uplink_objects}")
+    print(f"  downlink messages     : {comm.downlink_messages}")
+    print(f"  downlink objects      : {comm.downlink_objects}")
+    print(f"  total    messages     : {comm.messages}")
+    print(f"  total    objects      : {comm.objects_transmitted}")
+    print(f"wall-clock time         : {run.elapsed_seconds:.3f}s")
+    if args.check:
+        verdict = "all answers correct" if run.is_correct else f"{len(run.mismatches)} ORACLE MISMATCHES"
+        print(f"oracle check            : {verdict}")
+        if not run.is_correct:
+            return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``insq`` command."""
     parser = _build_parser()
@@ -148,6 +242,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_demo_road(args)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "serve":
+        return _run_serve(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

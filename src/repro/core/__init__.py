@@ -18,7 +18,7 @@
 """
 
 from repro.core.objects import QueryResult, UpdateAction
-from repro.core.stats import ProcessorStats
+from repro.core.stats import CommunicationStats, ProcessorStats
 from repro.core.influential import (
     influential_neighbor_set,
     is_closer_set,
@@ -39,6 +39,7 @@ __all__ = [
     "QueryResult",
     "UpdateAction",
     "ProcessorStats",
+    "CommunicationStats",
     "influential_neighbor_set",
     "minimal_influential_set",
     "is_closer_set",

@@ -26,7 +26,20 @@ instances of the same machine, and this module is that machine:
   some registered query's ``k`` requires fails loudly at the mutation
   instead of deep inside that query's next retrieval;
 * **aggregate statistics** — cost counters summed across queries for
-  capacity planning.
+  capacity planning;
+* **communication accounting** — every client/server exchange is counted
+  into a :class:`~repro.core.stats.CommunicationStats`, per query and in
+  aggregate, so the paper's headline metric (messages and objects shipped
+  over the wire) is measured at the point where the exchanges happen
+  instead of estimated from retrieval counters afterwards.  A registration
+  costs one uplink request plus the initial retrieval response; a position
+  update costs one round trip per server contact it actually needed (a
+  locally validated timestamp is free); a mutation batch costs one uplink
+  message carrying its object records plus one invalidation notification
+  per registered query; closing a query costs one uplink message.  The
+  ``repro.service`` layer reports the same numbers through its typed
+  message protocol — and because the accounting lives here, a workload
+  driven through raw server calls produces identical counters.
 
 Subclasses provide the metric-specific 20%: constructing the shared index,
 building a processor for a new query, and translating object mutations into
@@ -36,6 +49,7 @@ index repairs that report their deltas.
 from __future__ import annotations
 
 import abc
+import threading
 from typing import (
     Callable,
     Dict,
@@ -50,7 +64,7 @@ from typing import (
 
 from repro.errors import ConfigurationError, QueryError
 from repro.core.objects import QueryResult
-from repro.core.stats import ProcessorStats
+from repro.core.stats import CommunicationStats, ProcessorStats
 
 PositionT = TypeVar("PositionT")
 
@@ -101,6 +115,13 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
         self._queries: Dict[int, RecordT] = {}
         self._next_query_id = 0
         self._epoch = 0
+        # Communication accounting: one aggregate (it keeps the history of
+        # unregistered queries) plus one live record per registered query.
+        # The lock keeps the counters exact when a ShardedDispatcher
+        # advances different queries from different worker threads.
+        self._communication = CommunicationStats()
+        self._comm_by_query: Dict[int, CommunicationStats] = {}
+        self._comm_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -131,11 +152,64 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
         return self._epoch
 
     def query_ids(self) -> List[int]:
-        """Identifiers of the registered queries."""
+        """Identifiers of the registered queries (a snapshot list)."""
         return list(self._queries)
 
     def __iter__(self) -> Iterator[RecordT]:
-        return iter(self._queries.values())
+        """Iterate over a *snapshot* of the registration records.
+
+        Unregistering a query (or closing a :class:`~repro.service.session.
+        Session`) while iterating must not raise ``RuntimeError: dictionary
+        changed size during iteration``, so the records are copied out
+        before iteration starts.
+        """
+        return iter(tuple(self._queries.values()))
+
+    @property
+    def communication(self) -> CommunicationStats:
+        """Aggregate client/server communication over the engine's lifetime.
+
+        Includes exchanges of queries that have since been unregistered.
+        The returned object is the engine's live accumulator — read it or
+        :meth:`~repro.core.stats.CommunicationStats.snapshot` it, do not
+        mutate it.
+        """
+        return self._communication
+
+    def communication_for(self, query_id: int) -> CommunicationStats:
+        """Live communication record of one registered query."""
+        if query_id not in self._comm_by_query:
+            raise QueryError(f"unknown query {query_id}")
+        return self._comm_by_query[query_id]
+
+    def per_query_communication(self) -> Dict[int, CommunicationStats]:
+        """Communication counters per registered query (snapshots)."""
+        return {
+            query_id: record.snapshot()
+            for query_id, record in self._comm_by_query.items()
+        }
+
+    def _account(
+        self,
+        query_id: Optional[int],
+        uplink_messages: int = 0,
+        uplink_objects: int = 0,
+        downlink_messages: int = 0,
+        downlink_objects: int = 0,
+    ) -> None:
+        """Add one exchange to the aggregate (and one query's) counters."""
+        delta = CommunicationStats(
+            uplink_messages=uplink_messages,
+            uplink_objects=uplink_objects,
+            downlink_messages=downlink_messages,
+            downlink_objects=downlink_objects,
+        )
+        with self._comm_lock:
+            self._communication.merge(delta)
+            if query_id is not None:
+                record = self._comm_by_query.get(query_id)
+                if record is not None:
+                    record.merge(delta)
 
     # ------------------------------------------------------------------
     # Query lifecycle
@@ -151,14 +225,32 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
         """
         query_id = self._next_query_id
         self._next_query_id += 1
-        self._queries[query_id] = make_record(query_id)
+        record = make_record(query_id)
+        self._queries[query_id] = record
+        self._comm_by_query[query_id] = CommunicationStats()
+        # Registration communication: one uplink request, and the initial
+        # retrieval the processor performed while initialising (its stats
+        # already carry the round trips and the |R| + |I(R)| payload).
+        stats = record.processor.stats
+        self._account(
+            query_id,
+            uplink_messages=1,
+            downlink_messages=max(1, stats.communication_events),
+            downlink_objects=stats.transmitted_objects,
+        )
         return query_id
 
     def unregister_query(self, query_id: int) -> None:
-        """Remove a query (raises QueryError when it does not exist)."""
+        """Remove a query (raises QueryError when it does not exist).
+
+        The goodbye message is the query's last accounted exchange; its
+        communication history stays in the engine-wide aggregate.
+        """
         if query_id not in self._queries:
             raise QueryError(f"unknown query {query_id}")
+        self._account(query_id, uplink_messages=1)
         del self._queries[query_id]
+        del self._comm_by_query[query_id]
 
     def _processor(self, query_id: int) -> ServableProcessor[PositionT]:
         if query_id not in self._queries:
@@ -166,8 +258,16 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
         return self._queries[query_id].processor
 
     def update_position(self, query_id: int, position: PositionT) -> QueryResult:
-        """Advance one query to its next position and return its answer."""
-        return self._processor(query_id).update(position)
+        """Advance one query to its next position and return its answer.
+
+        Communication is accounted from what the processor actually did:
+        each server contact (a retrieval or an incremental fetch) is one
+        uplink request plus one downlink response carrying the fetched
+        objects; a timestamp validated from client-held state exchanges
+        nothing.
+        """
+        processor = self._processor(query_id)
+        return self._accounted_update(query_id, processor, position)
 
     def answer(self, query_id: int) -> QueryResult:
         """Re-answer a query at its current position without moving it.
@@ -178,7 +278,27 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
         processor = self._processor(query_id)
         if processor.last_position is None:
             raise QueryError(f"query {query_id} has no known position")
-        return processor.update(processor.last_position)
+        return self._accounted_update(query_id, processor, processor.last_position)
+
+    def _accounted_update(
+        self,
+        query_id: int,
+        processor: ServableProcessor[PositionT],
+        position: PositionT,
+    ) -> QueryResult:
+        stats = processor.stats
+        contacts_before = stats.communication_events
+        objects_before = stats.transmitted_objects
+        result = processor.update(position)
+        round_trips = stats.communication_events - contacts_before
+        if round_trips:
+            self._account(
+                query_id,
+                uplink_messages=round_trips,
+                downlink_messages=round_trips,
+                downlink_objects=stats.transmitted_objects - objects_before,
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Epoch orchestration
@@ -216,7 +336,7 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
                 )
 
     def _commit_epoch(
-        self, changed: Iterable[int], removed: Iterable[int] = ()
+        self, changed: Iterable[int], removed: Iterable[int] = (), payload: int = 1
     ) -> int:
         """Advance the data epoch and dispatch the invalidation round.
 
@@ -225,6 +345,13 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
         copied).  In ``"flag"`` mode the delta is discarded and every
         processor is forced to refresh fully on its next timestamp.
         Returns the new epoch number.
+
+        Communication: the mutation batch arrives as one uplink message
+        carrying ``payload`` object records (the insert/delete/move stream
+        from the data owners), and the server pushes one invalidation
+        notification to every registered query — the ids it carries are not
+        object states, so the notification payload is zero; the objects a
+        query then fetches are charged to its own next update.
         """
         self._epoch += 1
         if self._invalidation == "flag":
@@ -233,6 +360,12 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
         else:
             for registered in self._queries.values():
                 registered.processor.notify_data_update(changed, removed)
+        with self._comm_lock:
+            self._communication.uplink_messages += 1
+            self._communication.uplink_objects += payload
+            self._communication.downlink_messages += len(self._queries)
+            for record in self._comm_by_query.values():
+                record.downlink_messages += 1
         return self._epoch
 
     # ------------------------------------------------------------------
@@ -244,6 +377,10 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
         for registered in self._queries.values():
             total.merge(registered.processor.stats)
         return total
+
+    def stats_for(self, query_id: int) -> ProcessorStats:
+        """Cost counters of one registered query."""
+        return self._processor(query_id).stats
 
     def per_query_stats(self) -> Dict[int, ProcessorStats]:
         """Cost counters per registered query."""

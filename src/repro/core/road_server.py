@@ -185,7 +185,7 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
         state is copied.
         """
         index, changed = self._voronoi.insert_object(vertex)
-        self._commit_epoch(changed)
+        self._commit_epoch(changed, payload=1)
         return index
 
     def delete_object(self, index: int) -> bool:
@@ -200,7 +200,7 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
             return False
         self._check_population(self._voronoi.object_count() - 1)
         changed = self._voronoi.remove_object(index)
-        self._commit_epoch(changed, (index,))
+        self._commit_epoch(changed, (index,), payload=1)
         return True
 
     def move_object(self, index: int, vertex: int) -> FrozenSet[int]:
@@ -212,7 +212,7 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
         changed = self._voronoi.move_object(index, vertex)
         if not changed:
             return frozenset()
-        self._commit_epoch(changed)
+        self._commit_epoch(changed, payload=1)
         return frozenset(changed)
 
     def batch_update(
@@ -232,15 +232,20 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
                 for some registered query's ``k``.
         """
         insert_list = list(inserts)
+        move_list = list(moves)
         delete_list = self._dedup_active_deletes(deletes, self._voronoi.is_active)
         self._check_population(
             self._voronoi.object_count() + len(insert_list) - len(delete_list)
         )
         new_indexes, deleted, changed = self._voronoi.batch_update(
-            insert_list, delete_list, moves
+            insert_list, delete_list, move_list
         )
         if new_indexes or deleted or changed:
-            self._commit_epoch(changed, deleted)
+            self._commit_epoch(
+                changed,
+                deleted,
+                payload=len(insert_list) + len(delete_list) + len(move_list),
+            )
         return RoadBatchUpdateResult(
             new_indexes=tuple(new_indexes),
             deleted_indexes=tuple(deleted),

@@ -161,7 +161,7 @@ class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
         neighbour-map patch plus one delta push per query.
         """
         index, changed = self._vortree.insert(point)
-        self._commit_epoch(changed)
+        self._commit_epoch(changed, payload=1)
         return index
 
     def delete_object(self, index: int) -> bool:
@@ -177,7 +177,7 @@ class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
         self._check_population(len(self._vortree) - 1)
         removed, changed = self._vortree.delete(index)
         if removed:
-            self._commit_epoch(changed, (index,))
+            self._commit_epoch(changed, (index,), payload=1)
         return removed
 
     def batch_update(
@@ -206,7 +206,9 @@ class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
             insert_list, delete_list
         )
         if new_indexes or deleted:
-            self._commit_epoch(changed, deleted)
+            self._commit_epoch(
+                changed, deleted, payload=len(insert_list) + len(delete_list)
+            )
         return BatchUpdateResult(
             new_indexes=tuple(new_indexes),
             deleted_indexes=tuple(deleted),

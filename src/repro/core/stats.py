@@ -1,10 +1,23 @@
-"""Cost accounting for moving-kNN processors.
+"""Cost accounting for moving-kNN processors and servers.
 
 The evaluation (EXPERIMENTS.md) compares methods along the axes the paper's
 introduction identifies: construction overhead, validation overhead,
 recomputation frequency and client/server communication.  Every processor
 owns a :class:`ProcessorStats` instance and increments it as it works; the
 simulation harness reads it out after a run.
+
+:class:`CommunicationStats` makes the paper's *headline* metric — messages
+and objects shipped over the wire — a first-class quantity.  The serving
+engine accounts every client/server exchange into one (per query and in
+aggregate): registrations, position updates that had to contact the server,
+the data-update stream, the per-epoch invalidation notifications and
+session teardown.  The ``repro.service`` message layer
+(:class:`~repro.service.messages.PositionUpdate`,
+:class:`~repro.service.messages.KNNResponse`,
+:class:`~repro.service.messages.UpdateBatch`) reports its payloads in the
+same units, so the counters are testably equal whether a workload is driven
+through :class:`~repro.service.session.Session` handles or through the raw
+server API.
 """
 
 from __future__ import annotations
@@ -13,6 +26,73 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
+
+
+@dataclass
+class CommunicationStats:
+    """Messages and data objects exchanged between clients and the server.
+
+    The INSQ system's stated goal is minimal communication cost, so the
+    serving engine counts every exchange explicitly instead of leaving the
+    number to be estimated from retrieval counters after a run.  Directions
+    are named from the client's point of view:
+
+    Attributes:
+        uplink_messages: client → server messages (query registration,
+            position updates that had to contact the server, object-update
+            batches from the data-owner stream, session teardown).
+        uplink_objects: object states carried by uplink messages (the
+            insert/delete/move records of the data-update stream; query
+            positions are not data objects and count as payload 0).
+        downlink_messages: server → client messages (retrieval responses
+            and the per-epoch invalidation notifications pushed to every
+            registered query).
+        downlink_objects: data objects carried by downlink payloads — the
+            paper's communication-cost proxy (``|R| + |I(R)|`` per
+            retrieval, plus incremental fetches).
+    """
+
+    uplink_messages: int = 0
+    uplink_objects: int = 0
+    downlink_messages: int = 0
+    downlink_objects: int = 0
+
+    @property
+    def messages(self) -> int:
+        """Total messages exchanged in either direction."""
+        return self.uplink_messages + self.downlink_messages
+
+    @property
+    def objects_transmitted(self) -> int:
+        """Total object states shipped over the wire in either direction."""
+        return self.uplink_objects + self.downlink_objects
+
+    def merge(self, other: "CommunicationStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.uplink_messages += other.uplink_messages
+        self.uplink_objects += other.uplink_objects
+        self.downlink_messages += other.downlink_messages
+        self.downlink_objects += other.downlink_objects
+
+    def snapshot(self) -> "CommunicationStats":
+        """An independent copy (for before/after deltas around one call)."""
+        return CommunicationStats(
+            uplink_messages=self.uplink_messages,
+            uplink_objects=self.uplink_objects,
+            downlink_messages=self.downlink_messages,
+            downlink_objects=self.downlink_objects,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """A plain dictionary of every counter and total (for reports)."""
+        return {
+            "uplink_messages": self.uplink_messages,
+            "uplink_objects": self.uplink_objects,
+            "downlink_messages": self.downlink_messages,
+            "downlink_objects": self.downlink_objects,
+            "messages": self.messages,
+            "objects_transmitted": self.objects_transmitted,
+        }
 
 
 @dataclass

@@ -46,6 +46,19 @@ The from-scratch construction remains available as ``maintenance="rebuild"``
 selectable for benchmarking) and as :meth:`full_rebuild`, the correctness
 oracle of the randomized equivalence tests.
 
+**Distance ties are broken deterministically by owner id**, in the repair
+floods *and* in the from-scratch build: a vertex at exactly equal distance
+from several objects is owned by the smallest object index among them, and
+a cell shared by co-located objects is labelled by its smallest member
+(the group *representative*).  An insert flood therefore also conquers
+tied vertices whose current owner has a larger index; the removal re-flood
+and the multi-source construction get the same rule from their
+``(distance, vertex, owner)`` heap ordering.  The payoff: an incrementally
+maintained diagram compares *equal* to a freshly rebuilt one — owners,
+edge ownership, neighbour map — even on uniform grids, where every edge
+has the same length and tie chains are endemic, so the equivalence tests
+need no tie-tolerant escape hatch.
+
 The owner → edges inverted index also turns :meth:`cell_edges`,
 :meth:`cell_length` and :meth:`restricted_subnetwork` from O(|E|) scans into
 O(cell) lookups, which is what makes the Theorem 2 sub-network rebuild cheap
@@ -54,6 +67,7 @@ enough to run per retrieval.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import math
 from dataclasses import dataclass
@@ -62,9 +76,6 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.errors import ConfigurationError, EmptyDatasetError, QueryError, RoadNetworkError
 from repro.roadnet.graph import Edge, RoadNetwork
 from repro.roadnet.shortest_path import SearchStats, multi_source_dijkstra
-
-#: Tolerance used when classifying border points at vertices.
-_TIE_TOLERANCE = 1e-9
 
 
 @dataclass(frozen=True)
@@ -231,6 +242,9 @@ class NetworkVoronoiDiagram:
             self._full_build()
             return index, set(self.active_object_indexes())
         group = self._vertex_objects.setdefault(vertex, [])
+        # A brand-new object always carries the largest index so far, so
+        # appending keeps the group sorted and the representative (its
+        # smallest member) unchanged.
         group.append(index)
         if len(group) > 1:
             # Co-located with an existing object: the geometry is unchanged,
@@ -282,11 +296,25 @@ class NetworkVoronoiDiagram:
         changed = self._detach(index)
         self._object_vertices[index] = new_vertex
         group = self._vertex_objects.setdefault(new_vertex, [])
-        group.append(index)
-        if len(group) > 1:
-            rep = group[0]
-            changed |= self._relift({rep} | self._rep_neighbors.get(rep, set()))
+        if group:
+            # Landing on an occupied vertex.  The group stays sorted so its
+            # representative is always its smallest member; when the incomer
+            # *is* that smallest member, the cell's label shrinks — and
+            # under the owner-id tie rule a smaller label also wins border
+            # ties the old one lost, so the takeover runs as a conquest
+            # flood (it re-settles the whole cell at unchanged distances
+            # and grabs the newly won tied fringe), not a relabel.
+            old_rep = group[0]
+            bisect.insort(group, index)
+            if group[0] == index:
+                changed |= self._insert_repair(index)
+                self._purge_empty_label(old_rep)
+            else:
+                changed |= self._relift(
+                    {old_rep} | self._rep_neighbors.get(old_rep, set())
+                )
         else:
+            group.append(index)
             changed |= self._insert_repair(index)
         changed.add(index)
         return changed
@@ -420,49 +448,53 @@ class NetworkVoronoiDiagram:
         return self._remove_repair(index)
 
     def _promote_representative(self, vertex: int) -> Set[int]:
-        """Relabel a removed representative's cell to its co-located successor."""
+        """Hand a removed representative's cell to its co-located successor.
+
+        Under the owner-id tie rule the label matters: border vertices the
+        cell held through ties under the old (smaller) label may now belong
+        to neighbours whose labels undercut the successor's, so the cell is
+        re-flooded — rim offers plus the successor's own zero-distance seed
+        — instead of being relabelled in place.
+        """
         group = self._vertex_objects[vertex]
         old_rep = group.pop(0)
-        new_rep = group[0]
-        cell = self._owner_vertices.pop(old_rep)
-        self._owner_vertices[new_rep] = cell
-        for cell_vertex in cell:
-            self._vertex_owners[cell_vertex] = new_rep
-        edges = self._owner_edges.pop(old_rep, set())
-        self._owner_edges[new_rep] = edges
-        for edge_id in edges:
-            ownership = self._edge_ownership[edge_id]
-            self._edge_ownership[edge_id] = EdgeOwnership(
-                edge_id,
-                new_rep if ownership.owner_u == old_rep else ownership.owner_u,
-                new_rep if ownership.owner_v == old_rep else ownership.owner_v,
-                ownership.border_offset,
-            )
-        neighbors = self._rep_neighbors.pop(old_rep, set())
-        self._rep_neighbors[new_rep] = neighbors
-        for neighbor in neighbors:
-            adjacent = self._rep_neighbors[neighbor]
-            adjacent.discard(old_rep)
-            adjacent.add(new_rep)
-        self._neighbor_map.pop(old_rep, None)
-        return self._relift({new_rep} | neighbors)
+        return self._remove_repair(old_rep, successor=group[0])
+
+    def _purge_empty_label(self, rep: int) -> None:
+        """Drop the inverted-index entries of a label that owns nothing.
+
+        After a cell takeover the drained label is a plain co-located
+        group member again; leaving its empty entries behind would make it
+        look like a representative to the lifting machinery.
+        """
+        if not self._owner_vertices.get(rep):
+            self._owner_vertices.pop(rep, None)
+            self._owner_edges.pop(rep, None)
+            self._rep_neighbors.pop(rep, None)
 
     def _insert_repair(self, index: int) -> Set[int]:
         """Flood a brand-new cell outward from the object's vertex."""
         start = self._object_vertices[index]
         if self._stats is not None:
             self._stats.searches += 1
-        # Conquer every vertex whose distance strictly improves.  A vertex
-        # that keeps its old distance cannot relay a shorter path (the old
-        # distances satisfy the triangle property), so the flood stops at
-        # the new cell's border.  Ties keep their old owner.
+        # Conquer every vertex whose distance strictly improves, plus every
+        # tied vertex whose current owner has a larger index (the
+        # deterministic owner-id tie rule — exactly what the multi-source
+        # build's heap ordering produces).  A vertex that keeps its old
+        # distance and owner cannot relay a better-or-tie-winning path
+        # (its owner already reaches everything beyond it at least as
+        # cheaply under a smaller label), so the flood stops exactly at
+        # the new cell's border.
         conquered: Dict[int, Optional[int]] = {}
         heap: List[Tuple[float, int]] = [(0.0, start)]
         while heap:
             distance, vertex = heapq.heappop(heap)
             if vertex in conquered:
                 continue
-            if distance >= self._vertex_distances.get(vertex, math.inf):
+            old_distance = self._vertex_distances.get(vertex, math.inf)
+            if distance > old_distance:
+                continue
+            if distance == old_distance and self._vertex_owners[vertex] < index:
                 continue
             conquered[vertex] = self._vertex_owners.get(vertex)
             self._vertex_distances[vertex] = distance
@@ -491,8 +523,15 @@ class NetworkVoronoiDiagram:
         affected |= self._reassign_edges(touched_edges)
         return self._refresh_rep_neighbors(affected)
 
-    def _remove_repair(self, index: int) -> Set[int]:
-        """Re-flood a removed object's cell from the surviving boundary."""
+    def _remove_repair(self, index: int, successor: Optional[int] = None) -> Set[int]:
+        """Re-flood a freed cell from the surviving boundary.
+
+        With ``successor`` given (a co-located object promoted to
+        representative after ``index`` left the shared vertex), the flood
+        additionally seeds the successor at distance zero, so the cell is
+        re-fought under its new — larger — label and tied border vertices
+        land where the deterministic owner-id rule says they should.
+        """
         cell = self._owner_vertices.pop(index)
         old_neighbors = self._rep_neighbors.pop(index, set())
         self._owner_edges.pop(index, None)
@@ -503,6 +542,11 @@ class NetworkVoronoiDiagram:
         # adjacent to the freed region offers its (final, unchanged)
         # distance plus the connecting edge.  Distances outside the cell
         # cannot change — their nearest object was not the removed one.
+        # The (distance, vertex, owner) heap ordering settles distance ties
+        # with the smallest owner id, the same deterministic rule as the
+        # from-scratch multi-source build (all competing entries for a
+        # vertex are present before the first pops: rim seeds are heapified
+        # up front and in-cell predecessors lie strictly closer).
         heap: List[Tuple[float, int, int]] = []
         for vertex in cell:
             for neighbor, length, _ in self._network.neighbors(vertex):
@@ -510,6 +554,9 @@ class NetworkVoronoiDiagram:
                     owner = self._vertex_owners.get(neighbor)
                     if owner is not None:
                         heap.append((self._vertex_distances[neighbor] + length, vertex, owner))
+        if successor is not None:
+            self._owner_vertices.setdefault(successor, set())
+            heap.append((0.0, self._object_vertices[successor], successor))
         heapq.heapify(heap)
         if self._stats is not None:
             self._stats.searches += 1
@@ -536,6 +583,8 @@ class NetworkVoronoiDiagram:
         }
         affected = self._reassign_edges(touched_edges)
         affected.discard(index)
+        if successor is not None:
+            affected.add(successor)
         affected |= old_neighbors
         changed = self._refresh_rep_neighbors(affected)
         self._neighbor_map.pop(index, None)
@@ -599,6 +648,10 @@ class NetworkVoronoiDiagram:
             if rep not in self._owner_vertices:
                 continue
             members = self._vertex_objects[self._object_vertices[rep]]
+            if members[0] != rep:
+                # A label being drained mid-repair (cell takeover): the
+                # group's real representative lifts these members.
+                continue
             adjacent: Set[int] = set()
             for neighbor_rep in self._rep_neighbors.get(rep, ()):
                 adjacent.update(self._vertex_objects[self._object_vertices[neighbor_rep]])
@@ -641,11 +694,6 @@ class NetworkVoronoiDiagram:
         it by object index is always valid.  It must not be mutated.
         """
         return self._object_vertices
-
-    @property
-    def maintenance(self) -> str:
-        """The update-maintenance mode (``"incremental"``/``"rebuild"``)."""
-        return self._maintenance
 
     def vertex_objects(self) -> Mapping[int, Sequence[int]]:
         """Live read-only vertex → active-objects map.

@@ -106,6 +106,20 @@ def multi_source_dijkstra(
         distance from ``v`` to its nearest source and ``owners[v]`` is that
         source's label.  This is the standard parallel-Dijkstra construction
         of the network Voronoi diagram.
+
+    **Distance ties are broken deterministically by owner id**: a vertex at
+    exactly equal distance from several sources is owned by the smallest
+    label among them.  The heap entries are ``(distance, vertex, label)``
+    tuples, and every competing entry for a vertex is pushed before the
+    first one is popped (all shortest-path predecessors lie strictly
+    closer), so the tuple ordering settles each tied vertex with its
+    minimal label — and the rule propagates through tie chains, because a
+    relayed label is itself the minimal one at the relaying vertex.  The
+    incremental repair floods of
+    :class:`~repro.roadnet.network_voronoi.NetworkVoronoiDiagram` apply the
+    same rule, which is what makes an incrementally maintained diagram
+    compare *equal* to a freshly rebuilt one even on uniform grids, where
+    ties are endemic.
     """
     if not sources:
         raise RoadNetworkError("multi_source_dijkstra requires at least one source")

@@ -1,0 +1,145 @@
+"""Sharded dispatch: advance many sessions concurrently between epochs.
+
+``simulate_server`` used to drive every registered query in lockstep from
+one thread.  Between data epochs the shared index is read-mostly — a
+position update only mutates its own session's client-side state — so the
+session set can be partitioned across a small thread pool and each shard
+advanced independently.  :class:`ShardedDispatcher` is that partitioner:
+
+* **deterministic sharding** — session ``i`` of a dispatch always lands in
+  shard ``i % workers`` and shards preserve input order internally, so the
+  result list (and every per-session answer) is bit-identical whatever the
+  thread scheduling, and identical to ``workers=1``;
+* **disjoint state** — each session is advanced by exactly one worker per
+  dispatch; the only cross-shard writes are the engine's communication
+  counters, which the engine guards with a lock;
+* **a barrier per dispatch** — :meth:`run` returns only when every shard
+  has finished, so epochs (index mutations) never overlap with query
+  advancement.
+
+This is the dispatch *contract* the next scale steps (multi-process
+sharding, network transport) build on; within one CPython process the GIL
+serialises the pure-Python work, so ``workers > 1`` is about correctness
+scaffolding and overlap with any native/IO work, not a linear speedup (the
+PR4 benchmark reports the honest numbers).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.service.messages import KNNResponse
+from repro.service.session import Session
+
+__all__ = ["ShardedDispatcher"]
+
+T = TypeVar("T")
+
+
+class ShardedDispatcher:
+    """Partition per-session work across a pool of worker threads.
+
+    Args:
+        workers: shard count.  ``1`` (the default) runs everything inline
+            on the calling thread — no pool, no overhead.
+
+    Use as a context manager (or call :meth:`close`) so the pool is torn
+    down promptly::
+
+        with ShardedDispatcher(workers=4) as dispatcher:
+            responses = dispatcher.advance(
+                (session, position) for session, position in assignments
+            )
+    """
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be at least 1, got {workers}")
+        self._workers = workers
+        self._pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=workers, thread_name_prefix="knn-shard")
+            if workers > 1
+            else None
+        )
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        """The shard count."""
+        return self._workers
+
+    @property
+    def closed(self) -> bool:
+        """True once the dispatcher's pool has been shut down."""
+        return self._closed
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        """Run the tasks sharded; returns their results in input order.
+
+        Task ``i`` runs in shard ``i % workers``; a shard executes its
+        tasks sequentially in input order, shards run concurrently.  The
+        call is a barrier: it returns (or raises the first shard failure)
+        only after every shard has finished.
+        """
+        if self._closed:
+            raise ConfigurationError("the dispatcher has been closed")
+        task_list = list(tasks)
+        if self._pool is None or len(task_list) <= 1:
+            return [task() for task in task_list]
+        results: List[Any] = [None] * len(task_list)
+
+        def run_shard(offset: int) -> None:
+            for index in range(offset, len(task_list), self._workers):
+                results[index] = task_list[index]()
+
+        shard_count = min(self._workers, len(task_list))
+        futures = [self._pool.submit(run_shard, offset) for offset in range(shard_count)]
+        errors = [future.exception() for future in futures]
+        for error in errors:
+            if error is not None:
+                raise error
+        return results
+
+    def advance(
+        self, assignments: Sequence[Tuple[Session, Any]]
+    ) -> List[KNNResponse]:
+        """Advance each session to its position; responses in input order.
+
+        Every session must appear at most once per dispatch (each is
+        advanced by exactly one worker; duplicating one would race its
+        client-side state).
+        """
+        assignment_list = list(assignments)
+        seen = set()
+        for session, _ in assignment_list:
+            # Keyed on identity, not query_id: ids are only unique per
+            # engine, and one dispatch may span several services.
+            if id(session) in seen:
+                raise ConfigurationError(
+                    f"session {session.query_id} appears twice in one dispatch"
+                )
+            seen.add(id(session))
+        return self.run(
+            [
+                (lambda s=session, p=position: s.update(p))
+                for session, position in assignment_list
+            ]
+        )
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; waits for in-flight shards)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedDispatcher":
+        if self._closed:
+            raise ConfigurationError("the dispatcher has been closed")
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

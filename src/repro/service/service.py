@@ -1,0 +1,365 @@
+"""The metric-agnostic front door of the serving system.
+
+One factory serves both spaces: :func:`open_service` (or
+:meth:`KNNService.from_scenario`) hides which
+:class:`~repro.core.engine.ServingEngine` subclass answers the queries —
+callers say *what* they have (points on a plane, or objects on a road
+network) and get back the same :class:`KNNService` API either way::
+
+    from repro import open_service, uniform_points
+
+    service = open_service(metric="euclidean", objects=uniform_points(2_000))
+    with service.open_session(start, k=5, rho=1.6) as session:
+        response = session.update(next_position)
+
+    service = open_service(metric="road", network=net, objects=vertices)
+    # ... identical usage
+
+The service owns the session book-keeping (handles out, auto-unregister on
+close), routes the typed message protocol
+(:mod:`repro.service.messages`), applies metric-agnostic
+:class:`~repro.service.messages.UpdateBatch` mutations, and reports the
+communication cost the engine accounted — per session and in aggregate.
+The old server classes stay importable and fully functional as the
+implementation layer underneath; a workload driven through them produces
+identical answers and identical
+:class:`~repro.core.stats.CommunicationStats` (the service adds no wire
+exchanges of its own).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, QueryError
+from repro.core.road_server import MovingRoadKNNServer, RoadBatchUpdateResult
+from repro.core.server import BatchUpdateResult, MovingKNNServer
+from repro.core.stats import CommunicationStats, ProcessorStats
+from repro.service.messages import KNNResponse, UpdateBatch
+from repro.service.session import Session
+
+__all__ = ["KNNService", "open_service"]
+
+#: The metrics the factory understands.
+METRICS = ("euclidean", "road")
+
+
+class KNNService:
+    """Metric-agnostic moving-kNN serving facade over one engine.
+
+    Build one with :func:`open_service` / :meth:`from_scenario` (the
+    factories pick and construct the backing engine), or wrap an existing
+    engine directly — useful when a benchmark wants to drive a
+    pre-configured server through the session API.
+
+    Args:
+        engine: the backing :class:`MovingKNNServer` or
+            :class:`MovingRoadKNNServer`.
+    """
+
+    def __init__(self, engine):
+        if isinstance(engine, MovingKNNServer):
+            self._metric = "euclidean"
+        elif isinstance(engine, MovingRoadKNNServer):
+            self._metric = "road"
+        else:
+            raise ConfigurationError(
+                f"KNNService requires a MovingKNNServer or MovingRoadKNNServer, "
+                f"got {type(engine).__name__}"
+            )
+        self._engine = engine
+        self._sessions: Dict[int, Session] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario,
+        maintenance: str = "incremental",
+        invalidation: str = "delta",
+    ) -> "KNNService":
+        """Open the matching service for any workload scenario.
+
+        Accepts all four scenario flavours
+        (:class:`~repro.workloads.scenarios.EuclideanScenario`,
+        :class:`~repro.workloads.scenarios.RoadScenario` and their
+        multi-query server variants) — anything exposing a ``metric`` (or,
+        failing that, either ``points`` for the plane or ``network`` +
+        ``object_vertices`` for a road network).
+        """
+        metric = getattr(scenario, "metric", None)
+        if metric == "road" or (metric is None and hasattr(scenario, "network")):
+            return open_service(
+                metric="road",
+                objects=scenario.object_vertices,
+                network=scenario.network,
+                maintenance=maintenance,
+                invalidation=invalidation,
+            )
+        if metric == "euclidean" or hasattr(scenario, "points"):
+            return open_service(
+                metric="euclidean",
+                objects=scenario.points,
+                maintenance=maintenance,
+                invalidation=invalidation,
+            )
+        raise ConfigurationError(
+            f"{type(scenario).__name__} is not a recognised scenario: it has "
+            "neither 'points' nor 'network'/'object_vertices'"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def metric(self) -> str:
+        """``"euclidean"`` or ``"road"``."""
+        return self._metric
+
+    @property
+    def engine(self):
+        """The backing serving engine (the implementation layer)."""
+        return self._engine
+
+    @property
+    def invalidation(self) -> str:
+        """The engine's invalidation mode (``"delta"``/``"flag"``)."""
+        return self._engine.invalidation
+
+    @property
+    def maintenance(self) -> str:
+        """The shared index's maintenance mode."""
+        return self._engine.maintenance
+
+    @property
+    def epoch(self) -> int:
+        """The engine's current data epoch."""
+        return self._engine.epoch
+
+    @property
+    def object_count(self) -> int:
+        """Number of active data objects in the shared index."""
+        return self._engine.object_count
+
+    @property
+    def session_count(self) -> int:
+        """Number of currently open sessions."""
+        return len(self._sessions)
+
+    @property
+    def closed(self) -> bool:
+        """True once the service itself has been closed."""
+        return self._closed
+
+    def sessions(self) -> List[Session]:
+        """The open sessions (a snapshot list, safe to close while walking)."""
+        return list(self._sessions.values())
+
+    def __iter__(self) -> Iterator[Session]:
+        return iter(self.sessions())
+
+    def __repr__(self) -> str:
+        return (
+            f"KNNService(metric={self._metric!r}, objects={self.object_count}, "
+            f"sessions={self.session_count}, epoch={self.epoch})"
+        )
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def open_session(
+        self, position: Any, k: int, rho: float = 1.6, **query_options: Any
+    ) -> Session:
+        """Register a moving query and return its :class:`Session` handle.
+
+        The first answer is computed during registration; read it with
+        :meth:`Session.refresh` or just start updating.  Road-only keyword
+        options (e.g. ``validation_mode``) pass through to the underlying
+        processor; the Euclidean side rejects them.
+
+        Args:
+            position: the query's starting position.
+            k: number of nearest neighbours to maintain.
+            rho: prefetch ratio ρ (the paper's demo uses 1.6).
+        """
+        self._ensure_open()
+        query_id = self._engine.register_query(position, k, rho=rho, **query_options)
+        session = Session(self, query_id, k=k, rho=rho)
+        self._sessions[query_id] = session
+        return session
+
+    def _discard(self, session: Session) -> None:
+        """Session teardown (called by :meth:`Session.close`)."""
+        self._sessions.pop(session.query_id, None)
+        self._engine.unregister_query(session.query_id)
+
+    def close(self) -> None:
+        """Close every open session (idempotent).
+
+        The engine (and its index) stays alive — new sessions can no
+        longer be opened through this service, but the aggregate counters
+        remain readable.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for session in self.sessions():
+            session.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise QueryError("the service has been closed")
+
+    def __enter__(self) -> "KNNService":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Message routing (used by Session)
+    # ------------------------------------------------------------------
+    def _deliver(self, query_id: int, position: Any) -> KNNResponse:
+        # Snapshot-before/after turns the engine's accounting into the
+        # response's per-step annotation without double counting anything.
+        # Everything here is local state: different sessions may be
+        # delivered concurrently by a ShardedDispatcher.
+        before = self._engine.communication_for(query_id).snapshot()
+        result = self._engine.update_position(query_id, position)
+        return self._respond(query_id, result, before)
+
+    def _refresh(self, query_id: int) -> KNNResponse:
+        before = self._engine.communication_for(query_id).snapshot()
+        result = self._engine.answer(query_id)
+        return self._respond(query_id, result, before)
+
+    def _respond(
+        self, query_id: int, result, before: CommunicationStats
+    ) -> KNNResponse:
+        after = self._engine.communication_for(query_id)
+        return KNNResponse(
+            query_id=query_id,
+            result=result,
+            objects_shipped=after.downlink_objects - before.downlink_objects,
+            round_trips=after.uplink_messages - before.uplink_messages,
+            epoch=self._engine.epoch,
+        )
+
+    # ------------------------------------------------------------------
+    # The data-update stream
+    # ------------------------------------------------------------------
+    def apply(self, batch: UpdateBatch):
+        """Apply one :class:`UpdateBatch` as a single data epoch.
+
+        Metric-agnostic: on the road side moves are native vertex
+        relocations; on the Euclidean side a move decomposes into delete +
+        reinsert at the new position (two object records on the wire), the
+        plane's native relocation.  Returns the engine's batch result
+        (:class:`~repro.core.server.BatchUpdateResult` or
+        :class:`~repro.core.road_server.RoadBatchUpdateResult`).
+
+        Raises:
+            QueryError: when the surviving population would be too small
+                for some open session's ``k`` (the engine's population
+                guard — nothing is applied).
+        """
+        if self._metric == "road":
+            return self._engine.batch_update(
+                inserts=batch.inserts, deletes=batch.deletes, moves=batch.moves
+            )
+        move_deletes = tuple(index for index, _ in batch.moves)
+        move_inserts = tuple(position for _, position in batch.moves)
+        return self._engine.batch_update(
+            inserts=tuple(batch.inserts) + move_inserts,
+            deletes=tuple(batch.deletes) + move_deletes,
+        )
+
+    def insert(self, target: Any) -> int:
+        """Insert one data object (a Point, or a road vertex); returns its index."""
+        return self._engine.insert_object(target)
+
+    def delete(self, index: int) -> bool:
+        """Delete one data object (returns False when already gone)."""
+        return self._engine.delete_object(index)
+
+    def move(self, index: int, target: Any):
+        """Relocate one data object to ``target`` (vertex or Point)."""
+        if self._metric == "road":
+            return self._engine.move_object(index, target)
+        return self.apply(UpdateBatch(moves=((index, target),)))
+
+    # ------------------------------------------------------------------
+    # Cost reporting
+    # ------------------------------------------------------------------
+    @property
+    def communication(self) -> CommunicationStats:
+        """Aggregate communication over the service's lifetime (live view)."""
+        return self._engine.communication
+
+    def per_session_communication(self) -> Dict[int, CommunicationStats]:
+        """Communication counters per open session, keyed by query id."""
+        return self._engine.per_query_communication()
+
+    def aggregate_stats(self) -> ProcessorStats:
+        """Client-side cost counters summed over every open session."""
+        return self._engine.aggregate_stats()
+
+
+def open_service(
+    metric: str = "euclidean",
+    objects: Optional[Sequence[Any]] = None,
+    network=None,
+    maintenance: str = "incremental",
+    invalidation: str = "delta",
+    max_entries: int = 16,
+) -> KNNService:
+    """Open a moving-kNN service — the one front door for both metrics.
+
+    Args:
+        metric: ``"euclidean"`` (objects are :class:`~repro.geometry.point.
+            Point` positions on the plane) or ``"road"`` (objects are
+            vertex ids on ``network``).
+        objects: the initial data objects (required, non-empty).
+        network: the :class:`~repro.roadnet.graph.RoadNetwork` shared by
+            every query — required for (and exclusive to) the road metric.
+        maintenance: index maintenance mode (``"incremental"`` repairs the
+            shared index locally per update, ``"rebuild"`` reconstructs it
+            from scratch — the benchmarking/safety-valve mode).
+        invalidation: ``"delta"`` (default; each session pays only for
+            updates touching its held pool) or ``"flag"`` (blanket
+            refresh-everyone fallback).
+        max_entries: R-tree node capacity of the Euclidean VoR-tree
+            (ignored on the road side).
+
+    Returns:
+        A :class:`KNNService` ready for :meth:`~KNNService.open_session`.
+    """
+    if metric not in METRICS:
+        raise ConfigurationError(f"metric must be one of {METRICS}, got {metric!r}")
+    if objects is None:
+        raise ConfigurationError("open_service requires the initial data objects")
+    if metric == "euclidean":
+        if network is not None:
+            raise ConfigurationError(
+                "the euclidean metric takes no road network; did you mean metric='road'?"
+            )
+        engine = MovingKNNServer(
+            list(objects),
+            max_entries=max_entries,
+            maintenance=maintenance,
+            invalidation=invalidation,
+        )
+    else:
+        if network is None:
+            raise ConfigurationError("the road metric requires a road network")
+        engine = MovingRoadKNNServer(
+            network,
+            list(objects),
+            maintenance=maintenance,
+            invalidation=invalidation,
+        )
+    return KNNService(engine)

@@ -1,20 +1,32 @@
-"""Drive a multi-query server through a concurrent workload.
+"""Drive a multi-query service through a concurrent workload.
 
 Where :func:`repro.simulation.simulator.simulate` runs *one* processor along
-*one* trajectory, this module drives a whole serving engine: M concurrent
-query streams advance in lockstep over one shared index while a mixed
-object-update stream (inserts, deletes, moves — see
+*one* trajectory, this module drives a whole serving system: M concurrent
+query streams advance over one shared index while a mixed object-update
+stream (inserts, deletes, moves — see
 :class:`repro.workloads.scenarios.ChurnSpec`) mutates the data set between
 timestamps, each batch applied as a single data epoch.  This is the "heavy
 traffic" shape of the system: many clients, one index, continuous churn.
 
-:func:`simulate_server` accepts either scenario flavour
-(:class:`~repro.workloads.scenarios.EuclideanServerScenario` or
-:class:`~repro.workloads.scenarios.RoadServerScenario`), builds the matching
-server, and returns a :class:`ServerSimulationRun` with per-query result
-streams, the aggregate cost counters and (optionally) brute-force
-correctness checking of every reported answer — the hook the randomized
-delta-vs-flag equivalence tests and the PR3 serving benchmark are built on.
+The driver runs through the ``repro.service`` front door: it opens one
+metric-agnostic :class:`~repro.service.service.KNNService` per run
+(:meth:`~repro.service.service.KNNService.from_scenario` accepts either
+scenario flavour), holds a :class:`~repro.service.session.Session` per
+query stream, ships the churn as typed
+:class:`~repro.service.messages.UpdateBatch` messages, and — with
+``workers > 1`` — shards the session set across a
+:class:`~repro.service.dispatch.ShardedDispatcher` thread pool between
+epochs.  Sharding is deterministic: ``workers=4`` produces bit-identical
+answers to ``workers=1`` (the PR4 benchmark asserts this on the headline
+stream).
+
+:func:`simulate_server` returns a :class:`ServerSimulationRun` with
+per-query result streams, the aggregate cost counters, the run's
+:class:`~repro.core.stats.CommunicationStats` (messages and objects over
+the wire — the paper's headline metric, now measured rather than estimated)
+and (optionally) brute-force correctness checking of every reported answer
+— the hook the randomized delta-vs-flag equivalence tests and the serving
+benchmarks are built on.
 """
 
 from __future__ import annotations
@@ -28,9 +40,10 @@ from repro.errors import ConfigurationError
 from repro.core.objects import QueryResult
 from repro.core.road_server import MovingRoadKNNServer
 from repro.core.server import MovingKNNServer
-from repro.core.stats import ProcessorStats
+from repro.core.stats import CommunicationStats, ProcessorStats
 from repro.geometry.point import Point
 from repro.roadnet.shortest_path import distances_from_location
+from repro.service import KNNService, ShardedDispatcher, UpdateBatch
 from repro.simulation.simulator import check_knn_answer
 from repro.workloads.scenarios import (
     EuclideanServerScenario,
@@ -42,18 +55,22 @@ ServerScenario = Union[EuclideanServerScenario, RoadServerScenario]
 
 @dataclass
 class ServerSimulationRun:
-    """The outcome of driving one server through one server scenario.
+    """The outcome of driving one service through one server scenario.
 
     Attributes:
         scenario: the scenario name.
-        invalidation: the server's invalidation mode (``"delta"``/``"flag"``).
+        invalidation: the engine's invalidation mode (``"delta"``/``"flag"``).
         results: per query id, one :class:`QueryResult` per timestamp.
         epochs: data epochs applied by the update stream.
         update_counts: applied object mutations by kind
             (``{"inserts": ..., "deletes": ..., "moves": ...}``).
         aggregate: cost counters summed over every registered query.
+        communication: messages and objects exchanged over the wire during
+            the run (registration included, session teardown excluded —
+            the sessions are still open when the run is read out).
         elapsed_seconds: wall-clock time of the whole run (index
             construction excluded, update stream included).
+        workers: shards the session set was advanced across (1 = lockstep).
         mismatches: ``(timestamp, query_id)`` pairs whose reported answer
             was provably wrong against the brute-force oracle (only
             populated when ``check_answers=True``).
@@ -65,7 +82,9 @@ class ServerSimulationRun:
     epochs: int
     update_counts: Dict[str, int]
     aggregate: ProcessorStats
+    communication: CommunicationStats
     elapsed_seconds: float
+    workers: int = 1
     mismatches: List[Tuple[int, int]] = field(default_factory=list)
 
     @property
@@ -84,7 +103,7 @@ def build_server(
     maintenance: str = "incremental",
     invalidation: str = "delta",
 ):
-    """Construct the matching (empty) server for a server scenario."""
+    """Construct the matching (empty) server engine for a server scenario."""
     if isinstance(scenario, EuclideanServerScenario):
         return MovingKNNServer(
             scenario.points, maintenance=maintenance, invalidation=invalidation
@@ -97,22 +116,22 @@ def build_server(
     )
 
 
-def _population_floor(server) -> int:
+def _population_floor(service: KNNService) -> int:
     """Smallest population the update stream must leave behind."""
-    max_k = max((registered.k for registered in server), default=1)
+    max_k = max((session.k for session in service.sessions()), default=1)
     return max_k + 2
 
 
-def _apply_euclidean_churn(
-    server: MovingKNNServer,
+def _euclidean_churn_batch(
+    service: KNNService,
     scenario: EuclideanServerScenario,
     rng: random.Random,
     counts: Dict[str, int],
-) -> None:
-    """One mixed update epoch: inserts, deletes and delete+reinsert moves."""
+) -> Optional[UpdateBatch]:
+    """One mixed update epoch: inserts, deletes and relocation moves."""
     churn = scenario.churn
-    active = server.vortree.active_indexes()
-    removable = max(0, len(active) - _population_floor(server))
+    active = service.engine.vortree.active_indexes()
+    removable = max(0, len(active) - _population_floor(service))
     deletes = rng.sample(active, min(churn.deletes, removable))
     excluded = set(deletes)
     remaining = [index for index in active if index not in excluded]
@@ -121,54 +140,65 @@ def _apply_euclidean_churn(
         Point(rng.uniform(0.0, scenario.extent), rng.uniform(0.0, scenario.extent))
         for _ in range(churn.inserts + len(move_victims))
     ]
-    if not new_points and not deletes and not move_victims:
-        return
-    server.batch_update(inserts=new_points, deletes=deletes + move_victims)
-    counts["inserts"] += churn.inserts
+    inserts = new_points[: churn.inserts]
+    destinations = new_points[churn.inserts :]
+    batch = UpdateBatch(
+        inserts=inserts,
+        deletes=deletes,
+        moves=tuple(zip(move_victims, destinations)),
+    )
+    if batch.is_empty:
+        return None
+    counts["inserts"] += len(inserts)
     counts["deletes"] += len(deletes)
     counts["moves"] += len(move_victims)
+    return batch
 
 
-def _apply_road_churn(
-    server: MovingRoadKNNServer,
+def _road_churn_batch(
+    service: KNNService,
     scenario: RoadServerScenario,
     rng: random.Random,
     counts: Dict[str, int],
-) -> None:
+) -> Optional[UpdateBatch]:
     """One mixed update epoch: inserts, deletes and vertex relocations."""
     churn = scenario.churn
     vertices = scenario.network.vertices()
-    active = server.voronoi.active_object_indexes()
-    removable = max(0, len(active) - _population_floor(server))
+    active = service.engine.voronoi.active_object_indexes()
+    removable = max(0, len(active) - _population_floor(service))
     deletes = rng.sample(active, min(churn.deletes, removable))
     excluded = set(deletes)
     remaining = [index for index in active if index not in excluded]
     move_victims = rng.sample(remaining, min(churn.moves, len(remaining)))
+    # Draw moves before inserts: this preserves the exact update streams
+    # the pre-service driver realised from the same scenario seeds.
     moves = [(index, rng.choice(vertices)) for index in move_victims]
     inserts = [rng.choice(vertices) for _ in range(churn.inserts)]
-    if not inserts and not deletes and not moves:
-        return
-    server.batch_update(inserts=inserts, deletes=deletes, moves=moves)
-    counts["inserts"] += len(inserts)
+    batch = UpdateBatch(inserts=inserts, deletes=deletes, moves=moves)
+    if batch.is_empty:
+        return None
+    counts["inserts"] += len(batch.inserts)
     counts["deletes"] += len(deletes)
-    counts["moves"] += len(moves)
+    counts["moves"] += len(batch.moves)
+    return batch
 
 
-def _euclidean_oracle(server: MovingKNNServer, position: Point) -> Dict[int, float]:
-    tree = server.vortree
+def _euclidean_oracle(service: KNNService, position: Point) -> Dict[int, float]:
+    tree = service.engine.vortree
     return {
         index: position.distance_to(tree.point(index))
         for index in tree.active_indexes()
     }
 
 
-def _road_oracle(server: MovingRoadKNNServer, position) -> Dict[int, float]:
+def _road_oracle(service: KNNService, position) -> Dict[int, float]:
     import math
 
-    vertex_distances = distances_from_location(server.network, position)
+    engine = service.engine
+    vertex_distances = distances_from_location(engine.network, position)
     return {
-        index: vertex_distances.get(server.object_vertex(index), math.inf)
-        for index in server.voronoi.active_object_indexes()
+        index: vertex_distances.get(engine.object_vertex(index), math.inf)
+        for index in engine.voronoi.active_object_indexes()
     }
 
 
@@ -179,15 +209,16 @@ def simulate_server(
     check_answers: bool = False,
     oracle_tolerance: float = 1e-7,
     server=None,
+    workers: int = 1,
 ) -> ServerSimulationRun:
     """Drive M concurrent query streams interleaved with the update stream.
 
-    Timestamp 0 registers every query at its trajectory's start.  At every
-    later timestamp the update stream first applies one mixed mutation
-    batch (when the scenario's churn interval says so — one data epoch,
-    one invalidation round), then every query advances one step and its
-    answer is recorded (and, with ``check_answers=True``, verified against
-    a brute-force oracle over the current population, tie-aware).
+    Timestamp 0 opens one session per query at its trajectory's start.  At
+    every later timestamp the update stream first applies one mixed
+    mutation batch (when the scenario's churn interval says so — one data
+    epoch, one invalidation round), then every session advances one step
+    and its answer is recorded (and, with ``check_answers=True``, verified
+    against a brute-force oracle over the current population, tie-aware).
 
     Args:
         scenario: a Euclidean or road server scenario.
@@ -196,8 +227,11 @@ def simulate_server(
         maintenance: index maintenance mode (``"incremental"``/``"rebuild"``).
         check_answers: verify every reported answer against brute force.
         oracle_tolerance: tie tolerance of the correctness check.
-        server: optionally reuse an existing (query-free) server built for
-            this scenario; when omitted one is constructed.
+        server: optionally reuse an existing (query-free) server engine
+            built for this scenario; when omitted one is constructed.
+        workers: shard the session set across this many dispatcher threads
+            between epochs (1 = the classic single-thread lockstep; any
+            value yields bit-identical answers).
 
     Returns:
         A :class:`ServerSimulationRun`.
@@ -226,47 +260,65 @@ def simulate_server(
                 f"supplied server already has {server.query_count} registered "
                 "queries; simulate_server needs a query-free server"
             )
+    service = KNNService(server)
     rng = random.Random(scenario.seed + 977)
     counts = {"inserts": 0, "deletes": 0, "moves": 0}
-    apply_churn = _apply_euclidean_churn if euclidean else _apply_road_churn
+    make_churn_batch = _euclidean_churn_batch if euclidean else _road_churn_batch
     oracle = _euclidean_oracle if euclidean else _road_oracle
 
     results: Dict[int, List[QueryResult]] = {}
     mismatches: List[Tuple[int, int]] = []
+    comm_start = service.communication.snapshot()
     started = time.perf_counter()
-    # Registration computes each query's first answer (timestamp 0); the
-    # recorded streams start at timestamp 1.
-    query_ids = [
-        server.register_query(trajectory[0], k=k, rho=scenario.rho)
+    # Session registration computes each query's first answer (timestamp
+    # 0); the recorded streams start at timestamp 1.
+    sessions = [
+        service.open_session(trajectory[0], k=k, rho=scenario.rho)
         for trajectory, k in zip(scenario.trajectories, scenario.ks)
     ]
-    for query_id in query_ids:
-        results[query_id] = []
-    epochs_before = server.epoch
-    for step in range(1, scenario.timestamps):
-        if scenario.churn.interval and step % scenario.churn.interval == 0:
-            apply_churn(server, scenario, rng, counts)
-        for query_id, trajectory, registered_k in zip(
-            query_ids, scenario.trajectories, scenario.ks
-        ):
-            result = server.update_position(query_id, trajectory[step])
-            results[query_id].append(result)
-            if check_answers:
-                # Check against the *registered* k (not the answer's own
-                # length) so an under-filled answer cannot pass vacuously.
-                all_distances = oracle(server, trajectory[step])
-                if not check_knn_answer(
-                    result.knn, all_distances, registered_k, oracle_tolerance
-                ):
-                    mismatches.append((step, query_id))
+    for session in sessions:
+        results[session.query_id] = []
+    epochs_before = service.epoch
+    with ShardedDispatcher(workers=workers) as dispatcher:
+        for step in range(1, scenario.timestamps):
+            if scenario.churn.interval and step % scenario.churn.interval == 0:
+                batch = make_churn_batch(service, scenario, rng, counts)
+                if batch is not None:
+                    service.apply(batch)
+            responses = dispatcher.advance(
+                [
+                    (session, trajectory[step])
+                    for session, trajectory in zip(sessions, scenario.trajectories)
+                ]
+            )
+            for session, trajectory, response in zip(
+                sessions, scenario.trajectories, responses
+            ):
+                results[session.query_id].append(response.result)
+                if check_answers:
+                    # Check against the *registered* k (not the answer's own
+                    # length) so an under-filled answer cannot pass vacuously.
+                    all_distances = oracle(service, trajectory[step])
+                    if not check_knn_answer(
+                        response.knn, all_distances, session.k, oracle_tolerance
+                    ):
+                        mismatches.append((step, session.query_id))
     elapsed = time.perf_counter() - started
+    communication = service.communication.snapshot()
+    # Report only this run's traffic: a reused engine may carry history.
+    communication.uplink_messages -= comm_start.uplink_messages
+    communication.uplink_objects -= comm_start.uplink_objects
+    communication.downlink_messages -= comm_start.downlink_messages
+    communication.downlink_objects -= comm_start.downlink_objects
     return ServerSimulationRun(
         scenario=scenario.name,
-        invalidation=server.invalidation,
+        invalidation=service.invalidation,
         results=results,
-        epochs=server.epoch - epochs_before,
+        epochs=service.epoch - epochs_before,
         update_counts=counts,
-        aggregate=server.aggregate_stats(),
+        aggregate=service.aggregate_stats(),
+        communication=communication,
         elapsed_seconds=elapsed,
+        workers=workers,
         mismatches=mismatches,
     )

@@ -59,6 +59,11 @@ class EuclideanScenario:
     step_length: float
 
     @property
+    def metric(self) -> str:
+        """The distance metric this scenario lives in (``"euclidean"``)."""
+        return "euclidean"
+
+    @property
     def timestamps(self) -> int:
         """Number of query timestamps (trajectory length)."""
         return len(self.trajectory)
@@ -85,6 +90,11 @@ class RoadScenario:
     k: int
     rho: float
     step_length: float
+
+    @property
+    def metric(self) -> str:
+        """The distance metric this scenario lives in (``"road"``)."""
+        return "road"
 
     @property
     def timestamps(self) -> int:
@@ -228,6 +238,11 @@ class EuclideanServerScenario:
     seed: int
 
     @property
+    def metric(self) -> str:
+        """The distance metric this scenario lives in (``"euclidean"``)."""
+        return "euclidean"
+
+    @property
     def query_count(self) -> int:
         """Number of concurrent queries."""
         return len(self.trajectories)
@@ -262,6 +277,11 @@ class RoadServerScenario:
     rho: float
     churn: ChurnSpec
     seed: int
+
+    @property
+    def metric(self) -> str:
+        """The distance metric this scenario lives in (``"road"``)."""
+        return "road"
 
     @property
     def query_count(self) -> int:

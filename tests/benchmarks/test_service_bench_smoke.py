@@ -1,0 +1,42 @@
+"""Tier-1 smoke test for the PR4 service-dispatch benchmark.
+
+Same rationale as the other benchmark smoke tests: the benchmark modules
+are only collected when invoked explicitly, so this drives the ``--smoke``
+tiny-N mode inside the default ``pytest -x -q`` run — a regression on the
+service path (session dispatch, communication accounting, sharded
+determinism) fails tier-1 immediately instead of waiting for somebody to
+run the benchmark by hand.
+
+Timing assertions are deliberately absent: tiny-N wall clocks are noise.
+The smoke run asserts structural invariants only (bit-identical answers
+and identical communication counters across worker counts, a non-trivial
+communication bill).
+"""
+
+import pathlib
+import sys
+
+# The benchmarks package lives at the repository root, next to tests/.
+_REPO_ROOT = str(pathlib.Path(__file__).resolve().parents[2])
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from benchmarks.bench_pr4_service_dispatch import (
+    run_benchmark as service_dispatch_benchmark,
+)
+
+
+class TestServiceBenchmarkSmoke:
+    def test_pr4_dispatch_smoke_workers_are_bit_identical(self):
+        rows, answers_identical, communication_identical = service_dispatch_benchmark(
+            smoke=True
+        )
+        assert answers_identical
+        assert communication_identical
+        by_workers = {row["workers"]: row for row in rows}
+        assert set(by_workers) == {1, 4}
+        # The communication bill is real and identical either way.
+        assert by_workers[1]["messages"] > 0
+        assert by_workers[1]["objects"] > 0
+        assert by_workers[1]["messages"] == by_workers[4]["messages"]
+        assert by_workers[1]["objects"] == by_workers[4]["objects"]

@@ -47,6 +47,21 @@ class TestRegistration:
         with pytest.raises(QueryError):
             server.update_position(42, Point(0, 0))
 
+    def test_unregistering_during_iteration_is_safe(self, dataset):
+        """__iter__ walks a snapshot: draining the query set mid-walk must
+        not raise 'dictionary changed size during iteration'."""
+        server = MovingKNNServer(dataset)
+        for i in range(5):
+            server.register_query(Point(100.0 * i, 100.0), k=3)
+        for record in server:
+            server.unregister_query(record.query_id)
+        assert server.query_count == 0
+        # query_ids() is a snapshot list for the same reason.
+        server.register_query(Point(0.0, 0.0), k=2)
+        for query_id in server.query_ids():
+            server.unregister_query(query_id)
+        assert server.query_count == 0
+
 
 class TestConcurrentQueries:
     def test_each_query_gets_its_own_correct_answers(self, dataset):

@@ -1,16 +1,18 @@
 """Randomized equivalence tests for incremental NetworkVoronoiDiagram maintenance.
 
 The incremental repairs (insert/remove/move) are validated against the
-from-scratch construction, which remains the correctness oracle:
+from-scratch construction, which remains the correctness oracle.  Both
+paths share the deterministic owner-id tie rule — a vertex at exactly equal
+distance from several objects belongs to the smallest object index among
+them, and a cell shared by co-located objects is labelled by its smallest
+member — so the comparison is *exact* everywhere:
 
 * on networks with irrational edge lengths (random planar graphs) network
-  distances are tie-free, so vertex owners, edge ownership and the
-  neighbour map must match the oracle *exactly*;
+  distances are essentially tie-free and the rule is never exercised;
 * on grid networks (every edge the same length) distance ties are endemic
-  and the tie-breaking differs between the repair flood and the oracle's
-  multi-source heap, so the tests compare distances exactly and check that
-  every structure is consistent with the diagram's own (valid) owner
-  choice — the "modulo distance ties" contract.
+  and the rule is exercised constantly — vertex owners, edge ownership and
+  the neighbour map must still match the oracle exactly.  (These tests used
+  to accept any self-consistent tie-break; the escape hatch is gone.)
 
 The delta contract (every object whose neighbour set changed is reported)
 is what the road server's invalidation relies on, so it gets its own test.
@@ -24,7 +26,6 @@ import pytest
 from repro.errors import EmptyDatasetError, QueryError
 from repro.roadnet.generators import grid_network, place_objects, random_planar_network
 from repro.roadnet.network_voronoi import NetworkVoronoiDiagram
-from repro.roadnet.shortest_path import dijkstra
 
 
 def apply_random_stream(diagram, network, rng, steps):
@@ -50,64 +51,49 @@ def oracle_for(diagram, network):
     return oracle, remap
 
 
-def assert_distances_match(diagram, oracle, network):
+def assert_matches_oracle(diagram, network):
+    """The diagram must equal a from-scratch build *exactly*.
+
+    The oracle is built over the active objects only, so its indexes are a
+    dense renumbering; the remap is order-preserving, which keeps the
+    owner-id tie rule aligned between the two builds.
+    """
+    oracle, remap = oracle_for(diagram, network)
+    reverse = {index: position for position, index in remap.items()}
+    # Distances and owners, vertex by vertex.
     for vertex in network.vertices():
-        expected = oracle._vertex_distances.get(vertex, math.inf)
-        actual = diagram._vertex_distances.get(vertex, math.inf)
-        assert actual == pytest.approx(expected, abs=1e-9), vertex
-
-
-def assert_self_consistent(diagram, network):
-    """Structures must be exactly what a build from the diagram's own
-    vertex owners would produce (tie-insensitive check)."""
-    # Owners achieve the (oracle-exact) stored distance.
-    distance_cache = {}
-    for vertex, owner in diagram._vertex_owners.items():
-        source = diagram.object_vertex(owner)
-        if source not in distance_cache:
-            distance_cache[source] = dijkstra(network, source)
-        assert distance_cache[source][vertex] == pytest.approx(
-            diagram._vertex_distances[vertex], abs=1e-9
-        )
-    # Edge ownership, inverted indexes and rep adjacency re-derived from the
-    # vertex owners must equal the maintained state.
-    owner_edges = {}
-    rep_neighbors = {}
+        expected_distance = oracle._vertex_distances.get(vertex, math.inf)
+        actual_distance = diagram._vertex_distances.get(vertex, math.inf)
+        assert actual_distance == pytest.approx(expected_distance, abs=1e-9), vertex
+        oracle_owner = oracle.vertex_owner(vertex)
+        expected_owner = None if oracle_owner is None else remap[oracle_owner]
+        assert diagram.vertex_owner(vertex) == expected_owner, vertex
+    # Edge ownership (and split borders).
     for edge in network.edges():
-        owner_u = diagram._vertex_owners.get(edge.u)
-        owner_v = diagram._vertex_owners.get(edge.v)
-        ownership = diagram.edge_ownership(edge.edge_id)
-        if owner_u is None or owner_v is None:
-            assert ownership is None
+        mine = diagram.edge_ownership(edge.edge_id)
+        theirs = oracle.edge_ownership(edge.edge_id)
+        if theirs is None:
+            assert mine is None
             continue
-        assert ownership is not None
-        assert (ownership.owner_u, ownership.owner_v) == (owner_u, owner_v)
-        if owner_u != owner_v:
-            du = diagram._vertex_distances[edge.u]
-            dv = diagram._vertex_distances[edge.v]
-            border = min(max((edge.length + dv - du) / 2.0, 0.0), edge.length)
-            assert ownership.border_offset == pytest.approx(border, abs=1e-9)
-            rep_neighbors.setdefault(owner_u, set()).add(owner_v)
-            rep_neighbors.setdefault(owner_v, set()).add(owner_u)
-        owner_edges.setdefault(owner_u, set()).add(edge.edge_id)
-        owner_edges.setdefault(owner_v, set()).add(edge.edge_id)
-    for rep, edges in owner_edges.items():
-        assert diagram._owner_edges.get(rep, set()) == edges
-    for rep, edges in diagram._owner_edges.items():
-        if edges:
-            assert owner_edges.get(rep) == edges
-    for rep in owner_edges:
-        assert diagram._rep_neighbors.get(rep, set()) == rep_neighbors.get(rep, set())
-    # Lifted object-level sets match the group semantics.
+        assert (mine.owner_u, mine.owner_v) == (
+            remap[theirs.owner_u],
+            remap[theirs.owner_v],
+        ), edge.edge_id
+        assert mine.is_split == theirs.is_split
+        if theirs.is_split:
+            assert mine.border_offset == pytest.approx(theirs.border_offset, abs=1e-9)
+    # The lifted object-level neighbour map.
+    oracle_map = {
+        remap[position]: {remap[other] for other in neighbors}
+        for position, neighbors in oracle.neighbor_map().items()
+    }
+    assert diagram.neighbor_map() == oracle_map
+    # Per-object cells from the inverted index (representatives included).
     for index in diagram.active_object_indexes():
-        vertex = diagram.object_vertex(index)
-        group = diagram._vertex_objects[vertex]
-        rep = group[0]
-        adjacent = set()
-        for neighbor_rep in rep_neighbors.get(rep, ()):
-            adjacent.update(diagram._vertex_objects[diagram.object_vertex(neighbor_rep)])
-        expected = (adjacent | set(group)) - {index}
-        assert diagram.neighbors_of(index) == expected
+        assert diagram.cell_edges({index}) == oracle.cell_edges({reverse[index]}), index
+        assert diagram.cell_length(index) == pytest.approx(
+            oracle.cell_length(reverse[index]), abs=1e-6
+        )
 
 
 class TestTieFreeEquivalence:
@@ -121,66 +107,23 @@ class TestTieFreeEquivalence:
         objects = place_objects(network, 12, seed=seed + 40)
         diagram = NetworkVoronoiDiagram(network, objects)
         apply_random_stream(diagram, network, rng, steps=120)
-        oracle, remap = oracle_for(diagram, network)
-        assert_distances_match(diagram, oracle, network)
-        # Owners compare by *vertex*: co-located objects (a move can land on
-        # an occupied vertex) are a distance-0 tie, and the two builds may
-        # elect different representatives of the same shared cell.
-        for vertex in network.vertices():
-            oracle_owner = oracle.vertex_owner(vertex)
-            if oracle_owner is None:
-                assert diagram.vertex_owner(vertex) is None
-            else:
-                assert diagram.object_vertex(
-                    diagram.vertex_owner(vertex)
-                ) == oracle.object_vertices[oracle_owner]
-        for edge in network.edges():
-            mine = diagram.edge_ownership(edge.edge_id)
-            theirs = oracle.edge_ownership(edge.edge_id)
-            if theirs is None:
-                assert mine is None
-                continue
-            assert diagram.object_vertex(mine.owner_u) == oracle.object_vertices[theirs.owner_u]
-            assert diagram.object_vertex(mine.owner_v) == oracle.object_vertices[theirs.owner_v]
-            if theirs.is_split:
-                assert mine.border_offset == pytest.approx(theirs.border_offset, abs=1e-9)
-        # The lifted neighbour map is representative-independent, so it must
-        # match exactly.
-        oracle_map = {
-            remap[position]: {remap[other] for other in neighbors}
-            for position, neighbors in oracle.neighbor_map().items()
-        }
-        assert diagram.neighbor_map() == oracle_map
-        # Inverted-index cell queries agree with the oracle's scans when
-        # aggregated per co-located group (the group shares one cell).
-        reverse = {index: position for position, index in remap.items()}
-        groups = {}
-        for index in diagram.active_object_indexes():
-            groups.setdefault(diagram.object_vertex(index), set()).add(index)
-        for vertex, group in groups.items():
-            oracle_group = {reverse[index] for index in group}
-            assert diagram.cell_edges(group) == oracle.cell_edges(oracle_group)
-            mine_length = sum(diagram.cell_length(index) for index in group)
-            oracle_length = sum(oracle.cell_length(position) for position in oracle_group)
-            assert mine_length == pytest.approx(oracle_length, abs=1e-6)
+        assert_matches_oracle(diagram, network)
 
 
-class TestTieTolerantEquivalence:
-    """Grid networks tie constantly: distances must still match the oracle
-    exactly, and every structure must be consistent with the diagram's own
-    owner assignment."""
+class TestGridEquivalence:
+    """Grid networks tie constantly: the deterministic owner-id rule makes
+    the incremental diagram equal the oracle exactly anyway — no
+    tie-tolerant escape hatch."""
 
     @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_random_stream_stays_consistent(self, seed):
+    def test_random_stream_matches_oracle(self, seed):
         rng = random.Random(seed + 10)
         network = grid_network(9, 9, spacing=50.0)
         objects = place_objects(network, 10, seed=seed + 60)
         diagram = NetworkVoronoiDiagram(network, objects)
         for _ in range(4):
             apply_random_stream(diagram, network, rng, steps=30)
-            oracle, _ = oracle_for(diagram, network)
-            assert_distances_match(diagram, oracle, network)
-            assert_self_consistent(diagram, network)
+            assert_matches_oracle(diagram, network)
 
     def test_cell_lengths_still_sum_to_network_length(self):
         rng = random.Random(5)
@@ -255,21 +198,30 @@ class TestColocatedObjects:
     def test_remove_representative_promotes_the_colocated_object(self):
         network = grid_network(4, 4, spacing=10.0)
         diagram = NetworkVoronoiDiagram(network, [0, 0, 15])
-        cell_before = diagram.cell_edges({0})
-        assert diagram.cell_edges({1}) == set()
         diagram.remove_object(0)
-        # Object 1 inherits the whole cell and the adjacency.
-        assert diagram.cell_edges({1}) == cell_before
+        # Object 1 inherits the cell (re-fought under its own label) and
+        # the adjacency; the result must match a from-scratch build.
         assert diagram.vertex_owner(0) == 1
         assert 2 in diagram.neighbors_of(1)
-        oracle, remap = oracle_for(diagram, network)
-        assert diagram.neighbor_map() == {
-            remap[position]: {remap[other] for other in neighbors}
-            for position, neighbors in oracle.neighbor_map().items()
-        }
+        assert_matches_oracle(diagram, network)
+
+    def test_takeover_by_lower_index_mover_matches_oracle(self):
+        # A move can land a *small* index on an occupied vertex: the group's
+        # label shrinks and, on a grid, the smaller label wins border ties
+        # the old one lost — the takeover must re-fight them.
+        network = grid_network(7, 7, spacing=10.0)
+        diagram = NetworkVoronoiDiagram(network, [24, 0, 48, 6, 42])
+        diagram.move_object(0, 6)  # object 0 joins object 3's vertex
+        group = diagram._vertex_objects[6]
+        assert group == [0, 3]
+        assert diagram.vertex_owner(6) == 0
+        assert_matches_oracle(diagram, network)
+        # And leaving again re-fights the cell under the successor's label.
+        diagram.move_object(0, 24)
+        assert diagram.vertex_owner(6) == 3
+        assert_matches_oracle(diagram, network)
 
     def test_move_between_shared_vertices_matches_oracle(self):
-        # A tie-free network so the lifted neighbour map must match exactly.
         network = random_planar_network(60, extent=800.0, seed=33)
         vertices = network.vertices()
         diagram = NetworkVoronoiDiagram(
@@ -278,11 +230,7 @@ class TestColocatedObjects:
         # Move a co-located member onto another occupied vertex, then away.
         for destination in (vertices[40], vertices[7]):
             diagram.move_object(1, destination)
-            oracle, remap = oracle_for(diagram, network)
-            assert diagram.neighbor_map() == {
-                remap[position]: {remap[other] for other in neighbors}
-                for position, neighbors in oracle.neighbor_map().items()
-            }
+            assert_matches_oracle(diagram, network)
 
 
 class TestMaintenanceModes:
@@ -295,23 +243,32 @@ class TestMaintenanceModes:
         changed = diagram.remove_object(index)
         assert changed == set(diagram.active_object_indexes())
 
-    def test_rebuild_and_incremental_agree_on_tie_free_networks(self):
-        network = random_planar_network(80, extent=1_000.0, seed=8)
+    @pytest.mark.parametrize(
+        "make_network",
+        [
+            lambda: random_planar_network(80, extent=1_000.0, seed=8),
+            lambda: grid_network(9, 9, spacing=50.0),
+        ],
+        ids=["tie-free-planar", "uniform-grid"],
+    )
+    def test_rebuild_and_incremental_agree(self, make_network):
+        """The same stream through both modes ends in identical diagrams —
+        including on uniform grids, where the owner-id tie rule is what
+        keeps the two tie-breaks aligned."""
+        network = make_network()
         objects = place_objects(network, 8, seed=91)
         incremental = NetworkVoronoiDiagram(network, objects)
         rebuild = NetworkVoronoiDiagram(network, objects, maintenance="rebuild")
         rng = random.Random(9)
-        script = []
-        for _ in range(40):
+        for _ in range(60):
             op = rng.random()
             active = incremental.active_object_indexes()
             if op < 0.4:
-                script.append(("insert", rng.choice(network.vertices())))
+                operation = ("insert", rng.choice(network.vertices()))
             elif op < 0.7 and len(active) > 2:
-                script.append(("remove", rng.choice(active)))
+                operation = ("remove", rng.choice(active))
             else:
-                script.append(("move", rng.choice(active), rng.choice(network.vertices())))
-            operation = script[-1]
+                operation = ("move", rng.choice(active), rng.choice(network.vertices()))
             for diagram in (incremental, rebuild):
                 if operation[0] == "insert":
                     diagram.insert_object(operation[1])
@@ -319,6 +276,7 @@ class TestMaintenanceModes:
                     diagram.remove_object(operation[1])
                 else:
                     diagram.move_object(operation[1], operation[2])
+        assert incremental._vertex_owners == rebuild._vertex_owners
         assert incremental.neighbor_map() == rebuild.neighbor_map()
         for index in incremental.active_object_indexes():
             assert incremental.cell_edges({index}) == rebuild.cell_edges({index})
@@ -343,11 +301,18 @@ class TestBatchUpdate:
         )
         assert len(new_indexes) == 1 and deleted == [2]
         assert changed and all(diagram.is_active(index) for index in changed)
-        oracle, remap = oracle_for(diagram, network)
-        assert diagram.neighbor_map() == {
-            remap[position]: {remap[other] for other in neighbors}
-            for position, neighbors in oracle.neighbor_map().items()
-        }
+        assert_matches_oracle(diagram, network)
+
+    def test_small_batch_on_a_grid_matches_oracle(self):
+        network = grid_network(8, 8, spacing=20.0)
+        objects = place_objects(network, 12, seed=19)
+        diagram = NetworkVoronoiDiagram(network, objects)
+        diagram.batch_update(
+            inserts=[network.vertices()[5]],
+            deletes=[1],
+            moves=[(3, network.vertices()[17]), (7, network.vertices()[44])],
+        )
+        assert_matches_oracle(diagram, network)
 
     def test_large_batch_takes_the_bulk_path_and_matches_oracle(self):
         network = random_planar_network(80, extent=1_000.0, seed=14)
@@ -360,11 +325,7 @@ class TestBatchUpdate:
         )
         assert len(new_indexes) == 20 and set(deleted) == {0, 1, 2}
         assert changed == set(diagram.active_object_indexes())
-        oracle, remap = oracle_for(diagram, network)
-        assert diagram.neighbor_map() == {
-            remap[position]: {remap[other] for other in neighbors}
-            for position, neighbors in oracle.neighbor_map().items()
-        }
+        assert_matches_oracle(diagram, network)
 
     def test_draining_batch_is_rejected(self):
         network = grid_network(3, 3)

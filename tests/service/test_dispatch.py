@@ -1,0 +1,113 @@
+"""Tests for the sharded session dispatcher."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import ShardedDispatcher, open_service
+from repro.workloads.datasets import uniform_points
+from repro.geometry.point import Point
+
+
+class TestRun:
+    def test_results_come_back_in_input_order(self):
+        with ShardedDispatcher(workers=3) as dispatcher:
+            results = dispatcher.run([(lambda i=i: i * i) for i in range(10)])
+        assert results == [i * i for i in range(10)]
+
+    def test_single_worker_runs_inline(self):
+        thread_ids = []
+        with ShardedDispatcher(workers=1) as dispatcher:
+            dispatcher.run([lambda: thread_ids.append(threading.get_ident())])
+        assert thread_ids == [threading.get_ident()]
+
+    def test_tasks_spread_across_worker_threads(self):
+        # A barrier forces two shards to be in flight at once, proving the
+        # dispatch is actually concurrent (fast tasks could otherwise all be
+        # serviced by a single pool thread).
+        barrier = threading.Barrier(2, timeout=5.0)
+        seen = set()
+
+        def task():
+            seen.add(threading.get_ident())
+            barrier.wait()
+
+        with ShardedDispatcher(workers=2) as dispatcher:
+            dispatcher.run([task, task])
+        assert len(seen) == 2
+
+    def test_a_shard_failure_propagates(self):
+        def boom():
+            raise ValueError("shard failure")
+
+        with ShardedDispatcher(workers=2) as dispatcher:
+            with pytest.raises(ValueError, match="shard failure"):
+                dispatcher.run([lambda: 1, boom, lambda: 3])
+
+    def test_closed_dispatcher_rejects_work(self):
+        dispatcher = ShardedDispatcher(workers=2)
+        dispatcher.close()
+        assert dispatcher.closed
+        with pytest.raises(ConfigurationError):
+            dispatcher.run([lambda: 1])
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            ShardedDispatcher(workers=0)
+
+
+class TestAdvance:
+    def _service_with_sessions(self, count=6):
+        service = open_service(
+            metric="euclidean", objects=uniform_points(150, seed=9)
+        )
+        sessions = [
+            service.open_session(Point(100.0 * i, 200.0), k=3) for i in range(count)
+        ]
+        return service, sessions
+
+    def test_duplicate_session_is_rejected(self):
+        service, sessions = self._service_with_sessions(2)
+        with ShardedDispatcher(workers=2) as dispatcher:
+            with pytest.raises(ConfigurationError):
+                dispatcher.advance(
+                    [(sessions[0], Point(1.0, 1.0)), (sessions[0], Point(2.0, 2.0))]
+                )
+        service.close()
+
+    def test_one_dispatch_may_span_several_services(self):
+        # query_ids repeat across engines; distinct sessions must not be
+        # mistaken for duplicates.
+        service_a, sessions_a = self._service_with_sessions(1)
+        service_b, sessions_b = self._service_with_sessions(1)
+        assert sessions_a[0].query_id == sessions_b[0].query_id
+        with ShardedDispatcher(workers=2) as dispatcher:
+            responses = dispatcher.advance(
+                [(sessions_a[0], Point(5.0, 5.0)), (sessions_b[0], Point(9.0, 9.0))]
+            )
+        assert len(responses) == 2
+        service_a.close()
+        service_b.close()
+
+    def test_sharded_advance_matches_sequential(self):
+        """workers=4 must produce bit-identical answers to workers=1."""
+        moves = [Point(97.0 * i + 13.0, 211.0) for i in range(6)]
+        runs = {}
+        for workers in (1, 4):
+            service, sessions = self._service_with_sessions(6)
+            with ShardedDispatcher(workers=workers) as dispatcher:
+                stream = [
+                    dispatcher.advance(
+                        [
+                            (session, Point(move.x + 31.0 * step, move.y))
+                            for session, move in zip(sessions, moves)
+                        ]
+                    )
+                    for step in range(5)
+                ]
+            runs[workers] = [
+                [(r.knn, r.knn_distances) for r in responses] for responses in stream
+            ]
+            service.close()
+        assert runs[1] == runs[4]

@@ -36,3 +36,23 @@ class TestCli:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "legend" in captured.out
+
+    def test_serve_euclidean_sharded(self, capsys):
+        exit_code = main(
+            [
+                "serve", "--queries", "4", "--n", "150", "--steps", "10",
+                "--workers", "2", "--check",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "communication bill" in captured.out
+        assert "all answers correct" in captured.out
+
+    def test_serve_road(self, capsys):
+        exit_code = main(
+            ["serve", "--metric", "road", "--queries", "2", "--k", "3", "--steps", "8"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "total    messages" in captured.out

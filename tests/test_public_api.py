@@ -1,18 +1,48 @@
 """Tests for the top-level public API of the ``repro`` package."""
 
+import pytest
+
 import repro
+import repro.service
 
 
 class TestPublicApi:
     def test_version(self):
         assert repro.__version__ == "1.0.0"
 
-    def test_all_names_resolve(self):
-        for name in repro.__all__:
-            assert hasattr(repro, name), f"__all__ exports missing attribute {name}"
+    @pytest.mark.parametrize("module", [repro, repro.service], ids=["repro", "repro.service"])
+    def test_all_is_consistent(self, module):
+        """__all__ must be duplicate-free and every name must resolve."""
+        assert len(module.__all__) == len(set(module.__all__)), "duplicate __all__ entry"
+        for name in module.__all__:
+            assert hasattr(module, name), (
+                f"{module.__name__}.__all__ exports missing attribute {name}"
+            )
+
+    def test_service_surface_is_reexported_at_the_top_level(self):
+        """Everything the service layer exports is reachable from ``repro``
+        directly — the one front door — and is the same object."""
+        for name in repro.service.__all__:
+            assert name in repro.__all__, f"repro.__all__ is missing {name}"
+            assert getattr(repro, name) is getattr(repro.service, name)
 
     def test_quickstart_docstring_flow(self):
         """The module docstring's quickstart snippet must actually work."""
+        from repro import open_service, uniform_points, random_waypoint_trajectory
+        from repro.workloads.datasets import data_space
+
+        service = open_service(metric="euclidean", objects=uniform_points(100, seed=1))
+        trajectory = random_waypoint_trajectory(data_space(), steps=20, step_length=50.0)
+        with service.open_session(trajectory[0], k=5, rho=1.6) as session:
+            for position in trajectory[1:]:
+                response = session.update(position)
+            assert len(response.knn) == 5
+            assert session.stats.timestamps == 21
+            assert session.communication.messages >= 2
+        assert session.closed
+
+    def test_processor_layer_still_works_directly(self):
+        """The pre-service surface stays importable and functional."""
         from repro import INSProcessor, uniform_points, random_waypoint_trajectory
         from repro.workloads.datasets import data_space
         from repro.simulation import simulate
@@ -29,3 +59,6 @@ class TestPublicApi:
         assert repro.INSRoadProcessor.__name__ == "INSRoadProcessor"
         assert repro.VoRTree.__name__ == "VoRTree"
         assert repro.NetworkVoronoiDiagram.__name__ == "NetworkVoronoiDiagram"
+        assert repro.KNNService.__name__ == "KNNService"
+        assert repro.Session.__name__ == "Session"
+        assert repro.ShardedDispatcher.__name__ == "ShardedDispatcher"
