@@ -37,7 +37,13 @@ Beneath the service layer the package exposes:
 * workload generators, trajectories and the simulation harness used by the
   examples and benchmarks (:func:`~repro.simulation.server_sim.
   simulate_server` drives M concurrent sessions, optionally sharded
-  across ``workers=N`` dispatcher threads).
+  across ``workers=N`` dispatcher threads — or over a real transport),
+* the wire layer (:mod:`repro.transport`): a binary codec for the message
+  protocol, :class:`~repro.transport.server.KNNServer` to host a service
+  behind a TCP/Unix socket, :func:`~repro.transport.client.connect` for
+  drop-in remote sessions, and
+  :class:`~repro.transport.procpool.ProcessShardedDispatcher` for
+  multi-process engine shards.
 """
 
 from repro.core import (
@@ -83,6 +89,15 @@ from repro.roadnet import (
     ring_radial_network,
 )
 from repro.simulation import simulate, simulate_server, summarize
+from repro.transport import (
+    KNNServer,
+    ProcessShardedDispatcher,
+    RemoteService,
+    RemoteSession,
+    ServiceSpec,
+    TransportError,
+    connect,
+)
 from repro.trajectory import (
     circular_trajectory,
     linear_trajectory,
@@ -113,6 +128,14 @@ __all__ = [
     "KNNResponse",
     "UpdateBatch",
     "CommunicationStats",
+    # the transport layer (serving over a socket / process shards)
+    "connect",
+    "KNNServer",
+    "RemoteService",
+    "RemoteSession",
+    "ProcessShardedDispatcher",
+    "ServiceSpec",
+    "TransportError",
     # core
     "INSProcessor",
     "INSRoadProcessor",

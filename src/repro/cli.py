@@ -10,19 +10,26 @@ original demonstration lets a user do:
 * ``compare`` — run the method comparison on a configurable workload and
   print the experiment table.
 
-A fourth subcommand exercises the serving system itself:
+Two more subcommands exercise the serving system itself:
 
 * ``serve`` — drive M concurrent query sessions plus a mixed object-update
   stream through the metric-agnostic ``repro.service`` front door
-  (optionally sharded across ``--workers`` dispatcher threads) and report
-  the communication bill: messages and objects over the wire, per the
-  paper's headline metric.
+  (optionally sharded across ``--workers``, optionally over a real
+  ``--transport``) and report the communication bill: messages, objects
+  and — over a transport — measured bytes, per the paper's headline
+  metric; ``--per-session`` adds the per-session breakdown.  With
+  ``--listen HOST:PORT`` (or ``--listen unix:PATH``) it instead *hosts*
+  the service behind a socket for remote ``insq client`` processes.
+* ``client`` — connect to a listening server, drive query sessions over
+  the wire and print both sides of the bill (the client's measured bytes
+  reconcile exactly against the codec's predicted sizes).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro.core.ins_euclidean import INSProcessor
@@ -109,6 +116,57 @@ def _build_parser() -> argparse.ArgumentParser:
         help="verify every answer against a brute-force oracle",
     )
     serve.add_argument("--seed", type=int, default=47, help="workload seed")
+    serve.add_argument(
+        "--transport", choices=("local", "tcp", "unix", "process"), default="local",
+        help="drive the simulated workload over a real transport",
+    )
+    serve.add_argument(
+        "--per-session", action="store_true",
+        help="print the per-session communication breakdown",
+    )
+    serve.add_argument(
+        "--listen", metavar="HOST:PORT|unix:PATH", default=None,
+        help="host the service behind a socket instead of simulating "
+             "(drive it with 'insq client')",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="with --listen: serve for this many seconds (default: until ^C)",
+    )
+
+    client = subparsers.add_parser(
+        "client",
+        help="drive query sessions against a listening 'insq serve' process",
+    )
+    client.add_argument(
+        "--connect", metavar="HOST:PORT|unix:PATH", required=True,
+        help="endpoint printed by 'insq serve --listen'",
+    )
+    client.add_argument(
+        "--metric", choices=("euclidean", "road"), default="euclidean",
+        help="must match the server's metric",
+    )
+    client.add_argument("--queries", type=int, default=4, help="concurrent sessions")
+    client.add_argument("--k", type=int, default=4, help="number of nearest neighbours")
+    client.add_argument("--rho", type=float, default=1.6, help="prefetch ratio")
+    client.add_argument("--steps", type=int, default=20, help="updates per session")
+    client.add_argument(
+        "--rows", type=int, default=10,
+        help="road metric: grid rows (must match the server's scenario)",
+    )
+    client.add_argument(
+        "--columns", type=int, default=10,
+        help="road metric: grid columns (must match the server's scenario)",
+    )
+    client.add_argument(
+        "--spacing", type=float, default=100.0,
+        help="road metric: grid spacing (must match the server's scenario)",
+    )
+    client.add_argument("--seed", type=int, default=47, help="trajectory seed")
+    client.add_argument(
+        "--per-session", action="store_true",
+        help="print the per-session communication breakdown",
+    )
     return parser
 
 
@@ -180,9 +238,35 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_serve(args: argparse.Namespace) -> int:
+def _print_communication(comm, indent: str = "  ") -> None:
+    print(f"{indent}uplink   messages     : {comm.uplink_messages}")
+    print(f"{indent}uplink   objects      : {comm.uplink_objects}")
+    print(f"{indent}downlink messages     : {comm.downlink_messages}")
+    print(f"{indent}downlink objects      : {comm.downlink_objects}")
+    print(f"{indent}total    messages     : {comm.messages}")
+    print(f"{indent}total    objects      : {comm.objects_transmitted}")
+    if comm.bytes_transmitted:
+        print(f"{indent}uplink   bytes        : {comm.uplink_bytes}")
+        print(f"{indent}downlink bytes        : {comm.downlink_bytes}")
+        print(f"{indent}total    bytes        : {comm.bytes_transmitted}")
+
+
+def _print_per_session(per_session) -> None:
+    print("per-session breakdown")
+    for query_id in sorted(per_session):
+        comm = per_session[query_id]
+        line = (
+            f"  session {query_id:>4}: "
+            f"msgs {comm.messages:>6}  objects {comm.objects_transmitted:>7}"
+        )
+        if comm.bytes_transmitted:
+            line += f"  bytes {comm.bytes_transmitted:>9}"
+        print(line)
+
+
+def _build_server_scenario(args: argparse.Namespace):
     if args.metric == "euclidean":
-        scenario = euclidean_server_scenario(
+        return euclidean_server_scenario(
             churn=args.churn,
             queries=args.queries,
             object_count=args.n if args.n is not None else 600,
@@ -191,45 +275,137 @@ def _run_serve(args: argparse.Namespace) -> int:
             rho=args.rho,
             seed=args.seed,
         )
-    else:
-        scenario = road_server_scenario(
-            churn=args.churn,
-            queries=args.queries,
-            object_count=args.n if args.n is not None else 40,
-            k=args.k,
-            steps=args.steps,
-            rho=args.rho,
-            seed=args.seed,
-        )
+    return road_server_scenario(
+        churn=args.churn,
+        queries=args.queries,
+        object_count=args.n if args.n is not None else 40,
+        k=args.k,
+        steps=args.steps,
+        rho=args.rho,
+        seed=args.seed,
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    scenario = _build_server_scenario(args)
+    if args.listen is not None:
+        return _serve_listen(args, scenario)
     run = simulate_server(
         scenario,
         invalidation=args.invalidation,
         check_answers=args.check,
         workers=args.workers,
+        transport=None if args.transport == "local" else args.transport,
     )
     stats = run.aggregate
-    comm = run.communication
     print(f"scenario                : {run.scenario}")
     print(f"sessions x timestamps   : {len(run.results)} x {run.timestamps}")
     print(f"workers                 : {run.workers}")
+    print(f"transport               : {run.transport}")
     print(f"invalidation            : {run.invalidation}")
     print(f"data epochs applied     : {run.epochs}  {run.update_counts}")
     print(f"retrievals              : {stats.full_recomputations}")
     print(f"ins refreshes / absorbed: {stats.ins_refreshes} / {stats.absorbed_updates}")
     print("communication bill")
-    print(f"  uplink   messages     : {comm.uplink_messages}")
-    print(f"  uplink   objects      : {comm.uplink_objects}")
-    print(f"  downlink messages     : {comm.downlink_messages}")
-    print(f"  downlink objects      : {comm.downlink_objects}")
-    print(f"  total    messages     : {comm.messages}")
-    print(f"  total    objects      : {comm.objects_transmitted}")
+    _print_communication(run.communication)
     print(f"wall-clock time         : {run.elapsed_seconds:.3f}s")
+    if args.per_session:
+        _print_per_session(run.per_session_communication)
     if args.check:
         verdict = "all answers correct" if run.is_correct else f"{len(run.mismatches)} ORACLE MISMATCHES"
         print(f"oracle check            : {verdict}")
         if not run.is_correct:
             return 1
     return 0
+
+
+def _serve_listen(args: argparse.Namespace, scenario) -> int:
+    """Host the scenario's initial data set behind a socket server."""
+    from repro.service import KNNService
+    from repro.transport import KNNServer, parse_endpoint
+
+    service = KNNService.from_scenario(scenario, invalidation=args.invalidation)
+    endpoint = parse_endpoint(args.listen)
+    if isinstance(endpoint, str):
+        server = KNNServer(service, path=endpoint)
+    else:
+        host, port = endpoint
+        server = KNNServer(service, host=host, port=port)
+    with server:
+        address = server.address
+        printable = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
+        print(f"serving {args.metric} ({service.object_count} objects) on {printable}")
+        print("drive it with: insq client --connect", printable, flush=True)
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:
+                while True:
+                    time.sleep(3600.0)
+        except KeyboardInterrupt:
+            pass
+        print("communication bill")
+        _print_communication(service.communication)
+        if args.per_session:
+            _print_per_session(service.per_session_communication())
+    return 0
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    from repro.trajectory.euclidean import random_waypoint_trajectory
+    from repro.trajectory.road import network_random_walk
+    from repro.roadnet.generators import grid_network
+    from repro.transport import connect
+    from repro.workloads.datasets import data_space
+
+    if args.metric == "euclidean":
+        trajectories = [
+            random_waypoint_trajectory(
+                data_space(), steps=args.steps, step_length=60.0, seed=args.seed + i
+            )
+            for i in range(args.queries)
+        ]
+    else:
+        network = grid_network(args.rows, args.columns, spacing=args.spacing)
+        trajectories = [
+            network_random_walk(
+                network, steps=args.steps, step_length=40.0, seed=args.seed + i
+            )
+            for i in range(args.queries)
+        ]
+    with connect(args.connect) as remote:
+        sessions = [
+            remote.open_session(trajectory[0], k=args.k, rho=args.rho)
+            for trajectory in trajectories
+        ]
+        retrieval_steps = 0
+        timestamps = min(len(trajectory) for trajectory in trajectories)
+        # Registration answered position 0; each later position is one
+        # update, so every session performs exactly --steps updates.
+        for step in range(1, timestamps):
+            for session, trajectory in zip(sessions, trajectories):
+                response = session.update(trajectory[step])
+                if response.round_trips:
+                    retrieval_steps += 1
+        server_comm = remote.communication()
+        per_session = remote.per_session_communication() if args.per_session else None
+        for session in sessions:
+            session.close()
+        print(f"sessions x timestamps   : {args.queries} x {timestamps}")
+        print(f"steps that contacted the server: {retrieval_steps}")
+        print("server-side communication bill")
+        _print_communication(server_comm)
+        if per_session is not None:
+            _print_per_session(per_session)
+        print("client-side wire measurement")
+        print(f"  bytes sent            : {remote.bytes_sent}")
+        print(f"  bytes received        : {remote.bytes_received}")
+        predicted_ok = (
+            remote.bytes_sent == remote.predicted_bytes_sent
+            and remote.bytes_received == remote.predicted_bytes_received
+        )
+        print(f"  codec-predicted match : {predicted_ok}")
+        return 0 if predicted_ok else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -244,6 +420,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_compare(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "client":
+        return _run_client(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -196,6 +196,8 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
         uplink_objects: int = 0,
         downlink_messages: int = 0,
         downlink_objects: int = 0,
+        uplink_bytes: int = 0,
+        downlink_bytes: int = 0,
     ) -> None:
         """Add one exchange to the aggregate (and one query's) counters."""
         delta = CommunicationStats(
@@ -203,6 +205,8 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
             uplink_objects=uplink_objects,
             downlink_messages=downlink_messages,
             downlink_objects=downlink_objects,
+            uplink_bytes=uplink_bytes,
+            downlink_bytes=downlink_bytes,
         )
         with self._comm_lock:
             self._communication.merge(delta)
@@ -210,6 +214,27 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
                 record = self._comm_by_query.get(query_id)
                 if record is not None:
                     record.merge(delta)
+
+    def account_wire_bytes(
+        self,
+        query_id: Optional[int],
+        uplink_bytes: int = 0,
+        downlink_bytes: int = 0,
+    ) -> None:
+        """Bill wire bytes measured by a transport onto the counters.
+
+        The engine itself counts *messages* and *object states* — the units
+        the in-process and over-the-wire surfaces share.  When a
+        ``repro.transport`` server actually serialises those messages, it
+        reports the measured frame sizes here so the byte counters sit
+        alongside the message/object counts they correspond to.  Billing to
+        a ``query_id`` that has already been unregistered (e.g. the bytes
+        of the final close acknowledgement) silently lands in the aggregate
+        only, mirroring how the goodbye message itself is accounted.
+        """
+        self._account(
+            query_id, uplink_bytes=uplink_bytes, downlink_bytes=downlink_bytes
+        )
 
     # ------------------------------------------------------------------
     # Query lifecycle

@@ -50,12 +50,19 @@ class CommunicationStats:
         downlink_objects: data objects carried by downlink payloads — the
             paper's communication-cost proxy (``|R| + |I(R)|`` per
             retrieval, plus incremental fetches).
+        uplink_bytes: bytes actually sent client → server, as measured by
+            the ``repro.transport`` wire layer (its codec's ``wire_size``
+            is exact, so measured and predicted bytes agree).  Stays 0 for
+            in-process serving, where no bytes cross a boundary.
+        downlink_bytes: bytes actually sent server → client (same source).
     """
 
     uplink_messages: int = 0
     uplink_objects: int = 0
     downlink_messages: int = 0
     downlink_objects: int = 0
+    uplink_bytes: int = 0
+    downlink_bytes: int = 0
 
     @property
     def messages(self) -> int:
@@ -67,12 +74,19 @@ class CommunicationStats:
         """Total object states shipped over the wire in either direction."""
         return self.uplink_objects + self.downlink_objects
 
+    @property
+    def bytes_transmitted(self) -> int:
+        """Total wire bytes in either direction (0 for in-process serving)."""
+        return self.uplink_bytes + self.downlink_bytes
+
     def merge(self, other: "CommunicationStats") -> None:
         """Accumulate another stats object into this one."""
         self.uplink_messages += other.uplink_messages
         self.uplink_objects += other.uplink_objects
         self.downlink_messages += other.downlink_messages
         self.downlink_objects += other.downlink_objects
+        self.uplink_bytes += other.uplink_bytes
+        self.downlink_bytes += other.downlink_bytes
 
     def snapshot(self) -> "CommunicationStats":
         """An independent copy (for before/after deltas around one call)."""
@@ -81,6 +95,8 @@ class CommunicationStats:
             uplink_objects=self.uplink_objects,
             downlink_messages=self.downlink_messages,
             downlink_objects=self.downlink_objects,
+            uplink_bytes=self.uplink_bytes,
+            downlink_bytes=self.downlink_bytes,
         )
 
     def as_dict(self) -> Dict[str, int]:
@@ -90,8 +106,11 @@ class CommunicationStats:
             "uplink_objects": self.uplink_objects,
             "downlink_messages": self.downlink_messages,
             "downlink_objects": self.downlink_objects,
+            "uplink_bytes": self.uplink_bytes,
+            "downlink_bytes": self.downlink_bytes,
             "messages": self.messages,
             "objects_transmitted": self.objects_transmitted,
+            "bytes_transmitted": self.bytes_transmitted,
         }
 
 

@@ -49,3 +49,15 @@ class QueryError(ReproError):
     Examples: asking for more neighbours than there are data objects, or
     updating a processor that has not been initialised with a first location.
     """
+
+
+class TransportError(ReproError):
+    """Raised for wire-level failures of the ``repro.transport`` layer.
+
+    Examples: a frame whose declared length exceeds the codec's limit, an
+    unknown frame type, a truncated or over-long frame body, a connection
+    that closed mid-frame, or a response received out of protocol order.
+    Engine-side failures (a bad ``k``, an unknown query) are *not*
+    transport errors — they cross the wire as typed error frames and are
+    re-raised client-side as their original exception class.
+    """

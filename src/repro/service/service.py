@@ -144,6 +144,20 @@ class KNNService:
         """Number of active data objects in the shared index."""
         return self._engine.object_count
 
+    def active_object_indexes(self) -> List[int]:
+        """Indexes of the active data objects, in the index's native order.
+
+        Metric-agnostic view over ``vortree.active_indexes()`` /
+        ``voronoi.active_object_indexes()``.  The order is part of the
+        contract: workload drivers sample churn victims from it with a
+        seeded RNG, so a transport that relays this list (the
+        ``repro.transport`` objects frame) must preserve it for remote
+        runs to realise the exact same update streams.
+        """
+        if self._metric == "road":
+            return list(self._engine.voronoi.active_object_indexes())
+        return list(self._engine.vortree.active_indexes())
+
     @property
     def session_count(self) -> int:
         """Number of currently open sessions."""

@@ -37,11 +37,24 @@ class Session:
 
     Attributes are read-only: ``k`` and ``rho`` are fixed at registration
     (open a new session to change them).
+
+    The class is also the transport seam: everything a session does goes
+    through its service's ``_deliver`` / ``_refresh`` / ``_discard``
+    protocol, so any object implementing those three methods can hand out
+    sessions — :class:`~repro.service.service.KNNService` resolves them
+    into in-process engine calls, while
+    :class:`~repro.transport.client.RemoteService` resolves the very same
+    calls into wire round trips (its
+    :class:`~repro.transport.client.RemoteSession` subclasses this class
+    only to redirect the introspection properties that would otherwise
+    read the local engine).
     """
 
     def __init__(self, service, query_id: int, k: int, rho: float):
         self._service = service
-        self._engine = service.engine
+        # Remote services have no local engine; the engine-backed
+        # properties (stats, communication) are overridden there.
+        self._engine = getattr(service, "engine", None)
         self._query_id = query_id
         self._k = k
         self._rho = rho

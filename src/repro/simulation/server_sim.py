@@ -27,11 +27,25 @@ the wire — the paper's headline metric, now measured rather than estimated)
 and (optionally) brute-force correctness checking of every reported answer
 — the hook the randomized delta-vs-flag equivalence tests and the serving
 benchmarks are built on.
+
+Since PR 5 the same driver also runs over a real transport
+(``transport="tcp"``/``"unix"``: a loopback
+:class:`~repro.transport.server.KNNServer` serving
+:class:`~repro.transport.client.RemoteSession` handles, byte counters
+included; ``transport="process"``: a
+:class:`~repro.transport.procpool.ProcessShardedDispatcher` with one
+engine shard per worker process).  The transports are drop-in by
+construction, so a transport-backed run returns bit-identical answers and
+identical message/object counters to the in-process run it mirrors — the
+equivalence suite in ``tests/transport/`` holds that together.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
@@ -74,6 +88,19 @@ class ServerSimulationRun:
         mismatches: ``(timestamp, query_id)`` pairs whose reported answer
             was provably wrong against the brute-force oracle (only
             populated when ``check_answers=True``).
+        transport: how the sessions reached the engine — ``"local"``
+            (in-process method calls), ``"tcp"``/``"unix"`` (a loopback
+            socket server; the communication counters then include real
+            wire bytes) or ``"process"`` (multi-process engine shards).
+        per_session_communication: per-session counters at the end of the
+            run (snapshots, keyed like ``results``) — the breakdown
+            ``insq serve --per-session`` prints.
+        wire_bytes_sent, wire_bytes_received: the client's *measured*
+            billable traffic over a socket transport (0 elsewhere).
+        wire_bytes_predicted_sent, wire_bytes_predicted_received: the
+            codec's :func:`~repro.transport.codec.wire_size` predictions
+            for the same frames — equal to the measured numbers by the
+            codec's exactness contract (the PR5 benchmark asserts it).
     """
 
     scenario: str
@@ -86,6 +113,14 @@ class ServerSimulationRun:
     elapsed_seconds: float
     workers: int = 1
     mismatches: List[Tuple[int, int]] = field(default_factory=list)
+    transport: str = "local"
+    per_session_communication: Dict[int, CommunicationStats] = field(
+        default_factory=dict
+    )
+    wire_bytes_sent: int = 0
+    wire_bytes_received: int = 0
+    wire_bytes_predicted_sent: int = 0
+    wire_bytes_predicted_received: int = 0
 
     @property
     def timestamps(self) -> int:
@@ -116,22 +151,28 @@ def build_server(
     )
 
 
-def _population_floor(service: KNNService) -> int:
+def _population_floor(sessions) -> int:
     """Smallest population the update stream must leave behind."""
-    max_k = max((session.k for session in service.sessions()), default=1)
+    max_k = max((session.k for session in sessions), default=1)
     return max_k + 2
 
 
 def _euclidean_churn_batch(
-    service: KNNService,
+    active: List[int],
+    floor: int,
     scenario: EuclideanServerScenario,
     rng: random.Random,
     counts: Dict[str, int],
 ) -> Optional[UpdateBatch]:
-    """One mixed update epoch: inserts, deletes and relocation moves."""
+    """One mixed update epoch: inserts, deletes and relocation moves.
+
+    ``active`` must be the engine's native-order active index list — the
+    seeded sampling below consumes it positionally, so every transport
+    (in-process, loopback socket, process shards) realises the exact same
+    update stream from the same scenario seed.
+    """
     churn = scenario.churn
-    active = service.engine.vortree.active_indexes()
-    removable = max(0, len(active) - _population_floor(service))
+    removable = max(0, len(active) - floor)
     deletes = rng.sample(active, min(churn.deletes, removable))
     excluded = set(deletes)
     remaining = [index for index in active if index not in excluded]
@@ -156,7 +197,8 @@ def _euclidean_churn_batch(
 
 
 def _road_churn_batch(
-    service: KNNService,
+    active: List[int],
+    floor: int,
     scenario: RoadServerScenario,
     rng: random.Random,
     counts: Dict[str, int],
@@ -164,8 +206,7 @@ def _road_churn_batch(
     """One mixed update epoch: inserts, deletes and vertex relocations."""
     churn = scenario.churn
     vertices = scenario.network.vertices()
-    active = service.engine.voronoi.active_object_indexes()
-    removable = max(0, len(active) - _population_floor(service))
+    removable = max(0, len(active) - floor)
     deletes = rng.sample(active, min(churn.deletes, removable))
     excluded = set(deletes)
     remaining = [index for index in active if index not in excluded]
@@ -210,6 +251,7 @@ def simulate_server(
     oracle_tolerance: float = 1e-7,
     server=None,
     workers: int = 1,
+    transport: Optional[str] = None,
 ) -> ServerSimulationRun:
     """Drive M concurrent query streams interleaved with the update stream.
 
@@ -225,17 +267,47 @@ def simulate_server(
         invalidation: ``"delta"`` (delta-scoped invalidation, the default)
             or ``"flag"`` (blanket refresh-everyone fallback).
         maintenance: index maintenance mode (``"incremental"``/``"rebuild"``).
-        check_answers: verify every reported answer against brute force.
+        check_answers: verify every reported answer against brute force
+            (unavailable over ``transport="process"`` — the engines live
+            in the workers).
         oracle_tolerance: tie tolerance of the correctness check.
         server: optionally reuse an existing (query-free) server engine
-            built for this scenario; when omitted one is constructed.
+            built for this scenario; when omitted one is constructed
+            (in-process and socket transports only).
         workers: shard the session set across this many dispatcher threads
-            between epochs (1 = the classic single-thread lockstep; any
-            value yields bit-identical answers).
+            (in-process/socket transports) or worker *processes*
+            (``transport="process"``); any value yields bit-identical
+            answers.
+        transport: ``None``/``"local"`` for in-process serving,
+            ``"tcp"``/``"unix"`` to serve the run through a loopback
+            :class:`~repro.transport.server.KNNServer` socket (sessions
+            become :class:`~repro.transport.client.RemoteSession` handles
+            and the counters gain real wire bytes), or ``"process"`` for
+            one engine shard per worker process.
 
     Returns:
         A :class:`ServerSimulationRun`.
     """
+    transport_name = "local" if transport is None else transport
+    if transport_name == "process":
+        if server is not None:
+            raise ConfigurationError(
+                "transport='process' builds one engine replica per worker; "
+                "a pre-built server cannot be supplied"
+            )
+        if check_answers:
+            raise ConfigurationError(
+                "check_answers is unavailable over transport='process': the "
+                "engines live in the worker processes (the transport "
+                "equivalence suite checks answers against the in-process run "
+                "instead)"
+            )
+        return _simulate_over_processes(scenario, invalidation, maintenance, workers)
+    if transport_name not in ("local", "tcp", "unix"):
+        raise ConfigurationError(
+            "transport must be None, 'local', 'tcp', 'unix' or 'process', "
+            f"got {transport!r}"
+        )
     euclidean = isinstance(scenario, EuclideanServerScenario)
     if server is None:
         server = build_server(
@@ -266,59 +338,189 @@ def simulate_server(
     make_churn_batch = _euclidean_churn_batch if euclidean else _road_churn_batch
     oracle = _euclidean_oracle if euclidean else _road_oracle
 
+    # Over a socket transport the run is served loopback: the engine (and
+    # its oracle/churn view) stays in this process, but every session
+    # exchange crosses the wire through RemoteSession handles.
+    socket_server = None
+    remote = None
+    tempdir = None
+    open_session = service.open_session
+    apply_batch = service.apply
+    if transport_name in ("tcp", "unix"):
+        from repro.transport import KNNServer, connect
+
+        if transport_name == "unix":
+            tempdir = tempfile.mkdtemp(prefix="insq-sim-")
+            socket_server = KNNServer(
+                service, path=os.path.join(tempdir, "insq.sock")
+            ).start()
+        else:
+            socket_server = KNNServer(service).start()
+        remote = connect(socket_server.address)
+        open_session = remote.open_session
+        apply_batch = remote.apply
+
     results: Dict[int, List[QueryResult]] = {}
     mismatches: List[Tuple[int, int]] = []
     comm_start = service.communication.snapshot()
-    started = time.perf_counter()
-    # Session registration computes each query's first answer (timestamp
-    # 0); the recorded streams start at timestamp 1.
-    sessions = [
-        service.open_session(trajectory[0], k=k, rho=scenario.rho)
-        for trajectory, k in zip(scenario.trajectories, scenario.ks)
-    ]
-    for session in sessions:
-        results[session.query_id] = []
-    epochs_before = service.epoch
-    with ShardedDispatcher(workers=workers) as dispatcher:
+    try:
+        started = time.perf_counter()
+        # Session registration computes each query's first answer (timestamp
+        # 0); the recorded streams start at timestamp 1.
+        sessions = [
+            open_session(trajectory[0], k=k, rho=scenario.rho)
+            for trajectory, k in zip(scenario.trajectories, scenario.ks)
+        ]
+        for session in sessions:
+            results[session.query_id] = []
+        epochs_before = service.epoch
+        floor = _population_floor(sessions)
+        with ShardedDispatcher(workers=workers) as dispatcher:
+            for step in range(1, scenario.timestamps):
+                if scenario.churn.interval and step % scenario.churn.interval == 0:
+                    batch = make_churn_batch(
+                        service.active_object_indexes(), floor, scenario, rng, counts
+                    )
+                    if batch is not None:
+                        apply_batch(batch)
+                responses = dispatcher.advance(
+                    [
+                        (session, trajectory[step])
+                        for session, trajectory in zip(sessions, scenario.trajectories)
+                    ]
+                )
+                for session, trajectory, response in zip(
+                    sessions, scenario.trajectories, responses
+                ):
+                    results[session.query_id].append(response.result)
+                    if check_answers:
+                        # Check against the *registered* k (not the answer's
+                        # own length) so an under-filled answer cannot pass
+                        # vacuously.
+                        all_distances = oracle(service, trajectory[step])
+                        if not check_knn_answer(
+                            response.knn, all_distances, session.k, oracle_tolerance
+                        ):
+                            mismatches.append((step, session.query_id))
+        elapsed = time.perf_counter() - started
+        communication = service.communication.snapshot()
+        # Report only this run's traffic: a reused engine may carry history.
+        for name in (
+            "uplink_messages",
+            "uplink_objects",
+            "downlink_messages",
+            "downlink_objects",
+            "uplink_bytes",
+            "downlink_bytes",
+        ):
+            setattr(
+                communication,
+                name,
+                getattr(communication, name) - getattr(comm_start, name),
+            )
+        per_session = service.engine.per_query_communication()
+        aggregate = service.aggregate_stats()
+        epochs = service.epoch - epochs_before
+        wire = (0, 0, 0, 0)
+        if remote is not None:
+            wire = (
+                remote.bytes_sent,
+                remote.bytes_received,
+                remote.predicted_bytes_sent,
+                remote.predicted_bytes_received,
+            )
+    finally:
+        if remote is not None:
+            remote.close()
+        if socket_server is not None:
+            socket_server.stop()
+        if tempdir is not None:
+            shutil.rmtree(tempdir, ignore_errors=True)
+    return ServerSimulationRun(
+        scenario=scenario.name,
+        invalidation=service.invalidation,
+        results=results,
+        epochs=epochs,
+        update_counts=counts,
+        aggregate=aggregate,
+        communication=communication,
+        elapsed_seconds=elapsed,
+        workers=workers,
+        mismatches=mismatches,
+        transport=transport_name,
+        per_session_communication=per_session,
+        wire_bytes_sent=wire[0],
+        wire_bytes_received=wire[1],
+        wire_bytes_predicted_sent=wire[2],
+        wire_bytes_predicted_received=wire[3],
+    )
+
+
+def _simulate_over_processes(
+    scenario: ServerScenario,
+    invalidation: str,
+    maintenance: str,
+    workers: int,
+) -> ServerSimulationRun:
+    """The ``transport="process"`` body: shard the engine across processes.
+
+    Every worker holds a full engine replica built from the scenario;
+    sessions are pinned ``i mod workers`` and update batches are broadcast
+    (see :class:`~repro.transport.procpool.ProcessShardedDispatcher`).
+    Results are keyed by the sessions' global open-order ids, which equal
+    the query ids an in-process run assigns — so run comparisons are
+    key-compatible across transports.
+    """
+    from repro.transport import ProcessShardedDispatcher, ServiceSpec
+
+    euclidean = isinstance(scenario, EuclideanServerScenario)
+    make_churn_batch = _euclidean_churn_batch if euclidean else _road_churn_batch
+    spec = ServiceSpec.from_scenario(
+        scenario, maintenance=maintenance, invalidation=invalidation
+    )
+    rng = random.Random(scenario.seed + 977)
+    counts = {"inserts": 0, "deletes": 0, "moves": 0}
+    results: Dict[int, List[QueryResult]] = {}
+    with ProcessShardedDispatcher(spec, workers=workers) as pool:
+        started = time.perf_counter()
+        sessions = [
+            pool.open_session(trajectory[0], k=k, rho=scenario.rho)
+            for trajectory, k in zip(scenario.trajectories, scenario.ks)
+        ]
+        for session in sessions:
+            results[session.global_id] = []
+        floor = _population_floor(sessions)
         for step in range(1, scenario.timestamps):
             if scenario.churn.interval and step % scenario.churn.interval == 0:
-                batch = make_churn_batch(service, scenario, rng, counts)
+                batch = make_churn_batch(
+                    list(pool.active_object_indexes()), floor, scenario, rng, counts
+                )
                 if batch is not None:
-                    service.apply(batch)
-            responses = dispatcher.advance(
+                    pool.apply(batch)
+            responses = pool.advance(
                 [
                     (session, trajectory[step])
                     for session, trajectory in zip(sessions, scenario.trajectories)
                 ]
             )
-            for session, trajectory, response in zip(
-                sessions, scenario.trajectories, responses
-            ):
-                results[session.query_id].append(response.result)
-                if check_answers:
-                    # Check against the *registered* k (not the answer's own
-                    # length) so an under-filled answer cannot pass vacuously.
-                    all_distances = oracle(service, trajectory[step])
-                    if not check_knn_answer(
-                        response.knn, all_distances, session.k, oracle_tolerance
-                    ):
-                        mismatches.append((step, session.query_id))
-    elapsed = time.perf_counter() - started
-    communication = service.communication.snapshot()
-    # Report only this run's traffic: a reused engine may carry history.
-    communication.uplink_messages -= comm_start.uplink_messages
-    communication.uplink_objects -= comm_start.uplink_objects
-    communication.downlink_messages -= comm_start.downlink_messages
-    communication.downlink_objects -= comm_start.downlink_objects
+            for session, response in zip(sessions, responses):
+                results[session.global_id].append(response.result)
+        elapsed = time.perf_counter() - started
+        communication = pool.communication()
+        per_session = pool.per_session_communication()
+        aggregate = pool.aggregate_stats()
+        epochs = pool.epoch
     return ServerSimulationRun(
         scenario=scenario.name,
-        invalidation=service.invalidation,
+        invalidation=invalidation,
         results=results,
-        epochs=service.epoch - epochs_before,
+        epochs=epochs,
         update_counts=counts,
-        aggregate=service.aggregate_stats(),
+        aggregate=aggregate,
         communication=communication,
         elapsed_seconds=elapsed,
         workers=workers,
-        mismatches=mismatches,
+        mismatches=[],
+        transport="process",
+        per_session_communication=per_session,
     )

@@ -1,0 +1,347 @@
+"""The remote client: drive a served engine through the wire protocol.
+
+:func:`connect` opens a socket to a :class:`~repro.transport.server.
+KNNServer` and returns a :class:`RemoteService` whose surface mirrors the
+in-process :class:`~repro.service.service.KNNService`: it hands out
+session handles, applies :class:`~repro.service.messages.UpdateBatch`
+epochs, and reports communication.  Its :class:`RemoteSession` is the
+in-process :class:`~repro.service.session.Session` — literally a subclass
+that reuses every behaviour through the service's ``_deliver`` /
+``_refresh`` / ``_discard`` seam — so ``simulate_server``, the
+:class:`~repro.service.dispatch.ShardedDispatcher` and user code drive
+either without knowing which they hold::
+
+    from repro.transport import connect
+
+    with connect(server.address) as remote:
+        with remote.open_session(start, k=5) as session:   # RemoteSession
+            response = session.update(next_position)        # a wire round trip
+
+The client measures its own traffic: every frame sent and received is
+counted both as actual bytes (``len`` of the encoded frame) and as the
+codec's :func:`~repro.transport.codec.wire_size` prediction, kept in
+separate billable/meta buckets.  The PR5 benchmark reconciles these
+against each other and against the server engine's byte counters — the
+measured-equals-predicted contract of the codec.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import QueryError, TransportError
+from repro.core.stats import CommunicationStats, ProcessorStats
+from repro.service.messages import KNNResponse, PositionUpdate, UpdateBatch
+from repro.service.session import Session
+from repro.transport.codec import (
+    AggregateStatsRequest,
+    AggregateStatsResponse,
+    BatchApplied,
+    CloseSession,
+    ErrorMessage,
+    ObjectsRequest,
+    ObjectsResponse,
+    OpenSession,
+    RefreshRequest,
+    SessionClosed,
+    SessionOpened,
+    StatsRequest,
+    StatsResponse,
+    wire_size,
+)
+from repro.transport.stream import MessageStream
+
+__all__ = ["RemoteService", "RemoteSession", "connect", "parse_endpoint"]
+
+#: Frame types that are diagnostics, not part of the billed protocol.
+_META_TYPES = (
+    StatsRequest,
+    StatsResponse,
+    ObjectsRequest,
+    ObjectsResponse,
+    AggregateStatsRequest,
+    AggregateStatsResponse,
+)
+
+
+def parse_endpoint(endpoint: str) -> Union[Tuple[str, int], str]:
+    """Parse ``"host:port"`` / ``"unix:/some/path"`` into an address.
+
+    Returns a ``(host, port)`` tuple for TCP or a filesystem path string
+    for Unix-domain sockets — the two address shapes :func:`connect` and
+    :class:`~repro.transport.server.KNNServer` share.
+    """
+    if endpoint.startswith("unix:"):
+        path = endpoint[len("unix:") :]
+        if not path:
+            raise TransportError("unix endpoint is missing its path")
+        return path
+    if ":" not in endpoint:
+        # A bare filesystem path (what KNNServer.address returns for a
+        # Unix-domain server) — ports always come with a colon.
+        return endpoint
+    host, separator, port = endpoint.rpartition(":")
+    if not separator or not host:
+        raise TransportError(
+            f"endpoint {endpoint!r} is neither HOST:PORT nor unix:PATH"
+        )
+    try:
+        return (host, int(port))
+    except ValueError:
+        raise TransportError(f"endpoint {endpoint!r} has a non-numeric port")
+
+
+class RemoteSession(Session):
+    """A :class:`~repro.service.session.Session` whose service is remote.
+
+    Every update is a wire round trip; the handle is otherwise a drop-in
+    for the in-process class (context-managed, ``update(position) ->
+    KNNResponse``, auto-close).  The engine-backed introspection moves to
+    the server: :attr:`communication` performs a (meta, unbilled) stats
+    round trip, and client-side :attr:`stats` are not available — the
+    processor lives on the server.
+    """
+
+    @property
+    def stats(self) -> ProcessorStats:
+        raise QueryError(
+            "per-session processor stats live on the server; read "
+            "session.communication or RemoteService.aggregate_stats() instead"
+        )
+
+    @property
+    def communication(self) -> CommunicationStats:
+        """This session's communication counters (a server-side snapshot)."""
+        self._ensure_open()
+        return self._service._communication_for(self._query_id)
+
+
+class RemoteService:
+    """Client-side handle to one served :class:`KNNService`.
+
+    Requests are strictly request/response in order over one connection;
+    a lock makes the handle safe to share across dispatcher threads (they
+    serialise on the wire, preserving the protocol order).  The
+    :mod:`~repro.transport.procpool` dispatcher bypasses the lock-per-call
+    path with explicit pipelining instead.
+    """
+
+    def __init__(self, stream: MessageStream, endpoint: str = "?"):
+        self._stream = stream
+        self._endpoint = endpoint
+        self._sessions: Dict[int, RemoteSession] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        # Measured vs predicted traffic, split into the billed protocol
+        # and the unbilled meta frames (stats/objects diagnostics).
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.predicted_bytes_sent = 0
+        self.predicted_bytes_received = 0
+        self.meta_bytes_sent = 0
+        self.meta_bytes_received = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once the connection has been closed."""
+        return self._closed
+
+    @property
+    def session_count(self) -> int:
+        """Number of currently open remote sessions."""
+        return len(self._sessions)
+
+    def sessions(self) -> List[RemoteSession]:
+        """The open sessions (a snapshot list, safe to close while walking)."""
+        return list(self._sessions.values())
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"RemoteService({self._endpoint}, sessions={len(self._sessions)}, "
+            f"{state})"
+        )
+
+    # ------------------------------------------------------------------
+    # The wire
+    # ------------------------------------------------------------------
+    def _send(self, message: Any) -> None:
+        sent = self._stream.send(message)
+        if isinstance(message, _META_TYPES):
+            self.meta_bytes_sent += sent
+        else:
+            self.bytes_sent += sent
+            self.predicted_bytes_sent += wire_size(message)
+
+    def _receive(self) -> Any:
+        received = self._stream.receive()
+        if received is None:
+            raise TransportError(f"server {self._endpoint} closed the connection")
+        message, nbytes = received
+        if isinstance(message, _META_TYPES):
+            self.meta_bytes_received += nbytes
+        else:
+            self.bytes_received += nbytes
+            self.predicted_bytes_received += wire_size(message)
+        if isinstance(message, ErrorMessage):
+            raise message.to_exception()
+        return message
+
+    def _request(self, message: Any, expected: type) -> Any:
+        with self._lock:
+            self._ensure_open()
+            self._send(message)
+            response = self._receive()
+        if not isinstance(response, expected):
+            raise TransportError(
+                f"expected {expected.__name__}, got {type(response).__name__}"
+            )
+        return response
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise TransportError("the remote service has been closed")
+
+    # ------------------------------------------------------------------
+    # Session lifecycle (the same surface KNNService offers)
+    # ------------------------------------------------------------------
+    def open_session(
+        self, position: Any, k: int, rho: float = 1.6, **query_options: Any
+    ) -> RemoteSession:
+        """Register a query on the server; returns its session handle."""
+        options = tuple((name, str(value)) for name, value in query_options.items())
+        opened = self._request(
+            OpenSession(position=position, k=k, rho=rho, options=options),
+            SessionOpened,
+        )
+        session = RemoteSession(self, opened.query_id, k=k, rho=rho)
+        self._sessions[opened.query_id] = session
+        return session
+
+    # -- the Session seam ------------------------------------------------
+    def _deliver(self, query_id: int, position: Any) -> KNNResponse:
+        return self._request(
+            PositionUpdate(query_id=query_id, position=position), KNNResponse
+        )
+
+    def _refresh(self, query_id: int) -> KNNResponse:
+        return self._request(RefreshRequest(query_id=query_id), KNNResponse)
+
+    def _discard(self, session: Session) -> None:
+        self._sessions.pop(session.query_id, None)
+        self._request(CloseSession(query_id=session.query_id), SessionClosed)
+
+    # ------------------------------------------------------------------
+    # The data-update stream
+    # ------------------------------------------------------------------
+    def apply(self, batch: UpdateBatch) -> BatchApplied:
+        """Apply one :class:`UpdateBatch` on the server as a data epoch."""
+        return self._request(batch, BatchApplied)
+
+    # ------------------------------------------------------------------
+    # Server-side accounting (meta round trips, unbilled)
+    # ------------------------------------------------------------------
+    def communication(self) -> CommunicationStats:
+        """The server engine's aggregate counters (snapshot)."""
+        return self._request(StatsRequest(per_session=False), StatsResponse).aggregate
+
+    def per_session_communication(self) -> Dict[int, CommunicationStats]:
+        """The server's per-session counters, keyed by query id (snapshot)."""
+        response = self._request(StatsRequest(per_session=True), StatsResponse)
+        return dict(response.per_session)
+
+    def _communication_for(self, query_id: int) -> CommunicationStats:
+        record = self.per_session_communication().get(query_id)
+        if record is None:
+            raise QueryError(f"unknown query {query_id}")
+        return record
+
+    def aggregate_stats(self) -> ProcessorStats:
+        """The server's summed client-side cost counters (snapshot)."""
+        return self._request(AggregateStatsRequest(), AggregateStatsResponse).stats
+
+    def active_object_indexes(self) -> Tuple[int, ...]:
+        """Active object indexes, in the server index's native order."""
+        return self._request(ObjectsRequest(), ObjectsResponse).indexes
+
+    @property
+    def epoch(self) -> int:
+        """The server's current data epoch (a meta round trip)."""
+        return self._request(ObjectsRequest(), ObjectsResponse).epoch
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every open session, then the connection (idempotent)."""
+        if self._closed:
+            return
+        for session in self.sessions():
+            try:
+                session.close()
+            except QueryError:
+                continue  # that one was already gone server-side; keep going
+            except TransportError:
+                break  # connection already gone; the server reaps sessions
+        self._closed = True
+        self._stream.close()
+
+    def __enter__(self) -> "RemoteService":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+def connect(
+    address: Union[str, Tuple[str, int], Sequence] = None,
+    path: Optional[str] = None,
+    timeout: Optional[float] = None,
+) -> RemoteService:
+    """Connect to a :class:`~repro.transport.server.KNNServer`.
+
+    Args:
+        address: a ``(host, port)`` tuple, a ``"host:port"`` string, or a
+            ``"unix:/path"`` string (anything
+            :meth:`KNNServer.address <repro.transport.server.KNNServer.
+            address>` returns round-trips here).
+        path: Unix-domain socket path (alternative to ``address``).
+        timeout: optional connect timeout in seconds (the connected
+            socket itself stays blocking).
+
+    Returns:
+        A :class:`RemoteService` ready for :meth:`~RemoteService.
+        open_session`.
+    """
+    if path is None and address is None:
+        raise TransportError("connect() needs an address or a unix path")
+    if path is None and isinstance(address, str):
+        parsed = parse_endpoint(address)
+        if isinstance(parsed, str):
+            path = parsed
+            address = None
+        else:
+            address = parsed
+    try:
+        if path is not None:
+            endpoint = f"unix:{path}"
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(path)
+        else:
+            host, port = address
+            endpoint = f"{host}:{port}"
+            sock = socket.create_connection((host, int(port)), timeout=timeout)
+        sock.settimeout(None)
+    except OSError as error:
+        raise TransportError(f"cannot connect to {endpoint}: {error}")
+    if path is None:
+        # Latency over throughput: each request is one small frame.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return RemoteService(MessageStream(sock), endpoint=endpoint)

@@ -1,0 +1,944 @@
+"""The binary wire codec of the transport layer.
+
+The PR4 message protocol (:class:`~repro.service.messages.PositionUpdate`,
+:class:`~repro.service.messages.KNNResponse`,
+:class:`~repro.service.messages.UpdateBatch`) already *is* the
+client/server protocol — this module gives it a byte representation so it
+can cross a real process boundary.  Design goals, in order:
+
+* **compact** — the hot messages are struct-packed binary (a Euclidean
+  position update is 26 bytes on the wire), no pickle anywhere, so the
+  measured byte counts are an honest communication metric rather than an
+  artefact of a serialiser;
+* **predictable** — :func:`wire_size` computes a message's encoded size
+  arithmetically, without encoding it; ``len(encode(m)) ==
+  wire_size(m)`` holds exactly for every message, which is what lets the
+  PR5 benchmark reconcile measured bytes against codec-predicted bytes;
+* **robust** — frames are length-prefixed, so a reader survives partial
+  and concatenated reads (:class:`FrameReader`), and every malformed input
+  raises :class:`~repro.errors.TransportError` instead of a bare
+  ``struct.error``.
+
+Frame layout: a 4-byte big-endian unsigned body length, then the body —
+one type byte followed by type-specific fields.  Positions and batch
+targets are tagged unions (a :class:`~repro.geometry.point.Point` is two
+doubles, a :class:`~repro.roadnet.location.NetworkLocation` is an edge id
+plus an offset, a road vertex is one unsigned int), which keeps the codec
+metric-agnostic like the protocol it serialises.
+
+Beyond the three data-plane messages, the codec speaks the control frames
+of one serving connection: open/close a session, refresh, batch
+acknowledgement, typed errors (re-raised client-side as their original
+exception class), and the meta frames (stats, aggregate stats, active
+objects) that let a remote client read the server's accounting.  Meta
+frames are diagnostics — the server deliberately does not bill their bytes
+into :class:`~repro.core.stats.CommunicationStats`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple, Type
+
+from repro.errors import (
+    ConfigurationError,
+    EmptyDatasetError,
+    GeometryError,
+    QueryError,
+    ReproError,
+    RoadNetworkError,
+    TransportError,
+)
+from repro.core.objects import QueryResult, UpdateAction
+from repro.core.stats import CommunicationStats, ProcessorStats
+from repro.geometry.point import Point
+from repro.roadnet.location import NetworkLocation
+from repro.service.messages import KNNResponse, PositionUpdate, UpdateBatch
+
+__all__ = [
+    "AggregateStatsRequest",
+    "AggregateStatsResponse",
+    "BatchApplied",
+    "CloseSession",
+    "ErrorMessage",
+    "FrameReader",
+    "ObjectsRequest",
+    "ObjectsResponse",
+    "OpenSession",
+    "RefreshRequest",
+    "SessionClosed",
+    "SessionOpened",
+    "StatsRequest",
+    "StatsResponse",
+    "decode",
+    "encode",
+    "wire_size",
+]
+
+#: Upper bound on one frame's body; a declared length beyond this is
+#: treated as stream corruption rather than an allocation request.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct("!I")
+LENGTH_PREFIX_BYTES = _LENGTH.size
+
+# Frame type bytes (one per message class).
+_T_POSITION_UPDATE = 0x01
+_T_KNN_RESPONSE = 0x02
+_T_UPDATE_BATCH = 0x03
+_T_OPEN_SESSION = 0x04
+_T_SESSION_OPENED = 0x05
+_T_CLOSE_SESSION = 0x06
+_T_SESSION_CLOSED = 0x07
+_T_REFRESH = 0x08
+_T_BATCH_APPLIED = 0x09
+_T_ERROR = 0x0A
+_T_STATS_REQUEST = 0x0B
+_T_STATS_RESPONSE = 0x0C
+_T_OBJECTS_REQUEST = 0x0D
+_T_OBJECTS_RESPONSE = 0x0E
+_T_AGG_STATS_REQUEST = 0x0F
+_T_AGG_STATS_RESPONSE = 0x10
+
+# Tagged position / batch-target kinds.
+_POS_POINT = 0x00
+_POS_ROAD = 0x01
+_TARGET_POINT = 0x00
+_TARGET_VERTEX = 0x01
+
+#: Wire order of :class:`UpdateAction` values (append-only by contract).
+_ACTIONS = (
+    UpdateAction.NONE,
+    UpdateAction.LOCAL_REORDER,
+    UpdateAction.INCREMENTAL,
+    UpdateAction.FULL_RECOMPUTE,
+)
+_ACTION_CODE = {action: code for code, action in enumerate(_ACTIONS)}
+
+#: Wire names of the error classes a server may relay (client re-raises).
+_ERROR_KINDS: Dict[str, Type[ReproError]] = {
+    "query": QueryError,
+    "configuration": ConfigurationError,
+    "geometry": GeometryError,
+    "road": RoadNetworkError,
+    "empty": EmptyDatasetError,
+    "transport": TransportError,
+    "error": ReproError,
+}
+_KIND_OF_ERROR = {cls: kind for kind, cls in _ERROR_KINDS.items()}
+
+
+# ----------------------------------------------------------------------
+# Control messages (the data-plane trio lives in repro.service.messages)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OpenSession:
+    """Client → server: register a moving query and open its session.
+
+    Attributes:
+        position: the query's starting position (Point or NetworkLocation).
+        k: number of nearest neighbours to maintain.
+        rho: prefetch ratio ρ.
+        options: extra keyword options passed to the engine's
+            ``register_query`` (e.g. the road side's ``validation_mode``),
+            as ``(name, value)`` string pairs.
+    """
+
+    position: Any
+    k: int
+    rho: float
+    options: Tuple[Tuple[str, str], ...] = field(default=())
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "options", tuple((str(k), str(v)) for k, v in self.options)
+        )
+
+
+@dataclass(frozen=True)
+class SessionOpened:
+    """Server → client: the session is open under ``query_id``."""
+
+    query_id: int
+
+
+@dataclass(frozen=True)
+class CloseSession:
+    """Client → server: unregister ``query_id`` (the goodbye message)."""
+
+    query_id: int
+
+
+@dataclass(frozen=True)
+class SessionClosed:
+    """Server → client: acknowledgement of :class:`CloseSession`."""
+
+    query_id: int
+
+
+@dataclass(frozen=True)
+class RefreshRequest:
+    """Client → server: re-answer ``query_id`` at its current position."""
+
+    query_id: int
+
+
+@dataclass(frozen=True)
+class BatchApplied:
+    """Server → client: one :class:`UpdateBatch` was applied as an epoch.
+
+    Attributes:
+        epoch: the server's data epoch after the batch.
+        new_indexes: object indexes assigned to the batch's inserts (on the
+            Euclidean side this includes the reinsert half of each move, in
+            ``inserts`` then ``moves`` order — the native decomposition).
+        deleted_indexes: object indexes actually removed.
+    """
+
+    epoch: int
+    new_indexes: Tuple[int, ...] = field(default=())
+    deleted_indexes: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self):
+        object.__setattr__(self, "new_indexes", tuple(self.new_indexes))
+        object.__setattr__(self, "deleted_indexes", tuple(self.deleted_indexes))
+
+
+@dataclass(frozen=True)
+class ErrorMessage:
+    """Server → client: a request failed with a typed library error."""
+
+    kind: str
+    message: str
+
+    @classmethod
+    def from_exception(cls, error: ReproError) -> "ErrorMessage":
+        """Wrap a library exception for the wire (closest registered kind)."""
+        for klass in type(error).__mro__:
+            kind = _KIND_OF_ERROR.get(klass)
+            if kind is not None:
+                return cls(kind=kind, message=str(error))
+        return cls(kind="error", message=str(error))
+
+    def to_exception(self) -> ReproError:
+        """The client-side exception this frame re-raises as."""
+        return _ERROR_KINDS.get(self.kind, ReproError)(self.message)
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Client → server: read the communication counters (meta, unbilled)."""
+
+    per_session: bool = False
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """Server → client: aggregate (and optionally per-session) counters."""
+
+    aggregate: CommunicationStats
+    per_session: Tuple[Tuple[int, CommunicationStats], ...] = field(default=())
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "per_session", tuple((int(q), s) for q, s in self.per_session)
+        )
+
+
+@dataclass(frozen=True)
+class ObjectsRequest:
+    """Client → server: read the active object indexes (meta, unbilled)."""
+
+
+@dataclass(frozen=True)
+class ObjectsResponse:
+    """Server → client: active object indexes, in the index's native order.
+
+    The order matters: churn drivers sample victims from this list with a
+    seeded RNG, so preserving the server-side order is what makes remote
+    runs realise bit-identical update streams.
+    """
+
+    epoch: int
+    indexes: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self):
+        object.__setattr__(self, "indexes", tuple(self.indexes))
+
+
+@dataclass(frozen=True)
+class AggregateStatsRequest:
+    """Client → server: read the summed ProcessorStats (meta, unbilled)."""
+
+
+@dataclass(frozen=True)
+class AggregateStatsResponse:
+    """Server → client: the engine's aggregate client-side cost counters."""
+
+    stats: ProcessorStats
+
+
+# ----------------------------------------------------------------------
+# Primitive writers / readers
+# ----------------------------------------------------------------------
+_U8 = struct.Struct("!B")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
+_I32 = struct.Struct("!i")
+_F64 = struct.Struct("!d")
+_POINT = struct.Struct("!dd")
+_ROAD = struct.Struct("!Id")
+
+
+class _Writer:
+    """Accumulates struct-packed fields into one frame body."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, frame_type: int):
+        self.parts: List[bytes] = [_U8.pack(frame_type)]
+
+    def u8(self, value: int) -> None:
+        self.parts.append(_U8.pack(value))
+
+    def u16(self, value: int) -> None:
+        self.parts.append(_U16.pack(value))
+
+    def u32(self, value: int) -> None:
+        self.parts.append(_U32.pack(value))
+
+    def u64(self, value: int) -> None:
+        self.parts.append(_U64.pack(value))
+
+    def i32(self, value: int) -> None:
+        self.parts.append(_I32.pack(value))
+
+    def f64(self, value: float) -> None:
+        self.parts.append(_F64.pack(value))
+
+    def string(self, value: str) -> None:
+        data = value.encode("utf-8")
+        self.u16(len(data))
+        self.parts.append(data)
+
+    def position(self, position: Any) -> None:
+        if isinstance(position, Point):
+            self.u8(_POS_POINT)
+            self.parts.append(_POINT.pack(position.x, position.y))
+        elif isinstance(position, NetworkLocation):
+            self.u8(_POS_ROAD)
+            self.parts.append(_ROAD.pack(position.edge_id, position.offset))
+        else:
+            raise TransportError(
+                f"cannot encode position of type {type(position).__name__}"
+            )
+
+    def target(self, target: Any) -> None:
+        """A batch target: a Point (Euclidean) or a vertex id (road)."""
+        if isinstance(target, Point):
+            self.u8(_TARGET_POINT)
+            self.parts.append(_POINT.pack(target.x, target.y))
+        elif isinstance(target, int):
+            self.u8(_TARGET_VERTEX)
+            self.u32(target)
+        else:
+            raise TransportError(
+                f"cannot encode batch target of type {type(target).__name__}"
+            )
+
+    def frame(self) -> bytes:
+        body = b"".join(self.parts)
+        return _LENGTH.pack(len(body)) + body
+
+
+class _Reader:
+    """Consumes struct-packed fields from one frame body."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.offset = 0
+
+    def _unpack(self, spec: struct.Struct):
+        end = self.offset + spec.size
+        if end > len(self.data):
+            raise TransportError("truncated frame body")
+        values = spec.unpack_from(self.data, self.offset)
+        self.offset = end
+        return values
+
+    def u8(self) -> int:
+        return self._unpack(_U8)[0]
+
+    def u16(self) -> int:
+        return self._unpack(_U16)[0]
+
+    def u32(self) -> int:
+        return self._unpack(_U32)[0]
+
+    def u64(self) -> int:
+        return self._unpack(_U64)[0]
+
+    def i32(self) -> int:
+        return self._unpack(_I32)[0]
+
+    def f64(self) -> float:
+        return self._unpack(_F64)[0]
+
+    def string(self) -> str:
+        length = self.u16()
+        end = self.offset + length
+        if end > len(self.data):
+            raise TransportError("truncated frame body")
+        raw = self.data[self.offset : end]
+        self.offset = end
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise TransportError(f"malformed utf-8 string in frame: {error}")
+
+    def position(self) -> Any:
+        tag = self.u8()
+        if tag == _POS_POINT:
+            x, y = self._unpack(_POINT)
+            return Point(x, y)
+        if tag == _POS_ROAD:
+            edge_id, offset = self._unpack(_ROAD)
+            return NetworkLocation(edge_id, offset)
+        raise TransportError(f"unknown position tag 0x{tag:02x}")
+
+    def target(self) -> Any:
+        tag = self.u8()
+        if tag == _TARGET_POINT:
+            x, y = self._unpack(_POINT)
+            return Point(x, y)
+        if tag == _TARGET_VERTEX:
+            return self.u32()
+        raise TransportError(f"unknown batch target tag 0x{tag:02x}")
+
+    def finish(self) -> None:
+        if self.offset != len(self.data):
+            raise TransportError(
+                f"frame body has {len(self.data) - self.offset} trailing bytes"
+            )
+
+
+def _position_size(position: Any) -> int:
+    if isinstance(position, Point):
+        return 1 + _POINT.size
+    if isinstance(position, NetworkLocation):
+        return 1 + _ROAD.size
+    raise TransportError(f"cannot size position of type {type(position).__name__}")
+
+
+def _target_size(target: Any) -> int:
+    if isinstance(target, Point):
+        return 1 + _POINT.size
+    if isinstance(target, int):
+        return 1 + _U32.size
+    raise TransportError(f"cannot size batch target of type {type(target).__name__}")
+
+
+#: Fixed per-frame overhead: the length prefix plus the type byte.
+_OVERHEAD = LENGTH_PREFIX_BYTES + 1
+
+#: The six CommunicationStats counters shipped per stats record.
+_COMM_FIELDS = (
+    "uplink_messages",
+    "uplink_objects",
+    "downlink_messages",
+    "downlink_objects",
+    "uplink_bytes",
+    "downlink_bytes",
+)
+
+#: ProcessorStats integer counters (wire order), then the float timers.
+_PROC_INT_FIELDS = (
+    "timestamps",
+    "validations",
+    "local_reorders",
+    "incremental_updates",
+    "full_recomputations",
+    "ins_refreshes",
+    "absorbed_updates",
+    "transmitted_objects",
+    "distance_computations",
+    "index_node_accesses",
+    "settled_vertices",
+)
+_PROC_FLOAT_FIELDS = (
+    "construction_seconds",
+    "validation_seconds",
+    "precomputation_seconds",
+)
+
+
+def _write_comm(writer: _Writer, stats: CommunicationStats) -> None:
+    for name in _COMM_FIELDS:
+        writer.u64(getattr(stats, name))
+
+
+def _read_comm(reader: _Reader) -> CommunicationStats:
+    return CommunicationStats(**{name: reader.u64() for name in _COMM_FIELDS})
+
+
+# ----------------------------------------------------------------------
+# Per-type encoders
+# ----------------------------------------------------------------------
+def _encode_position_update(message: PositionUpdate) -> bytes:
+    writer = _Writer(_T_POSITION_UPDATE)
+    writer.i32(-1 if message.query_id is None else message.query_id)
+    writer.position(message.position)
+    return writer.frame()
+
+
+def _encode_knn_response(message: KNNResponse) -> bytes:
+    result = message.result
+    writer = _Writer(_T_KNN_RESPONSE)
+    writer.i32(message.query_id)
+    writer.u32(message.objects_shipped)
+    writer.u32(message.round_trips)
+    writer.u32(message.epoch)
+    writer.i32(result.timestamp)
+    writer.u8(_ACTION_CODE[result.action])
+    writer.u8(1 if result.was_valid else 0)
+    writer.u32(len(result.knn))
+    for index in result.knn:
+        writer.u32(index)
+    for distance in result.knn_distances:
+        writer.f64(distance)
+    guards = sorted(result.guard_objects)
+    writer.u32(len(guards))
+    for index in guards:
+        writer.u32(index)
+    return writer.frame()
+
+
+def _encode_update_batch(message: UpdateBatch) -> bytes:
+    writer = _Writer(_T_UPDATE_BATCH)
+    writer.u32(len(message.inserts))
+    writer.u32(len(message.deletes))
+    writer.u32(len(message.moves))
+    for target in message.inserts:
+        writer.target(target)
+    for index in message.deletes:
+        writer.u32(index)
+    for index, target in message.moves:
+        writer.u32(index)
+        writer.target(target)
+    return writer.frame()
+
+
+def _encode_open_session(message: OpenSession) -> bytes:
+    writer = _Writer(_T_OPEN_SESSION)
+    writer.u32(message.k)
+    writer.f64(message.rho)
+    writer.position(message.position)
+    writer.u8(len(message.options))
+    for name, value in message.options:
+        writer.string(name)
+        writer.string(value)
+    return writer.frame()
+
+
+def _encode_query_id_only(frame_type: int, query_id: int) -> bytes:
+    writer = _Writer(frame_type)
+    writer.i32(query_id)
+    return writer.frame()
+
+
+def _encode_batch_applied(message: BatchApplied) -> bytes:
+    writer = _Writer(_T_BATCH_APPLIED)
+    writer.u32(message.epoch)
+    writer.u32(len(message.new_indexes))
+    for index in message.new_indexes:
+        writer.u32(index)
+    writer.u32(len(message.deleted_indexes))
+    for index in message.deleted_indexes:
+        writer.u32(index)
+    return writer.frame()
+
+
+def _encode_error(message: ErrorMessage) -> bytes:
+    writer = _Writer(_T_ERROR)
+    writer.string(message.kind)
+    writer.string(message.message)
+    return writer.frame()
+
+
+def _encode_stats_request(message: StatsRequest) -> bytes:
+    writer = _Writer(_T_STATS_REQUEST)
+    writer.u8(1 if message.per_session else 0)
+    return writer.frame()
+
+
+def _encode_stats_response(message: StatsResponse) -> bytes:
+    writer = _Writer(_T_STATS_RESPONSE)
+    _write_comm(writer, message.aggregate)
+    writer.u32(len(message.per_session))
+    for query_id, stats in message.per_session:
+        writer.i32(query_id)
+        _write_comm(writer, stats)
+    return writer.frame()
+
+
+def _encode_objects_request(message: ObjectsRequest) -> bytes:
+    return _Writer(_T_OBJECTS_REQUEST).frame()
+
+
+def _encode_objects_response(message: ObjectsResponse) -> bytes:
+    writer = _Writer(_T_OBJECTS_RESPONSE)
+    writer.u32(message.epoch)
+    writer.u32(len(message.indexes))
+    for index in message.indexes:
+        writer.u32(index)
+    return writer.frame()
+
+
+def _encode_agg_stats_request(message: AggregateStatsRequest) -> bytes:
+    return _Writer(_T_AGG_STATS_REQUEST).frame()
+
+
+def _encode_agg_stats_response(message: AggregateStatsResponse) -> bytes:
+    writer = _Writer(_T_AGG_STATS_RESPONSE)
+    for name in _PROC_INT_FIELDS:
+        writer.u64(getattr(message.stats, name))
+    for name in _PROC_FLOAT_FIELDS:
+        writer.f64(getattr(message.stats, name))
+    return writer.frame()
+
+
+_ENCODERS = {
+    PositionUpdate: _encode_position_update,
+    KNNResponse: _encode_knn_response,
+    UpdateBatch: _encode_update_batch,
+    OpenSession: _encode_open_session,
+    SessionOpened: lambda m: _encode_query_id_only(_T_SESSION_OPENED, m.query_id),
+    CloseSession: lambda m: _encode_query_id_only(_T_CLOSE_SESSION, m.query_id),
+    SessionClosed: lambda m: _encode_query_id_only(_T_SESSION_CLOSED, m.query_id),
+    RefreshRequest: lambda m: _encode_query_id_only(_T_REFRESH, m.query_id),
+    BatchApplied: _encode_batch_applied,
+    ErrorMessage: _encode_error,
+    StatsRequest: _encode_stats_request,
+    StatsResponse: _encode_stats_response,
+    ObjectsRequest: _encode_objects_request,
+    ObjectsResponse: _encode_objects_response,
+    AggregateStatsRequest: _encode_agg_stats_request,
+    AggregateStatsResponse: _encode_agg_stats_response,
+}
+
+
+def encode(message: Any) -> bytes:
+    """Encode one protocol message into one length-prefixed frame.
+
+    Raises:
+        TransportError: for unknown message types or out-of-range fields
+            (e.g. an object index that does not fit the wire's u32).
+    """
+    encoder = _ENCODERS.get(type(message))
+    if encoder is None:
+        raise TransportError(f"cannot encode message of type {type(message).__name__}")
+    try:
+        return encoder(message)
+    except struct.error as error:
+        raise TransportError(
+            f"field out of range encoding {type(message).__name__}: {error}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-type decoders
+# ----------------------------------------------------------------------
+def _decode_position_update(reader: _Reader) -> PositionUpdate:
+    query_id = reader.i32()
+    position = reader.position()
+    return PositionUpdate(
+        query_id=None if query_id < 0 else query_id, position=position
+    )
+
+
+def _decode_knn_response(reader: _Reader) -> KNNResponse:
+    query_id = reader.i32()
+    objects_shipped = reader.u32()
+    round_trips = reader.u32()
+    epoch = reader.u32()
+    timestamp = reader.i32()
+    action_code = reader.u8()
+    if action_code >= len(_ACTIONS):
+        raise TransportError(f"unknown update action code 0x{action_code:02x}")
+    was_valid = reader.u8() != 0
+    k = reader.u32()
+    knn = tuple(reader.u32() for _ in range(k))
+    distances = tuple(reader.f64() for _ in range(k))
+    guard_count = reader.u32()
+    guards = frozenset(reader.u32() for _ in range(guard_count))
+    result = QueryResult(
+        timestamp=timestamp,
+        knn=knn,
+        knn_distances=distances,
+        guard_objects=guards,
+        action=_ACTIONS[action_code],
+        was_valid=was_valid,
+    )
+    return KNNResponse(
+        query_id=query_id,
+        result=result,
+        objects_shipped=objects_shipped,
+        round_trips=round_trips,
+        epoch=epoch,
+    )
+
+
+def _decode_update_batch(reader: _Reader) -> UpdateBatch:
+    n_inserts = reader.u32()
+    n_deletes = reader.u32()
+    n_moves = reader.u32()
+    inserts = tuple(reader.target() for _ in range(n_inserts))
+    deletes = tuple(reader.u32() for _ in range(n_deletes))
+    moves = tuple((reader.u32(), reader.target()) for _ in range(n_moves))
+    return UpdateBatch(inserts=inserts, deletes=deletes, moves=moves)
+
+
+def _decode_open_session(reader: _Reader) -> OpenSession:
+    k = reader.u32()
+    rho = reader.f64()
+    position = reader.position()
+    n_options = reader.u8()
+    options = tuple((reader.string(), reader.string()) for _ in range(n_options))
+    return OpenSession(position=position, k=k, rho=rho, options=options)
+
+
+def _decode_batch_applied(reader: _Reader) -> BatchApplied:
+    epoch = reader.u32()
+    new_indexes = tuple(reader.u32() for _ in range(reader.u32()))
+    deleted_indexes = tuple(reader.u32() for _ in range(reader.u32()))
+    return BatchApplied(
+        epoch=epoch, new_indexes=new_indexes, deleted_indexes=deleted_indexes
+    )
+
+
+def _decode_error(reader: _Reader) -> ErrorMessage:
+    return ErrorMessage(kind=reader.string(), message=reader.string())
+
+
+def _decode_stats_response(reader: _Reader) -> StatsResponse:
+    aggregate = _read_comm(reader)
+    count = reader.u32()
+    per_session = tuple((reader.i32(), _read_comm(reader)) for _ in range(count))
+    return StatsResponse(aggregate=aggregate, per_session=per_session)
+
+
+def _decode_objects_response(reader: _Reader) -> ObjectsResponse:
+    epoch = reader.u32()
+    indexes = tuple(reader.u32() for _ in range(reader.u32()))
+    return ObjectsResponse(epoch=epoch, indexes=indexes)
+
+
+def _decode_agg_stats_response(reader: _Reader) -> AggregateStatsResponse:
+    values = {name: reader.u64() for name in _PROC_INT_FIELDS}
+    values.update({name: reader.f64() for name in _PROC_FLOAT_FIELDS})
+    return AggregateStatsResponse(stats=ProcessorStats(**values))
+
+
+_DECODERS = {
+    _T_POSITION_UPDATE: _decode_position_update,
+    _T_KNN_RESPONSE: _decode_knn_response,
+    _T_UPDATE_BATCH: _decode_update_batch,
+    _T_OPEN_SESSION: _decode_open_session,
+    _T_SESSION_OPENED: lambda r: SessionOpened(query_id=r.i32()),
+    _T_CLOSE_SESSION: lambda r: CloseSession(query_id=r.i32()),
+    _T_SESSION_CLOSED: lambda r: SessionClosed(query_id=r.i32()),
+    _T_REFRESH: lambda r: RefreshRequest(query_id=r.i32()),
+    _T_BATCH_APPLIED: _decode_batch_applied,
+    _T_ERROR: _decode_error,
+    _T_STATS_REQUEST: lambda r: StatsRequest(per_session=r.u8() != 0),
+    _T_STATS_RESPONSE: _decode_stats_response,
+    _T_OBJECTS_REQUEST: lambda r: ObjectsRequest(),
+    _T_OBJECTS_RESPONSE: _decode_objects_response,
+    _T_AGG_STATS_REQUEST: lambda r: AggregateStatsRequest(),
+    _T_AGG_STATS_RESPONSE: _decode_agg_stats_response,
+}
+
+
+def _decode_body(body: bytes) -> Any:
+    if not body:
+        raise TransportError("empty frame body")
+    reader = _Reader(body)
+    frame_type = reader.u8()
+    decoder = _DECODERS.get(frame_type)
+    if decoder is None:
+        raise TransportError(f"unknown frame type 0x{frame_type:02x}")
+    message = decoder(reader)
+    reader.finish()
+    return message
+
+
+def decode(data: bytes) -> Any:
+    """Decode exactly one complete frame (prefix included) into a message.
+
+    Raises:
+        TransportError: when ``data`` is not exactly one well-formed frame
+            (truncated, trailing bytes, unknown type, malformed body).
+    """
+    if len(data) < LENGTH_PREFIX_BYTES:
+        raise TransportError("frame shorter than its length prefix")
+    (length,) = _LENGTH.unpack_from(data, 0)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(f"declared frame length {length} exceeds the limit")
+    if len(data) != LENGTH_PREFIX_BYTES + length:
+        raise TransportError(
+            f"frame declares {length} body bytes but carries "
+            f"{len(data) - LENGTH_PREFIX_BYTES}"
+        )
+    return _decode_body(data[LENGTH_PREFIX_BYTES:])
+
+
+# ----------------------------------------------------------------------
+# Predicted sizes
+# ----------------------------------------------------------------------
+def _size_position_update(message: PositionUpdate) -> int:
+    return _OVERHEAD + 4 + _position_size(message.position)
+
+
+def _size_knn_response(message: KNNResponse) -> int:
+    result = message.result
+    return (
+        _OVERHEAD
+        + 4  # query_id
+        + 4 + 4 + 4  # objects_shipped, round_trips, epoch
+        + 4 + 1 + 1  # timestamp, action, was_valid
+        + 4 + len(result.knn) * (4 + 8)
+        + 4 + len(result.guard_objects) * 4
+    )
+
+
+def _size_update_batch(message: UpdateBatch) -> int:
+    return (
+        _OVERHEAD
+        + 12
+        + sum(_target_size(target) for target in message.inserts)
+        + 4 * len(message.deletes)
+        + sum(4 + _target_size(target) for _, target in message.moves)
+    )
+
+
+def _size_open_session(message: OpenSession) -> int:
+    options = sum(
+        4 + len(name.encode("utf-8")) + len(value.encode("utf-8"))
+        for name, value in message.options
+    )
+    return _OVERHEAD + 4 + 8 + _position_size(message.position) + 1 + options
+
+
+def _size_error(message: ErrorMessage) -> int:
+    return (
+        _OVERHEAD
+        + 4
+        + len(message.kind.encode("utf-8"))
+        + len(message.message.encode("utf-8"))
+    )
+
+
+def _size_stats_response(message: StatsResponse) -> int:
+    return _OVERHEAD + 48 + 4 + len(message.per_session) * (4 + 48)
+
+
+def _size_objects_response(message: ObjectsResponse) -> int:
+    return _OVERHEAD + 4 + 4 + 4 * len(message.indexes)
+
+
+def _size_batch_applied(message: BatchApplied) -> int:
+    return (
+        _OVERHEAD
+        + 4
+        + 4 + 4 * len(message.new_indexes)
+        + 4 + 4 * len(message.deleted_indexes)
+    )
+
+
+_SIZERS = {
+    PositionUpdate: _size_position_update,
+    KNNResponse: _size_knn_response,
+    UpdateBatch: _size_update_batch,
+    OpenSession: _size_open_session,
+    SessionOpened: lambda m: _OVERHEAD + 4,
+    CloseSession: lambda m: _OVERHEAD + 4,
+    SessionClosed: lambda m: _OVERHEAD + 4,
+    RefreshRequest: lambda m: _OVERHEAD + 4,
+    BatchApplied: _size_batch_applied,
+    ErrorMessage: _size_error,
+    StatsRequest: lambda m: _OVERHEAD + 1,
+    StatsResponse: _size_stats_response,
+    ObjectsRequest: lambda m: _OVERHEAD,
+    ObjectsResponse: _size_objects_response,
+    AggregateStatsRequest: lambda m: _OVERHEAD,
+    AggregateStatsResponse: lambda m: _OVERHEAD + 8 * 11 + 8 * 3,
+}
+
+
+def wire_size(message: Any) -> int:
+    """Predicted encoded size of ``message`` in bytes, prefix included.
+
+    Computed arithmetically — ``wire_size(m) == len(encode(m))`` holds
+    exactly for every encodable message, which is the codec's reconciliation
+    contract: the transport's measured byte counters are provably the sum
+    of the per-message predictions.
+    """
+    sizer = _SIZERS.get(type(message))
+    if sizer is None:
+        raise TransportError(f"cannot size message of type {type(message).__name__}")
+    return sizer(message)
+
+
+# ----------------------------------------------------------------------
+# Incremental framing
+# ----------------------------------------------------------------------
+class FrameReader:
+    """Incremental frame decoder for a byte stream.
+
+    Feed it whatever the socket produced — half a frame, three frames and
+    a bit — and it yields each completed message exactly once, in order::
+
+        reader = FrameReader()
+        for chunk in socket_chunks:
+            for message, nbytes in reader.feed(chunk):
+                handle(message)
+
+    Raises :class:`~repro.errors.TransportError` on corrupt input (the
+    stream is unrecoverable past that point — close the connection).
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self._buffer = bytearray()
+        self._max_frame_bytes = max_frame_bytes
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Tuple[Any, int]]:
+        """Absorb ``data``; return the completed ``(message, size)`` pairs.
+
+        ``size`` is the frame's full wire size (length prefix included),
+        so a transport can bill measured bytes per message.
+        """
+        self._buffer.extend(data)
+        messages: List[Tuple[Any, int]] = []
+        while True:
+            if len(self._buffer) < LENGTH_PREFIX_BYTES:
+                return messages
+            (length,) = _LENGTH.unpack_from(self._buffer, 0)
+            if length > self._max_frame_bytes:
+                raise TransportError(
+                    f"declared frame length {length} exceeds the limit"
+                )
+            frame_size = LENGTH_PREFIX_BYTES + length
+            if len(self._buffer) < frame_size:
+                return messages
+            body = bytes(self._buffer[LENGTH_PREFIX_BYTES:frame_size])
+            del self._buffer[:frame_size]
+            messages.append((_decode_body(body), frame_size))

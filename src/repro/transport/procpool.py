@@ -1,0 +1,440 @@
+"""Multi-process sharding: one engine shard per worker process.
+
+PR4's :class:`~repro.service.dispatch.ShardedDispatcher` proved the
+dispatch contract (deterministic ``i mod workers`` pinning, a barrier per
+dispatch) but ran inside one CPython process, where the GIL serialises the
+pure-Python serving work.  :class:`ProcessShardedDispatcher` is the same
+contract across real processes: each worker process builds its own replica
+of the engine from a picklable :class:`ServiceSpec` and serves it over a
+socketpair using the *exact* wire protocol of
+:func:`~repro.transport.server.serve_connection` — the parent is just a
+client holding one :class:`~repro.transport.client.RemoteService` per
+worker.
+
+Determinism is by construction, not by luck:
+
+* sessions are pinned by the existing rule — the ``i``-th session opened
+  lands on worker ``i % workers``, and each worker registers its sessions
+  in global open order, so every engine shard sees a deterministic
+  registration sequence;
+* update batches are *broadcast*: every shard applies the same epochs in
+  the same order, so the replicas never diverge (``apply`` cross-checks
+  the shards' post-batch epochs and insert allocations and fails loudly
+  if they ever disagree);
+* a session's answers depend only on the shared index (replicated) and
+  its own processor state (pinned) — so the answer streams are
+  bit-identical across worker counts, and identical to the in-process
+  engine.
+
+Communication accounting: each shard bills exactly what it exchanged, so
+summing the shards over-counts only the broadcast — every worker billed
+the same update batch once.  :meth:`ProcessShardedDispatcher.communication`
+deduplicates that (a deployment sends one batch to *the service*, however
+many shards fan it out internally), keeping the message/object counters
+identical to a single-engine run at every worker count.  Byte counters are
+deliberately left raw: the broadcast bytes really crossed ``workers``
+process boundaries, and hiding that would be a dishonest wire bill.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ReproError, TransportError
+from repro.core.stats import CommunicationStats, ProcessorStats
+from repro.service.messages import KNNResponse, PositionUpdate, UpdateBatch
+from repro.service.service import KNNService, open_service
+from repro.transport.client import RemoteService, RemoteSession
+from repro.transport.codec import BatchApplied
+from repro.transport.server import serve_connection
+from repro.transport.stream import MessageStream
+
+__all__ = ["ProcessShardedDispatcher", "ServiceSpec"]
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """A picklable recipe for building one :class:`KNNService` replica.
+
+    Worker processes rebuild the engine from this spec, so everything in
+    it must describe the *initial* state only — the parent then replays
+    the same session registrations and update epochs into every shard.
+    """
+
+    metric: str
+    objects: Tuple[Any, ...]
+    network: Any = None
+    maintenance: str = "incremental"
+    invalidation: str = "delta"
+    max_entries: int = 16
+
+    def __post_init__(self):
+        object.__setattr__(self, "objects", tuple(self.objects))
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario,
+        maintenance: str = "incremental",
+        invalidation: str = "delta",
+    ) -> "ServiceSpec":
+        """Build the spec for any workload scenario (either metric)."""
+        metric = getattr(scenario, "metric", None)
+        if metric == "road" or (metric is None and hasattr(scenario, "network")):
+            return cls(
+                metric="road",
+                objects=tuple(scenario.object_vertices),
+                network=scenario.network,
+                maintenance=maintenance,
+                invalidation=invalidation,
+            )
+        return cls(
+            metric="euclidean",
+            objects=tuple(scenario.points),
+            maintenance=maintenance,
+            invalidation=invalidation,
+        )
+
+    def build(self) -> KNNService:
+        """Construct a fresh service replica from the recipe."""
+        return open_service(
+            metric=self.metric,
+            objects=list(self.objects),
+            network=self.network,
+            maintenance=self.maintenance,
+            invalidation=self.invalidation,
+            max_entries=self.max_entries,
+        )
+
+    def batch_payload(self, batch: UpdateBatch) -> int:
+        """Object records the engine bills for ``batch`` on this metric.
+
+        Mirrors :meth:`~repro.service.messages.UpdateBatch.payload_size`
+        semantics: the road side applies moves natively (one record each),
+        the Euclidean side decomposes each move into delete + reinsert
+        (two records) before the engine sees it.
+        """
+        records = len(batch.inserts) + len(batch.deletes) + len(batch.moves)
+        if self.metric == "euclidean":
+            records += len(batch.moves)
+        return records
+
+
+def _worker_main(spec: ServiceSpec, sock: socket.socket) -> None:
+    """Worker process entry: build the shard, serve the socketpair."""
+    service = spec.build()
+    stream = MessageStream(sock)
+    try:
+        serve_connection(service, stream)
+    finally:
+        stream.close()
+
+
+class ProcessShardedDispatcher:
+    """Advance pinned sessions across worker *processes* between epochs.
+
+    The drop-in escalation of the thread-pool dispatcher: same
+    deterministic pinning, same barrier semantics, but each shard is a
+    real process with its own engine replica and its own GIL.  Within one
+    :meth:`advance`, requests are pipelined — every worker's batch of
+    position updates is written before any response is read, so the
+    shards compute concurrently and the call is still a barrier.
+
+    Args:
+        spec: the engine recipe every worker builds.
+        workers: shard (process) count, at least 1.
+
+    Use as a context manager (or call :meth:`close`) so the worker
+    processes are reaped promptly.
+    """
+
+    def __init__(self, spec: ServiceSpec, workers: int = 1):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be at least 1, got {workers}")
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            raise ConfigurationError(
+                "ProcessShardedDispatcher needs the 'fork' start method "
+                "(socketpair file descriptors must survive into the worker)"
+            )
+        self._spec = spec
+        self._workers = workers
+        self._closed = False
+        self._sessions: List[RemoteSession] = []
+        self._worker_of: Dict[int, int] = {}
+        self._remotes: List[RemoteService] = []
+        self._processes: List[multiprocessing.Process] = []
+        self._batches_applied = 0
+        self._batch_records_billed = 0
+        self._epoch = 0
+        try:
+            for worker_index in range(workers):
+                parent_sock, child_sock = socket.socketpair()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(spec, child_sock),
+                    name=f"knn-shard-{worker_index}",
+                    daemon=True,
+                )
+                process.start()
+                child_sock.close()
+                self._processes.append(process)
+                self._remotes.append(
+                    RemoteService(
+                        MessageStream(parent_sock),
+                        endpoint=f"shard-{worker_index}",
+                    )
+                )
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """The shard (worker process) count."""
+        return self._workers
+
+    @property
+    def closed(self) -> bool:
+        """True once the pool has been shut down."""
+        return self._closed
+
+    @property
+    def metric(self) -> str:
+        """The replicated engines' metric."""
+        return self._spec.metric
+
+    @property
+    def epoch(self) -> int:
+        """Data epochs applied through this dispatcher."""
+        return self._epoch
+
+    def sessions(self) -> List[RemoteSession]:
+        """Open sessions in global open order (the pinning order)."""
+        return [session for session in self._sessions if not session.closed]
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"ProcessShardedDispatcher(metric={self._spec.metric!r}, "
+            f"workers={self._workers}, sessions={len(self.sessions())}, {state})"
+        )
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("the dispatcher has been closed")
+
+    # ------------------------------------------------------------------
+    # Session lifecycle (pinned by the i-mod-workers rule)
+    # ------------------------------------------------------------------
+    def open_session(
+        self, position: Any, k: int, rho: float = 1.6, **query_options: Any
+    ) -> RemoteSession:
+        """Open the next session on its pinned shard.
+
+        The ``i``-th call lands on worker ``i % workers`` — the same
+        deterministic rule the thread dispatcher shards by, so a workload
+        replayed at any worker count pins identically.  The returned
+        session carries a ``global_id`` (its open-order index) alongside
+        the shard-local ``query_id``.
+        """
+        self._ensure_open()
+        global_id = len(self._sessions)
+        worker_index = global_id % self._workers
+        session = self._remotes[worker_index].open_session(
+            position, k=k, rho=rho, **query_options
+        )
+        session.global_id = global_id
+        self._sessions.append(session)
+        self._worker_of[id(session)] = worker_index
+        return session
+
+    # ------------------------------------------------------------------
+    # Pipelined dispatch
+    # ------------------------------------------------------------------
+    def advance(
+        self, assignments: Sequence[Tuple[RemoteSession, Any]]
+    ) -> List[KNNResponse]:
+        """Advance each session to its position; responses in input order.
+
+        All requests are written before any response is read, so the
+        shards serve their pinned subsets concurrently; the call returns
+        (a barrier) once every response is in.  A shard-side failure is
+        re-raised after the streams are drained back to protocol order.
+        """
+        self._ensure_open()
+        assignment_list = list(assignments)
+        per_worker: List[List[int]] = [[] for _ in range(self._workers)]
+        seen = set()
+        for position_index, (session, _) in enumerate(assignment_list):
+            if id(session) in seen:
+                raise ConfigurationError(
+                    f"session {session.query_id} appears twice in one dispatch"
+                )
+            seen.add(id(session))
+            worker_index = self._worker_of.get(id(session))
+            if worker_index is None:
+                raise ConfigurationError(
+                    "session was not opened through this dispatcher"
+                )
+            per_worker[worker_index].append(position_index)
+        # Write phase: every shard gets its whole request batch up front.
+        for worker_index, indexes in enumerate(per_worker):
+            remote = self._remotes[worker_index]
+            for position_index in indexes:
+                session, position = assignment_list[position_index]
+                remote._send(
+                    PositionUpdate(query_id=session.query_id, position=position)
+                )
+        # Read phase: drain each shard in its own FIFO order.
+        responses: List[Optional[KNNResponse]] = [None] * len(assignment_list)
+        first_error: Optional[ReproError] = None
+        for worker_index, indexes in enumerate(per_worker):
+            remote = self._remotes[worker_index]
+            for position_index in indexes:
+                try:
+                    message = remote._receive()
+                except ReproError as error:
+                    if first_error is None:
+                        first_error = error
+                    continue
+                responses[position_index] = message
+        if first_error is not None:
+            raise first_error
+        for position_index, response in enumerate(responses):
+            session, _ = assignment_list[position_index]
+            session._last_response = response
+        return responses
+
+    # ------------------------------------------------------------------
+    # The broadcast update stream
+    # ------------------------------------------------------------------
+    def apply(self, batch: UpdateBatch) -> BatchApplied:
+        """Broadcast one :class:`UpdateBatch` to every shard as one epoch.
+
+        Every engine replica applies the same batch; the acknowledgements
+        are cross-checked (epoch and insert allocation must agree — a
+        disagreement means the replicas diverged, which is a bug worth
+        failing loudly for).  Raises the shards' common error when the
+        batch is rejected everywhere (e.g. the population guard).
+        """
+        self._ensure_open()
+        for remote in self._remotes:
+            remote._send(batch)
+        acks: List[Optional[BatchApplied]] = []
+        errors: List[Optional[ReproError]] = []
+        for remote in self._remotes:
+            try:
+                message = remote._receive()
+                if not isinstance(message, BatchApplied):
+                    raise TransportError(
+                        f"expected BatchApplied, got {type(message).__name__}"
+                    )
+                acks.append(message)
+                errors.append(None)
+            except ReproError as error:
+                acks.append(None)
+                errors.append(error)
+        failed = [error for error in errors if error is not None]
+        if failed:
+            if len(failed) != len(self._remotes):
+                raise TransportError(
+                    "engine shards diverged: the update batch failed on "
+                    f"{len(failed)} of {len(self._remotes)} workers "
+                    f"(first failure: {failed[0]})"
+                )
+            raise failed[0]
+        reference = acks[0]
+        for ack in acks[1:]:
+            if ack != reference:
+                raise TransportError(
+                    "engine shards diverged: update batch acknowledged as "
+                    f"{ack} vs {reference}"
+                )
+        self._batches_applied += 1
+        self._batch_records_billed += self._spec.batch_payload(batch)
+        self._epoch = reference.epoch
+        return reference
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def communication(self, deduplicate_broadcast: bool = True) -> CommunicationStats:
+        """Combined counters over every shard (snapshot).
+
+        With ``deduplicate_broadcast`` (the default), each broadcast
+        update batch is counted once — the data owners sent it to the
+        service once, however many shards fanned it out — which makes the
+        message/object counters identical to a single-engine run at every
+        worker count.  Byte counters are always the raw sum: those bytes
+        really crossed each process boundary.
+        """
+        self._ensure_open()
+        combined = CommunicationStats()
+        for remote in self._remotes:
+            combined.merge(remote.communication())
+        if deduplicate_broadcast and self._workers > 1:
+            duplicates = self._workers - 1
+            combined.uplink_messages -= duplicates * self._batches_applied
+            combined.uplink_objects -= duplicates * self._batch_records_billed
+        return combined
+
+    def per_session_communication(self) -> Dict[int, CommunicationStats]:
+        """Per-session counters keyed by *global* session id (snapshot)."""
+        self._ensure_open()
+        by_worker = [remote.per_session_communication() for remote in self._remotes]
+        result: Dict[int, CommunicationStats] = {}
+        for session in self._sessions:
+            if session.closed:
+                continue
+            worker_index = self._worker_of[id(session)]
+            record = by_worker[worker_index].get(session.query_id)
+            if record is not None:
+                result[session.global_id] = record
+        return result
+
+    def aggregate_stats(self) -> ProcessorStats:
+        """Client-side cost counters summed over every shard (snapshot)."""
+        self._ensure_open()
+        total = ProcessorStats()
+        for remote in self._remotes:
+            total.merge(remote.aggregate_stats())
+        return total
+
+    def active_object_indexes(self) -> Tuple[int, ...]:
+        """Active object indexes from shard 0 (all replicas agree)."""
+        self._ensure_open()
+        return self._remotes[0].active_object_indexes()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the shard connections and reap the workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for remote in self._remotes:
+            try:
+                remote.close()
+            except ReproError:
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+
+    def __enter__(self) -> "ProcessShardedDispatcher":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

@@ -1,0 +1,378 @@
+"""Host a :class:`~repro.service.service.KNNService` behind a socket.
+
+:class:`KNNServer` binds a TCP (or Unix-domain) listening socket, accepts
+connections, and runs one reader loop per connection
+(:func:`serve_connection`).  Every inbound frame is one protocol message:
+the data-plane trio (:class:`~repro.service.messages.PositionUpdate`,
+:class:`~repro.service.messages.UpdateBatch`) plus the session/control
+frames of :mod:`repro.transport.codec`.  The handler resolves them into
+exactly the in-process service calls a local
+:class:`~repro.service.session.Session` would have made — the engine's
+message/object accounting is therefore *identical* whether a workload is
+driven in-process or over the wire, and the server adds the one thing only
+a real transport can measure: bytes, billed into the same
+:class:`~repro.core.stats.CommunicationStats` via
+:meth:`~repro.core.engine.ServingEngine.account_wire_bytes`.
+
+Consistency model: one lock per hosted service serialises request handling
+across connections, so update-stream epochs (:class:`UpdateBatch` frames)
+are applied strictly *between* request batches — an epoch never overlaps a
+position update, exactly the barrier contract the in-process
+:class:`~repro.service.dispatch.ShardedDispatcher` enforces.  Within one
+connection, requests are answered strictly in arrival order, so clients
+may pipeline.
+
+Meta frames (stats, aggregate stats, active objects) are served but not
+billed: they are diagnostics about the protocol, not part of it.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import stat
+import threading
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import QueryError, ReproError, TransportError
+from repro.service.service import KNNService
+from repro.service.session import Session
+from repro.transport.codec import (
+    AggregateStatsRequest,
+    AggregateStatsResponse,
+    BatchApplied,
+    CloseSession,
+    ErrorMessage,
+    ObjectsRequest,
+    ObjectsResponse,
+    OpenSession,
+    PositionUpdate,
+    RefreshRequest,
+    SessionClosed,
+    SessionOpened,
+    StatsRequest,
+    StatsResponse,
+    UpdateBatch,
+    wire_size,
+)
+from repro.transport.stream import MessageStream
+
+# Re-exported for callers of serve_connection.
+from repro.service.messages import KNNResponse  # noqa: F401  (protocol surface)
+
+__all__ = ["KNNServer", "serve_connection"]
+
+
+def serve_connection(
+    service: KNNService,
+    stream: MessageStream,
+    service_lock: Optional[threading.Lock] = None,
+) -> None:
+    """Serve one connection until the peer disconnects.
+
+    Used by :class:`KNNServer` for socket connections and by the
+    :mod:`~repro.transport.procpool` workers for their socketpair — the
+    protocol (and therefore the accounting) is identical either way.
+
+    Sessions opened over the connection are owned by it: a disconnect
+    (clean or not) closes whatever the peer left open, so a vanished
+    client cannot keep receiving invalidation traffic forever — the same
+    guarantee the in-process ``with`` block gives.
+    """
+    lock = service_lock if service_lock is not None else threading.RLock()
+    engine = service.engine
+    sessions: Dict[int, Session] = {}
+
+    def reply(message: Any, query_id: Optional[int]) -> None:
+        # Bill before sending (wire_size is exact), so a client that reads
+        # the counters right after receiving this reply sees them settled.
+        engine.account_wire_bytes(query_id, downlink_bytes=wire_size(message))
+        stream.send(message)
+
+    def reply_meta(message: Any) -> None:
+        stream.send(message)
+
+    try:
+        while True:
+            received = stream.receive()
+            if received is None:
+                return
+            message, nbytes = received
+            try:
+                if isinstance(message, PositionUpdate):
+                    query_id = message.query_id
+                    engine.account_wire_bytes(query_id, uplink_bytes=nbytes)
+                    session = sessions.get(query_id)
+                    if session is None:
+                        # QueryError, like the in-process surface: a stale
+                        # session id is a query problem, not a wire problem.
+                        raise QueryError(
+                            f"query {query_id} is not a session of this connection"
+                        )
+                    with lock:
+                        response = session.update(message.position)
+                    reply(response, query_id)
+                elif isinstance(message, RefreshRequest):
+                    query_id = message.query_id
+                    engine.account_wire_bytes(query_id, uplink_bytes=nbytes)
+                    session = sessions.get(query_id)
+                    if session is None:
+                        raise QueryError(
+                            f"query {query_id} is not a session of this connection"
+                        )
+                    with lock:
+                        response = session.refresh()
+                    reply(response, query_id)
+                elif isinstance(message, OpenSession):
+                    try:
+                        with lock:
+                            session = service.open_session(
+                                message.position,
+                                k=message.k,
+                                rho=message.rho,
+                                **dict(message.options),
+                            )
+                    except ReproError:
+                        # A refused registration was still received: its
+                        # bytes land in the aggregate so the engine's byte
+                        # counters keep matching the client's measurement.
+                        engine.account_wire_bytes(None, uplink_bytes=nbytes)
+                        raise
+                    sessions[session.query_id] = session
+                    # The open exchange is billed to the session it created,
+                    # mirroring how registration messages are accounted.
+                    engine.account_wire_bytes(session.query_id, uplink_bytes=nbytes)
+                    reply(SessionOpened(query_id=session.query_id), session.query_id)
+                elif isinstance(message, CloseSession):
+                    query_id = message.query_id
+                    engine.account_wire_bytes(query_id, uplink_bytes=nbytes)
+                    session = sessions.pop(query_id, None)
+                    if session is None:
+                        raise QueryError(
+                            f"query {query_id} is not a session of this connection"
+                        )
+                    with lock:
+                        session.close()
+                    # The session record is gone: the acknowledgement bytes
+                    # land in the aggregate, like the goodbye message itself.
+                    reply(SessionClosed(query_id=query_id), None)
+                elif isinstance(message, UpdateBatch):
+                    engine.account_wire_bytes(None, uplink_bytes=nbytes)
+                    with lock:
+                        result = service.apply(message)
+                    reply(
+                        BatchApplied(
+                            epoch=result.epoch,
+                            new_indexes=result.new_indexes,
+                            deleted_indexes=result.deleted_indexes,
+                        ),
+                        None,
+                    )
+                elif isinstance(message, StatsRequest):
+                    with lock:
+                        aggregate = engine.communication.snapshot()
+                        per_session: Tuple = ()
+                        if message.per_session:
+                            per_session = tuple(
+                                sorted(engine.per_query_communication().items())
+                            )
+                    reply_meta(
+                        StatsResponse(aggregate=aggregate, per_session=per_session)
+                    )
+                elif isinstance(message, ObjectsRequest):
+                    with lock:
+                        response = ObjectsResponse(
+                            epoch=service.epoch,
+                            indexes=service.active_object_indexes(),
+                        )
+                    reply_meta(response)
+                elif isinstance(message, AggregateStatsRequest):
+                    with lock:
+                        stats = service.aggregate_stats()
+                    reply_meta(AggregateStatsResponse(stats=stats))
+                else:
+                    raise TransportError(
+                        f"unexpected {type(message).__name__} frame from client"
+                    )
+            except ReproError as error:
+                reply(ErrorMessage.from_exception(error), None)
+    except TransportError:
+        # Stream corruption (or a send into a dead socket): the connection
+        # is unrecoverable; fall through to the cleanup below.
+        pass
+    finally:
+        with lock:
+            for session in sessions.values():
+                if not session.closed:
+                    session.close()
+        sessions.clear()
+        stream.close()
+
+
+class KNNServer:
+    """Serve one :class:`~repro.service.service.KNNService` over sockets.
+
+    Args:
+        service: the service to host (its engine does the accounting).
+        host, port: TCP endpoint; ``port=0`` binds an ephemeral port (read
+            the real one from :attr:`address` after :meth:`start`).
+        path: Unix-domain socket path; mutually exclusive with TCP.
+        backlog: listen backlog.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`::
+
+        with KNNServer(service) as server:
+            client = connect(server.address)
+            ...
+    """
+
+    def __init__(
+        self,
+        service: KNNService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        path: Optional[str] = None,
+        backlog: int = 16,
+    ):
+        self._service = service
+        self._host = host
+        self._port = port
+        self._path = path
+        self._backlog = backlog
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connection_threads: List[threading.Thread] = []
+        self._streams: List[MessageStream] = []
+        self._state_lock = threading.Lock()
+        self._service_lock = threading.RLock()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> KNNService:
+        """The hosted service (the in-process view of the same engine)."""
+        return self._service
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._running
+
+    @property
+    def address(self) -> Union[Tuple[str, int], str]:
+        """The bound endpoint: ``(host, port)`` for TCP, the path for Unix."""
+        if self._listener is None:
+            raise TransportError("the server has not been started")
+        if self._path is not None:
+            return self._path
+        bound = self._listener.getsockname()
+        return (bound[0], bound[1])
+
+    def __repr__(self) -> str:
+        state = "running" if self._running else "stopped"
+        endpoint = self._path or f"{self._host}:{self._port}"
+        return f"KNNServer({endpoint}, {state})"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "KNNServer":
+        """Bind, listen and start accepting connections (returns self)."""
+        if self._running:
+            raise TransportError("the server is already running")
+        if self._path is not None:
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            # A previous server on this path leaves its socket file behind
+            # (nothing unlinks it on a crash); binding over a stale socket
+            # is the expected restart flow, so clear it first.  Anything
+            # that is not a socket is somebody else's file — keep it and
+            # let bind fail loudly.
+            try:
+                if stat.S_ISSOCK(os.stat(self._path).st_mode):
+                    os.unlink(self._path)
+            except OSError:
+                pass
+            try:
+                listener.bind(self._path)
+            except OSError as error:
+                listener.close()
+                raise TransportError(f"cannot bind {self._path}: {error}")
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                listener.bind((self._host, self._port))
+            except OSError as error:
+                listener.close()
+                raise TransportError(
+                    f"cannot bind {self._host}:{self._port}: {error}"
+                )
+        listener.listen(self._backlog)
+        self._listener = listener
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="knn-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            stream = MessageStream(sock)
+            thread = threading.Thread(
+                target=serve_connection,
+                args=(self._service, stream, self._service_lock),
+                name="knn-server-conn",
+                daemon=True,
+            )
+            with self._state_lock:
+                self._streams.append(stream)
+                self._connection_threads.append(thread)
+            thread.start()
+
+    def stop(self) -> None:
+        """Stop accepting, drop every connection, join the threads."""
+        if not self._running:
+            return
+        self._running = False
+        if self._listener is not None:
+            try:
+                # close() alone does not wake a thread blocked in accept();
+                # shutdown() does (accept returns with an error immediately).
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            if self._path is not None:
+                try:
+                    os.unlink(self._path)
+                except OSError:
+                    pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        with self._state_lock:
+            streams = list(self._streams)
+            threads = list(self._connection_threads)
+            self._streams.clear()
+            self._connection_threads.clear()
+        for stream in streams:
+            stream.close()
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "KNNServer":
+        if not self._running:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()

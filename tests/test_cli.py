@@ -56,3 +56,51 @@ class TestCli:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "total    messages" in captured.out
+
+    def test_serve_over_tcp_transport_with_per_session(self, capsys):
+        exit_code = main(
+            [
+                "serve", "--queries", "3", "--n", "150", "--steps", "8",
+                "--transport", "tcp", "--per-session",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "transport               : tcp" in captured.out
+        assert "total    bytes" in captured.out
+        assert "per-session breakdown" in captured.out
+        assert "session    0" in captured.out
+
+    def test_serve_over_process_transport(self, capsys):
+        exit_code = main(
+            [
+                "serve", "--queries", "3", "--n", "150", "--steps", "8",
+                "--transport", "process", "--workers", "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "transport               : process" in captured.out
+        assert "workers                 : 2" in captured.out
+
+    def test_client_against_a_listening_server(self, capsys):
+        from repro.service import open_service
+        from repro.transport import KNNServer
+        from repro.workloads.datasets import uniform_points
+
+        service = open_service(
+            metric="euclidean", objects=uniform_points(200, seed=47)
+        )
+        with KNNServer(service) as server:
+            host, port = server.address
+            exit_code = main(
+                [
+                    "client", "--connect", f"{host}:{port}",
+                    "--queries", "2", "--steps", "6", "--per-session",
+                ]
+            )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "server-side communication bill" in captured.out
+        assert "codec-predicted match : True" in captured.out
+        assert "per-session breakdown" in captured.out

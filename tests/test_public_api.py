@@ -4,13 +4,18 @@ import pytest
 
 import repro
 import repro.service
+import repro.transport
 
 
 class TestPublicApi:
     def test_version(self):
         assert repro.__version__ == "1.0.0"
 
-    @pytest.mark.parametrize("module", [repro, repro.service], ids=["repro", "repro.service"])
+    @pytest.mark.parametrize(
+        "module",
+        [repro, repro.service, repro.transport],
+        ids=["repro", "repro.service", "repro.transport"],
+    )
     def test_all_is_consistent(self, module):
         """__all__ must be duplicate-free and every name must resolve."""
         assert len(module.__all__) == len(set(module.__all__)), "duplicate __all__ entry"
@@ -25,6 +30,25 @@ class TestPublicApi:
         for name in repro.service.__all__:
             assert name in repro.__all__, f"repro.__all__ is missing {name}"
             assert getattr(repro, name) is getattr(repro.service, name)
+
+    def test_transport_user_surface_is_reexported_at_the_top_level(self):
+        """The user-facing transport names (not the codec internals) are
+        reachable from ``repro`` directly and are the same objects."""
+        for name in (
+            "connect",
+            "KNNServer",
+            "RemoteService",
+            "RemoteSession",
+            "ProcessShardedDispatcher",
+            "ServiceSpec",
+            "TransportError",
+        ):
+            assert name in repro.__all__, f"repro.__all__ is missing {name}"
+            assert getattr(repro, name) is getattr(repro.transport, name)
+
+    def test_remote_session_is_a_session_subclass(self):
+        """The transport seam: remote handles ARE the session class."""
+        assert issubclass(repro.transport.RemoteSession, repro.Session)
 
     def test_quickstart_docstring_flow(self):
         """The module docstring's quickstart snippet must actually work."""

@@ -1,0 +1,282 @@
+"""Property-based tests for the binary wire codec (hypothesis).
+
+The codec's three contracts, each tested over randomized messages:
+
+* **round trip** — ``decode(encode(m)) == m`` for every message kind,
+  both metrics' position/target shapes included;
+* **exact size prediction** — ``len(encode(m)) == wire_size(m)``, the
+  reconciliation contract the PR5 benchmark builds on;
+* **robust framing** — a :class:`FrameReader` fed arbitrary split points
+  reproduces the message stream exactly (partial and concatenated frames),
+  and malformed input raises the typed
+  :class:`~repro.errors.TransportError`, never a bare ``struct.error``.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueryError, ReproError, TransportError
+from repro.core.objects import QueryResult, UpdateAction
+from repro.core.stats import CommunicationStats, ProcessorStats
+from repro.geometry.point import Point
+from repro.roadnet.location import NetworkLocation
+from repro.service.messages import KNNResponse, PositionUpdate, UpdateBatch
+from repro.transport.codec import (
+    AggregateStatsRequest,
+    AggregateStatsResponse,
+    BatchApplied,
+    CloseSession,
+    ErrorMessage,
+    FrameReader,
+    LENGTH_PREFIX_BYTES,
+    ObjectsRequest,
+    ObjectsResponse,
+    OpenSession,
+    RefreshRequest,
+    SessionClosed,
+    SessionOpened,
+    StatsRequest,
+    StatsResponse,
+    decode,
+    encode,
+    wire_size,
+)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+coordinates = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coordinates, coordinates)
+road_locations = st.builds(
+    NetworkLocation,
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+positions = st.one_of(points, road_locations)
+object_indexes = st.integers(min_value=0, max_value=2**32 - 1)
+targets = st.one_of(points, object_indexes)
+
+query_results = st.builds(
+    QueryResult,
+    timestamp=st.integers(min_value=0, max_value=2**31 - 1),
+    knn=st.lists(object_indexes, max_size=16).map(tuple),
+    knn_distances=st.lists(
+        st.floats(min_value=0.0, max_value=1e12, allow_nan=False), max_size=16
+    ).map(tuple),
+    guard_objects=st.frozensets(object_indexes, max_size=24),
+    action=st.sampled_from(list(UpdateAction)),
+    was_valid=st.booleans(),
+).map(
+    # knn and knn_distances must have equal length to round-trip (the
+    # wire ships one count for both, like every real QueryResult).
+    lambda r: QueryResult(
+        timestamp=r.timestamp,
+        knn=r.knn[: min(len(r.knn), len(r.knn_distances))],
+        knn_distances=r.knn_distances[: min(len(r.knn), len(r.knn_distances))],
+        guard_objects=r.guard_objects,
+        action=r.action,
+        was_valid=r.was_valid,
+    )
+)
+
+knn_responses = st.builds(
+    KNNResponse,
+    query_id=st.integers(min_value=0, max_value=2**31 - 1),
+    result=query_results,
+    objects_shipped=st.integers(min_value=0, max_value=2**32 - 1),
+    round_trips=st.integers(min_value=0, max_value=2**32 - 1),
+    epoch=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+position_updates = st.builds(
+    PositionUpdate,
+    query_id=st.one_of(st.none(), st.integers(min_value=0, max_value=2**31 - 1)),
+    position=positions,
+)
+
+update_batches = st.builds(
+    UpdateBatch,
+    inserts=st.lists(targets, max_size=8).map(tuple),
+    deletes=st.lists(object_indexes, max_size=8).map(tuple),
+    moves=st.lists(st.tuples(object_indexes, targets), max_size=8).map(tuple),
+)
+
+option_strings = st.text(max_size=20)
+comm_stats = st.builds(
+    CommunicationStats,
+    uplink_messages=st.integers(min_value=0, max_value=2**63 - 1),
+    uplink_objects=st.integers(min_value=0, max_value=2**63 - 1),
+    downlink_messages=st.integers(min_value=0, max_value=2**63 - 1),
+    downlink_objects=st.integers(min_value=0, max_value=2**63 - 1),
+    uplink_bytes=st.integers(min_value=0, max_value=2**63 - 1),
+    downlink_bytes=st.integers(min_value=0, max_value=2**63 - 1),
+)
+
+control_messages = st.one_of(
+    st.builds(
+        OpenSession,
+        position=positions,
+        k=st.integers(min_value=1, max_value=1000),
+        rho=st.floats(min_value=1.0, max_value=10.0, allow_nan=False),
+        options=st.lists(
+            st.tuples(option_strings, option_strings), max_size=3
+        ).map(tuple),
+    ),
+    st.builds(SessionOpened, query_id=st.integers(min_value=0, max_value=2**31 - 1)),
+    st.builds(CloseSession, query_id=st.integers(min_value=0, max_value=2**31 - 1)),
+    st.builds(SessionClosed, query_id=st.integers(min_value=0, max_value=2**31 - 1)),
+    st.builds(RefreshRequest, query_id=st.integers(min_value=0, max_value=2**31 - 1)),
+    st.builds(
+        BatchApplied,
+        epoch=st.integers(min_value=0, max_value=2**32 - 1),
+        new_indexes=st.lists(object_indexes, max_size=8).map(tuple),
+        deleted_indexes=st.lists(object_indexes, max_size=8).map(tuple),
+    ),
+    st.builds(
+        ErrorMessage,
+        kind=st.sampled_from(["query", "configuration", "transport", "error"]),
+        message=st.text(max_size=200),
+    ),
+    st.builds(StatsRequest, per_session=st.booleans()),
+    st.builds(
+        StatsResponse,
+        aggregate=comm_stats,
+        per_session=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=2**31 - 1), comm_stats),
+            max_size=4,
+        ).map(tuple),
+    ),
+    st.just(ObjectsRequest()),
+    st.builds(
+        ObjectsResponse,
+        epoch=st.integers(min_value=0, max_value=2**32 - 1),
+        indexes=st.lists(object_indexes, max_size=32).map(tuple),
+    ),
+    st.just(AggregateStatsRequest()),
+    st.builds(
+        AggregateStatsResponse,
+        stats=st.builds(
+            ProcessorStats,
+            timestamps=st.integers(min_value=0, max_value=2**32 - 1),
+            full_recomputations=st.integers(min_value=0, max_value=2**32 - 1),
+            transmitted_objects=st.integers(min_value=0, max_value=2**32 - 1),
+            construction_seconds=st.floats(
+                min_value=0.0, max_value=1e6, allow_nan=False
+            ),
+        ),
+    ),
+)
+
+all_messages = st.one_of(
+    position_updates, knn_responses, update_batches, control_messages
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(message=all_messages)
+    def test_decode_encode_is_identity(self, message):
+        assert decode(encode(message)) == message
+
+    @settings(max_examples=200, deadline=None)
+    @given(message=all_messages)
+    def test_wire_size_is_exact(self, message):
+        assert len(encode(message)) == wire_size(message)
+
+    def test_hot_message_is_compact(self):
+        """The headline frame stays small: no pickle, no tag soup."""
+        update = PositionUpdate(query_id=3, position=Point(1234.5, 678.9))
+        assert wire_size(update) == 26  # 4 len + 1 type + 4 id + 1 tag + 16 coords
+
+    def test_error_message_round_trips_to_exception(self):
+        error = ErrorMessage.from_exception(QueryError("k too large"))
+        raised = decode(encode(error)).to_exception()
+        assert isinstance(raised, QueryError)
+        assert "k too large" in str(raised)
+
+    def test_unknown_error_kind_falls_back_to_base_class(self):
+        assert isinstance(ErrorMessage("nonsense", "x").to_exception(), ReproError)
+
+
+class TestFraming:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        messages=st.lists(all_messages, min_size=1, max_size=6),
+        chunk_size=st.integers(min_value=1, max_value=64),
+    )
+    def test_split_and_concatenated_frames_survive(self, messages, chunk_size):
+        blob = b"".join(encode(m) for m in messages)
+        reader = FrameReader()
+        decoded = []
+        for start in range(0, len(blob), chunk_size):
+            for message, nbytes in reader.feed(blob[start : start + chunk_size]):
+                decoded.append((message, nbytes))
+        assert [m for m, _ in decoded] == messages
+        assert [n for _, n in decoded] == [wire_size(m) for m in messages]
+        assert reader.pending_bytes == 0
+
+    def test_single_feed_of_everything_at_once(self):
+        messages = [
+            PositionUpdate(query_id=1, position=Point(0.0, 0.0)),
+            SessionOpened(query_id=1),
+            ObjectsRequest(),
+        ]
+        reader = FrameReader()
+        decoded = [m for m, _ in reader.feed(b"".join(encode(m) for m in messages))]
+        assert decoded == messages
+
+
+class TestMalformedInput:
+    def test_truncated_prefix(self):
+        with pytest.raises(TransportError):
+            decode(b"\x00\x00")
+
+    def test_truncated_body(self):
+        frame = encode(SessionOpened(query_id=5))
+        with pytest.raises(TransportError):
+            decode(frame[:-1])
+
+    def test_trailing_garbage(self):
+        frame = encode(SessionOpened(query_id=5))
+        with pytest.raises(TransportError):
+            decode(frame + b"\x00")
+
+    def test_unknown_frame_type(self):
+        body = b"\xee\x00\x00\x00\x05"
+        with pytest.raises(TransportError, match="unknown frame type"):
+            decode(struct.pack("!I", len(body)) + body)
+
+    def test_unknown_position_tag(self):
+        frame = bytearray(encode(PositionUpdate(query_id=1, position=Point(0, 0))))
+        frame[4 + 1 + 4] = 0x7F  # the position tag byte
+        with pytest.raises(TransportError, match="position tag"):
+            decode(bytes(frame))
+
+    def test_declared_length_beyond_limit(self):
+        with pytest.raises(TransportError, match="exceeds the limit"):
+            FrameReader().feed(struct.pack("!I", 2**31) + b"x")
+
+    def test_body_shorter_than_fields_demand(self):
+        # A KNNResponse frame claiming 1000 neighbours but carrying none.
+        body = bytearray(encode(KNNResponse(
+            query_id=1,
+            result=QueryResult(0, (), (), frozenset(), UpdateAction.NONE, True),
+            objects_shipped=0, round_trips=0, epoch=0,
+        ))[4:])
+        body[1 + 4 + 12 + 4 + 2 : 1 + 4 + 12 + 4 + 2 + 4] = struct.pack("!I", 1000)
+        with pytest.raises(TransportError):
+            decode(struct.pack("!I", len(body)) + bytes(body))
+
+    def test_out_of_range_field_raises_transport_error_on_encode(self):
+        with pytest.raises(TransportError, match="out of range"):
+            encode(SessionOpened(query_id=2**40))
+
+    def test_unencodable_types_raise_transport_error(self):
+        with pytest.raises(TransportError):
+            encode(object())
+        with pytest.raises(TransportError):
+            encode(PositionUpdate(query_id=1, position="not a position"))
+        with pytest.raises(TransportError):
+            wire_size(object())
