@@ -1,0 +1,302 @@
+"""PR6 — survive the crash: WAL overhead and recovery vs cold rebuild.
+
+PR 6 made the serving system durable: every state-changing exchange is
+appended to a write-ahead log (:mod:`repro.durability.wal`), the engine is
+periodically checkpointed into checksummed snapshots
+(:mod:`repro.durability.snapshot`), and
+:func:`~repro.durability.recovery.recover_service` rebuilds a killed
+service bit-identically from the newest valid snapshot plus the log
+suffix.  This benchmark prices that insurance on the PR3/PR4/PR5-sized
+headline stream — M = 64 concurrent k = 8 sessions over n = 2000 uniform
+objects, 200 mixed update epochs — and writes ``BENCH_PR6.json`` at the
+repository root:
+
+* **wal-off** — the plain in-process run; the baseline wall.
+* **wal-on** — the same stream served through a
+  :class:`~repro.durability.recovery.DurableKNNService` (fsync policy
+  ``"batch"``, a checkpoint snapshot every ``SNAPSHOT_EVERY`` log
+  appends).  The run must return *bit-identical answers* and *identical
+  message/object counters* to the wal-off run — durability is bookkeeping,
+  never behaviour — and the wall ratio is the durability overhead.
+* **recover-warm** — after the durable run, time
+  ``recover_service(wal_dir)``: newest snapshot + the short log suffix
+  behind it.  This is the restart path a crashed server actually takes.
+* **recover-cold** — time ``recover_service(wal_dir,
+  use_latest_snapshot=False)``: the initial (pre-traffic) snapshot plus a
+  replay of the *entire* log — what recovery would cost without periodic
+  checkpoints.  Both recoveries must agree with each other and with the
+  durable run's final state (same epoch, same per-session counters, all
+  64 sessions re-adopted).
+
+The wall clocks are honest: the durable run really fsyncs per its policy
+and the recoveries really rebuild engines, so the ratios depend on the
+disk and CPU of the machine (the committed result records ``cpu_count``).
+The run fails only on correctness, never on speed.
+
+Run standalone (``python benchmarks/bench_pr6_durability.py``, add
+``--smoke`` for a tiny-N sanity run) or via pytest
+(``pytest benchmarks/bench_pr6_durability.py``).
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import tempfile
+import time
+
+from repro.durability import inventory, recover_service, wal_path
+from repro.simulation.report import format_table
+from repro.simulation.server_sim import simulate_server
+from repro.workloads.scenarios import ChurnSpec, euclidean_server_scenario
+
+from benchmarks.conftest import emit_table
+
+QUERIES = 64
+OBJECT_COUNT = 2_000
+K = 8
+UPDATE_EPOCHS = 200
+#: One mixed batch per timestamp: 1 insert, 1 delete, 1 move.
+CHURN = ChurnSpec(interval=1, inserts=1, deletes=1, moves=1)
+STEP_LENGTH = 20.0
+#: Checkpoint cadence, in WAL appends.  One epoch of the headline stream
+#: logs 65 records (1 batch + 64 position updates), so this checkpoints
+#: roughly every 38 epochs and the warm recovery replays at most ~2500
+#: records instead of the full ~13k log.
+SNAPSHOT_EVERY = 2_500
+
+SMOKE_QUERIES = 6
+SMOKE_OBJECT_COUNT = 150
+SMOKE_UPDATE_EPOCHS = 12
+SMOKE_SNAPSHOT_EVERY = 40
+
+#: Where the machine-readable result lands (committed with the PR so the
+#: perf trajectory accumulates release over release).
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
+
+COUNTER_FIELDS = (
+    "uplink_messages",
+    "uplink_objects",
+    "downlink_messages",
+    "downlink_objects",
+)
+
+
+def build_scenario(smoke: bool = False):
+    """The headline benchmark workload (update epochs = timestamps - 1)."""
+    return euclidean_server_scenario(
+        data="uniform",
+        churn=CHURN,
+        queries=SMOKE_QUERIES if smoke else QUERIES,
+        object_count=SMOKE_OBJECT_COUNT if smoke else OBJECT_COUNT,
+        k=3 if smoke else K,
+        steps=(SMOKE_UPDATE_EPOCHS if smoke else UPDATE_EPOCHS),
+        step_length=STEP_LENGTH,
+        seed=71,
+    )
+
+
+def answer_stream(run):
+    """Every reported answer of a run, in a comparable canonical form."""
+    return {
+        query_id: [(result.knn, result.knn_distances) for result in stream]
+        for query_id, stream in run.results.items()
+    }
+
+
+def counters(run):
+    return {field: getattr(run.communication, field) for field in COUNTER_FIELDS}
+
+
+def service_state(service):
+    """A recovered service's comparable state: epoch + per-session bills."""
+    return (
+        service.epoch,
+        service.object_count,
+        sorted(session.query_id for session in service.sessions()),
+        {
+            query_id: stats.as_dict()
+            for query_id, stats in service.engine.per_query_communication().items()
+        },
+    )
+
+
+def timed_recovery(wal_dir, use_latest_snapshot):
+    """Recover the durable directory once; returns (state, wall_seconds)."""
+    started = time.perf_counter()
+    service = recover_service(wal_dir, use_latest_snapshot=use_latest_snapshot)
+    elapsed = time.perf_counter() - started
+    state = service_state(service)
+    service.close_wal()
+    return state, elapsed
+
+
+def run_benchmark(smoke: bool = False):
+    """Drive the stream plain and durably, then time both recovery paths.
+
+    Returns ``(rows, checks)`` where ``checks`` carries the equivalence
+    verdicts (durable run vs plain run, recoveries vs the durable run).
+    """
+    scenario = build_scenario(smoke=smoke)
+    snapshot_every = SMOKE_SNAPSHOT_EVERY if smoke else SNAPSHOT_EVERY
+    plain = simulate_server(scenario)
+    tempdir = tempfile.mkdtemp(prefix="insq-bench-pr6-")
+    try:
+        wal_dir = os.path.join(tempdir, "state")
+        durable = simulate_server(
+            scenario, wal_dir=wal_dir, snapshot_every=snapshot_every
+        )
+        report = inventory(wal_dir)
+        warm_state, warm_seconds = timed_recovery(wal_dir, use_latest_snapshot=True)
+        cold_state, cold_seconds = timed_recovery(wal_dir, use_latest_snapshot=False)
+        wal_bytes = os.path.getsize(wal_path(wal_dir))
+    finally:
+        shutil.rmtree(tempdir, ignore_errors=True)
+
+    wal_records = report["wal"]["records"]
+    rows = [
+        {
+            "run": "wal-off",
+            "queries": scenario.query_count,
+            "n": len(scenario.points),
+            "updates": plain.epochs,
+            "wall_s": round(plain.elapsed_seconds, 3),
+            "wal_records": 0,
+            "wal_mib": 0.0,
+            "snapshots": 0,
+        },
+        {
+            "run": "wal-on",
+            "queries": scenario.query_count,
+            "n": len(scenario.points),
+            "updates": durable.epochs,
+            "wall_s": round(durable.elapsed_seconds, 3),
+            "wal_records": wal_records,
+            "wal_mib": round(wal_bytes / 2**20, 2),
+            "snapshots": len(report["snapshots"]),
+        },
+        {
+            "run": "recover-warm",
+            "queries": scenario.query_count,
+            "n": len(scenario.points),
+            "updates": warm_state[0],
+            "wall_s": round(warm_seconds, 3),
+            "wal_records": report["replay_records"],
+            "wal_mib": round(wal_bytes / 2**20, 2),
+            "snapshots": len(report["snapshots"]),
+        },
+        {
+            "run": "recover-cold",
+            "queries": scenario.query_count,
+            "n": len(scenario.points),
+            "updates": cold_state[0],
+            "wall_s": round(cold_seconds, 3),
+            "wal_records": wal_records,
+            "wal_mib": round(wal_bytes / 2**20, 2),
+            "snapshots": len(report["snapshots"]),
+        },
+    ]
+    durable_end_state = (
+        durable.epochs,
+        None,  # the plain run does not expose the final object count
+        sorted(durable.results),
+        {
+            query_id: stats.as_dict()
+            for query_id, stats in durable.per_session_communication.items()
+        },
+    )
+    checks = {
+        "durable_answers_bit_identical": (
+            answer_stream(durable) == answer_stream(plain)
+        ),
+        "durable_counters_identical": counters(durable) == counters(plain),
+        "directory_healthy_after_run": report["healthy"],
+        "warm_recovery_matches_run": (
+            warm_state[0] == durable_end_state[0]
+            and warm_state[2] == durable_end_state[2]
+            and warm_state[3] == durable_end_state[3]
+        ),
+        "cold_recovery_matches_warm": cold_state == warm_state,
+        "warm_replays_a_suffix_only": report["replay_records"] < wal_records,
+    }
+    return rows, checks
+
+
+def write_result(rows, checks) -> None:
+    by_run = {row["run"]: row for row in rows}
+    base = by_run["wal-off"]
+    durable = by_run["wal-on"]
+    warm = by_run["recover-warm"]
+    cold = by_run["recover-cold"]
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "pr6_durability",
+                "cpu_count": os.cpu_count(),
+                "n": OBJECT_COUNT,
+                "queries": QUERIES,
+                "k": K,
+                "updates": base["updates"],
+                "snapshot_every": SNAPSHOT_EVERY,
+                "wal_records": durable["wal_records"],
+                "wal_mib": durable["wal_mib"],
+                "snapshots_written": durable["snapshots"],
+                "wal_off_wall_seconds": base["wall_s"],
+                "wal_on_wall_seconds": durable["wall_s"],
+                "wal_overhead_ratio": round(durable["wall_s"] / base["wall_s"], 2),
+                "warm_recovery_seconds": warm["wall_s"],
+                "warm_replay_records": warm["wal_records"],
+                "cold_rebuild_seconds": cold["wall_s"],
+                "cold_replay_records": cold["wal_records"],
+                "warm_vs_cold_ratio": round(warm["wall_s"] / cold["wall_s"], 2),
+                **checks,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def test_pr6_durability(run_once):
+    rows, checks = run_once(run_benchmark)
+    assert checks["durable_answers_bit_identical"], "the WAL changed an answer"
+    assert checks["durable_counters_identical"], "the WAL changed the bill"
+    assert checks["directory_healthy_after_run"], "the durable directory is sick"
+    assert checks["warm_recovery_matches_run"], "warm recovery diverged from the run"
+    assert checks["cold_recovery_matches_warm"], "cold rebuild diverged from warm"
+    assert checks["warm_replays_a_suffix_only"], "checkpoints did not shorten replay"
+    write_result(rows, checks)
+    emit_table(
+        "PR6_durability",
+        format_table(
+            rows,
+            title=(
+                f"PR6: WAL overhead and recovery vs cold rebuild "
+                f"(M={QUERIES} sessions, n={OBJECT_COUNT}, k={K}, "
+                f"{UPDATE_EPOCHS} update epochs, "
+                f"checkpoint every {SNAPSHOT_EVERY} appends)"
+            ),
+        ),
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny-N sanity run")
+    args = parser.parse_args()
+    rows, checks = run_benchmark(smoke=args.smoke)
+    for row in rows:
+        print(row)
+    for name, passed in checks.items():
+        print(f"{name}: {passed}")
+    if not all(checks.values()):
+        raise SystemExit(1)
+    if not args.smoke:
+        write_result(rows, checks)
+        print(f"written to {RESULT_PATH.name}")
+
+
+if __name__ == "__main__":
+    main()

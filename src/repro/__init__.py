@@ -43,7 +43,12 @@ Beneath the service layer the package exposes:
   behind a TCP/Unix socket, :func:`~repro.transport.client.connect` for
   drop-in remote sessions, and
   :class:`~repro.transport.procpool.ProcessShardedDispatcher` for
-  multi-process engine shards.
+  multi-process engine shards,
+* crash durability (:mod:`repro.durability`): a write-ahead log plus
+  checksummed snapshots behind
+  :class:`~repro.durability.recovery.DurableKNNService`, and
+  :func:`~repro.durability.recovery.recover_service` to replay a killed
+  service back to its exact pre-crash state — open sessions included.
 """
 
 from repro.core import (
@@ -87,6 +92,12 @@ from repro.roadnet import (
     place_objects,
     random_planar_network,
     ring_radial_network,
+)
+from repro.durability import (
+    DurableKNNService,
+    has_durable_state,
+    open_durable_service,
+    recover_service,
 )
 from repro.simulation import simulate, simulate_server, summarize
 from repro.transport import (
@@ -136,6 +147,11 @@ __all__ = [
     "ProcessShardedDispatcher",
     "ServiceSpec",
     "TransportError",
+    # durability (crash recovery)
+    "DurableKNNService",
+    "open_durable_service",
+    "recover_service",
+    "has_durable_state",
     # core
     "INSProcessor",
     "INSRoadProcessor",

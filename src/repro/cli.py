@@ -23,6 +23,14 @@ Two more subcommands exercise the serving system itself:
 * ``client`` — connect to a listening server, drive query sessions over
   the wire and print both sides of the bill (the client's measured bytes
   reconcile exactly against the codec's predicted sizes).
+* ``recover`` — inspect a ``--wal-dir`` written by a durable server:
+  validate every snapshot checksum and the log's CRC chain, report the
+  replay length, exit non-zero when the state is unrecoverable.
+
+Durability: ``serve --wal-dir DIR`` logs every state-changing exchange to
+a write-ahead log (and snapshots the engine) so a killed server restarted
+with the same ``--wal-dir`` replays back to the exact pre-crash state —
+open sessions included, which remote clients re-attach to.
 """
 
 from __future__ import annotations
@@ -132,6 +140,26 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--duration", type=float, default=None,
         help="with --listen: serve for this many seconds (default: until ^C)",
+    )
+    serve.add_argument(
+        "--wal-dir", metavar="DIR", default=None,
+        help="serve durably: write-ahead log + snapshots under DIR; "
+             "restarting with the same DIR replays back to the pre-crash "
+             "state (open sessions included)",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        help="with --wal-dir: checkpoint the engine every N log records "
+             "(default: snapshot only at startup, replay the whole log)",
+    )
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="inspect and validate a durable server's --wal-dir",
+    )
+    recover.add_argument(
+        "--wal-dir", metavar="DIR", required=True,
+        help="durability directory written by 'insq serve --wal-dir'",
     )
 
     client = subparsers.add_parser(
@@ -296,6 +324,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         check_answers=args.check,
         workers=args.workers,
         transport=None if args.transport == "local" else args.transport,
+        wal_dir=args.wal_dir,
+        snapshot_every=args.snapshot_every,
     )
     stats = run.aggregate
     print(f"scenario                : {run.scenario}")
@@ -320,17 +350,54 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 
 def _serve_listen(args: argparse.Namespace, scenario) -> int:
-    """Host the scenario's initial data set behind a socket server."""
+    """Host the scenario's initial data set behind a socket server.
+
+    With ``--wal-dir`` the hosted service is durable: a fresh directory
+    starts a new write-ahead log, a directory holding state from an
+    earlier (possibly killed) server is recovered first and its open
+    sessions are adopted, so clients re-attach where they left off.
+    """
     from repro.service import KNNService
     from repro.transport import KNNServer, parse_endpoint
 
-    service = KNNService.from_scenario(scenario, invalidation=args.invalidation)
+    adopt = False
+    if args.wal_dir is not None:
+        from repro.durability import (
+            DurableKNNService,
+            has_durable_state,
+            recover_service,
+        )
+
+        if has_durable_state(args.wal_dir):
+            service = recover_service(
+                args.wal_dir,
+                snapshot_every=args.snapshot_every,
+                wire_billing=True,
+            )
+            adopt = True
+            print(
+                f"recovered {service.metric} state from {args.wal_dir}: "
+                f"epoch {service.epoch}, {len(service.sessions())} open "
+                "session(s) adopted"
+            )
+        else:
+            fresh = KNNService.from_scenario(
+                scenario, invalidation=args.invalidation
+            )
+            service = DurableKNNService(
+                fresh.engine,
+                args.wal_dir,
+                snapshot_every=args.snapshot_every,
+                wire_billing=True,
+            )
+    else:
+        service = KNNService.from_scenario(scenario, invalidation=args.invalidation)
     endpoint = parse_endpoint(args.listen)
     if isinstance(endpoint, str):
-        server = KNNServer(service, path=endpoint)
+        server = KNNServer(service, path=endpoint, adopt_sessions=adopt)
     else:
         host, port = endpoint
-        server = KNNServer(service, host=host, port=port)
+        server = KNNServer(service, host=host, port=port, adopt_sessions=adopt)
     with server:
         address = server.address
         printable = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
@@ -348,7 +415,52 @@ def _serve_listen(args: argparse.Namespace, scenario) -> int:
         _print_communication(service.communication)
         if args.per_session:
             _print_per_session(service.per_session_communication())
+    if args.wal_dir is not None:
+        # A clean exit still leaves sessions open in the log on purpose:
+        # clients of a restarted server expect to re-attach to them.
+        service.close_wal()
     return 0
+
+
+def _run_recover(args: argparse.Namespace) -> int:
+    """Validate a durability directory and print its health report."""
+    from repro.durability import inventory
+
+    report = inventory(args.wal_dir)
+    print(f"durability directory    : {report['directory']}")
+    snapshots = report["snapshots"]
+    print(f"snapshots               : {len(snapshots)}")
+    for entry in snapshots:
+        line = (
+            f"  wal_seq {entry['wal_seq']:>8}  {entry['bytes']:>10} bytes  "
+            f"{'valid' if entry['valid'] else 'CORRUPT'}"
+        )
+        print(line)
+        if not entry["valid"]:
+            print(f"    {entry['error']}")
+    latest = report["latest_valid_snapshot_seq"]
+    print(f"latest valid snapshot   : "
+          f"{'none' if latest is None else f'wal_seq {latest}'}")
+    wal = report["wal"]
+    if not wal["exists"]:
+        print("write-ahead log         : absent")
+    elif wal.get("corrupt"):
+        print(f"write-ahead log         : CORRUPT ({wal['error']})")
+    else:
+        print(
+            f"write-ahead log         : {wal['records']} records "
+            f"(last seq {wal['last_seq']}), {wal['valid_bytes']} valid bytes"
+        )
+        if wal["torn_bytes"]:
+            print(
+                f"  torn tail             : {wal['torn_bytes']} bytes "
+                "(incomplete final record; repaired by truncation on reopen)"
+            )
+    if report["replay_records"] is not None:
+        print(f"records to replay       : {report['replay_records']}")
+    verdict = "recoverable" if report["healthy"] else "UNRECOVERABLE"
+    print(f"verdict                 : {verdict}")
+    return 0 if report["healthy"] else 1
 
 
 def _run_client(args: argparse.Namespace) -> int:
@@ -422,6 +534,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "client":
         return _run_client(args)
+    if args.command == "recover":
+        return _run_recover(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -124,6 +124,27 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
         self._comm_lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle the full serving state (for ``repro.durability`` snapshots).
+
+        Everything the engine holds — index, registered processors with
+        their prefetched/guard sets, epoch, communication counters — is
+        picklable except the accounting lock, which is stripped here and
+        recreated on restore.  A restored engine therefore continues
+        *bit-identically*: same answers, same counters, same future query
+        id assignments.
+        """
+        state = self.__dict__.copy()
+        state["_comm_lock"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._comm_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

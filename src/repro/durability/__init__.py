@@ -1,0 +1,58 @@
+"""Crash durability for the serving system: WAL + snapshots + recovery.
+
+Three cooperating modules:
+
+* :mod:`repro.durability.wal` — the write-ahead update log: every
+  successful operation, appended as its codec wire frame with a CRC and a
+  sequence number; readers repair torn tails and reject corruption with a
+  typed error.
+* :mod:`repro.durability.snapshot` — checksummed, atomically-renamed
+  snapshots of full engine state, tagged with the WAL position they
+  include.
+* :mod:`repro.durability.recovery` — :class:`DurableKNNService` (a
+  logging :class:`~repro.service.service.KNNService`) and
+  :func:`recover_service`, which rebuilds one from the newest valid
+  snapshot plus the WAL suffix, bit-identically.
+
+See :mod:`repro.durability.recovery` for the precise durability contract.
+"""
+
+from repro.durability.recovery import (
+    DurableKNNService,
+    has_durable_state,
+    inventory,
+    open_durable_service,
+    recover_service,
+    wal_path,
+)
+from repro.durability.snapshot import (
+    list_snapshots,
+    load_latest_snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.durability.wal import (
+    WALRecord,
+    WALScan,
+    WriteAheadLog,
+    replay_wal,
+    scan_wal,
+)
+
+__all__ = [
+    "DurableKNNService",
+    "WALRecord",
+    "WALScan",
+    "WriteAheadLog",
+    "has_durable_state",
+    "inventory",
+    "list_snapshots",
+    "load_latest_snapshot",
+    "open_durable_service",
+    "read_snapshot",
+    "recover_service",
+    "replay_wal",
+    "scan_wal",
+    "wal_path",
+    "write_snapshot",
+]

@@ -1,0 +1,547 @@
+"""Crash recovery: snapshot + write-ahead-log replay for a served engine.
+
+:class:`DurableKNNService` is a drop-in :class:`~repro.service.service.
+KNNService` that persists every successful operation crossing the service
+seam — session opens/closes, position updates, refreshes,
+:class:`~repro.service.messages.UpdateBatch` epochs — to a
+:class:`~repro.durability.wal.WriteAheadLog`, and periodically writes a
+checksummed :mod:`~repro.durability.snapshot` of the full engine state.
+:func:`recover_service` rebuilds the service from the newest valid
+snapshot plus the WAL suffix.
+
+The durability contract, precisely:
+
+* **What is logged.**  Operations are logged *after* they execute and
+  *before* their response is acknowledged, as the codec frames of
+  :mod:`repro.transport.codec` (the log format is the wire format).  A
+  failing operation (population guard, bad ``k``) mutates nothing and
+  logs nothing; a crash between execute and log loses an operation whose
+  response the client never received — indistinguishable, to every
+  observer, from crashing just before it.
+* **When fsync happens.**  Every append is flushed to the OS before the
+  response goes out, so a killed *process* loses nothing; the
+  ``fsync`` policy (``"always"``/``"batch"``/``"off"``) decides what
+  additionally survives a machine crash (see :mod:`repro.durability.wal`).
+* **What recovery guarantees.**  A recovered service is *bit-identical*
+  to the pre-crash one: same answers (ids and distances), same
+  :class:`~repro.core.stats.CommunicationStats` counters per session and
+  in aggregate, same epoch, same future query-id assignments.  Snapshots
+  capture exact processor state (prefetched sets, guard sets, validity),
+  and replaying the logged request stream on top reproduces everything
+  after — the ``tests/durability/`` suite holds this as its oracle.
+* **Sessions.**  A graceful close (an explicit
+  :meth:`~repro.service.session.Session.close`, or a transport connection
+  saying goodbye) is logged and therefore permanent; sessions open at the
+  moment of a crash are recovered, with fresh
+  :class:`~repro.service.session.Session` handles ready for adoption by
+  a restarted transport (``serve_connection(..., sessions=...)``).
+
+A new durability directory starts with an *initial snapshot* (``wal_seq``
+0) of the pre-traffic state, so recovery always has a base even when no
+periodic checkpoint ever ran; :func:`recover_service` also accepts
+``use_latest_snapshot=False`` to deliberately recover from that initial
+snapshot by replaying the entire log — the "cold" path the PR6 benchmark
+compares checkpointed recovery against.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.errors import DurabilityError, SnapshotError, WALCorruptError
+from repro.service.messages import KNNResponse, UpdateBatch
+from repro.service.service import KNNService, open_service
+from repro.service.session import Session
+from repro.transport.codec import (
+    BatchApplied,
+    CloseSession,
+    OpenSession,
+    PositionUpdate,
+    RefreshRequest,
+    SessionClosed,
+    SessionOpened,
+    encode,
+    wire_size,
+)
+from repro.durability.snapshot import (
+    list_snapshots,
+    load_latest_snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.durability.wal import WALRecord, WriteAheadLog, scan_wal
+
+__all__ = [
+    "DurableKNNService",
+    "has_durable_state",
+    "inventory",
+    "open_durable_service",
+    "recover_service",
+    "wal_path",
+]
+
+#: The single log file inside a durability directory.
+WAL_FILENAME = "wal.log"
+
+_SNAPSHOT_VERSION = 1
+
+
+def wal_path(wal_dir: str) -> str:
+    """The write-ahead-log path inside a durability directory."""
+    return os.path.join(wal_dir, WAL_FILENAME)
+
+
+def has_durable_state(wal_dir: str) -> bool:
+    """True when ``wal_dir`` already holds snapshots or a log to recover."""
+    return bool(list_snapshots(wal_dir)) or os.path.exists(wal_path(wal_dir))
+
+
+class DurableKNNService(KNNService):
+    """A :class:`KNNService` that survives the crash of its process.
+
+    Construct over a *fresh* engine and an *empty* durability directory
+    (an initial snapshot of the pre-traffic state is written immediately);
+    use :func:`recover_service` to resurrect one from an existing
+    directory.  The class is transparent to everything above the service
+    seam — sessions, ``serve_connection``, ``RemoteSession`` — because all
+    traffic already flows through the methods overridden here.
+
+    Args:
+        engine: the backing engine (must have no registered queries yet).
+        wal_dir: the durability directory (created if missing; must not
+            already hold durable state).
+        fsync: the log's fsync policy (see
+            :class:`~repro.durability.wal.WriteAheadLog`).
+        snapshot_every: write a checkpoint snapshot after this many log
+            appends (``None`` disables periodic checkpoints; the initial
+            snapshot and explicit :meth:`checkpoint` calls still happen).
+        wire_billing: set True when the service is hosted behind
+            ``serve_connection`` (which bills wire bytes into the engine's
+            counters).  Replay then re-bills each replayed exchange — the
+            uplink bytes are the logged frame's own length, the downlink
+            bytes the :func:`~repro.transport.codec.wire_size` of the
+            regenerated response — so even the engine's *byte* counters
+            recover bit-identically, not just messages and objects.
+    """
+
+    def __init__(
+        self,
+        engine,
+        wal_dir: str,
+        fsync: str = "batch",
+        snapshot_every: Optional[int] = None,
+        wire_billing: bool = False,
+    ):
+        super().__init__(engine)
+        if engine.query_count:
+            raise DurabilityError(
+                f"cannot make an engine with {engine.query_count} registered "
+                "queries durable: its sessions would be unrecoverable"
+            )
+        if has_durable_state(wal_dir):
+            raise DurabilityError(
+                f"{wal_dir} already holds durable state; use recover_service()"
+            )
+        self._wal_dir = str(wal_dir)
+        self._replaying = False
+        self._snapshot_every = snapshot_every
+        self._appends_since_snapshot = 0
+        self._wire_billing = wire_billing
+        os.makedirs(self._wal_dir, exist_ok=True)
+        # The base of every recovery: the pre-traffic state at wal_seq 0.
+        self._write_snapshot(wal_seq=0)
+        self._wal = WriteAheadLog(wal_path(self._wal_dir), fsync=fsync)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def wal_dir(self) -> str:
+        """The durability directory."""
+        return self._wal_dir
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The underlying write-ahead log."""
+        return self._wal
+
+    @property
+    def recovering(self) -> bool:
+        """True while WAL records are being replayed into this service."""
+        return self._replaying
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableKNNService(metric={self.metric!r}, "
+            f"objects={self.object_count}, sessions={self.session_count}, "
+            f"epoch={self.epoch}, wal_dir={self._wal_dir!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Logging (after execute, before acknowledge)
+    # ------------------------------------------------------------------
+    def _log(self, *messages: Any) -> None:
+        if self._replaying:
+            return
+        for message in messages:
+            self._wal.append(message)
+        if self._snapshot_every is not None:
+            self._appends_since_snapshot += len(messages)
+            if self._appends_since_snapshot >= self._snapshot_every:
+                self.checkpoint()
+
+    def open_session(
+        self, position: Any, k: int, rho: float = 1.6, **query_options: Any
+    ) -> Session:
+        session = super().open_session(position, k=k, rho=rho, **query_options)
+        # The open/ack pair makes query-id assignment auditable: replay
+        # asserts the deterministic engine hands out the logged id again.
+        options = tuple(
+            (str(name), str(value)) for name, value in query_options.items()
+        )
+        self._log(
+            OpenSession(position=position, k=k, rho=rho, options=options),
+            SessionOpened(query_id=session.query_id),
+        )
+        return session
+
+    def _deliver(self, query_id: int, position: Any) -> KNNResponse:
+        response = super()._deliver(query_id, position)
+        self._log(PositionUpdate(query_id=query_id, position=position))
+        return response
+
+    def _refresh(self, query_id: int) -> KNNResponse:
+        response = super()._refresh(query_id)
+        self._log(RefreshRequest(query_id=query_id))
+        return response
+
+    def _discard(self, session: Session) -> None:
+        super()._discard(session)
+        self._log(CloseSession(query_id=session.query_id))
+
+    def apply(self, batch: UpdateBatch):
+        result = super().apply(batch)
+        self._log(batch)
+        return result
+
+    # Single-object mutators route through apply() so they are logged with
+    # the same epoch-per-call semantics they will replay with.
+    def insert(self, target: Any) -> int:
+        result = self.apply(UpdateBatch(inserts=(target,)))
+        return result.new_indexes[0]
+
+    def delete(self, index: int) -> bool:
+        result = self.apply(UpdateBatch(deletes=(index,)))
+        return bool(result.deleted_indexes)
+
+    def move(self, index: int, target: Any):
+        return self.apply(UpdateBatch(moves=((index, target),)))
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def _write_snapshot(self, wal_seq: int) -> str:
+        payload = {
+            "version": _SNAPSHOT_VERSION,
+            "metric": self.metric,
+            "engine": self.engine,
+            "sessions": [
+                (session.query_id, session.k, session.rho)
+                for session in self._sessions.values()
+            ],
+        }
+        return write_snapshot(self._wal_dir, payload, wal_seq)
+
+    def checkpoint(self) -> str:
+        """Write a snapshot of the current state; returns its path.
+
+        The log is synced first, so the snapshot's ``wal_seq`` names a
+        durable prefix; replay after recovery resumes exactly behind it.
+        """
+        self._wal.sync()
+        path = self._write_snapshot(self._wal.last_seq)
+        self._appends_since_snapshot = 0
+        return path
+
+    # ------------------------------------------------------------------
+    # Replay (used by recover_service)
+    # ------------------------------------------------------------------
+    def _replay(self, records: List[WALRecord]) -> int:
+        """Apply a WAL suffix to this service; returns records applied.
+
+        With wire billing on, each replayed operation also re-bills the
+        bytes its original exchange cost — reconstructed, not remembered:
+        the logged frame *is* the uplink, and the regenerated response
+        predicts the downlink exactly (``wire_size`` is exact by codec
+        contract) — mirroring ``serve_connection``'s live billing.
+        """
+        self._replaying = True
+        applied = 0
+        engine = self.engine
+
+        def bill(query_id, uplink=0, downlink=0):
+            if self._wire_billing:
+                engine.account_wire_bytes(
+                    query_id, uplink_bytes=uplink, downlink_bytes=downlink
+                )
+
+        try:
+            index = 0
+            while index < len(records):
+                record = records[index]
+                message = record.message
+                if isinstance(message, OpenSession):
+                    if index + 1 >= len(records):
+                        # The ack never made the log: the client never saw
+                        # this session, so it never happened.  (The engine
+                        # registration it described died with the crash.)
+                        break
+                    ack = records[index + 1].message
+                    if not isinstance(ack, SessionOpened):
+                        raise DurabilityError(
+                            f"WAL record {record.seq}: OpenSession not "
+                            f"followed by its SessionOpened ack"
+                        )
+                    session = self.open_session(
+                        message.position,
+                        k=message.k,
+                        rho=message.rho,
+                        **dict(message.options),
+                    )
+                    if session.query_id != ack.query_id:
+                        raise DurabilityError(
+                            f"replay diverged: engine assigned query id "
+                            f"{session.query_id}, log recorded {ack.query_id}"
+                        )
+                    bill(
+                        session.query_id,
+                        uplink=len(encode(message)),
+                        downlink=wire_size(ack),
+                    )
+                    applied += 2
+                    index += 2
+                    continue
+                if isinstance(message, SessionOpened):
+                    # Its OpenSession half predates the snapshot; the
+                    # registration is already in the restored state.
+                    index += 1
+                    continue
+                if isinstance(message, PositionUpdate):
+                    bill(message.query_id, uplink=len(encode(message)))
+                    response = self._deliver(message.query_id, message.position)
+                    bill(message.query_id, downlink=wire_size(response))
+                elif isinstance(message, RefreshRequest):
+                    bill(message.query_id, uplink=len(encode(message)))
+                    response = self._refresh(message.query_id)
+                    bill(message.query_id, downlink=wire_size(response))
+                elif isinstance(message, CloseSession):
+                    session = self._sessions.get(message.query_id)
+                    if session is None:
+                        raise DurabilityError(
+                            f"WAL record {record.seq}: CloseSession for "
+                            f"unknown query {message.query_id}"
+                        )
+                    bill(message.query_id, uplink=len(encode(message)))
+                    session.close()
+                    bill(
+                        None,
+                        downlink=wire_size(
+                            SessionClosed(query_id=message.query_id)
+                        ),
+                    )
+                elif isinstance(message, UpdateBatch):
+                    bill(None, uplink=len(encode(message)))
+                    result = self.apply(message)
+                    bill(
+                        None,
+                        downlink=wire_size(
+                            BatchApplied(
+                                epoch=result.epoch,
+                                new_indexes=result.new_indexes,
+                                deleted_indexes=result.deleted_indexes,
+                            )
+                        ),
+                    )
+                else:
+                    raise DurabilityError(
+                        f"WAL record {record.seq}: unexpected "
+                        f"{type(message).__name__} frame in the log"
+                    )
+                applied += 1
+                index += 1
+        finally:
+            self._replaying = False
+        return applied
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close_wal(self) -> None:
+        """Sync (per policy) and close the log file (idempotent).
+
+        Sessions are left untouched — this releases the file handle, it
+        does not say goodbye on anyone's behalf.
+        """
+        self._wal.close()
+
+    def close(self) -> None:
+        """Close every open session (logged as goodbyes), then the log."""
+        super().close()
+        self.close_wal()
+
+
+def open_durable_service(
+    wal_dir: str,
+    metric: str = "euclidean",
+    objects=None,
+    network=None,
+    maintenance: str = "incremental",
+    invalidation: str = "delta",
+    max_entries: int = 16,
+    fsync: str = "batch",
+    snapshot_every: Optional[int] = None,
+) -> DurableKNNService:
+    """Open a fresh durable service — :func:`~repro.service.service.
+    open_service` plus a durability directory.
+
+    ``wal_dir`` must not already hold durable state (that is what
+    :func:`recover_service` is for).
+    """
+    service = open_service(
+        metric=metric,
+        objects=objects,
+        network=network,
+        maintenance=maintenance,
+        invalidation=invalidation,
+        max_entries=max_entries,
+    )
+    return DurableKNNService(
+        service.engine, wal_dir, fsync=fsync, snapshot_every=snapshot_every
+    )
+
+
+def recover_service(
+    wal_dir: str,
+    fsync: str = "batch",
+    snapshot_every: Optional[int] = None,
+    use_latest_snapshot: bool = True,
+    wire_billing: bool = False,
+) -> DurableKNNService:
+    """Rebuild a :class:`DurableKNNService` from its durability directory.
+
+    Loads the newest valid snapshot (falling back past corrupt ones),
+    repairs the log's torn tail, replays the suffix, and reopens the log
+    for appending — the recovered service continues bit-identically where
+    the crashed one stopped acknowledging.
+
+    Args:
+        wal_dir: the durability directory to recover from.
+        fsync: fsync policy for the reopened log.
+        snapshot_every: periodic-checkpoint setting for the new instance.
+        use_latest_snapshot: when False, recover from the *initial*
+            (``wal_seq`` 0) snapshot and replay the entire log — the cold
+            path, kept for the benchmark's recovery-vs-full-replay
+            comparison and as a last resort against snapshot corruption.
+        wire_billing: True when the crashed service was hosted behind
+            ``serve_connection`` — replay then re-bills the wire bytes of
+            every replayed exchange (see :class:`DurableKNNService`).
+
+    Raises:
+        SnapshotError: no valid snapshot exists.
+        WALCorruptError: the log is corrupt (CRC failure in an intact
+            record — a torn tail is repaired, not raised).
+        DurabilityError: the log contradicts the snapshot during replay.
+    """
+    if use_latest_snapshot:
+        snapshot_seq, payload, _ = load_latest_snapshot(wal_dir)
+    else:
+        candidates = list_snapshots(wal_dir)
+        if not candidates:
+            raise SnapshotError(f"{wal_dir}: no snapshots found")
+        snapshot_seq, payload = read_snapshot(candidates[0][1])
+    if not isinstance(payload, dict) or payload.get("version") != _SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"{wal_dir}: unsupported snapshot payload "
+            f"(version {payload.get('version') if isinstance(payload, dict) else '?'})"
+        )
+    engine = payload["engine"]
+
+    service = DurableKNNService.__new__(DurableKNNService)
+    KNNService.__init__(service, engine)
+    for query_id, k, rho in payload["sessions"]:
+        service._sessions[query_id] = Session(service, query_id, k=k, rho=rho)
+    service._wal_dir = str(wal_dir)
+    service._replaying = False
+    service._snapshot_every = snapshot_every
+    service._appends_since_snapshot = 0
+    service._wire_billing = wire_billing
+
+    log_file = wal_path(wal_dir)
+    records: List[WALRecord] = []
+    if os.path.exists(log_file):
+        scan = scan_wal(log_file)  # raises WALCorruptError on corruption
+        records = [record for record in scan.records if record.seq > snapshot_seq]
+    # Opening the writer repairs the torn tail; replay happens with the
+    # log already open but logging suppressed (self._replaying).
+    service._wal = WriteAheadLog(log_file, fsync=fsync)
+    service._replay(records)
+    return service
+
+
+def inventory(wal_dir: str) -> Dict[str, Any]:
+    """A machine-readable health report of one durability directory.
+
+    Validates every snapshot's checksum and the log's CRC chain without
+    building an engine; the ``insq recover`` subcommand prints this.
+    """
+    snapshots = []
+    latest_valid: Optional[int] = None
+    for wal_seq, path in list_snapshots(wal_dir):
+        entry: Dict[str, Any] = {
+            "wal_seq": wal_seq,
+            "path": path,
+            "bytes": os.path.getsize(path),
+        }
+        try:
+            read_snapshot(path)
+            entry["valid"] = True
+            latest_valid = wal_seq
+        except SnapshotError as error:
+            entry["valid"] = False
+            entry["error"] = str(error)
+        snapshots.append(entry)
+
+    log_file = wal_path(wal_dir)
+    wal_report: Dict[str, Any] = {"path": log_file, "exists": os.path.exists(log_file)}
+    if wal_report["exists"]:
+        wal_report["bytes"] = os.path.getsize(log_file)
+        try:
+            scan = scan_wal(log_file)
+            wal_report.update(
+                records=len(scan.records),
+                last_seq=scan.records[-1].seq if scan.records else 0,
+                valid_bytes=scan.valid_bytes,
+                torn_bytes=scan.torn_bytes,
+                corrupt=False,
+            )
+        except WALCorruptError as error:
+            wal_report.update(corrupt=True, error=str(error))
+
+    replay_records: Optional[int] = None
+    if latest_valid is not None and not wal_report.get("corrupt", False):
+        replay_records = sum(
+            1
+            for record in (scan.records if wal_report["exists"] else ())
+            if record.seq > latest_valid
+        )
+    return {
+        "directory": str(wal_dir),
+        "snapshots": snapshots,
+        "latest_valid_snapshot_seq": latest_valid,
+        "wal": wal_report,
+        "replay_records": replay_records,
+        "healthy": (
+            latest_valid is not None and not wal_report.get("corrupt", False)
+        ),
+    }

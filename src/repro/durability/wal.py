@@ -1,0 +1,294 @@
+"""The write-ahead update log: every served operation, on disk, in order.
+
+One :class:`WriteAheadLog` file records the full successful request stream
+of a :class:`~repro.durability.recovery.DurableKNNService` — session
+opens/closes, position updates, refreshes and :class:`~repro.service.
+messages.UpdateBatch` epochs — as codec-encoded frames (the exact wire
+representation of :mod:`repro.transport.codec`, so the log format *is* the
+protocol).  Replaying the log against a snapshot reproduces the engine
+bit-identically; see :mod:`repro.durability.recovery` for the contract.
+
+Record framing, after an 8-byte file magic::
+
+    [u32 payload length] [u64 sequence number] [u32 CRC32] [payload]
+
+The CRC covers the sequence number and the payload, and sequence numbers
+are strictly consecutive, so the reader can tell the two failure shapes
+apart:
+
+* a **torn tail** — the file ends before a record completes (the expected
+  shape after a crash mid-append, at *any* byte offset) — is repaired by
+  truncating to the last complete record;
+* a **corrupt record** — intact framing but mangled content (CRC or
+  sequence mismatch, or an impossible declared length) — raises the typed
+  :class:`~repro.errors.WALCorruptError`; corruption in the middle of a
+  log is not survivable by truncation and must fail loudly.
+
+Durability contract: every append is flushed to the OS (``file.flush``)
+before the call returns, so a killed *process* never loses an appended
+record.  Whether the append also survives a machine crash is the fsync
+policy: ``"always"`` fsyncs every append, ``"batch"`` fsyncs only on
+:meth:`WriteAheadLog.sync` and close, ``"off"`` never fsyncs.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from repro.errors import ConfigurationError, WALCorruptError
+from repro.transport.codec import MAX_FRAME_BYTES, decode, encode
+
+__all__ = ["WALRecord", "WALScan", "WriteAheadLog", "replay_wal", "scan_wal"]
+
+#: File magic: identifies (and versions) the record framing below.
+WAL_MAGIC = b"INSQWAL1"
+
+_HEADER = struct.Struct("!IQI")  # payload length, sequence, crc32
+_SEQ = struct.Struct("!Q")
+
+#: Sanity bound on one record's payload (a codec frame can't exceed its
+#: own limit, so a larger declared length can only be corruption).
+_MAX_PAYLOAD = MAX_FRAME_BYTES
+
+FSYNC_POLICIES = ("always", "batch", "off")
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One decoded log record.
+
+    Attributes:
+        seq: the record's sequence number (consecutive from 1).
+        message: the decoded protocol message.
+        offset: byte offset of the record's header in the file.
+    """
+
+    seq: int
+    message: Any
+    offset: int
+
+
+@dataclass(frozen=True)
+class WALScan:
+    """The outcome of scanning one log file.
+
+    Attributes:
+        records: every complete, CRC-valid record, in order.
+        valid_bytes: file offset up to which the log is intact (magic plus
+            complete records) — the truncation point that repairs a torn
+            tail.
+        torn_bytes: bytes past ``valid_bytes`` (0 for a cleanly closed
+            log).
+        next_seq: the sequence number the next append must carry.
+    """
+
+    records: Tuple[WALRecord, ...]
+    valid_bytes: int
+    torn_bytes: int
+
+    @property
+    def next_seq(self) -> int:
+        return self.records[-1].seq + 1 if self.records else 1
+
+
+def _crc(seq: int, payload: bytes) -> int:
+    return zlib.crc32(payload, zlib.crc32(_SEQ.pack(seq)))
+
+
+def scan_wal(path: str) -> WALScan:
+    """Read a log file, separating intact records from the torn tail.
+
+    Raises:
+        WALCorruptError: when the magic is wrong or a *complete* record
+            fails its CRC/sequence check (corruption, not truncation) —
+            including a declared payload length beyond the codec's frame
+            limit, which no legitimate writer can produce.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < len(WAL_MAGIC):
+        if data and not WAL_MAGIC.startswith(data):
+            raise WALCorruptError(f"{path}: bad WAL magic")
+        # A file cut inside the magic is a torn (empty) log.
+        return WALScan(records=(), valid_bytes=0, torn_bytes=len(data))
+    if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise WALCorruptError(f"{path}: bad WAL magic")
+    records: List[WALRecord] = []
+    offset = len(WAL_MAGIC)
+    expected_seq = 1
+    while True:
+        if offset + _HEADER.size > len(data):
+            break  # torn inside a header
+        length, seq, crc = _HEADER.unpack_from(data, offset)
+        if length > _MAX_PAYLOAD:
+            raise WALCorruptError(
+                f"{path}: record at offset {offset} declares an impossible "
+                f"payload of {length} bytes"
+            )
+        end = offset + _HEADER.size + length
+        if end > len(data):
+            break  # torn inside a payload
+        payload = data[offset + _HEADER.size : end]
+        if _crc(seq, payload) != crc:
+            raise WALCorruptError(
+                f"{path}: CRC mismatch in record at offset {offset} "
+                f"(seq {seq})"
+            )
+        if seq != expected_seq:
+            raise WALCorruptError(
+                f"{path}: record at offset {offset} carries seq {seq}, "
+                f"expected {expected_seq}"
+            )
+        records.append(WALRecord(seq=seq, message=decode(payload), offset=offset))
+        expected_seq += 1
+        offset = end
+    return WALScan(
+        records=tuple(records),
+        valid_bytes=offset,
+        torn_bytes=len(data) - offset,
+    )
+
+
+def replay_wal(path: str, after_seq: int = 0) -> List[WALRecord]:
+    """The records to replay: everything intact with ``seq > after_seq``.
+
+    The torn tail (if any) is silently skipped — those appends never
+    acknowledged, so by the log-after-execute contract the operations they
+    would describe count as never having happened.
+    """
+    scan = scan_wal(path)
+    return [record for record in scan.records if record.seq > after_seq]
+
+
+class WriteAheadLog:
+    """Append-only log of codec-encoded protocol messages.
+
+    Opening an *existing* log repairs it first: the file is scanned, a
+    torn tail (from a crash mid-append) is truncated away, and appending
+    resumes at the next sequence number — so a recovered service reuses
+    the same file.  Opening a corrupt log (CRC failure in an intact
+    record) raises instead; corruption is not survivable by truncation.
+
+    Args:
+        path: the log file (created, with its parent directory, if
+            missing).
+        fsync: ``"always"`` (fsync every append), ``"batch"`` (fsync on
+            :meth:`sync` and :meth:`close` only) or ``"off"``.  Every
+            policy still flushes each append to the OS, so records survive
+            a killed process; the policy only decides what survives a
+            machine crash.
+    """
+
+    def __init__(self, path: str, fsync: str = "batch"):
+        if fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        self._path = str(path)
+        self._fsync = fsync
+        self._closed = False
+        parent = os.path.dirname(self._path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if os.path.exists(self._path):
+            scan = scan_wal(self._path)  # raises on corruption
+            if scan.torn_bytes:
+                with open(self._path, "r+b") as handle:
+                    handle.truncate(scan.valid_bytes)
+            self._next_seq = scan.next_seq
+            self._handle: io.BufferedWriter = open(self._path, "ab")
+            if scan.valid_bytes == 0:
+                # The crash tore the file inside the magic itself; the
+                # truncation above emptied it, so re-seed the magic.
+                self._handle.write(WAL_MAGIC)
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+        else:
+            self._next_seq = 1
+            self._handle = open(self._path, "ab")
+            self._handle.write(WAL_MAGIC)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        """The log file path."""
+        return self._path
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next :meth:`append` will carry."""
+        return self._next_seq
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last appended record (0 when empty)."""
+        return self._next_seq - 1
+
+    @property
+    def fsync_policy(self) -> str:
+        """The configured fsync policy."""
+        return self._fsync
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"WriteAheadLog({self._path!r}, fsync={self._fsync!r}, "
+            f"last_seq={self.last_seq}, {state})"
+        )
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, message: Any) -> int:
+        """Encode and append one protocol message; returns its seq number.
+
+        The record is flushed to the OS before this returns (killed
+        processes lose nothing); it is additionally fsynced under the
+        ``"always"`` policy.
+        """
+        if self._closed:
+            raise ConfigurationError("cannot append to a closed WriteAheadLog")
+        payload = encode(message)
+        seq = self._next_seq
+        self._handle.write(_HEADER.pack(len(payload), seq, _crc(seq, payload)))
+        self._handle.write(payload)
+        self._handle.flush()
+        if self._fsync == "always":
+            os.fsync(self._handle.fileno())
+        self._next_seq = seq + 1
+        return seq
+
+    def sync(self) -> None:
+        """Force appended records to stable storage (a barrier fsync)."""
+        if self._closed:
+            return
+        self._handle.flush()
+        if self._fsync != "off":
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Sync (per policy) and close the file (idempotent)."""
+        if self._closed:
+            return
+        self.sync()
+        self._closed = True
+        self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

@@ -61,3 +61,48 @@ class TransportError(ReproError):
     transport errors — they cross the wire as typed error frames and are
     re-raised client-side as their original exception class.
     """
+
+
+class ConnectionLost(TransportError):
+    """Raised when the peer of a transport connection went away.
+
+    Distinguishes a vanished peer (a clean or mid-frame hangup, a dead
+    shard worker process) from protocol-level corruption: callers that
+    can recover a lost peer — a retrying client, a respawning
+    :class:`~repro.transport.procpool.ProcessShardedDispatcher` — catch
+    this subclass; everything else still catches :class:`TransportError`.
+    """
+
+
+class RequestTimeout(TransportError):
+    """Raised when a wire request exceeded its caller-supplied deadline.
+
+    The connection itself is still intact (the response may yet arrive);
+    only idempotent requests are safe to retry on the same ordered stream
+    — :class:`~repro.transport.client.RemoteService` does exactly that,
+    with bounded exponential backoff, and drains the late duplicate
+    responses afterwards.
+    """
+
+
+class DurabilityError(ReproError):
+    """Base class for failures of the ``repro.durability`` subsystem."""
+
+
+class SnapshotError(DurabilityError):
+    """Raised for unreadable engine snapshots.
+
+    Examples: a bad magic/version header, a payload shorter than its
+    declared length, or a checksum mismatch.  Recovery treats a corrupt
+    snapshot as absent and falls back to the previous valid one.
+    """
+
+
+class WALCorruptError(DurabilityError):
+    """Raised when a write-ahead-log record fails its CRC (or framing).
+
+    A *corrupt* record — intact length framing but mangled content — is
+    distinguished from a *torn tail* (the file simply ends mid-record,
+    the expected shape after a crash), which readers repair by truncation
+    instead of raising.
+    """

@@ -101,6 +101,9 @@ class ServerSimulationRun:
             codec's :func:`~repro.transport.codec.wire_size` predictions
             for the same frames — equal to the measured numbers by the
             codec's exactness contract (the PR5 benchmark asserts it).
+        respawns: shard workers respawned after a crash mid-run
+            (``transport="process"`` with a ``wal_dir`` only).
+        kills_injected: worker kills the fault plan actually delivered.
     """
 
     scenario: str
@@ -121,6 +124,8 @@ class ServerSimulationRun:
     wire_bytes_received: int = 0
     wire_bytes_predicted_sent: int = 0
     wire_bytes_predicted_received: int = 0
+    respawns: int = 0
+    kills_injected: int = 0
 
     @property
     def timestamps(self) -> int:
@@ -252,6 +257,9 @@ def simulate_server(
     server=None,
     workers: int = 1,
     transport: Optional[str] = None,
+    wal_dir: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
+    faults=None,
 ) -> ServerSimulationRun:
     """Drive M concurrent query streams interleaved with the update stream.
 
@@ -284,11 +292,28 @@ def simulate_server(
             become :class:`~repro.transport.client.RemoteSession` handles
             and the counters gain real wire bytes), or ``"process"`` for
             one engine shard per worker process.
+        wal_dir: when set, the run is served durably — every
+            state-changing exchange is appended to a write-ahead log under
+            this directory (per-shard subdirectories over
+            ``transport="process"``), recoverable afterwards with
+            :func:`repro.durability.recover_service`.
+        snapshot_every: checkpoint the durable engine every this many WAL
+            records (in-process/socket transports only; ``None`` keeps the
+            initial snapshot and replays the whole log on recovery).
+        faults: a :class:`repro.testing.faults.FaultPlan` of deterministic
+            worker kills, injected at update epochs.  Requires
+            ``transport="process"`` (only worker processes can be killed)
+            and ``wal_dir`` (a killed worker rejoins by replaying its log).
 
     Returns:
         A :class:`ServerSimulationRun`.
     """
     transport_name = "local" if transport is None else transport
+    if faults is not None and transport_name != "process":
+        raise ConfigurationError(
+            "fault injection kills worker processes, so it requires "
+            f"transport='process', got transport={transport_name!r}"
+        )
     if transport_name == "process":
         if server is not None:
             raise ConfigurationError(
@@ -302,7 +327,9 @@ def simulate_server(
                 "equivalence suite checks answers against the in-process run "
                 "instead)"
             )
-        return _simulate_over_processes(scenario, invalidation, maintenance, workers)
+        return _simulate_over_processes(
+            scenario, invalidation, maintenance, workers, wal_dir, faults
+        )
     if transport_name not in ("local", "tcp", "unix"):
         raise ConfigurationError(
             "transport must be None, 'local', 'tcp', 'unix' or 'process', "
@@ -332,7 +359,14 @@ def simulate_server(
                 f"supplied server already has {server.query_count} registered "
                 "queries; simulate_server needs a query-free server"
             )
-    service = KNNService(server)
+    if wal_dir is not None:
+        from repro.durability import DurableKNNService
+
+        service = DurableKNNService(
+            server, wal_dir, snapshot_every=snapshot_every
+        )
+    else:
+        service = KNNService(server)
     rng = random.Random(scenario.seed + 977)
     counts = {"inserts": 0, "deletes": 0, "moves": 0}
     make_churn_batch = _euclidean_churn_batch if euclidean else _road_churn_batch
@@ -436,6 +470,11 @@ def simulate_server(
             socket_server.stop()
         if tempdir is not None:
             shutil.rmtree(tempdir, ignore_errors=True)
+        if wal_dir is not None:
+            # Release the log file without logging goodbyes: the sessions
+            # stay open in the WAL, so the run's durable state can still be
+            # recovered (and re-attached to) afterwards.
+            service.close_wal()
     return ServerSimulationRun(
         scenario=scenario.name,
         invalidation=service.invalidation,
@@ -461,6 +500,8 @@ def _simulate_over_processes(
     invalidation: str,
     maintenance: str,
     workers: int,
+    wal_dir: Optional[str] = None,
+    faults=None,
 ) -> ServerSimulationRun:
     """The ``transport="process"`` body: shard the engine across processes.
 
@@ -470,6 +511,11 @@ def _simulate_over_processes(
     Results are keyed by the sessions' global open-order ids, which equal
     the query ids an in-process run assigns — so run comparisons are
     key-compatible across transports.
+
+    With ``wal_dir`` every worker logs to its own ``shard-<i>``
+    subdirectory, and a worker that dies (or is killed by the ``faults``
+    plan) is respawned and rejoins by replaying that log — the run
+    completes with bit-identical answers and counters.
     """
     from repro.transport import ProcessShardedDispatcher, ServiceSpec
 
@@ -481,7 +527,9 @@ def _simulate_over_processes(
     rng = random.Random(scenario.seed + 977)
     counts = {"inserts": 0, "deletes": 0, "moves": 0}
     results: Dict[int, List[QueryResult]] = {}
-    with ProcessShardedDispatcher(spec, workers=workers) as pool:
+    with ProcessShardedDispatcher(
+        spec, workers=workers, wal_dir=wal_dir, faults=faults
+    ) as pool:
         started = time.perf_counter()
         sessions = [
             pool.open_session(trajectory[0], k=k, rho=scenario.rho)
@@ -510,6 +558,8 @@ def _simulate_over_processes(
         per_session = pool.per_session_communication()
         aggregate = pool.aggregate_stats()
         epochs = pool.epoch
+        respawns = pool.respawns
+        kills_injected = pool.kills_injected
     return ServerSimulationRun(
         scenario=scenario.name,
         invalidation=invalidation,
@@ -523,4 +573,6 @@ def _simulate_over_processes(
         mismatches=[],
         transport="process",
         per_session_communication=per_session,
+        respawns=respawns,
+        kills_injected=kills_injected,
     )

@@ -1,0 +1,210 @@
+"""Deterministic fault injection for the transport and durability layers.
+
+Three fault families, all reproducible from explicit inputs (no wall
+clock, no hidden randomness):
+
+* **Process kills** — :class:`FaultPlan` schedules :class:`WorkerKill`
+  events (SIGKILL a shard worker at update epoch *e*, before or after the
+  batch broadcast).  The
+  :class:`~repro.transport.procpool.ProcessShardedDispatcher` consults the
+  plan at each epoch and executes the kills itself, so the schedule is
+  exact — no racing a timer against the victim.  Build plans explicitly or
+  with :meth:`FaultPlan.random` from a seed.
+* **File damage** — :func:`truncate_file` (a torn write: the file simply
+  ends early) and :func:`flip_byte` (bit rot: content changes, length
+  doesn't) for attacking WAL and snapshot files at chosen offsets.
+* **Link faults** — :class:`FaultyStream` wraps a
+  :class:`~repro.transport.stream.MessageStream` and drops or delays
+  chosen sends, for driving the client's timeout/retry machinery without
+  a real flaky network.
+
+The phase names mirror the one genuinely racy moment of a sharded kill:
+a worker killed ``"before_batch"`` never saw the epoch's
+:class:`~repro.service.messages.UpdateBatch`; one killed ``"after_batch"``
+logged it before dying.  The dispatcher reconciles either case by asking
+the respawned worker its epoch — the fault plan makes both paths
+separately testable.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PHASES",
+    "FaultPlan",
+    "FaultyStream",
+    "WorkerKill",
+    "flip_byte",
+    "truncate_file",
+]
+
+#: When, relative to epoch *e*'s batch broadcast, a kill fires.
+PHASES = ("before_batch", "after_batch")
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """SIGKILL shard worker ``worker`` at update epoch ``epoch``.
+
+    Attributes:
+        epoch: the target engine epoch — the kill fires while the
+            dispatcher processes the batch that creates this epoch.
+        worker: the victim's shard index.
+        phase: ``"before_batch"`` (killed before the batch reaches the
+            worker) or ``"after_batch"`` (killed after the worker applied
+            and logged it).
+    """
+
+    epoch: int
+    worker: int
+    phase: str = "before_batch"
+
+    def __post_init__(self):
+        if self.phase not in PHASES:
+            raise ConfigurationError(
+                f"phase must be one of {PHASES}, got {self.phase!r}"
+            )
+        if self.epoch < 1:
+            raise ConfigurationError(f"epoch must be >= 1, got {self.epoch}")
+        if self.worker < 0:
+            raise ConfigurationError(f"worker must be >= 0, got {self.worker}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A schedule of injected faults, applied by the dispatcher itself."""
+
+    kills: Tuple[WorkerKill, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "kills", tuple(self.kills))
+
+    def kills_for(self, epoch: int, phase: str) -> List[int]:
+        """Worker indexes to kill at this epoch and phase."""
+        return [
+            kill.worker
+            for kill in self.kills
+            if kill.epoch == epoch and kill.phase == phase
+        ]
+
+    @property
+    def kill_count(self) -> int:
+        return len(self.kills)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        epochs: int,
+        workers: int,
+        kills: int = 1,
+        phases: Iterable[str] = PHASES,
+    ) -> "FaultPlan":
+        """A seeded plan: ``kills`` kills at distinct epochs in [1, epochs].
+
+        The same ``(seed, epochs, workers, kills, phases)`` always yields
+        the same plan — the whole point.
+        """
+        phases = tuple(phases)
+        for phase in phases:
+            if phase not in PHASES:
+                raise ConfigurationError(
+                    f"phase must be one of {PHASES}, got {phase!r}"
+                )
+        rng = random.Random(seed)
+        chosen = rng.sample(range(1, epochs + 1), min(kills, epochs))
+        events = [
+            WorkerKill(
+                epoch=epoch,
+                worker=rng.randrange(workers),
+                phase=rng.choice(phases),
+            )
+            for epoch in sorted(chosen)
+        ]
+        return cls(kills=tuple(events))
+
+
+# ----------------------------------------------------------------------
+# File damage
+# ----------------------------------------------------------------------
+def truncate_file(path: str, size: int) -> None:
+    """Cut a file to ``size`` bytes — a torn write, at any offset."""
+    with open(path, "r+b") as handle:
+        handle.truncate(size)
+
+
+def flip_byte(path: str, offset: int) -> None:
+    """Invert one byte in place — bit rot that leaves the length intact."""
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        original = handle.read(1)
+        if len(original) != 1:
+            raise ConfigurationError(
+                f"{path}: offset {offset} is past the end of the file"
+            )
+        handle.seek(offset)
+        handle.write(bytes((original[0] ^ 0xFF,)))
+
+
+# ----------------------------------------------------------------------
+# Link faults
+# ----------------------------------------------------------------------
+class FaultyStream:
+    """A :class:`~repro.transport.stream.MessageStream` with a bad cable.
+
+    Wraps a real stream and interferes with *sends* only (the receive
+    path stays honest, so responses are never silently fabricated):
+
+    * sends whose ordinal is in ``drop_sends`` are swallowed — the bytes
+      never leave, simulating a hung peer for exactly one request;
+    * sends whose ordinal is in ``delay_sends`` sleep ``delay_seconds``
+      first, simulating a stall long enough to trip a request timeout
+      while the response still eventually arrives.
+
+    Ordinals count from 0 over this wrapper's lifetime.  Deterministic by
+    construction; for randomized campaigns draw the ordinal sets from a
+    seeded :class:`random.Random` yourself.
+    """
+
+    def __init__(
+        self,
+        stream,
+        drop_sends: Iterable[int] = (),
+        delay_sends: Iterable[int] = (),
+        delay_seconds: float = 0.2,
+    ):
+        self._stream = stream
+        self._drop_sends = frozenset(drop_sends)
+        self._delay_sends = frozenset(delay_sends)
+        self._delay_seconds = float(delay_seconds)
+        self._send_index = 0
+        self.dropped = 0
+        self.delayed = 0
+
+    def send(self, message: Any) -> int:
+        from repro.transport.codec import wire_size
+
+        ordinal = self._send_index
+        self._send_index += 1
+        if ordinal in self._delay_sends:
+            self.delayed += 1
+            time.sleep(self._delay_seconds)
+        if ordinal in self._drop_sends:
+            self.dropped += 1
+            return wire_size(message)
+        return self._stream.send(message)
+
+    def receive(self, timeout: Optional[float] = None) -> Any:
+        return self._stream.receive(timeout=timeout)
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._stream, name)

@@ -30,7 +30,7 @@ communication counters to the in-process service — the transport adds
 bytes (now measured), never exchanges.
 """
 
-from repro.errors import TransportError
+from repro.errors import ConnectionLost, RequestTimeout, TransportError
 from repro.transport.client import (
     RemoteService,
     RemoteSession,
@@ -48,12 +48,14 @@ from repro.transport.server import KNNServer, serve_connection
 from repro.transport.stream import MessageStream
 
 __all__ = [
+    "ConnectionLost",
     "FrameReader",
     "KNNServer",
     "MessageStream",
     "ProcessShardedDispatcher",
     "RemoteService",
     "RemoteSession",
+    "RequestTimeout",
     "ServiceSpec",
     "TransportError",
     "connect",

@@ -27,11 +27,13 @@ measured-equals-predicted contract of the codec.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import QueryError, TransportError
+from repro.errors import ConnectionLost, QueryError, RequestTimeout, TransportError
 from repro.core.stats import CommunicationStats, ProcessorStats
 from repro.service.messages import KNNResponse, PositionUpdate, UpdateBatch
 from repro.service.session import Session
@@ -63,6 +65,18 @@ _META_TYPES = (
     ObjectsResponse,
     AggregateStatsRequest,
     AggregateStatsResponse,
+)
+
+#: Request frames that are safe to resend on the same ordered stream: they
+#: read (or re-answer at the current position) without changing server
+#: state, so executing one twice yields the identical response.  A
+#: PositionUpdate or UpdateBatch is NOT here — replaying one would move
+#: the world twice.
+_IDEMPOTENT_TYPES = (
+    RefreshRequest,
+    StatsRequest,
+    ObjectsRequest,
+    AggregateStatsRequest,
 )
 
 
@@ -126,14 +140,50 @@ class RemoteService:
     serialise on the wire, preserving the protocol order).  The
     :mod:`~repro.transport.procpool` dispatcher bypasses the lock-per-call
     path with explicit pipelining instead.
+
+    With ``request_timeout`` set, every request bounds its wait for the
+    response and raises :class:`~repro.errors.RequestTimeout` on expiry.
+    *Idempotent* requests (refresh, stats, objects) are then retried up to
+    ``retries`` times with exponential backoff and deterministic jitter
+    (seeded by ``retry_seed``); because the stream is ordered, each resend
+    eventually produces a duplicate response, which the client drains —
+    and counts in ``duplicate_frames``/``duplicate_bytes``, outside the
+    billed/meta buckets — before the next request goes out.  Mutating
+    requests (position updates, batches) are never resent: replaying one
+    would move the world twice.
+
+    Args:
+        stream: the connected message stream.
+        endpoint: display name of the peer (for reprs and errors).
+        request_timeout: per-request response deadline in seconds
+            (``None``, the default, waits forever — no behaviour change).
+        retries: resend attempts for idempotent requests after a timeout.
+        backoff: initial backoff before the first resend, in seconds
+            (doubles per retry, plus uniform jitter of up to its own
+            value).
+        retry_seed: seed of the jitter RNG (fixed default keeps test runs
+            reproducible).
     """
 
-    def __init__(self, stream: MessageStream, endpoint: str = "?"):
+    def __init__(
+        self,
+        stream: MessageStream,
+        endpoint: str = "?",
+        request_timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.05,
+        retry_seed: int = 0,
+    ):
         self._stream = stream
         self._endpoint = endpoint
         self._sessions: Dict[int, RemoteSession] = {}
         self._lock = threading.Lock()
         self._closed = False
+        self._request_timeout = request_timeout
+        self._retries = max(0, int(retries))
+        self._backoff = float(backoff)
+        self._retry_rng = random.Random(retry_seed)
+        self._pending_duplicates = 0
         # Measured vs predicted traffic, split into the billed protocol
         # and the unbilled meta frames (stats/objects diagnostics).
         self.bytes_sent = 0
@@ -142,6 +192,12 @@ class RemoteService:
         self.predicted_bytes_received = 0
         self.meta_bytes_sent = 0
         self.meta_bytes_received = 0
+        # Fault-path accounting: timeouts seen, resends issued, and the
+        # drained duplicate responses those resends produced.
+        self.timeouts = 0
+        self.resends = 0
+        self.duplicate_frames = 0
+        self.duplicate_bytes = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -178,10 +234,10 @@ class RemoteService:
             self.bytes_sent += sent
             self.predicted_bytes_sent += wire_size(message)
 
-    def _receive(self) -> Any:
-        received = self._stream.receive()
+    def _receive(self, timeout: Optional[float] = None) -> Any:
+        received = self._stream.receive(timeout=timeout)
         if received is None:
-            raise TransportError(f"server {self._endpoint} closed the connection")
+            raise ConnectionLost(f"server {self._endpoint} closed the connection")
         message, nbytes = received
         if isinstance(message, _META_TYPES):
             self.meta_bytes_received += nbytes
@@ -192,11 +248,59 @@ class RemoteService:
             raise message.to_exception()
         return message
 
+    def _drain_duplicates(self) -> None:
+        # Late responses to requests that were resent after a timeout:
+        # identical in content to the answer already returned, they must
+        # leave the stream before the next request's response is read.
+        while self._pending_duplicates:
+            received = self._stream.receive(timeout=self._request_timeout)
+            if received is None:
+                raise ConnectionLost(
+                    f"server {self._endpoint} closed the connection"
+                )
+            _, nbytes = received
+            self.duplicate_frames += 1
+            self.duplicate_bytes += nbytes
+            self._pending_duplicates -= 1
+
     def _request(self, message: Any, expected: type) -> Any:
         with self._lock:
             self._ensure_open()
-            self._send(message)
-            response = self._receive()
+            self._drain_duplicates()
+            retryable = (
+                self._retries > 0
+                and self._request_timeout is not None
+                and isinstance(message, _IDEMPOTENT_TYPES)
+            )
+            attempts = 1 + (self._retries if retryable else 0)
+            outstanding = 0  # requests sent whose responses were not consumed
+            delay = self._backoff
+            try:
+                for attempt in range(attempts):
+                    self._send(message)
+                    outstanding += 1
+                    if attempt:
+                        self.resends += 1
+                    try:
+                        response = self._receive(timeout=self._request_timeout)
+                    except RequestTimeout:
+                        self.timeouts += 1
+                        if attempt + 1 >= attempts:
+                            raise
+                        time.sleep(delay + self._retry_rng.uniform(0.0, delay))
+                        delay *= 2
+                    except (ConnectionLost, TransportError):
+                        raise  # stream-level failure: nothing was consumed
+                    except Exception:
+                        outstanding -= 1  # a typed error frame was consumed
+                        raise
+                    else:
+                        outstanding -= 1
+                        break
+            finally:
+                # Whatever is still in flight will surface as duplicate
+                # responses; remember to drain them before the next request.
+                self._pending_duplicates += outstanding
         if not isinstance(response, expected):
             raise TransportError(
                 f"expected {expected.__name__}, got {type(response).__name__}"
@@ -221,6 +325,22 @@ class RemoteService:
         )
         session = RemoteSession(self, opened.query_id, k=k, rho=rho)
         self._sessions[opened.query_id] = session
+        return session
+
+    def attach_session(self, query_id: int, k: int, rho: float = 1.6) -> RemoteSession:
+        """Adopt a session that already exists on the server.
+
+        No wire traffic: the handle simply binds to the given query id.
+        This is the client half of crash recovery — a restarted server
+        (``KNNServer(..., adopt_sessions=True)`` over a recovered
+        :class:`~repro.durability.recovery.DurableKNNService`) still holds
+        the sessions the crashed one did; reconnecting clients re-attach
+        to their query ids and continue updating as if nothing happened.
+        """
+        if query_id in self._sessions:
+            raise QueryError(f"query {query_id} already has a session handle")
+        session = RemoteSession(self, query_id, k=k, rho=rho)
+        self._sessions[query_id] = session
         return session
 
     # -- the Session seam ------------------------------------------------
@@ -303,6 +423,10 @@ def connect(
     address: Union[str, Tuple[str, int], Sequence] = None,
     path: Optional[str] = None,
     timeout: Optional[float] = None,
+    request_timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+    retry_seed: int = 0,
 ) -> RemoteService:
     """Connect to a :class:`~repro.transport.server.KNNServer`.
 
@@ -314,6 +438,12 @@ def connect(
         path: Unix-domain socket path (alternative to ``address``).
         timeout: optional connect timeout in seconds (the connected
             socket itself stays blocking).
+        request_timeout: per-request response deadline in seconds; with it
+            set, idempotent requests retry with backoff (see
+            :class:`RemoteService`).  ``None`` (default) waits forever.
+        retries: resend attempts for idempotent requests after a timeout.
+        backoff: initial retry backoff in seconds (doubles per retry).
+        retry_seed: seed of the deterministic retry jitter.
 
     Returns:
         A :class:`RemoteService` ready for :meth:`~RemoteService.
@@ -344,4 +474,11 @@ def connect(
     if path is None:
         # Latency over throughput: each request is one small frame.
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-    return RemoteService(MessageStream(sock), endpoint=endpoint)
+    return RemoteService(
+        MessageStream(sock),
+        endpoint=endpoint,
+        request_timeout=request_timeout,
+        retries=retries,
+        backoff=backoff,
+        retry_seed=retry_seed,
+    )

@@ -43,10 +43,12 @@ from typing import Any, Dict, List, Tuple, Type
 
 from repro.errors import (
     ConfigurationError,
+    ConnectionLost,
     EmptyDatasetError,
     GeometryError,
     QueryError,
     ReproError,
+    RequestTimeout,
     RoadNetworkError,
     TransportError,
 )
@@ -123,6 +125,12 @@ _ERROR_KINDS: Dict[str, Type[ReproError]] = {
     "geometry": GeometryError,
     "road": RoadNetworkError,
     "empty": EmptyDatasetError,
+    # Subclasses precede their base in this dict: _KIND_OF_ERROR inverts
+    # it, and ErrorMessage.from_exception walks the MRO to the nearest
+    # registered class, so a ConnectionLost raised server-side re-raises
+    # client-side as ConnectionLost, not a bare TransportError.
+    "connection-lost": ConnectionLost,
+    "timeout": RequestTimeout,
     "transport": TransportError,
     "error": ReproError,
 }

@@ -39,16 +39,23 @@ process boundaries, and hiding that would be a dishonest wire bill.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
 import socket
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError, ReproError, TransportError
+from repro.errors import (
+    ConfigurationError,
+    ConnectionLost,
+    ReproError,
+    TransportError,
+)
 from repro.core.stats import CommunicationStats, ProcessorStats
 from repro.service.messages import KNNResponse, PositionUpdate, UpdateBatch
 from repro.service.service import KNNService, open_service
 from repro.transport.client import RemoteService, RemoteSession
-from repro.transport.codec import BatchApplied
+from repro.transport.codec import BatchApplied, ObjectsRequest, ObjectsResponse
 from repro.transport.server import serve_connection
 from repro.transport.stream import MessageStream
 
@@ -123,12 +130,54 @@ class ServiceSpec:
         return records
 
 
-def _worker_main(spec: ServiceSpec, sock: socket.socket) -> None:
-    """Worker process entry: build the shard, serve the socketpair."""
-    service = spec.build()
+def _worker_main(
+    spec: ServiceSpec,
+    sock: socket.socket,
+    close_sockets: Tuple[socket.socket, ...] = (),
+    wal_dir: Optional[str] = None,
+    wal_fsync: str = "off",
+) -> None:
+    """Worker process entry: build (or recover) the shard, serve the socketpair.
+
+    ``close_sockets`` are the parent-side descriptors this fork inherited
+    but must not hold: a child keeping a copy of another worker's (or its
+    own) parent socket would keep that connection half-open after the
+    parent lets go — file-descriptor hygiene that keeps worker death and
+    shutdown observable as EOF instead of a hang.
+
+    With ``wal_dir`` set, the shard is durable: a fresh directory wraps
+    the replica in a :class:`~repro.durability.recovery.DurableKNNService`;
+    a directory with existing state means this worker is a *respawn* — it
+    recovers (snapshot + WAL replay), and the recovered sessions are
+    adopted by the new connection so the parent's handles keep working.
+    """
+    for other in close_sockets:
+        try:
+            other.close()
+        except OSError:
+            pass
+    sessions = None
+    if wal_dir is not None:
+        from repro.durability.recovery import (
+            DurableKNNService,
+            has_durable_state,
+            recover_service,
+        )
+
+        if has_durable_state(wal_dir):
+            service: KNNService = recover_service(
+                wal_dir, fsync=wal_fsync, wire_billing=True
+            )
+            sessions = {s.query_id: s for s in service.sessions()}
+        else:
+            service = DurableKNNService(
+                spec.build().engine, wal_dir, fsync=wal_fsync, wire_billing=True
+            )
+    else:
+        service = spec.build()
     stream = MessageStream(sock)
     try:
-        serve_connection(service, stream)
+        serve_connection(service, stream, sessions=sessions)
     finally:
         stream.close()
 
@@ -143,17 +192,48 @@ class ProcessShardedDispatcher:
     position updates is written before any response is read, so the
     shards compute concurrently and the call is still a barrier.
 
+    Fault tolerance: with ``wal_dir`` set, every shard runs a durable
+    service (``wal_dir/shard-<i>``), and a worker that dies — detected as
+    :class:`~repro.errors.ConnectionLost` on its socketpair, or killed on
+    schedule by a :class:`~repro.testing.faults.FaultPlan` — is respawned;
+    the replacement recovers from its snapshot + log, the parent rebinds
+    the pinned session handles, re-sends whatever the dead worker never
+    acknowledged (position updates are idempotent at the same position;
+    a missed broadcast batch is detected by epoch and re-sent), and the
+    run continues bit-identically.  Without ``wal_dir`` a dead worker is
+    unrecoverable and surfaces as a typed :class:`ConnectionLost`.
+
     Args:
         spec: the engine recipe every worker builds.
         workers: shard (process) count, at least 1.
+        wal_dir: durability directory; each shard logs under
+            ``wal_dir/shard-<i>``.  ``None`` disables durability.
+        wal_fsync: the shards' WAL fsync policy (``"off"`` by default:
+            surviving worker kills needs no fsync, only machine crashes
+            do).
+        faults: a :class:`~repro.testing.faults.FaultPlan` of scheduled
+            worker kills, applied by :meth:`apply` at the matching epochs
+            (requires ``wal_dir``).
 
     Use as a context manager (or call :meth:`close`) so the worker
     processes are reaped promptly.
     """
 
-    def __init__(self, spec: ServiceSpec, workers: int = 1):
+    def __init__(
+        self,
+        spec: ServiceSpec,
+        workers: int = 1,
+        wal_dir: Optional[str] = None,
+        wal_fsync: str = "off",
+        faults=None,
+    ):
         if workers < 1:
             raise ConfigurationError(f"workers must be at least 1, got {workers}")
+        if faults is not None and wal_dir is None:
+            raise ConfigurationError(
+                "fault injection needs wal_dir: a killed worker can only "
+                "rejoin by replaying its log"
+            )
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:
@@ -163,35 +243,74 @@ class ProcessShardedDispatcher:
             )
         self._spec = spec
         self._workers = workers
+        self._context = context
+        self._wal_dir = wal_dir
+        self._wal_fsync = wal_fsync
+        self._faults = faults
         self._closed = False
         self._sessions: List[RemoteSession] = []
         self._worker_of: Dict[int, int] = {}
         self._remotes: List[RemoteService] = []
         self._processes: List[multiprocessing.Process] = []
+        self._parent_socks: List[socket.socket] = []
         self._batches_applied = 0
         self._batch_records_billed = 0
         self._epoch = 0
+        self._last_batch: Optional[UpdateBatch] = None
+        self.respawns = 0
+        self.kills_injected = 0
         try:
             for worker_index in range(workers):
-                parent_sock, child_sock = socket.socketpair()
-                process = context.Process(
-                    target=_worker_main,
-                    args=(spec, child_sock),
-                    name=f"knn-shard-{worker_index}",
-                    daemon=True,
-                )
-                process.start()
-                child_sock.close()
-                self._processes.append(process)
-                self._remotes.append(
-                    RemoteService(
-                        MessageStream(parent_sock),
-                        endpoint=f"shard-{worker_index}",
-                    )
-                )
+                self._spawn(worker_index)
         except Exception:
             self.close()
             raise
+
+    def _shard_wal_dir(self, worker_index: int) -> Optional[str]:
+        if self._wal_dir is None:
+            return None
+        return os.path.join(self._wal_dir, f"shard-{worker_index}")
+
+    def _spawn(self, worker_index: int) -> RemoteService:
+        """Start worker ``worker_index`` and connect to it.
+
+        Appends to the worker tables on first spawn, replaces the slot on
+        a respawn.  The child is told to close every parent-side socket it
+        inherits (the other workers' and its own), so connection state
+        stays observable from the parent.
+        """
+        parent_sock, child_sock = socket.socketpair()
+        close_in_child = tuple(
+            sock
+            for index, sock in enumerate(self._parent_socks)
+            if index != worker_index
+        ) + (parent_sock,)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                self._spec,
+                child_sock,
+                close_in_child,
+                self._shard_wal_dir(worker_index),
+                self._wal_fsync,
+            ),
+            name=f"knn-shard-{worker_index}",
+            daemon=True,
+        )
+        process.start()
+        child_sock.close()
+        remote = RemoteService(
+            MessageStream(parent_sock), endpoint=f"shard-{worker_index}"
+        )
+        if worker_index < len(self._processes):
+            self._processes[worker_index] = process
+            self._parent_socks[worker_index] = parent_sock
+            self._remotes[worker_index] = remote
+        else:
+            self._processes.append(process)
+            self._parent_socks.append(parent_sock)
+            self._remotes.append(remote)
+        return remote
 
     # ------------------------------------------------------------------
     # Introspection
@@ -230,6 +349,98 @@ class ProcessShardedDispatcher:
     def _ensure_open(self) -> None:
         if self._closed:
             raise ConfigurationError("the dispatcher has been closed")
+
+    # ------------------------------------------------------------------
+    # Worker death: kill (injected), respawn, reconcile
+    # ------------------------------------------------------------------
+    def _kill_worker(self, worker_index: int) -> None:
+        """SIGKILL one worker (fault injection) and reap it."""
+        process = self._processes[worker_index]
+        if process.pid is not None and process.is_alive():
+            try:
+                os.kill(process.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+        process.join(timeout=10.0)
+        self.kills_injected += 1
+
+    def _recover_worker(self, worker_index: int) -> RemoteService:
+        """Respawn a dead worker, or raise the typed error if we can't.
+
+        Without ``wal_dir`` there is nothing to replay — the shard's
+        processor state died with the process — so the death surfaces as
+        :class:`~repro.errors.ConnectionLost` naming the worker and its
+        exit code.
+        """
+        process = self._processes[worker_index]
+        process.join(timeout=10.0)
+        if self._wal_dir is None:
+            raise ConnectionLost(
+                f"shard worker {worker_index} died (exit code "
+                f"{process.exitcode}); without wal_dir its state is "
+                "unrecoverable"
+            )
+        old_remote = self._remotes[worker_index]
+        try:
+            old_remote._stream.close()
+        except ReproError:
+            pass
+        remote = self._spawn(worker_index)
+        self.respawns += 1
+        # The replacement replayed its log: same engine state, same
+        # query ids.  Carry the byte ledger over (those bytes were really
+        # exchanged with this shard) and rebind the pinned handles.
+        for attribute in (
+            "bytes_sent",
+            "bytes_received",
+            "predicted_bytes_sent",
+            "predicted_bytes_received",
+            "meta_bytes_sent",
+            "meta_bytes_received",
+            "timeouts",
+            "resends",
+            "duplicate_frames",
+            "duplicate_bytes",
+        ):
+            setattr(remote, attribute, getattr(old_remote, attribute))
+        for session in self._sessions:
+            if not session.closed and self._worker_of[id(session)] == worker_index:
+                session._service = remote
+                remote._sessions[session.query_id] = session
+        return remote
+
+    def _reconcile_epoch(
+        self, worker_index: int, target_epoch: int
+    ) -> Optional[BatchApplied]:
+        """Bring a respawned worker to ``target_epoch``.
+
+        A worker killed *before* it logged the epoch's broadcast recovers
+        one epoch behind; the batch is re-sent (it never reached that
+        replica).  One killed *after* logging recovers already at the
+        target — nothing to do.  Anything else means the replica can no
+        longer be reconstructed and fails loudly.
+        """
+        remote = self._remotes[worker_index]
+        state = remote._request(ObjectsRequest(), ObjectsResponse)
+        if state.epoch == target_epoch:
+            return None
+        if state.epoch == target_epoch - 1 and self._last_batch is not None:
+            remote._send(self._last_batch)
+            ack = remote._receive()
+            if not isinstance(ack, BatchApplied):
+                raise TransportError(
+                    f"expected BatchApplied, got {type(ack).__name__}"
+                )
+            if ack.epoch != target_epoch:
+                raise TransportError(
+                    f"respawned shard {worker_index} acknowledged epoch "
+                    f"{ack.epoch}, expected {target_epoch}"
+                )
+            return ack
+        raise TransportError(
+            f"respawned shard {worker_index} recovered to epoch "
+            f"{state.epoch}; cannot reach epoch {target_epoch}"
+        )
 
     # ------------------------------------------------------------------
     # Session lifecycle (pinned by the i-mod-workers rule)
@@ -286,19 +497,54 @@ class ProcessShardedDispatcher:
                 )
             per_worker[worker_index].append(position_index)
         # Write phase: every shard gets its whole request batch up front.
+        # A send into a dead worker's socket may fail immediately or may
+        # land in the kernel buffer and die there — either way the read
+        # phase below catches it as ConnectionLost and recovers.
+        send_dead = set()
         for worker_index, indexes in enumerate(per_worker):
             remote = self._remotes[worker_index]
-            for position_index in indexes:
-                session, position = assignment_list[position_index]
-                remote._send(
-                    PositionUpdate(query_id=session.query_id, position=position)
-                )
+            try:
+                for position_index in indexes:
+                    session, position = assignment_list[position_index]
+                    remote._send(
+                        PositionUpdate(query_id=session.query_id, position=position)
+                    )
+            except TransportError:
+                send_dead.add(worker_index)
         # Read phase: drain each shard in its own FIFO order.
         responses: List[Optional[KNNResponse]] = [None] * len(assignment_list)
         first_error: Optional[ReproError] = None
         for worker_index, indexes in enumerate(per_worker):
             remote = self._remotes[worker_index]
-            for position_index in indexes:
+            unread = list(indexes)
+            if worker_index not in send_dead:
+                while unread:
+                    try:
+                        message = remote._receive()
+                    except ConnectionLost:
+                        break  # dead mid-batch: recover below
+                    except ReproError as error:
+                        if first_error is None:
+                            first_error = error
+                        unread.pop(0)
+                        continue
+                    responses[unread.pop(0)] = message
+                if not unread:
+                    continue
+            # The worker died with `unread` updates unacknowledged.  The
+            # acknowledged prefix is in its log (replayed on recovery);
+            # the rest may or may not have been applied before the crash —
+            # but re-updating a session at the position it already holds
+            # is free (zero round trips) and returns the identical answer,
+            # so resending the whole suffix is safe either way.
+            remote = self._recover_worker(worker_index)
+            self._reconcile_epoch(worker_index, self._epoch)
+            for position_index in unread:
+                session, position = assignment_list[position_index]
+                remote._send(
+                    PositionUpdate(query_id=session.query_id, position=position)
+                )
+            for position_index in unread:
                 try:
                     message = remote._receive()
                 except ReproError as error:
@@ -324,24 +570,53 @@ class ProcessShardedDispatcher:
         disagreement means the replicas diverged, which is a bug worth
         failing loudly for).  Raises the shards' common error when the
         batch is rejected everywhere (e.g. the population guard).
+
+        This is also where a :class:`~repro.testing.faults.FaultPlan`
+        fires: ``"before_batch"`` kills the victim before the broadcast
+        reaches it (the respawn recovers one epoch behind and the batch is
+        re-sent), ``"after_batch"`` kills it after its acknowledgement
+        (the respawn replays the logged batch and needs nothing).  Either
+        way the epoch completes on every shard before this returns.
         """
         self._ensure_open()
-        for remote in self._remotes:
-            remote._send(batch)
-        acks: List[Optional[BatchApplied]] = []
-        errors: List[Optional[ReproError]] = []
-        for remote in self._remotes:
+        target_epoch = self._epoch + 1
+        if self._faults is not None:
+            for victim in self._faults.kills_for(target_epoch, "before_batch"):
+                self._kill_worker(victim)
+        self._last_batch = batch
+        dead = set()
+        for worker_index, remote in enumerate(self._remotes):
+            try:
+                remote._send(batch)
+            except TransportError:
+                dead.add(worker_index)
+        acks: List[Optional[BatchApplied]] = [None] * len(self._remotes)
+        errors: List[Optional[ReproError]] = [None] * len(self._remotes)
+        for worker_index, remote in enumerate(self._remotes):
+            if worker_index in dead:
+                continue
             try:
                 message = remote._receive()
                 if not isinstance(message, BatchApplied):
                     raise TransportError(
                         f"expected BatchApplied, got {type(message).__name__}"
                     )
-                acks.append(message)
-                errors.append(None)
+                acks[worker_index] = message
+            except ConnectionLost:
+                dead.add(worker_index)
             except ReproError as error:
-                acks.append(None)
-                errors.append(error)
+                errors[worker_index] = error
+        if self._faults is not None:
+            # The after-batch victims acknowledged above; killing them now
+            # makes "the batch is in the log" deterministic, not a race.
+            for victim in self._faults.kills_for(target_epoch, "after_batch"):
+                self._kill_worker(victim)
+                dead.add(victim)
+        for worker_index in sorted(dead):
+            self._recover_worker(worker_index)
+            ack = self._reconcile_epoch(worker_index, target_epoch)
+            if ack is not None:
+                acks[worker_index] = ack
         failed = [error for error in errors if error is not None]
         if failed:
             if len(failed) != len(self._remotes):
@@ -351,8 +626,14 @@ class ProcessShardedDispatcher:
                     f"(first failure: {failed[0]})"
                 )
             raise failed[0]
-        reference = acks[0]
-        for ack in acks[1:]:
+        known = [ack for ack in acks if ack is not None]
+        if not known:
+            raise TransportError(
+                "no shard acknowledgement survived the batch: every worker "
+                "died after applying it and the ack content is gone"
+            )
+        reference = known[0]
+        for ack in known[1:]:
             if ack != reference:
                 raise TransportError(
                     "engine shards diverged: update batch acknowledged as "
@@ -417,7 +698,12 @@ class ProcessShardedDispatcher:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Close the shard connections and reap the workers (idempotent)."""
+        """Close the shard connections and reap the workers (idempotent).
+
+        Escalates: a worker that does not exit on EOF within the grace
+        period is terminated (SIGTERM), and one that survives *that* is
+        killed (SIGKILL) — shutdown must never hang on a wedged child.
+        """
         if self._closed:
             return
         self._closed = True
@@ -430,6 +716,9 @@ class ProcessShardedDispatcher:
             process.join(timeout=5.0)
             if process.is_alive():
                 process.terminate()
+                process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
                 process.join(timeout=5.0)
 
     def __enter__(self) -> "ProcessShardedDispatcher":

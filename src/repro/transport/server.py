@@ -67,6 +67,8 @@ def serve_connection(
     service: KNNService,
     stream: MessageStream,
     service_lock: Optional[threading.Lock] = None,
+    sessions: Optional[Dict[int, Session]] = None,
+    orphans: Optional[Dict[int, Session]] = None,
 ) -> None:
     """Serve one connection until the peer disconnects.
 
@@ -78,10 +80,32 @@ def serve_connection(
     (clean or not) closes whatever the peer left open, so a vanished
     client cannot keep receiving invalidation traffic forever — the same
     guarantee the in-process ``with`` block gives.
+
+    Args:
+        sessions: pre-existing sessions this connection adopts outright
+            (crash recovery over a single-connection transport: the
+            procpool worker's socketpair).  Adopted sessions are owned
+            like self-opened ones — closed when the connection ends.
+        orphans: a pool of recovered sessions *shared across connections*
+            (guarded by ``service_lock``).  The first connection to
+            reference an orphaned query id claims that session and owns
+            it from then on; unclaimed orphans survive connection churn —
+            a health-check probe that connects and disconnects cannot
+            destroy recovered sessions.
     """
     lock = service_lock if service_lock is not None else threading.RLock()
     engine = service.engine
-    sessions: Dict[int, Session] = {}
+    sessions = dict(sessions) if sessions else {}
+
+    def resolve(query_id: int) -> Optional[Session]:
+        """This connection's session for ``query_id``, claiming orphans."""
+        session = sessions.get(query_id)
+        if session is None and orphans is not None:
+            with lock:
+                session = orphans.pop(query_id, None)
+            if session is not None:
+                sessions[query_id] = session
+        return session
 
     def reply(message: Any, query_id: Optional[int]) -> None:
         # Bill before sending (wire_size is exact), so a client that reads
@@ -102,7 +126,7 @@ def serve_connection(
                 if isinstance(message, PositionUpdate):
                     query_id = message.query_id
                     engine.account_wire_bytes(query_id, uplink_bytes=nbytes)
-                    session = sessions.get(query_id)
+                    session = resolve(query_id)
                     if session is None:
                         # QueryError, like the in-process surface: a stale
                         # session id is a query problem, not a wire problem.
@@ -115,7 +139,7 @@ def serve_connection(
                 elif isinstance(message, RefreshRequest):
                     query_id = message.query_id
                     engine.account_wire_bytes(query_id, uplink_bytes=nbytes)
-                    session = sessions.get(query_id)
+                    session = resolve(query_id)
                     if session is None:
                         raise QueryError(
                             f"query {query_id} is not a session of this connection"
@@ -146,7 +170,8 @@ def serve_connection(
                 elif isinstance(message, CloseSession):
                     query_id = message.query_id
                     engine.account_wire_bytes(query_id, uplink_bytes=nbytes)
-                    session = sessions.pop(query_id, None)
+                    session = resolve(query_id)
+                    sessions.pop(query_id, None)
                     if session is None:
                         raise QueryError(
                             f"query {query_id} is not a session of this connection"
@@ -218,6 +243,14 @@ class KNNServer:
             the real one from :attr:`address` after :meth:`start`).
         path: Unix-domain socket path; mutually exclusive with TCP.
         backlog: listen backlog.
+        adopt_sessions: place the service's already-open sessions (a
+            recovered :class:`~repro.durability.recovery.
+            DurableKNNService` arrives with them) in a shared orphan
+            pool; the first connection to *reference* each session
+            claims it, after its client re-attaches via
+            :meth:`~repro.transport.client.RemoteService.attach_session`.
+            Unclaimed sessions survive connection churn, so probes and
+            unrelated clients cannot destroy recovered state.
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`::
 
@@ -233,12 +266,18 @@ class KNNServer:
         port: int = 0,
         path: Optional[str] = None,
         backlog: int = 16,
+        adopt_sessions: bool = False,
     ):
         self._service = service
         self._host = host
         self._port = port
         self._path = path
         self._backlog = backlog
+        self._orphans: Optional[Dict[int, Session]] = (
+            {session.query_id: session for session in service.sessions()}
+            if adopt_sessions
+            else None
+        )
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._connection_threads: List[threading.Thread] = []
@@ -327,7 +366,7 @@ class KNNServer:
             stream = MessageStream(sock)
             thread = threading.Thread(
                 target=serve_connection,
-                args=(self._service, stream, self._service_lock),
+                args=(self._service, stream, self._service_lock, None, self._orphans),
                 name="knn-server-conn",
                 daemon=True,
             )

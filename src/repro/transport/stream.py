@@ -18,7 +18,7 @@ import threading
 from typing import Any, Deque, Optional, Tuple
 from collections import deque
 
-from repro.errors import TransportError
+from repro.errors import ConnectionLost, RequestTimeout, TransportError
 from repro.transport.codec import FrameReader, encode
 
 __all__ = ["MessageStream"]
@@ -59,23 +59,44 @@ class MessageStream:
                 raise TransportError(f"send failed: {error}")
         return len(frame)
 
-    def receive(self) -> Optional[Tuple[Any, int]]:
+    def receive(self, timeout: Optional[float] = None) -> Optional[Tuple[Any, int]]:
         """Block for the next message; ``(message, wire size)`` or ``None``.
 
         ``None`` means the peer closed the connection cleanly (at a frame
         boundary).  A connection dropped mid-frame raises
-        :class:`~repro.errors.TransportError`.
+        :class:`~repro.errors.ConnectionLost`.
+
+        Args:
+            timeout: maximum seconds to wait for the next message;
+                ``None`` blocks forever.  On expiry raises
+                :class:`~repro.errors.RequestTimeout` with the connection
+                (and any partially-read frame) intact — the message may
+                still arrive on a later receive.
         """
         while not self._inbox:
+            if timeout is not None:
+                self._socket.settimeout(timeout)
             try:
                 chunk = self._socket.recv(_RECV_BYTES)
+            except socket.timeout:
+                # Must precede OSError (socket.timeout subclasses it):
+                # an expired deadline is not a hangup.
+                raise RequestTimeout(
+                    f"no message within {timeout:.3f}s"
+                )
             except OSError:
                 # A socket closed locally (shutdown) reads as EOF, not as
                 # an error: the owner decided to stop this connection.
                 chunk = b""
+            finally:
+                if timeout is not None and not self._closed:
+                    try:
+                        self._socket.settimeout(None)
+                    except OSError:
+                        pass
             if not chunk:
                 if self._reader.pending_bytes:
-                    raise TransportError("connection closed mid-frame")
+                    raise ConnectionLost("connection closed mid-frame")
                 return None
             self._inbox.extend(self._reader.feed(chunk))
         return self._inbox.popleft()

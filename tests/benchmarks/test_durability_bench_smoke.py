@@ -1,0 +1,47 @@
+"""Tier-1 smoke test for the PR6 durability benchmark.
+
+Same rationale as the other benchmark smoke tests: the benchmark modules
+are only collected when invoked explicitly, so this drives the ``--smoke``
+tiny-N mode inside the default ``pytest -x -q`` run — a regression on the
+durability path (WAL transparency, checkpointing, warm and cold recovery)
+fails tier-1 immediately instead of waiting for somebody to run the
+benchmark by hand.
+
+Timing assertions are deliberately absent: tiny-N wall clocks are noise.
+The smoke run asserts structural invariants only (the durable run is
+bit-identical to the plain run, the directory recovers healthily, both
+recovery paths agree, checkpoints actually shorten the replay suffix).
+"""
+
+import pathlib
+import sys
+
+# The benchmarks package lives at the repository root, next to tests/.
+_REPO_ROOT = str(pathlib.Path(__file__).resolve().parents[2])
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from benchmarks.bench_pr6_durability import run_benchmark as durability_benchmark
+
+
+class TestDurabilityBenchmarkSmoke:
+    def test_pr6_durability_smoke_equivalence_and_recovery(self):
+        rows, checks = durability_benchmark(smoke=True)
+        assert checks["durable_answers_bit_identical"]
+        assert checks["durable_counters_identical"]
+        assert checks["directory_healthy_after_run"]
+        assert checks["warm_recovery_matches_run"]
+        assert checks["cold_recovery_matches_warm"]
+        assert checks["warm_replays_a_suffix_only"]
+        by_run = {row["run"]: row for row in rows}
+        assert set(by_run) == {"wal-off", "wal-on", "recover-warm", "recover-cold"}
+        # The plain run logs nothing; the durable run logs every exchange
+        # and checkpoints along the way.
+        assert by_run["wal-off"]["wal_records"] == 0
+        assert by_run["wal-on"]["wal_records"] > 0
+        assert by_run["wal-on"]["snapshots"] >= 2  # initial + periodic
+        # Warm recovery replays strictly fewer records than the cold path.
+        assert (
+            by_run["recover-warm"]["wal_records"]
+            < by_run["recover-cold"]["wal_records"]
+        )

@@ -1,0 +1,253 @@
+"""Fault injection: killed shards rejoin bit-identically; clients retry.
+
+The acceptance bar from the other side: with a ``FaultPlan`` killing
+workers mid-run, a process-sharded run must still return bit-identical
+answers and identical message/object *and byte* counters to a fault-free
+run — and the client-side timeout/retry machinery must stay honest about
+what it resent and drained.
+"""
+
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.stats import CommunicationStats
+from repro.errors import (
+    ConfigurationError,
+    ConnectionLost,
+    RequestTimeout,
+)
+from repro.geometry.point import Point
+from repro.simulation.server_sim import simulate_server
+from repro.testing import FaultPlan, FaultyStream, WorkerKill
+from repro.transport import MessageStream, RemoteService, ServiceSpec
+from repro.transport.codec import (
+    OpenSession,
+    PositionUpdate,
+    SessionOpened,
+    StatsRequest,
+    StatsResponse,
+)
+from repro.transport.procpool import ProcessShardedDispatcher
+from repro.workloads.scenarios import ChurnSpec, euclidean_server_scenario
+
+from durability_drivers import EUCLIDEAN, ROAD, build_scenario
+
+
+def faulty_equals_reference(metric, plan, workers, tmp_path):
+    scenario = build_scenario(metric)
+    reference = simulate_server(scenario, transport="process", workers=workers)
+    faulty = simulate_server(
+        scenario,
+        transport="process",
+        workers=workers,
+        wal_dir=str(tmp_path / "state"),
+        faults=plan,
+    )
+    assert faulty.kills_injected == plan.kill_count
+    assert faulty.respawns >= plan.kill_count
+    assert faulty.results == reference.results
+    assert (
+        faulty.communication.as_dict() == reference.communication.as_dict()
+    )
+    assert {
+        query_id: stats.as_dict()
+        for query_id, stats in faulty.per_session_communication.items()
+    } == {
+        query_id: stats.as_dict()
+        for query_id, stats in reference.per_session_communication.items()
+    }
+    return faulty
+
+
+class TestKilledShardsRejoin:
+    @pytest.mark.parametrize("phase", ["before_batch", "after_batch"])
+    def test_single_kill_each_phase(self, tmp_path, phase):
+        plan = FaultPlan(kills=(WorkerKill(epoch=2, worker=1, phase=phase),))
+        faulty_equals_reference("euclidean", plan, workers=2, tmp_path=tmp_path)
+
+    def test_kills_in_both_phases_same_run(self, tmp_path):
+        plan = FaultPlan(
+            kills=(
+                WorkerKill(epoch=1, worker=1, phase="before_batch"),
+                WorkerKill(epoch=3, worker=0, phase="after_batch"),
+            )
+        )
+        faulty_equals_reference("euclidean", plan, workers=2, tmp_path=tmp_path)
+
+    def test_seeded_random_plan_on_road_metric(self, tmp_path):
+        plan = FaultPlan.random(seed=2026, epochs=3, workers=2, kills=2)
+        assert plan.kill_count == 2
+        faulty_equals_reference("road", plan, workers=2, tmp_path=tmp_path)
+
+    def test_fault_plans_are_reproducible(self):
+        assert FaultPlan.random(seed=7, epochs=10, workers=4, kills=3) == (
+            FaultPlan.random(seed=7, epochs=10, workers=4, kills=3)
+        )
+
+
+class TestFaultConfiguration:
+    def test_faults_require_process_transport(self):
+        scenario = build_scenario("euclidean")
+        plan = FaultPlan(kills=(WorkerKill(epoch=1, worker=0),))
+        with pytest.raises(ConfigurationError):
+            simulate_server(scenario, faults=plan)
+        with pytest.raises(ConfigurationError):
+            simulate_server(scenario, transport="tcp", faults=plan)
+
+    def test_faults_require_a_wal_dir(self):
+        scenario = build_scenario("euclidean")
+        spec = ServiceSpec.from_scenario(scenario)
+        plan = FaultPlan(kills=(WorkerKill(epoch=1, worker=0),))
+        with pytest.raises(ConfigurationError):
+            ProcessShardedDispatcher(spec, workers=2, faults=plan)
+
+    def test_invalid_phase_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerKill(epoch=1, worker=0, phase="mid_batch")
+
+
+class TestUnrecoverableWorkerDeath:
+    def test_dead_worker_without_wal_is_a_typed_error(self):
+        scenario = euclidean_server_scenario(
+            churn=ChurnSpec(interval=0, inserts=0, deletes=0, moves=0),
+            queries=2,
+            object_count=60,
+            k=3,
+            steps=4,
+            seed=11,
+        )
+        spec = ServiceSpec.from_scenario(scenario)
+        pool = ProcessShardedDispatcher(spec, workers=2)
+        try:
+            sessions = [
+                pool.open_session(trajectory[0], k=3)
+                for trajectory in scenario.trajectories
+            ]
+            os.kill(pool._processes[1].pid, signal.SIGKILL)
+            pool._processes[1].join(10.0)
+            with pytest.raises(ConnectionLost):
+                for _ in range(5):  # the EOF may take a beat to surface
+                    pool.advance(
+                        [
+                            (session, trajectory[1])
+                            for session, trajectory in zip(
+                                sessions, scenario.trajectories
+                            )
+                        ]
+                    )
+                    time.sleep(0.1)
+        finally:
+            started = time.monotonic()
+            pool.close()
+            # Shutdown must not hang on the dead worker (the PR6 fix).
+            assert time.monotonic() - started < 20.0
+
+
+# ----------------------------------------------------------------------
+# Client-side timeout / retry / duplicate-drain machinery
+# ----------------------------------------------------------------------
+def stub_pair():
+    """A RemoteService wired to an in-test scripted peer."""
+    ours, theirs = socket.socketpair()
+    return MessageStream(theirs), ours
+
+
+def run_stub(sock, stats_delays):
+    """Serve a scripted peer: opens sessions, answers stats with delays."""
+    stream = MessageStream(sock)
+    delays = list(stats_delays)
+    try:
+        while True:
+            received = stream.receive()
+            if received is None:
+                return
+            message, _ = received
+            if isinstance(message, OpenSession):
+                stream.send(SessionOpened(query_id=0))
+            elif isinstance(message, StatsRequest):
+                delay = delays.pop(0) if delays else 0.0
+                if delay:
+                    time.sleep(delay)
+                stream.send(
+                    StatsResponse(aggregate=CommunicationStats(), per_session=())
+                )
+            # PositionUpdate: never answered — the stub plays a hung server.
+    except Exception:
+        pass
+
+
+class TestClientRetries:
+    def make_remote(self, stats_delays, **kwargs):
+        stream, peer_sock = stub_pair()
+        thread = threading.Thread(
+            target=run_stub, args=(peer_sock, stats_delays), daemon=True
+        )
+        thread.start()
+        kwargs.setdefault("request_timeout", 0.2)
+        kwargs.setdefault("retries", 2)
+        kwargs.setdefault("backoff", 0.02)
+        return RemoteService(stream, endpoint="stub", **kwargs)
+
+    def test_slow_response_is_retried_and_duplicate_drained(self):
+        remote = self.make_remote(stats_delays=[0.45])
+        stats = remote.communication()  # first answer blows the timeout
+        assert isinstance(stats, CommunicationStats)
+        assert remote.timeouts >= 1
+        assert remote.resends >= 1
+        # The resends left duplicate responses in flight; the next request
+        # drains them before reading its own answer.
+        assert remote.duplicate_frames == 0
+        remote.communication()
+        assert remote.duplicate_frames == remote.resends
+        assert remote.duplicate_bytes > 0
+        remote.close()
+
+    def test_unanswered_idempotent_request_times_out_after_retries(self):
+        remote = self.make_remote(stats_delays=[3600.0], retries=1)
+        with pytest.raises(RequestTimeout):
+            remote.communication()
+        assert remote.timeouts == 2  # the original and its one retry
+        assert remote.resends == 1
+        remote.close()
+
+    def test_mutating_requests_are_never_resent(self):
+        remote = self.make_remote(stats_delays=[])
+        session = remote.open_session(Point(0.0, 0.0), k=2)
+        with pytest.raises(RequestTimeout):
+            session.update(Point(1.0, 0.0))  # the stub never answers these
+        assert remote.timeouts == 1
+        assert remote.resends == 0  # replaying a PositionUpdate is unsafe
+        remote.close()
+
+    def test_dropped_send_is_retried_then_honestly_desynced(self):
+        remote = self.make_remote(stats_delays=[])
+        # Losing the request itself (ordinal 0) means the peer only ever
+        # saw the resend.  The retry succeeds...
+        remote._stream = FaultyStream(remote._stream, drop_sends=(0,))
+        stats = remote.communication()
+        assert isinstance(stats, CommunicationStats)
+        assert remote._stream.dropped == 1
+        assert remote.timeouts == 1
+        assert remote.resends == 1
+        # ...but the client cannot distinguish a lost request from a slow
+        # response, so it books one expected duplicate that will never
+        # arrive — and honestly times out draining it on the next request
+        # instead of fabricating stream synchrony.  (On a real socket a
+        # sent frame is never silently lost: either it is delivered or the
+        # connection surfaces ConnectionLost, so this stays hypothetical.)
+        with pytest.raises(RequestTimeout):
+            remote.communication()
+        remote.close()
+
+    def test_no_timeout_configured_means_no_retry_machinery(self):
+        remote = self.make_remote(stats_delays=[0.3], request_timeout=None)
+        stats = remote.communication()  # waits as long as it takes
+        assert isinstance(stats, CommunicationStats)
+        assert remote.timeouts == 0
+        assert remote.resends == 0
+        remote.close()

@@ -83,6 +83,40 @@ class TestCli:
         assert "transport               : process" in captured.out
         assert "workers                 : 2" in captured.out
 
+    def test_serve_durably_then_recover_reports_health(self, tmp_path, capsys):
+        wal_dir = str(tmp_path / "state")
+        exit_code = main(
+            [
+                "serve", "--queries", "3", "--n", "150", "--steps", "8",
+                "--wal-dir", wal_dir, "--snapshot-every", "20",
+            ]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+        exit_code = main(["recover", "--wal-dir", wal_dir])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "verdict                 : recoverable" in captured.out
+        assert "snapshots" in captured.out
+        assert "write-ahead log" in captured.out
+
+    def test_recover_flags_corruption_and_fails(self, tmp_path, capsys):
+        from repro.durability import wal_path
+        from repro.testing import flip_byte
+
+        wal_dir = str(tmp_path / "state")
+        assert main(
+            ["serve", "--queries", "2", "--n", "150", "--steps", "6",
+             "--wal-dir", wal_dir]
+        ) == 0
+        capsys.readouterr()
+        # Mangle a record in the middle of the log: unrecoverable.
+        flip_byte(wal_path(wal_dir), 40)
+        exit_code = main(["recover", "--wal-dir", wal_dir])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "UNRECOVERABLE" in captured.out
+
     def test_client_against_a_listening_server(self, capsys):
         from repro.service import open_service
         from repro.transport import KNNServer

@@ -3,6 +3,7 @@
 import pytest
 
 import repro
+import repro.durability
 import repro.service
 import repro.transport
 
@@ -13,8 +14,8 @@ class TestPublicApi:
 
     @pytest.mark.parametrize(
         "module",
-        [repro, repro.service, repro.transport],
-        ids=["repro", "repro.service", "repro.transport"],
+        [repro, repro.service, repro.transport, repro.durability],
+        ids=["repro", "repro.service", "repro.transport", "repro.durability"],
     )
     def test_all_is_consistent(self, module):
         """__all__ must be duplicate-free and every name must resolve."""
@@ -45,6 +46,21 @@ class TestPublicApi:
         ):
             assert name in repro.__all__, f"repro.__all__ is missing {name}"
             assert getattr(repro, name) is getattr(repro.transport, name)
+
+    def test_durability_user_surface_is_reexported_at_the_top_level(self):
+        """The crash-recovery entry points are reachable from ``repro``."""
+        for name in (
+            "DurableKNNService",
+            "open_durable_service",
+            "recover_service",
+            "has_durable_state",
+        ):
+            assert name in repro.__all__, f"repro.__all__ is missing {name}"
+            assert getattr(repro, name) is getattr(repro.durability, name)
+
+    def test_durable_service_is_a_service_subclass(self):
+        """The durability seam: a durable service IS the service class."""
+        assert issubclass(repro.DurableKNNService, repro.KNNService)
 
     def test_remote_session_is_a_session_subclass(self):
         """The transport seam: remote handles ARE the session class."""
