@@ -24,19 +24,33 @@ Two more subcommands exercise the serving system itself:
   the wire and print both sides of the bill (the client's measured bytes
   reconcile exactly against the codec's predicted sizes).
 * ``recover`` — inspect a ``--wal-dir`` written by a durable server:
-  validate every snapshot checksum and the log's CRC chain, report the
-  replay length, exit non-zero when the state is unrecoverable.
+  validate every snapshot checksum and the log's CRC chain (sealed
+  segments included), report the replay length and the bytes a checkpoint
+  could reclaim, exit non-zero when the state is unrecoverable.
+* ``roll`` — the rolling-restart drill: run a live sharded workload
+  (``transport="process"``) while every shard is drained and replaced
+  exactly once, then report the handoff latencies; ``--verify`` replays
+  the same workload without restarts and asserts bit-identical answers
+  and counters (the no-downtime oracle).
 
 Durability: ``serve --wal-dir DIR`` logs every state-changing exchange to
 a write-ahead log (and snapshots the engine) so a killed server restarted
 with the same ``--wal-dir`` replays back to the exact pre-crash state —
-open sessions included, which remote clients re-attach to.
+open sessions included, which remote clients re-attach to.  A listening
+server also shuts down *gracefully* on SIGTERM/SIGHUP: it stops
+accepting, parks every open session, checkpoints and releases the log —
+zero sessions lost, and a successor started with the same ``--wal-dir``
+adopts them.
 """
 
 from __future__ import annotations
 
 import argparse
+import shutil
+import signal
 import sys
+import tempfile
+import threading
 import time
 from typing import List, Optional, Sequence
 
@@ -151,6 +165,72 @@ def _build_parser() -> argparse.ArgumentParser:
         "--snapshot-every", type=int, default=None, metavar="N",
         help="with --wal-dir: checkpoint the engine every N log records "
              "(default: snapshot only at startup, replay the whole log)",
+    )
+    serve.add_argument(
+        "--fsync", choices=("always", "group", "batch", "off"), default=None,
+        help="with --wal-dir: WAL fsync policy ('group' batches concurrent "
+             "commits into one fsync at 'always'-grade durability; default: "
+             "'batch' in-process, 'off' for process shards)",
+    )
+    serve.add_argument(
+        "--segment-bytes", type=int, default=None, metavar="BYTES",
+        help="with --wal-dir: rotate the WAL into sealed segments at "
+             "roughly this size so checkpoints can reclaim disk "
+             "(default: one growing file)",
+    )
+
+    roll = subparsers.add_parser(
+        "roll",
+        help="rolling-restart drill: drain and replace every shard under "
+             "live traffic, one at a time",
+    )
+    roll.add_argument("--metric", choices=("euclidean", "road"), default="euclidean")
+    roll.add_argument("--queries", type=int, default=16, help="concurrent sessions")
+    roll.add_argument(
+        "--n", type=int, default=None,
+        help="number of data objects (default: 600 euclidean, 40 road)",
+    )
+    roll.add_argument("--k", type=int, default=4, help="number of nearest neighbours")
+    roll.add_argument("--rho", type=float, default=1.6, help="prefetch ratio")
+    roll.add_argument("--steps", type=int, default=40, help="timestamps per session")
+    roll.add_argument(
+        "--churn", choices=("low", "high", "none"), default="low",
+        help="object-update stream intensity",
+    )
+    roll.add_argument(
+        "--workers", type=int, default=2,
+        help="shard the engine across N worker processes (each is rolled once)",
+    )
+    roll.add_argument(
+        "--invalidation", choices=("delta", "flag"), default="delta",
+        help="how data updates reach the sessions",
+    )
+    roll.add_argument("--seed", type=int, default=47, help="workload seed")
+    roll.add_argument(
+        "--wal-dir", metavar="DIR", default=None,
+        help="durability directory for the shards' logs "
+             "(default: a temporary directory, removed afterwards)",
+    )
+    roll.add_argument(
+        "--fsync", choices=("always", "group", "batch", "off"), default=None,
+        help="the shards' WAL fsync policy (default: 'off')",
+    )
+    roll.add_argument(
+        "--segment-bytes", type=int, default=None, metavar="BYTES",
+        help="rotate each shard's WAL into sealed segments at this size",
+    )
+    roll.add_argument(
+        "--start-epoch", type=int, default=2, metavar="E",
+        help="drain shard 0 after data epoch E (then one shard per --stride)",
+    )
+    roll.add_argument(
+        "--stride", type=int, default=2, metavar="S",
+        help="epochs between consecutive shard drains",
+    )
+    roll.add_argument(
+        "--verify", action="store_true",
+        help="replay the workload without restarts and assert bit-identical "
+             "answers and communication counters",
     )
 
     recover = subparsers.add_parser(
@@ -326,6 +406,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         transport=None if args.transport == "local" else args.transport,
         wal_dir=args.wal_dir,
         snapshot_every=args.snapshot_every,
+        wal_fsync=args.fsync,
+        wal_segment_bytes=args.segment_bytes,
     )
     stats = run.aggregate
     print(f"scenario                : {run.scenario}")
@@ -356,10 +438,19 @@ def _serve_listen(args: argparse.Namespace, scenario) -> int:
     starts a new write-ahead log, a directory holding state from an
     earlier (possibly killed) server is recovered first and its open
     sessions are adopted, so clients re-attach where they left off.
+
+    SIGTERM and SIGHUP trigger a graceful drain instead of a crash: the
+    server stops accepting, every open session is parked (WAL included),
+    the durable state is checkpointed and the log released — a successor
+    process on the same ``--wal-dir`` adopts the sessions, which is one
+    step of a rolling restart.
     """
     from repro.service import KNNService
     from repro.transport import KNNServer, parse_endpoint
 
+    durability_options = {}
+    if args.fsync is not None:
+        durability_options["fsync"] = args.fsync
     adopt = False
     if args.wal_dir is not None:
         from repro.durability import (
@@ -372,7 +463,9 @@ def _serve_listen(args: argparse.Namespace, scenario) -> int:
             service = recover_service(
                 args.wal_dir,
                 snapshot_every=args.snapshot_every,
+                segment_bytes=args.segment_bytes,
                 wire_billing=True,
+                **durability_options,
             )
             adopt = True
             print(
@@ -388,7 +481,9 @@ def _serve_listen(args: argparse.Namespace, scenario) -> int:
                 fresh.engine,
                 args.wal_dir,
                 snapshot_every=args.snapshot_every,
+                segment_bytes=args.segment_bytes,
                 wire_billing=True,
+                **durability_options,
             )
     else:
         service = KNNService.from_scenario(scenario, invalidation=args.invalidation)
@@ -398,27 +493,139 @@ def _serve_listen(args: argparse.Namespace, scenario) -> int:
     else:
         host, port = endpoint
         server = KNNServer(service, host=host, port=port, adopt_sessions=adopt)
-    with server:
-        address = server.address
-        printable = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
-        print(f"serving {args.metric} ({service.object_count} objects) on {printable}")
-        print("drive it with: insq client --connect", printable, flush=True)
-        try:
-            if args.duration is not None:
-                time.sleep(args.duration)
-            else:
-                while True:
-                    time.sleep(3600.0)
-        except KeyboardInterrupt:
-            pass
-        print("communication bill")
-        _print_communication(service.communication)
-        if args.per_session:
-            _print_per_session(service.per_session_communication())
+    # SIGTERM/SIGHUP ask for a graceful drain.  Handlers can only be
+    # installed from the main thread — elsewhere (tests driving this
+    # function directly) the drain path is reachable via KNNServer.drain.
+    drain_requested = threading.Event()
+    restored_handlers = []
+    if threading.current_thread() is threading.main_thread():
+        def _request_drain(signum, frame):
+            drain_requested.set()
+
+        for signum in (signal.SIGTERM, signal.SIGHUP):
+            restored_handlers.append((signum, signal.signal(signum, _request_drain)))
+    try:
+        with server:
+            address = server.address
+            printable = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
+            print(f"serving {args.metric} ({service.object_count} objects) on {printable}")
+            print("drive it with: insq client --connect", printable, flush=True)
+            try:
+                if args.duration is not None:
+                    deadline = time.monotonic() + args.duration
+                    while not drain_requested.is_set():
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        drain_requested.wait(min(remaining, 1.0))
+                else:
+                    while not drain_requested.is_set():
+                        drain_requested.wait(3600.0)
+            except KeyboardInterrupt:
+                pass
+            if drain_requested.is_set():
+                server.drain()
+                print(
+                    f"drained: {len(server.orphans)} session(s) parked for "
+                    "re-adoption"
+                )
+            print("communication bill")
+            _print_communication(service.communication)
+            if args.per_session:
+                _print_per_session(service.per_session_communication())
+    finally:
+        for signum, handler in restored_handlers:
+            signal.signal(signum, handler)
     if args.wal_dir is not None:
         # A clean exit still leaves sessions open in the log on purpose:
         # clients of a restarted server expect to re-attach to them.
+        # (After a drain this is a no-op: the log is already released.)
         service.close_wal()
+    return 0
+
+
+def _run_roll(args: argparse.Namespace) -> int:
+    """Rolling restart drill: every shard drained once under live traffic.
+
+    Runs the serve workload over ``transport="process"`` with a
+    :meth:`~repro.testing.faults.FaultPlan.rolling` schedule — shard 0 is
+    drained and replaced after ``--start-epoch``, then one more shard
+    every ``--stride`` epochs, while the other shards keep answering.
+    With ``--verify`` the same workload is replayed with no restarts and
+    the two runs must agree bit-for-bit (answers, communication
+    counters, per-session bills) — the no-downtime guarantee, checked.
+    """
+    from repro.testing import FaultPlan
+
+    if args.workers < 1:
+        print("roll needs at least one worker", file=sys.stderr)
+        return 2
+    scenario = _build_server_scenario(args)
+    plan = FaultPlan.rolling(
+        args.workers, start_epoch=args.start_epoch, stride=args.stride
+    )
+    wal_dir = args.wal_dir
+    own_wal_dir = wal_dir is None
+    if own_wal_dir:
+        wal_dir = tempfile.mkdtemp(prefix="insq-roll-")
+    try:
+        run = simulate_server(
+            scenario,
+            invalidation=args.invalidation,
+            workers=args.workers,
+            transport="process",
+            wal_dir=wal_dir,
+            wal_fsync=args.fsync,
+            wal_segment_bytes=args.segment_bytes,
+            faults=plan,
+        )
+    finally:
+        if own_wal_dir:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+    print(f"scenario                : {run.scenario}")
+    print(f"sessions x timestamps   : {len(run.results)} x {run.timestamps}")
+    print(f"workers (process shards): {run.workers}")
+    print(f"data epochs applied     : {run.epochs}  {run.update_counts}")
+    print(f"shards drained+replaced : {run.drains} of {args.workers} scheduled")
+    if run.handoff_seconds:
+        worst = max(run.handoff_seconds)
+        mean = sum(run.handoff_seconds) / len(run.handoff_seconds)
+        print(
+            f"handoff latency         : mean {mean * 1000.0:.1f}ms, "
+            f"worst {worst * 1000.0:.1f}ms"
+        )
+    print("communication bill")
+    _print_communication(run.communication)
+    print(f"wall-clock time         : {run.elapsed_seconds:.3f}s")
+    if run.drains < args.workers:
+        print(
+            f"warning: only {run.drains} of {args.workers} drains fired — "
+            "the workload applied too few data epochs for the schedule "
+            "(raise --steps or lower --start-epoch/--stride)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.verify:
+        baseline = simulate_server(
+            scenario,
+            invalidation=args.invalidation,
+            workers=args.workers,
+            transport="process",
+        )
+        identical = (
+            run.results == baseline.results
+            and run.communication == baseline.communication
+            and run.per_session_communication
+            == baseline.per_session_communication
+        )
+        verdict = (
+            "bit-identical to the never-restarted run"
+            if identical
+            else "DIVERGED from the never-restarted run"
+        )
+        print(f"no-downtime oracle      : {verdict}")
+        if not identical:
+            return 1
     return 0
 
 
@@ -455,6 +662,21 @@ def _run_recover(args: argparse.Namespace) -> int:
             print(
                 f"  torn tail             : {wal['torn_bytes']} bytes "
                 "(incomplete final record; repaired by truncation on reopen)"
+            )
+    segments = report.get("segments", {})
+    if segments.get("count"):
+        print(
+            f"sealed wal segments     : {segments['count']} "
+            f"({segments['bytes']} bytes, seqs {segments['first_seq']}.."
+            f"{segments['last_seq']})"
+        )
+        if segments.get("error"):
+            print(f"  chain error           : {segments['error']}")
+        if segments.get("reclaimable_segments"):
+            print(
+                f"  reclaimable           : {segments['reclaimable_segments']} "
+                f"segment(s), {segments['reclaimable_bytes']} bytes "
+                "(wholly covered by the latest snapshot)"
             )
     if report["replay_records"] is not None:
         print(f"records to replay       : {report['replay_records']}")
@@ -536,6 +758,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_client(args)
     if args.command == "recover":
         return _run_recover(args)
+    if args.command == "roll":
+        return _run_roll(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

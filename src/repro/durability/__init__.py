@@ -35,7 +35,10 @@ from repro.durability.wal import (
     WALRecord,
     WALScan,
     WriteAheadLog,
+    list_segments,
+    purge_segments,
     replay_wal,
+    scan_chain,
     scan_wal,
 )
 
@@ -46,12 +49,15 @@ __all__ = [
     "WriteAheadLog",
     "has_durable_state",
     "inventory",
+    "list_segments",
     "list_snapshots",
     "load_latest_snapshot",
     "open_durable_service",
+    "purge_segments",
     "read_snapshot",
     "recover_service",
     "replay_wal",
+    "scan_chain",
     "scan_wal",
     "wal_path",
     "write_snapshot",

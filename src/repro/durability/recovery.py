@@ -70,7 +70,14 @@ from repro.durability.snapshot import (
     read_snapshot,
     write_snapshot,
 )
-from repro.durability.wal import WALRecord, WriteAheadLog, scan_wal
+from repro.durability.wal import (
+    WALRecord,
+    WriteAheadLog,
+    list_segments,
+    purge_segments,
+    scan_chain,
+    scan_wal,
+)
 
 __all__ = [
     "DurableKNNService",
@@ -94,7 +101,11 @@ def wal_path(wal_dir: str) -> str:
 
 def has_durable_state(wal_dir: str) -> bool:
     """True when ``wal_dir`` already holds snapshots or a log to recover."""
-    return bool(list_snapshots(wal_dir)) or os.path.exists(wal_path(wal_dir))
+    return (
+        bool(list_snapshots(wal_dir))
+        or os.path.exists(wal_path(wal_dir))
+        or bool(list_segments(str(wal_dir)))
+    )
 
 
 class DurableKNNService(KNNService):
@@ -116,6 +127,10 @@ class DurableKNNService(KNNService):
         snapshot_every: write a checkpoint snapshot after this many log
             appends (``None`` disables periodic checkpoints; the initial
             snapshot and explicit :meth:`checkpoint` calls still happen).
+        segment_bytes: rotate the log into sealed segments at this size;
+            each checkpoint then purges the segments its snapshot covers,
+            so the on-disk log stays bounded (``None`` keeps the single
+            ever-growing file).
         wire_billing: set True when the service is hosted behind
             ``serve_connection`` (which bills wire bytes into the engine's
             counters).  Replay then re-bills each replayed exchange — the
@@ -131,6 +146,7 @@ class DurableKNNService(KNNService):
         wal_dir: str,
         fsync: str = "batch",
         snapshot_every: Optional[int] = None,
+        segment_bytes: Optional[int] = None,
         wire_billing: bool = False,
     ):
         super().__init__(engine)
@@ -151,7 +167,9 @@ class DurableKNNService(KNNService):
         os.makedirs(self._wal_dir, exist_ok=True)
         # The base of every recovery: the pre-traffic state at wal_seq 0.
         self._write_snapshot(wal_seq=0)
-        self._wal = WriteAheadLog(wal_path(self._wal_dir), fsync=fsync)
+        self._wal = WriteAheadLog(
+            wal_path(self._wal_dir), fsync=fsync, segment_bytes=segment_bytes
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -258,11 +276,34 @@ class DurableKNNService(KNNService):
 
         The log is synced first, so the snapshot's ``wal_seq`` names a
         durable prefix; replay after recovery resumes exactly behind it.
+        Sealed log segments the new snapshot covers are purged — recovery
+        will never read behind its snapshot, so they are dead weight.
         """
         self._wal.sync()
-        path = self._write_snapshot(self._wal.last_seq)
+        snapshot_seq = self._wal.last_seq
+        path = self._write_snapshot(snapshot_seq)
+        purge_segments(self._wal_dir, snapshot_seq)
         self._appends_since_snapshot = 0
         return path
+
+    # ------------------------------------------------------------------
+    # Acknowledgement barrier (used by serve_connection)
+    # ------------------------------------------------------------------
+    def durability_token(self) -> Optional[int]:
+        """The log position an acknowledgement must wait on.
+
+        Only the ``"group"`` policy needs a barrier: ``"always"`` is
+        already durable when the append returns, and ``"batch"``/``"off"``
+        deliberately trade the guarantee away.  Returning ``None`` for
+        them keeps their acknowledgement path exactly as before.
+        """
+        if self._wal.fsync_policy == "group":
+            return self._wal.last_seq
+        return None
+
+    def durability_barrier(self, token: Optional[int]) -> None:
+        if token is not None:
+            self._wal.wait_durable(token)
 
     # ------------------------------------------------------------------
     # Replay (used by recover_service)
@@ -401,6 +442,7 @@ def open_durable_service(
     max_entries: int = 16,
     fsync: str = "batch",
     snapshot_every: Optional[int] = None,
+    segment_bytes: Optional[int] = None,
 ) -> DurableKNNService:
     """Open a fresh durable service — :func:`~repro.service.service.
     open_service` plus a durability directory.
@@ -417,7 +459,11 @@ def open_durable_service(
         max_entries=max_entries,
     )
     return DurableKNNService(
-        service.engine, wal_dir, fsync=fsync, snapshot_every=snapshot_every
+        service.engine,
+        wal_dir,
+        fsync=fsync,
+        snapshot_every=snapshot_every,
+        segment_bytes=segment_bytes,
     )
 
 
@@ -425,6 +471,7 @@ def recover_service(
     wal_dir: str,
     fsync: str = "batch",
     snapshot_every: Optional[int] = None,
+    segment_bytes: Optional[int] = None,
     use_latest_snapshot: bool = True,
     wire_billing: bool = False,
 ) -> DurableKNNService:
@@ -439,10 +486,12 @@ def recover_service(
         wal_dir: the durability directory to recover from.
         fsync: fsync policy for the reopened log.
         snapshot_every: periodic-checkpoint setting for the new instance.
+        segment_bytes: rotation setting for the reopened log.
         use_latest_snapshot: when False, recover from the *initial*
             (``wal_seq`` 0) snapshot and replay the entire log — the cold
             path, kept for the benchmark's recovery-vs-full-replay
             comparison and as a last resort against snapshot corruption.
+            Unavailable once checkpoints have purged early segments.
         wire_billing: True when the crashed service was hosted behind
             ``serve_connection`` — replay then re-bills the wire bytes of
             every replayed exchange (see :class:`DurableKNNService`).
@@ -478,13 +527,20 @@ def recover_service(
     service._wire_billing = wire_billing
 
     log_file = wal_path(wal_dir)
-    records: List[WALRecord] = []
-    if os.path.exists(log_file):
-        scan = scan_wal(log_file)  # raises WALCorruptError on corruption
-        records = [record for record in scan.records if record.seq > snapshot_seq]
+    # raises WALCorruptError on corruption (of the chain or the active)
+    scan = scan_chain(log_file)
+    if scan.records and scan.records[0].seq > snapshot_seq + 1:
+        raise DurabilityError(
+            f"{wal_dir}: log starts at seq {scan.records[0].seq} but the "
+            f"chosen snapshot covers only up to {snapshot_seq} — the "
+            "records between were purged behind a later checkpoint"
+        )
+    records = [record for record in scan.records if record.seq > snapshot_seq]
     # Opening the writer repairs the torn tail; replay happens with the
     # log already open but logging suppressed (self._replaying).
-    service._wal = WriteAheadLog(log_file, fsync=fsync)
+    service._wal = WriteAheadLog(
+        log_file, fsync=fsync, segment_bytes=segment_bytes
+    )
     service._replay(records)
     return service
 
@@ -514,6 +570,8 @@ def inventory(wal_dir: str) -> Dict[str, Any]:
 
     log_file = wal_path(wal_dir)
     wal_report: Dict[str, Any] = {"path": log_file, "exists": os.path.exists(log_file)}
+    chain_records = ()
+    chain_corrupt = False
     if wal_report["exists"]:
         wal_report["bytes"] = os.path.getsize(log_file)
         try:
@@ -528,20 +586,42 @@ def inventory(wal_dir: str) -> Dict[str, Any]:
         except WALCorruptError as error:
             wal_report.update(corrupt=True, error=str(error))
 
+    sealed = list_segments(str(wal_dir))
+    segment_report: Dict[str, Any] = {
+        "count": len(sealed),
+        "bytes": sum(os.path.getsize(path) for _, _, path in sealed),
+        "first_seq": sealed[0][0] if sealed else None,
+        "last_seq": sealed[-1][1] if sealed else None,
+    }
+    reclaimable = [
+        (last_seq, path)
+        for _, last_seq, path in sealed
+        if latest_valid is not None and last_seq <= latest_valid
+    ]
+    segment_report["reclaimable_segments"] = len(reclaimable)
+    segment_report["reclaimable_bytes"] = sum(
+        os.path.getsize(path) for _, path in reclaimable
+    )
+
+    if not wal_report.get("corrupt", False):
+        try:
+            chain_records = scan_chain(log_file).records
+        except WALCorruptError as error:
+            chain_corrupt = True
+            segment_report["error"] = str(error)
+
     replay_records: Optional[int] = None
-    if latest_valid is not None and not wal_report.get("corrupt", False):
+    corrupt = wal_report.get("corrupt", False) or chain_corrupt
+    if latest_valid is not None and not corrupt:
         replay_records = sum(
-            1
-            for record in (scan.records if wal_report["exists"] else ())
-            if record.seq > latest_valid
+            1 for record in chain_records if record.seq > latest_valid
         )
     return {
         "directory": str(wal_dir),
         "snapshots": snapshots,
         "latest_valid_snapshot_seq": latest_valid,
         "wal": wal_report,
+        "segments": segment_report,
         "replay_records": replay_records,
-        "healthy": (
-            latest_valid is not None and not wal_report.get("corrupt", False)
-        ),
+        "healthy": latest_valid is not None and not corrupt,
     }

@@ -235,6 +235,22 @@ class KNNService:
         self.close()
 
     # ------------------------------------------------------------------
+    # Durability seam (overridden by DurableKNNService)
+    # ------------------------------------------------------------------
+    def durability_token(self) -> Optional[int]:
+        """An opaque marker of what must be durable before the operation
+        just executed may be acknowledged, or ``None`` when no barrier is
+        needed.  A plain in-memory service never needs one; a durable
+        service under group-commit fsync returns its log position so the
+        transport can block in :meth:`durability_barrier` *outside* the
+        service lock while other operations proceed."""
+        return None
+
+    def durability_barrier(self, token: Optional[int]) -> None:
+        """Block until ``token`` (from :meth:`durability_token`) is on
+        stable storage.  No-op on a plain service."""
+
+    # ------------------------------------------------------------------
     # Message routing (used by Session)
     # ------------------------------------------------------------------
     def _deliver(self, query_id: int, position: Any) -> KNNResponse:

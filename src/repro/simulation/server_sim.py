@@ -104,6 +104,11 @@ class ServerSimulationRun:
         respawns: shard workers respawned after a crash mid-run
             (``transport="process"`` with a ``wal_dir`` only).
         kills_injected: worker kills the fault plan actually delivered.
+        drains: graceful shard drain-and-handoff restarts performed
+            mid-run (scheduled :class:`~repro.testing.faults.ShardDrain`
+            events; ``transport="process"`` with a ``wal_dir`` only).
+        handoff_seconds: per drain, wall-clock seconds from the drain
+            request to the reconciled replacement shard.
     """
 
     scenario: str
@@ -126,6 +131,8 @@ class ServerSimulationRun:
     wire_bytes_predicted_received: int = 0
     respawns: int = 0
     kills_injected: int = 0
+    drains: int = 0
+    handoff_seconds: List[float] = field(default_factory=list)
 
     @property
     def timestamps(self) -> int:
@@ -259,6 +266,8 @@ def simulate_server(
     transport: Optional[str] = None,
     wal_dir: Optional[str] = None,
     snapshot_every: Optional[int] = None,
+    wal_fsync: Optional[str] = None,
+    wal_segment_bytes: Optional[int] = None,
     faults=None,
 ) -> ServerSimulationRun:
     """Drive M concurrent query streams interleaved with the update stream.
@@ -300,10 +309,17 @@ def simulate_server(
         snapshot_every: checkpoint the durable engine every this many WAL
             records (in-process/socket transports only; ``None`` keeps the
             initial snapshot and replays the whole log on recovery).
+        wal_fsync: WAL fsync policy (``"always"``/``"group"``/``"batch"``/
+            ``"off"``); ``None`` keeps each layer's default (``"batch"``
+            in-process, ``"off"`` for process shards — surviving worker
+            kills needs no fsync, only machine crashes do).
+        wal_segment_bytes: rotate the WAL into sealed segments at roughly
+            this size (``None`` keeps one growing file).
         faults: a :class:`repro.testing.faults.FaultPlan` of deterministic
-            worker kills, injected at update epochs.  Requires
-            ``transport="process"`` (only worker processes can be killed)
-            and ``wal_dir`` (a killed worker rejoins by replaying its log).
+            worker kills and graceful shard drains, injected at update
+            epochs.  Requires ``transport="process"`` (only worker
+            processes can be killed or drained) and ``wal_dir`` (a
+            replaced worker rejoins by replaying its log).
 
     Returns:
         A :class:`ServerSimulationRun`.
@@ -328,7 +344,14 @@ def simulate_server(
                 "instead)"
             )
         return _simulate_over_processes(
-            scenario, invalidation, maintenance, workers, wal_dir, faults
+            scenario,
+            invalidation,
+            maintenance,
+            workers,
+            wal_dir,
+            wal_fsync,
+            wal_segment_bytes,
+            faults,
         )
     if transport_name not in ("local", "tcp", "unix"):
         raise ConfigurationError(
@@ -362,8 +385,15 @@ def simulate_server(
     if wal_dir is not None:
         from repro.durability import DurableKNNService
 
+        durability_options = {}
+        if wal_fsync is not None:
+            durability_options["fsync"] = wal_fsync
         service = DurableKNNService(
-            server, wal_dir, snapshot_every=snapshot_every
+            server,
+            wal_dir,
+            snapshot_every=snapshot_every,
+            segment_bytes=wal_segment_bytes,
+            **durability_options,
         )
     else:
         service = KNNService(server)
@@ -501,6 +531,8 @@ def _simulate_over_processes(
     maintenance: str,
     workers: int,
     wal_dir: Optional[str] = None,
+    wal_fsync: Optional[str] = None,
+    wal_segment_bytes: Optional[int] = None,
     faults=None,
 ) -> ServerSimulationRun:
     """The ``transport="process"`` body: shard the engine across processes.
@@ -528,7 +560,12 @@ def _simulate_over_processes(
     counts = {"inserts": 0, "deletes": 0, "moves": 0}
     results: Dict[int, List[QueryResult]] = {}
     with ProcessShardedDispatcher(
-        spec, workers=workers, wal_dir=wal_dir, faults=faults
+        spec,
+        workers=workers,
+        wal_dir=wal_dir,
+        wal_fsync=wal_fsync if wal_fsync is not None else "off",
+        wal_segment_bytes=wal_segment_bytes,
+        faults=faults,
     ) as pool:
         started = time.perf_counter()
         sessions = [
@@ -560,6 +597,8 @@ def _simulate_over_processes(
         epochs = pool.epoch
         respawns = pool.respawns
         kills_injected = pool.kills_injected
+        drains = pool.drains
+        handoff_seconds = list(pool.handoff_seconds)
     return ServerSimulationRun(
         scenario=scenario.name,
         invalidation=invalidation,
@@ -575,4 +614,6 @@ def _simulate_over_processes(
         per_session_communication=per_session,
         respawns=respawns,
         kills_injected=kills_injected,
+        drains=drains,
+        handoff_seconds=handoff_seconds,
     )

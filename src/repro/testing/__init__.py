@@ -11,6 +11,7 @@ See :mod:`repro.testing.faults`.
 from repro.testing.faults import (
     FaultPlan,
     FaultyStream,
+    ShardDrain,
     WorkerKill,
     flip_byte,
     truncate_file,
@@ -19,6 +20,7 @@ from repro.testing.faults import (
 __all__ = [
     "FaultPlan",
     "FaultyStream",
+    "ShardDrain",
     "WorkerKill",
     "flip_byte",
     "truncate_file",

@@ -42,6 +42,8 @@ from repro.transport.codec import (
     AggregateStatsResponse,
     BatchApplied,
     CloseSession,
+    DrainAck,
+    DrainRequest,
     ErrorMessage,
     ObjectsRequest,
     ObjectsResponse,
@@ -58,6 +60,8 @@ from repro.transport.stream import MessageStream
 __all__ = ["RemoteService", "RemoteSession", "connect", "parse_endpoint"]
 
 #: Frame types that are diagnostics, not part of the billed protocol.
+#: Drain frames are operator traffic: billing them would make a rolled
+#: run's counters diverge from a never-rolled one's.
 _META_TYPES = (
     StatsRequest,
     StatsResponse,
@@ -65,6 +69,8 @@ _META_TYPES = (
     ObjectsResponse,
     AggregateStatsRequest,
     AggregateStatsResponse,
+    DrainRequest,
+    DrainAck,
 )
 
 #: Request frames that are safe to resend on the same ordered stream: they
@@ -163,6 +169,13 @@ class RemoteService:
             value).
         retry_seed: seed of the jitter RNG (fixed default keeps test runs
             reproducible).
+        retry_rng: an explicit jitter RNG overriding ``retry_seed`` —
+            anything with ``uniform(a, b)``; tests inject a stub so the
+            retry path is deterministic without depending on the seed's
+            happenstance draw order.
+        retry_sleep: the backoff sleep function (default ``time.sleep``);
+            tests inject a recorder so retry timing is asserted on the
+            *requested* delays instead of wall-clock measurement.
     """
 
     def __init__(
@@ -173,6 +186,8 @@ class RemoteService:
         retries: int = 2,
         backoff: float = 0.05,
         retry_seed: int = 0,
+        retry_rng: Optional[Any] = None,
+        retry_sleep: Optional[Any] = None,
     ):
         self._stream = stream
         self._endpoint = endpoint
@@ -182,7 +197,10 @@ class RemoteService:
         self._request_timeout = request_timeout
         self._retries = max(0, int(retries))
         self._backoff = float(backoff)
-        self._retry_rng = random.Random(retry_seed)
+        self._retry_rng = retry_rng if retry_rng is not None else random.Random(
+            retry_seed
+        )
+        self._retry_sleep = retry_sleep if retry_sleep is not None else time.sleep
         self._pending_duplicates = 0
         # Measured vs predicted traffic, split into the billed protocol
         # and the unbilled meta frames (stats/objects diagnostics).
@@ -287,7 +305,9 @@ class RemoteService:
                         self.timeouts += 1
                         if attempt + 1 >= attempts:
                             raise
-                        time.sleep(delay + self._retry_rng.uniform(0.0, delay))
+                        self._retry_sleep(
+                            delay + self._retry_rng.uniform(0.0, delay)
+                        )
                         delay *= 2
                     except (ConnectionLost, TransportError):
                         raise  # stream-level failure: nothing was consumed
@@ -397,6 +417,24 @@ class RemoteService:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def drain(self) -> DrainAck:
+        """Ask the server side to drain, then disconnect *without* closing
+        the sessions.
+
+        The server checkpoints its durable state, parks this connection's
+        sessions (orphan pool + WAL), and acknowledges with the covered
+        WAL position; the local handles are discarded unclosed, so a
+        successor — a replacement worker replaying the log, or this client
+        reconnecting after a rolling restart — can claim every session by
+        id and continue mid-stream.
+        """
+        ack = self._request(DrainRequest(), DrainAck)
+        # No goodbyes: closing a session now would un-park it.
+        self._sessions.clear()
+        self._closed = True
+        self._stream.close()
+        return ack
+
     def close(self) -> None:
         """Close every open session, then the connection (idempotent)."""
         if self._closed:
@@ -427,6 +465,8 @@ def connect(
     retries: int = 2,
     backoff: float = 0.05,
     retry_seed: int = 0,
+    retry_rng: Optional[Any] = None,
+    retry_sleep: Optional[Any] = None,
 ) -> RemoteService:
     """Connect to a :class:`~repro.transport.server.KNNServer`.
 
@@ -444,6 +484,9 @@ def connect(
         retries: resend attempts for idempotent requests after a timeout.
         backoff: initial retry backoff in seconds (doubles per retry).
         retry_seed: seed of the deterministic retry jitter.
+        retry_rng: explicit jitter RNG overriding the seed (injectable
+            for deterministic retry tests).
+        retry_sleep: the backoff sleep function (injectable likewise).
 
     Returns:
         A :class:`RemoteService` ready for :meth:`~RemoteService.
@@ -481,4 +524,6 @@ def connect(
         retries=retries,
         backoff=backoff,
         retry_seed=retry_seed,
+        retry_rng=retry_rng,
+        retry_sleep=retry_sleep,
     )

@@ -63,6 +63,8 @@ __all__ = [
     "AggregateStatsResponse",
     "BatchApplied",
     "CloseSession",
+    "DrainAck",
+    "DrainRequest",
     "ErrorMessage",
     "FrameReader",
     "ObjectsRequest",
@@ -102,6 +104,8 @@ _T_OBJECTS_REQUEST = 0x0D
 _T_OBJECTS_RESPONSE = 0x0E
 _T_AGG_STATS_REQUEST = 0x0F
 _T_AGG_STATS_RESPONSE = 0x10
+_T_DRAIN_REQUEST = 0x11
+_T_DRAIN_ACK = 0x12
 
 # Tagged position / batch-target kinds.
 _POS_POINT = 0x00
@@ -273,6 +277,36 @@ class ObjectsResponse:
 
     def __post_init__(self):
         object.__setattr__(self, "indexes", tuple(self.indexes))
+
+
+@dataclass(frozen=True)
+class DrainRequest:
+    """Operator → server: stop serving gracefully and park the sessions.
+
+    The receiving side finishes the exchange in flight, checkpoints its
+    durable state (when it has any), leaves every open session claimable —
+    in the shard WAL for a process worker, in the orphan pool for a socket
+    server — and answers with a :class:`DrainAck` before going quiet.
+    """
+
+
+@dataclass(frozen=True)
+class DrainAck:
+    """Server → operator: drained; state is parked and claimable.
+
+    Attributes:
+        wal_seq: the last WAL sequence number covered by the drain's
+            checkpoint (0 for a non-durable service — nothing logged, the
+            sessions only survive in the orphan pool).
+        session_ids: the query ids parked by the drain, ready for a
+            replacement worker or a reconnecting client to claim.
+    """
+
+    wal_seq: int
+    session_ids: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self):
+        object.__setattr__(self, "session_ids", tuple(self.session_ids))
 
 
 @dataclass(frozen=True)
@@ -606,6 +640,19 @@ def _encode_objects_response(message: ObjectsResponse) -> bytes:
     return writer.frame()
 
 
+def _encode_drain_request(message: DrainRequest) -> bytes:
+    return _Writer(_T_DRAIN_REQUEST).frame()
+
+
+def _encode_drain_ack(message: DrainAck) -> bytes:
+    writer = _Writer(_T_DRAIN_ACK)
+    writer.u64(message.wal_seq)
+    writer.u32(len(message.session_ids))
+    for query_id in message.session_ids:
+        writer.i32(query_id)
+    return writer.frame()
+
+
 def _encode_agg_stats_request(message: AggregateStatsRequest) -> bytes:
     return _Writer(_T_AGG_STATS_REQUEST).frame()
 
@@ -636,6 +683,8 @@ _ENCODERS = {
     ObjectsResponse: _encode_objects_response,
     AggregateStatsRequest: _encode_agg_stats_request,
     AggregateStatsResponse: _encode_agg_stats_response,
+    DrainRequest: _encode_drain_request,
+    DrainAck: _encode_drain_ack,
 }
 
 
@@ -745,6 +794,12 @@ def _decode_objects_response(reader: _Reader) -> ObjectsResponse:
     return ObjectsResponse(epoch=epoch, indexes=indexes)
 
 
+def _decode_drain_ack(reader: _Reader) -> DrainAck:
+    wal_seq = reader.u64()
+    session_ids = tuple(reader.i32() for _ in range(reader.u32()))
+    return DrainAck(wal_seq=wal_seq, session_ids=session_ids)
+
+
 def _decode_agg_stats_response(reader: _Reader) -> AggregateStatsResponse:
     values = {name: reader.u64() for name in _PROC_INT_FIELDS}
     values.update({name: reader.f64() for name in _PROC_FLOAT_FIELDS})
@@ -768,6 +823,8 @@ _DECODERS = {
     _T_OBJECTS_RESPONSE: _decode_objects_response,
     _T_AGG_STATS_REQUEST: lambda r: AggregateStatsRequest(),
     _T_AGG_STATS_RESPONSE: _decode_agg_stats_response,
+    _T_DRAIN_REQUEST: lambda r: DrainRequest(),
+    _T_DRAIN_ACK: _decode_drain_ack,
 }
 
 
@@ -884,6 +941,8 @@ _SIZERS = {
     ObjectsResponse: _size_objects_response,
     AggregateStatsRequest: lambda m: _OVERHEAD,
     AggregateStatsResponse: lambda m: _OVERHEAD + 8 * 11 + 8 * 3,
+    DrainRequest: lambda m: _OVERHEAD,
+    DrainAck: lambda m: _OVERHEAD + 8 + 4 + 4 * len(m.session_ids),
 }
 
 

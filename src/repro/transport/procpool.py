@@ -42,6 +42,7 @@ import multiprocessing
 import os
 import signal
 import socket
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -60,6 +61,12 @@ from repro.transport.server import serve_connection
 from repro.transport.stream import MessageStream
 
 __all__ = ["ProcessShardedDispatcher", "ServiceSpec"]
+
+#: Grace period per escalation stage of :meth:`ProcessShardedDispatcher.close`
+#: (EOF-wait, then SIGTERM-wait; SIGKILL follows).  A module constant so the
+#: shutdown tests can shrink it instead of waiting out real wedged-worker
+#: timeouts.
+SHUTDOWN_GRACE_SECONDS = 5.0
 
 
 @dataclass(frozen=True)
@@ -136,6 +143,7 @@ def _worker_main(
     close_sockets: Tuple[socket.socket, ...] = (),
     wal_dir: Optional[str] = None,
     wal_fsync: str = "off",
+    wal_segment_bytes: Optional[int] = None,
 ) -> None:
     """Worker process entry: build (or recover) the shard, serve the socketpair.
 
@@ -166,12 +174,19 @@ def _worker_main(
 
         if has_durable_state(wal_dir):
             service: KNNService = recover_service(
-                wal_dir, fsync=wal_fsync, wire_billing=True
+                wal_dir,
+                fsync=wal_fsync,
+                segment_bytes=wal_segment_bytes,
+                wire_billing=True,
             )
             sessions = {s.query_id: s for s in service.sessions()}
         else:
             service = DurableKNNService(
-                spec.build().engine, wal_dir, fsync=wal_fsync, wire_billing=True
+                spec.build().engine,
+                wal_dir,
+                fsync=wal_fsync,
+                segment_bytes=wal_segment_bytes,
+                wire_billing=True,
             )
     else:
         service = spec.build()
@@ -211,9 +226,11 @@ class ProcessShardedDispatcher:
         wal_fsync: the shards' WAL fsync policy (``"off"`` by default:
             surviving worker kills needs no fsync, only machine crashes
             do).
+        wal_segment_bytes: rotate each shard's WAL into sealed segments
+            at roughly this size (``None`` keeps one growing file).
         faults: a :class:`~repro.testing.faults.FaultPlan` of scheduled
-            worker kills, applied by :meth:`apply` at the matching epochs
-            (requires ``wal_dir``).
+            worker kills and shard drains, applied by :meth:`apply` at
+            the matching epochs (requires ``wal_dir``).
 
     Use as a context manager (or call :meth:`close`) so the worker
     processes are reaped promptly.
@@ -225,6 +242,7 @@ class ProcessShardedDispatcher:
         workers: int = 1,
         wal_dir: Optional[str] = None,
         wal_fsync: str = "off",
+        wal_segment_bytes: Optional[int] = None,
         faults=None,
     ):
         if workers < 1:
@@ -246,6 +264,7 @@ class ProcessShardedDispatcher:
         self._context = context
         self._wal_dir = wal_dir
         self._wal_fsync = wal_fsync
+        self._wal_segment_bytes = wal_segment_bytes
         self._faults = faults
         self._closed = False
         self._sessions: List[RemoteSession] = []
@@ -259,6 +278,8 @@ class ProcessShardedDispatcher:
         self._last_batch: Optional[UpdateBatch] = None
         self.respawns = 0
         self.kills_injected = 0
+        self.drains = 0
+        self.handoff_seconds: List[float] = []
         try:
             for worker_index in range(workers):
                 self._spawn(worker_index)
@@ -293,6 +314,7 @@ class ProcessShardedDispatcher:
                 close_in_child,
                 self._shard_wal_dir(worker_index),
                 self._wal_fsync,
+                self._wal_segment_bytes,
             ),
             name=f"knn-shard-{worker_index}",
             daemon=True,
@@ -385,11 +407,19 @@ class ProcessShardedDispatcher:
             old_remote._stream.close()
         except ReproError:
             pass
-        remote = self._spawn(worker_index)
+        remote = self._handoff(worker_index, old_remote)
         self.respawns += 1
-        # The replacement replayed its log: same engine state, same
-        # query ids.  Carry the byte ledger over (those bytes were really
-        # exchanged with this shard) and rebind the pinned handles.
+        return remote
+
+    def _handoff(self, worker_index: int, old_remote: RemoteService) -> RemoteService:
+        """Spawn worker ``worker_index``'s replacement and hand it the
+        old connection's identity.
+
+        The replacement replayed its log: same engine state, same query
+        ids.  Carry the byte ledger over (those bytes were really
+        exchanged with this shard) and rebind the pinned handles.
+        """
+        remote = self._spawn(worker_index)
         for attribute in (
             "bytes_sent",
             "bytes_received",
@@ -407,6 +437,51 @@ class ProcessShardedDispatcher:
             if not session.closed and self._worker_of[id(session)] == worker_index:
                 session._service = remote
                 remote._sessions[session.query_id] = session
+        return remote
+
+    # ------------------------------------------------------------------
+    # Graceful restart: drain-and-handoff under traffic
+    # ------------------------------------------------------------------
+    def drain_worker(self, worker_index: int) -> RemoteService:
+        """Gracefully restart one shard while the others keep serving.
+
+        The drain is cooperative where a kill is violent: the worker is
+        asked to checkpoint its durable state and *park* its open
+        sessions (they stay open in the log — no goodbyes), and it
+        acknowledges before the connection closes.  The parent then reaps
+        the process, spawns a replacement that recovers the checkpoint
+        and adopts the parked sessions, carries the byte ledger over, and
+        reconciles the replacement to the current epoch.  Every pinned
+        session handle keeps working across the swap, and no other shard
+        is touched — this is the building block a rolling restart walks
+        across the pool.
+
+        The wall-clock from drain request to reconciled replacement is
+        appended to :attr:`handoff_seconds`.
+        """
+        self._ensure_open()
+        if self._wal_dir is None:
+            raise ConfigurationError(
+                "draining needs wal_dir: the replacement worker rejoins by "
+                "recovering the shard's checkpoint and log"
+            )
+        if not 0 <= worker_index < self._workers:
+            raise ConfigurationError(
+                f"worker index must be in [0, {self._workers}), "
+                f"got {worker_index}"
+            )
+        started = time.perf_counter()
+        old_remote = self._remotes[worker_index]
+        old_remote.drain()
+        process = self._processes[worker_index]
+        process.join(timeout=10.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=10.0)
+        remote = self._handoff(worker_index, old_remote)
+        self._reconcile_epoch(worker_index, self._epoch)
+        self.drains += 1
+        self.handoff_seconds.append(time.perf_counter() - started)
         return remote
 
     def _reconcile_epoch(
@@ -577,6 +652,9 @@ class ProcessShardedDispatcher:
         re-sent), ``"after_batch"`` kills it after its acknowledgement
         (the respawn replays the logged batch and needs nothing).  Either
         way the epoch completes on every shard before this returns.
+        Scheduled :class:`~repro.testing.faults.ShardDrain` events fire
+        last, once the epoch is fully applied — a drain is a graceful
+        restart, so it always sees a consistent checkpointable state.
         """
         self._ensure_open()
         target_epoch = self._epoch + 1
@@ -642,6 +720,9 @@ class ProcessShardedDispatcher:
         self._batches_applied += 1
         self._batch_records_billed += self._spec.batch_payload(batch)
         self._epoch = reference.epoch
+        if self._faults is not None:
+            for victim in self._faults.drains_for(target_epoch):
+                self.drain_worker(victim)
         return reference
 
     # ------------------------------------------------------------------
@@ -708,18 +789,24 @@ class ProcessShardedDispatcher:
             return
         self._closed = True
         for remote in self._remotes:
+            # Close the stream outright instead of RemoteService.close():
+            # per-session goodbyes await replies without a timeout, so a
+            # wedged (e.g. SIGSTOPped) worker would hang shutdown before
+            # the join escalation below ever ran.  EOF is the worker's
+            # shutdown signal either way — it closes its own sessions.
+            remote._closed = True
             try:
-                remote.close()
+                remote._stream.close()
             except ReproError:
                 pass
         for process in self._processes:
-            process.join(timeout=5.0)
+            process.join(timeout=SHUTDOWN_GRACE_SECONDS)
             if process.is_alive():
                 process.terminate()
-                process.join(timeout=5.0)
+                process.join(timeout=SHUTDOWN_GRACE_SECONDS)
             if process.is_alive():
                 process.kill()
-                process.join(timeout=5.0)
+                process.join(timeout=SHUTDOWN_GRACE_SECONDS)
 
     def __enter__(self) -> "ProcessShardedDispatcher":
         self._ensure_open()

@@ -42,6 +42,8 @@ from repro.transport.codec import (
     AggregateStatsResponse,
     BatchApplied,
     CloseSession,
+    DrainAck,
+    DrainRequest,
     ErrorMessage,
     ObjectsRequest,
     ObjectsResponse,
@@ -69,6 +71,7 @@ def serve_connection(
     service_lock: Optional[threading.Lock] = None,
     sessions: Optional[Dict[int, Session]] = None,
     orphans: Optional[Dict[int, Session]] = None,
+    draining: Optional[threading.Event] = None,
 ) -> None:
     """Serve one connection until the peer disconnects.
 
@@ -79,7 +82,16 @@ def serve_connection(
     Sessions opened over the connection are owned by it: a disconnect
     (clean or not) closes whatever the peer left open, so a vanished
     client cannot keep receiving invalidation traffic forever — the same
-    guarantee the in-process ``with`` block gives.
+    guarantee the in-process ``with`` block gives.  The one exception is a
+    *drain*: after a :class:`~repro.transport.codec.DrainRequest` (or with
+    ``draining`` set), the connection's sessions are parked instead —
+    handed to the orphan pool when one is shared, left open in the durable
+    state either way — so a successor can claim them.
+
+    Operations execute under the service lock, but their acknowledgement
+    leaves through :meth:`~repro.service.service.KNNService.
+    durability_barrier` *outside* it — under a group-commit WAL, many
+    connections ride one fsync while the service keeps executing.
 
     Args:
         sessions: pre-existing sessions this connection adopts outright
@@ -92,10 +104,13 @@ def serve_connection(
             it from then on; unclaimed orphans survive connection churn —
             a health-check probe that connects and disconnects cannot
             destroy recovered sessions.
+        draining: when set (by :meth:`KNNServer.drain`), the connection's
+            end parks its sessions instead of closing them.
     """
     lock = service_lock if service_lock is not None else threading.RLock()
     engine = service.engine
     sessions = dict(sessions) if sessions else {}
+    parked = False
 
     def resolve(query_id: int) -> Optional[Session]:
         """This connection's session for ``query_id``, claiming orphans."""
@@ -135,6 +150,8 @@ def serve_connection(
                         )
                     with lock:
                         response = session.update(message.position)
+                        token = service.durability_token()
+                    service.durability_barrier(token)
                     reply(response, query_id)
                 elif isinstance(message, RefreshRequest):
                     query_id = message.query_id
@@ -146,6 +163,8 @@ def serve_connection(
                         )
                     with lock:
                         response = session.refresh()
+                        token = service.durability_token()
+                    service.durability_barrier(token)
                     reply(response, query_id)
                 elif isinstance(message, OpenSession):
                     try:
@@ -156,12 +175,14 @@ def serve_connection(
                                 rho=message.rho,
                                 **dict(message.options),
                             )
+                            token = service.durability_token()
                     except ReproError:
                         # A refused registration was still received: its
                         # bytes land in the aggregate so the engine's byte
                         # counters keep matching the client's measurement.
                         engine.account_wire_bytes(None, uplink_bytes=nbytes)
                         raise
+                    service.durability_barrier(token)
                     sessions[session.query_id] = session
                     # The open exchange is billed to the session it created,
                     # mirroring how registration messages are accounted.
@@ -178,6 +199,8 @@ def serve_connection(
                         )
                     with lock:
                         session.close()
+                        token = service.durability_token()
+                    service.durability_barrier(token)
                     # The session record is gone: the acknowledgement bytes
                     # land in the aggregate, like the goodbye message itself.
                     reply(SessionClosed(query_id=query_id), None)
@@ -185,6 +208,8 @@ def serve_connection(
                     engine.account_wire_bytes(None, uplink_bytes=nbytes)
                     with lock:
                         result = service.apply(message)
+                        token = service.durability_token()
+                    service.durability_barrier(token)
                     reply(
                         BatchApplied(
                             epoch=result.epoch,
@@ -192,6 +217,23 @@ def serve_connection(
                             deleted_indexes=result.deleted_indexes,
                         ),
                         None,
+                    )
+                elif isinstance(message, DrainRequest):
+                    # Park-and-checkpoint: after this acknowledgement the
+                    # connection's sessions are claimable by a successor —
+                    # from the durable state (procpool replacement worker)
+                    # or from the orphan pool (rolling socket restart).
+                    with lock:
+                        parked = True
+                        wal_seq = 0
+                        checkpoint = getattr(service, "checkpoint", None)
+                        if checkpoint is not None:
+                            checkpoint()
+                            wal_seq = service.wal.last_seq
+                    reply_meta(
+                        DrainAck(
+                            wal_seq=wal_seq, session_ids=tuple(sorted(sessions))
+                        )
                     )
                 elif isinstance(message, StatsRequest):
                     with lock:
@@ -227,9 +269,17 @@ def serve_connection(
         pass
     finally:
         with lock:
-            for session in sessions.values():
-                if not session.closed:
-                    session.close()
+            if parked or (draining is not None and draining.is_set()):
+                # Parked sessions stay open: the durable state (and, when
+                # shared, the orphan pool) carries them to a successor.
+                if orphans is not None:
+                    for query_id, session in sessions.items():
+                        if not session.closed:
+                            orphans[query_id] = session
+            else:
+                for session in sessions.values():
+                    if not session.closed:
+                        session.close()
         sessions.clear()
         stream.close()
 
@@ -273,10 +323,13 @@ class KNNServer:
         self._port = port
         self._path = path
         self._backlog = backlog
-        self._orphans: Optional[Dict[int, Session]] = (
+        # The pool always exists (a drain parks sessions into it even on a
+        # fresh server); adopt_sessions decides whether the service's
+        # pre-existing sessions are claimable through it.
+        self._orphans: Dict[int, Session] = (
             {session.query_id: session for session in service.sessions()}
             if adopt_sessions
-            else None
+            else {}
         )
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -284,6 +337,7 @@ class KNNServer:
         self._streams: List[MessageStream] = []
         self._state_lock = threading.Lock()
         self._service_lock = threading.RLock()
+        self._draining = threading.Event()
         self._running = False
 
     # ------------------------------------------------------------------
@@ -298,6 +352,16 @@ class KNNServer:
     def running(self) -> bool:
         """True between :meth:`start` and :meth:`stop`."""
         return self._running
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has begun."""
+        return self._draining.is_set()
+
+    @property
+    def orphans(self) -> Dict[int, Session]:
+        """The claimable-session pool (recovered and drain-parked)."""
+        return self._orphans
 
     @property
     def address(self) -> Union[Tuple[str, int], str]:
@@ -366,7 +430,14 @@ class KNNServer:
             stream = MessageStream(sock)
             thread = threading.Thread(
                 target=serve_connection,
-                args=(self._service, stream, self._service_lock, None, self._orphans),
+                args=(
+                    self._service,
+                    stream,
+                    self._service_lock,
+                    None,
+                    self._orphans,
+                    self._draining,
+                ),
                 name="knn-server-conn",
                 daemon=True,
             )
@@ -407,6 +478,26 @@ class KNNServer:
             stream.close()
         for thread in threads:
             thread.join(timeout=5.0)
+
+    def drain(self) -> None:
+        """Graceful shutdown with zero session loss.
+
+        Stops accepting and disconnects every client, but the connections'
+        sessions are *parked* — into the orphan pool and, for a durable
+        service, the WAL — instead of closed.  The durable state is then
+        checkpointed and its log released, so a successor process can
+        :func:`~repro.durability.recovery.recover_service` the directory
+        and re-adopt every session (``adopt_sessions=True``); clients
+        re-attach by id and continue mid-stream.  This is the SIGTERM path
+        of ``insq serve`` and one step of a rolling restart.
+        """
+        self._draining.set()
+        self.stop()
+        checkpoint = getattr(self._service, "checkpoint", None)
+        if checkpoint is not None:
+            with self._service_lock:
+                checkpoint()
+                self._service.close_wal()
 
     def __enter__(self) -> "KNNServer":
         if not self._running:

@@ -1,0 +1,47 @@
+"""Tier-1 smoke test for the PR7 no-downtime benchmark.
+
+Same rationale as the other benchmark smoke tests: the benchmark modules
+are only collected when invoked explicitly, so this drives the ``--smoke``
+tiny-N mode inside the default ``pytest -x -q`` run — a regression on the
+no-downtime path (group-commit durability barriers, rolling shard
+drain-and-handoff, TCP graceful restart with session re-adoption) fails
+tier-1 immediately instead of waiting for somebody to run the benchmark
+by hand.
+
+Timing assertions are deliberately absent: tiny-N wall clocks are noise.
+The smoke run asserts structural invariants only (acked appends are
+durable with fewer fsyncs, every shard is drained and replaced without
+changing a single answer or counter, the restarted TCP run is
+bit-identical to the continuous one, zero sessions dropped anywhere).
+"""
+
+import pathlib
+import sys
+
+# The benchmarks package lives at the repository root, next to tests/.
+_REPO_ROOT = str(pathlib.Path(__file__).resolve().parents[2])
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from benchmarks.bench_pr7_rolling import CHECK_NAMES, run_benchmark as rolling_benchmark
+
+
+class TestRollingBenchmarkSmoke:
+    def test_pr7_rolling_smoke_no_downtime_oracle(self):
+        rows, checks = rolling_benchmark(smoke=True)
+        for name in CHECK_NAMES:
+            assert checks[name], name
+        by_run = {row["run"]: row for row in rows}
+        assert set(by_run) == {
+            "wal-always",
+            "wal-group",
+            "shard-steady",
+            "shard-rolled",
+            "tcp-continuous",
+            "tcp-restarted",
+        }
+        # The steady run never drains; the rolled run drains every shard.
+        assert by_run["shard-steady"]["drains"] == 0
+        assert by_run["shard-rolled"]["drains"] == by_run["shard-rolled"]["writers"]
+        # Group commit really batched: fewer fsyncs than appends.
+        assert by_run["wal-group"]["fsyncs"] < by_run["wal-group"]["appends"]

@@ -28,6 +28,8 @@ from repro.transport.codec import (
     AggregateStatsResponse,
     BatchApplied,
     CloseSession,
+    DrainAck,
+    DrainRequest,
     ErrorMessage,
     FrameReader,
     LENGTH_PREFIX_BYTES,
@@ -155,6 +157,14 @@ control_messages = st.one_of(
         indexes=st.lists(object_indexes, max_size=32).map(tuple),
     ),
     st.just(AggregateStatsRequest()),
+    st.just(DrainRequest()),
+    st.builds(
+        DrainAck,
+        wal_seq=st.integers(min_value=0, max_value=2**63 - 1),
+        session_ids=st.lists(
+            st.integers(min_value=0, max_value=2**31 - 1), max_size=8
+        ).map(tuple),
+    ),
     st.builds(
         AggregateStatsResponse,
         stats=st.builds(
