@@ -143,6 +143,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="drive the simulated workload over a real transport",
     )
     serve.add_argument(
+        "--replication", choices=("recompute", "delta"), default="recompute",
+        help="with --transport process: how index maintenance reaches the "
+             "shards ('recompute' re-runs every batch on every shard; "
+             "'delta' runs it once on the leader and ships the repair "
+             "delta to the replicas)",
+    )
+    serve.add_argument(
         "--per-session", action="store_true",
         help="print the per-session communication breakdown",
     )
@@ -204,6 +211,11 @@ def _build_parser() -> argparse.ArgumentParser:
     roll.add_argument(
         "--invalidation", choices=("delta", "flag"), default="delta",
         help="how data updates reach the sessions",
+    )
+    roll.add_argument(
+        "--replication", choices=("recompute", "delta"), default="recompute",
+        help="shard maintenance mode (the rolling drill covers both: a "
+             "drained leader's replacement must keep exporting deltas)",
     )
     roll.add_argument("--seed", type=int, default=47, help="workload seed")
     roll.add_argument(
@@ -408,6 +420,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         snapshot_every=args.snapshot_every,
         wal_fsync=args.fsync,
         wal_segment_bytes=args.segment_bytes,
+        replication=args.replication,
     )
     stats = run.aggregate
     print(f"scenario                : {run.scenario}")
@@ -415,9 +428,15 @@ def _run_serve(args: argparse.Namespace) -> int:
     print(f"workers                 : {run.workers}")
     print(f"transport               : {run.transport}")
     print(f"invalidation            : {run.invalidation}")
+    if run.transport == "process":
+        print(f"replication             : {run.replication}")
     print(f"data epochs applied     : {run.epochs}  {run.update_counts}")
     print(f"retrievals              : {stats.full_recomputations}")
     print(f"ins refreshes / absorbed: {stats.ins_refreshes} / {stats.absorbed_updates}")
+    print(
+        f"index maintenance       : {stats.maintenance_seconds:.3f}s recompute"
+        f" + {stats.delta_apply_seconds:.3f}s delta apply (all shards)"
+    )
     print("communication bill")
     _print_communication(run.communication)
     print(f"wall-clock time         : {run.elapsed_seconds:.3f}s")
@@ -578,6 +597,7 @@ def _run_roll(args: argparse.Namespace) -> int:
             wal_fsync=args.fsync,
             wal_segment_bytes=args.segment_bytes,
             faults=plan,
+            replication=args.replication,
         )
     finally:
         if own_wal_dir:
@@ -611,6 +631,7 @@ def _run_roll(args: argparse.Namespace) -> int:
             invalidation=args.invalidation,
             workers=args.workers,
             transport="process",
+            replication=args.replication,
         )
         identical = (
             run.results == baseline.results

@@ -106,6 +106,14 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
 
     INVALIDATION_MODES = ("delta", "flag")
 
+    #: Server-side wall-clock time spent applying update epochs to the live
+    #: index (the maintenance leader's cost) and applying shipped repair
+    #: deltas (the read-replica's cost).  Class-level defaults so engines
+    #: pickled before these timers existed keep restoring cleanly; the
+    #: metric servers accumulate onto instance attributes.
+    maintenance_seconds: float = 0.0
+    delta_apply_seconds: float = 0.0
+
     def __init__(self, invalidation: str = "delta"):
         if invalidation not in self.INVALIDATION_MODES:
             raise ConfigurationError(
@@ -418,10 +426,18 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
     # Aggregate statistics
     # ------------------------------------------------------------------
     def aggregate_stats(self) -> ProcessorStats:
-        """Sum of the cost counters of every registered query."""
+        """Sum of the cost counters of every registered query.
+
+        The engine's own server-side maintenance timers ride along in the
+        ``maintenance_seconds`` / ``delta_apply_seconds`` fields (they are
+        per-engine, not per-query, so they are injected once here rather
+        than merged from the processors).
+        """
         total = ProcessorStats()
         for registered in self._queries.values():
             total.merge(registered.processor.stats)
+        total.maintenance_seconds += self.maintenance_seconds
+        total.delta_apply_seconds += self.delta_apply_seconds
         return total
 
     def stats_for(self, query_id: int) -> ProcessorStats:

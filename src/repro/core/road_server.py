@@ -32,9 +32,11 @@ fallback mode and the oracle of the randomized delta-equivalence tests.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import QueryError
 from repro.core.engine import ServingEngine
 from repro.core.ins_road import INSRoadProcessor
 from repro.roadnet.graph import RoadNetwork
@@ -184,7 +186,9 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
         every registered query receives the repair delta — no per-query
         state is copied.
         """
+        start = time.perf_counter()
         index, changed = self._voronoi.insert_object(vertex)
+        self.maintenance_seconds += time.perf_counter() - start
         self._commit_epoch(changed, payload=1)
         return index
 
@@ -199,7 +203,9 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
         if not self._voronoi.is_active(index):
             return False
         self._check_population(self._voronoi.object_count() - 1)
+        start = time.perf_counter()
         changed = self._voronoi.remove_object(index)
+        self.maintenance_seconds += time.perf_counter() - start
         self._commit_epoch(changed, (index,), payload=1)
         return True
 
@@ -209,7 +215,9 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
         Returns the set of objects whose neighbour sets changed (the moved
         object included), which is also the delta pushed to the queries.
         """
+        start = time.perf_counter()
         changed = self._voronoi.move_object(index, vertex)
+        self.maintenance_seconds += time.perf_counter() - start
         if not changed:
             return frozenset()
         self._commit_epoch(changed, payload=1)
@@ -237,9 +245,11 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
         self._check_population(
             self._voronoi.object_count() + len(insert_list) - len(delete_list)
         )
+        start = time.perf_counter()
         new_indexes, deleted, changed = self._voronoi.batch_update(
             insert_list, delete_list, move_list
         )
+        self.maintenance_seconds += time.perf_counter() - start
         if new_indexes or deleted or changed:
             self._commit_epoch(
                 changed,
@@ -251,4 +261,61 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
             deleted_indexes=tuple(deleted),
             changed_objects=frozenset(changed),
             epoch=self._epoch,
+        )
+
+    # ------------------------------------------------------------------
+    # Leader/replica delta replication
+    # ------------------------------------------------------------------
+    def begin_delta_capture(self) -> None:
+        """Start recording the repair delta of the next update epoch.
+
+        Installed by the maintenance leader before applying a batch; the
+        shared diagram records which keys its repair floods touch (see
+        :meth:`NetworkVoronoiDiagram.begin_delta_capture`).
+        """
+        self._voronoi.begin_delta_capture()
+
+    def export_delta(self, result: RoadBatchUpdateResult, batch) -> Dict[str, object]:
+        """The :class:`~repro.transport.codec.IndexDelta` fields of the
+        epoch that :meth:`batch_update` just applied (as plain kwargs).
+
+        ``payload`` reproduces what the epoch billed as uplink objects:
+        one record per insert and per deduplicated deletion (the result
+        lengths) plus one per move record of the originating
+        :class:`~repro.service.messages.UpdateBatch`.
+        """
+        sections = self._voronoi.export_delta()
+        return {
+            "epoch": result.epoch,
+            "payload": len(result.new_indexes)
+            + len(result.deleted_indexes)
+            + len(batch.moves),
+            "new_indexes": tuple(result.new_indexes),
+            "deleted_indexes": tuple(result.deleted_indexes),
+            "changed": tuple(sorted(result.changed_objects)),
+            **sections,
+        }
+
+    def apply_remote_delta(self, delta) -> None:
+        """Apply a maintenance leader's repair delta as this engine's epoch.
+
+        The read-replica path of ``replication="delta"``: the shared
+        diagram is patched from the shipped delta (no repair floods run)
+        and the epoch commits with the same changed/removed/payload values
+        the leader committed, so answers, counters and epoch stay
+        bit-identical to a replica that re-ran the batch.  A delta for the
+        current epoch is a no-op (the leader's batch did not commit).
+        """
+        if delta.epoch == self._epoch:
+            return
+        if delta.epoch != self._epoch + 1:
+            raise QueryError(
+                f"index delta for epoch {delta.epoch} cannot apply at epoch "
+                f"{self._epoch} — replicas diverged"
+            )
+        start = time.perf_counter()
+        self._voronoi.apply_remote_delta(delta)
+        self.delta_apply_seconds += time.perf_counter() - start
+        self._commit_epoch(
+            frozenset(delta.changed), delta.deleted_indexes, payload=delta.payload
         )

@@ -29,10 +29,11 @@ oracle of the randomized delta-equivalence tests.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Sequence, Tuple
 
-from repro.errors import ConfigurationError, EmptyDatasetError
+from repro.errors import ConfigurationError, EmptyDatasetError, QueryError
 from repro.core.engine import ServingEngine
 from repro.core.ins_euclidean import INSProcessor
 from repro.geometry.point import Point
@@ -160,7 +161,9 @@ class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
         no per-query state is copied — the insert is one incremental
         neighbour-map patch plus one delta push per query.
         """
+        start = time.perf_counter()
         index, changed = self._vortree.insert(point)
+        self.maintenance_seconds += time.perf_counter() - start
         self._commit_epoch(changed, payload=1)
         return index
 
@@ -175,7 +178,9 @@ class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
         if not self._vortree.is_active(index):
             return False
         self._check_population(len(self._vortree) - 1)
+        start = time.perf_counter()
         removed, changed = self._vortree.delete(index)
+        self.maintenance_seconds += time.perf_counter() - start
         if removed:
             self._commit_epoch(changed, (index,), payload=1)
         return removed
@@ -202,9 +207,11 @@ class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
         self._check_population(
             len(self._vortree) + len(insert_list) - len(delete_list)
         )
+        start = time.perf_counter()
         new_indexes, deleted, changed = self._vortree.batch_update(
             insert_list, delete_list
         )
+        self.maintenance_seconds += time.perf_counter() - start
         if new_indexes or deleted:
             self._commit_epoch(
                 changed, deleted, payload=len(insert_list) + len(delete_list)
@@ -214,4 +221,63 @@ class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
             deleted_indexes=tuple(deleted),
             changed_objects=frozenset(changed),
             epoch=self._epoch,
+        )
+
+    # ------------------------------------------------------------------
+    # Leader/replica delta replication
+    # ------------------------------------------------------------------
+    def begin_delta_capture(self) -> None:
+        """Start capturing the repair delta of the next update epoch.
+
+        The Euclidean index derives its delta post hoc from the batch
+        results (see :meth:`VoRTree.export_delta`), so there is nothing to
+        install — the seam exists so leaders of either metric are driven
+        identically.
+        """
+
+    def export_delta(self, result: BatchUpdateResult, batch) -> Dict[str, object]:
+        """The :class:`~repro.transport.codec.IndexDelta` fields of the
+        epoch that :meth:`batch_update` just applied (as plain kwargs).
+
+        ``payload`` reproduces exactly what the epoch billed as uplink
+        objects — ``batch_update`` assigns one index per insert and deletes
+        exactly its deduplicated active deletions, so the result lengths
+        *are* the billed record count.  ``batch`` (the originating
+        :class:`~repro.service.messages.UpdateBatch`) is unused here; the
+        road server needs it for its move records.
+        """
+        sections = self._vortree.export_delta(
+            result.new_indexes, result.deleted_indexes, result.changed_objects
+        )
+        return {
+            "epoch": result.epoch,
+            "payload": len(result.new_indexes) + len(result.deleted_indexes),
+            "new_indexes": tuple(result.new_indexes),
+            "deleted_indexes": tuple(result.deleted_indexes),
+            "changed": tuple(sorted(result.changed_objects)),
+            **sections,
+        }
+
+    def apply_remote_delta(self, delta) -> None:
+        """Apply a maintenance leader's repair delta as this engine's epoch.
+
+        The read-replica path of ``replication="delta"``: the shared tree
+        is patched from the shipped delta (no geometry runs) and the epoch
+        commits with the same changed/removed/payload values the leader
+        committed, so answers, counters and epoch stay bit-identical to a
+        replica that re-ran the batch.  A delta for the current epoch is a
+        no-op (the leader's batch did not commit).
+        """
+        if delta.epoch == self._epoch:
+            return
+        if delta.epoch != self._epoch + 1:
+            raise QueryError(
+                f"index delta for epoch {delta.epoch} cannot apply at epoch "
+                f"{self._epoch} — replicas diverged"
+            )
+        start = time.perf_counter()
+        self._vortree.apply_remote_delta(delta)
+        self.delta_apply_seconds += time.perf_counter() - start
+        self._commit_epoch(
+            frozenset(delta.changed), delta.deleted_indexes, payload=delta.payload
         )

@@ -145,6 +145,12 @@ class ProcessorStats:
             (building the R-tree / VoR-tree / Voronoi diagrams); reported
             separately because the paper treats it as a one-off data-set
             preprocessing cost shared by all queries.
+        maintenance_seconds: server-side wall-clock time spent applying
+            data-update epochs to the live index (re-running the geometry:
+            the maintenance leader's cost in replicated serving).
+        delta_apply_seconds: server-side wall-clock time spent applying
+            *shipped* index repair deltas instead of re-running maintenance
+            (the read-replica's cost under ``replication="delta"``).
     """
 
     timestamps: int = 0
@@ -161,6 +167,8 @@ class ProcessorStats:
     construction_seconds: float = 0.0
     validation_seconds: float = 0.0
     precomputation_seconds: float = 0.0
+    maintenance_seconds: float = 0.0
+    delta_apply_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -226,6 +234,8 @@ class ProcessorStats:
         self.construction_seconds += other.construction_seconds
         self.validation_seconds += other.validation_seconds
         self.precomputation_seconds += other.precomputation_seconds
+        self.maintenance_seconds += other.maintenance_seconds
+        self.delta_apply_seconds += other.delta_apply_seconds
 
     def as_dict(self) -> Dict[str, float]:
         """A plain dictionary of every counter and derived rate (for reports)."""
@@ -245,6 +255,8 @@ class ProcessorStats:
             "construction_seconds": self.construction_seconds,
             "validation_seconds": self.validation_seconds,
             "precomputation_seconds": self.precomputation_seconds,
+            "maintenance_seconds": self.maintenance_seconds,
+            "delta_apply_seconds": self.delta_apply_seconds,
             "total_seconds": self.total_seconds,
             "recomputation_rate": self.recomputation_rate,
         }

@@ -56,6 +56,7 @@ from repro.service.session import Session
 from repro.transport.codec import (
     BatchApplied,
     CloseSession,
+    IndexDelta,
     OpenSession,
     PositionUpdate,
     RefreshRequest,
@@ -243,6 +244,18 @@ class DurableKNNService(KNNService):
         self._log(batch)
         return result
 
+    def apply_remote_delta(self, delta) -> None:
+        """Apply a maintenance leader's repair delta and log the frame.
+
+        The read-replica half of ``replication="delta"``: the delta *is*
+        the epoch for this shard — no :class:`UpdateBatch` ever reaches a
+        replica's log — so replay-to-rejoin re-applies the logged deltas
+        in order and recovers the same patched index the leader shipped,
+        without re-running any geometry.
+        """
+        super().apply_remote_delta(delta)
+        self._log(delta)
+
     # Single-object mutators route through apply() so they are logged with
     # the same epoch-per-call semantics they will replay with.
     def insert(self, target: Any) -> int:
@@ -404,6 +417,11 @@ class DurableKNNService(KNNService):
                             )
                         ),
                     )
+                elif isinstance(message, IndexDelta):
+                    # A read replica's epoch: patch the index from the
+                    # leader's logged delta.  Replication frames are meta
+                    # (unbilled live), so no bytes are re-billed here.
+                    self.apply_remote_delta(message)
                 else:
                     raise DurabilityError(
                         f"WAL record {record.seq}: unexpected "

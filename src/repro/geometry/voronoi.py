@@ -120,6 +120,20 @@ class VoronoiDiagram:
             raise GeometryError(f"site {index} does not exist (or was removed)")
         return set(self._neighbors[index])
 
+    def neighbor_view(self, index: int) -> Set[int]:
+        """The live neighbour set of site ``index`` — no defensive copy.
+
+        Returns the diagram's own set object; callers must treat it as
+        read-only and must not hold it across mutations.  This is the
+        allocation-free variant of :meth:`neighbors_of` for hot update
+        paths (the VoR-tree re-derives one neighbour list per changed site
+        per epoch, and copying each set first was a measurable share of
+        the maintenance cost).
+        """
+        if not self.is_active(index):
+            raise GeometryError(f"site {index} does not exist (or was removed)")
+        return self._neighbors[index]
+
     def neighbor_map(self) -> Dict[int, Set[int]]:
         """A copy of the full site -> neighbour-set mapping (active sites)."""
         return {index: set(neighbors) for index, neighbors in self._neighbors.items()}

@@ -34,10 +34,11 @@ class RTreeEntry:
     point: Point
     payload: Any = None
 
-    @property
-    def box(self) -> BoundingBox:
-        """Degenerate bounding box of the entry's point."""
-        return BoundingBox.from_point(self.point)
+    def __post_init__(self):
+        # Entries are immutable in practice (a move is delete + insert),
+        # so the degenerate box is computed once — box math is the R-tree
+        # maintenance hot path.
+        self.box: BoundingBox = BoundingBox.from_point(self.point)
 
 
 class _Node:
@@ -56,14 +57,43 @@ class _Node:
         self.box: BoundingBox = BoundingBox.empty()
 
     def recompute_box(self) -> None:
-        box = BoundingBox.empty()
+        # Folds the coordinate min/max directly instead of allocating one
+        # union box per item; bit-identical to the union chain (ties keep
+        # the earlier value, exactly like min()/max()).
         if self.leaf:
-            for entry in self.entries:
-                box = box.union(entry.box)
+            if not self.entries:
+                self.box = BoundingBox.empty()
+                return
+            p = self.entries[0].point
+            min_x = max_x = p.x
+            min_y = max_y = p.y
+            for entry in self.entries[1:]:
+                p = entry.point
+                if p.x < min_x:
+                    min_x = p.x
+                elif p.x > max_x:
+                    max_x = p.x
+                if p.y < min_y:
+                    min_y = p.y
+                elif p.y > max_y:
+                    max_y = p.y
         else:
-            for child in self.children:
-                box = box.union(child.box)
-        self.box = box
+            if not self.children:
+                self.box = BoundingBox.empty()
+                return
+            b = self.children[0].box
+            min_x, min_y, max_x, max_y = b.min_x, b.min_y, b.max_x, b.max_y
+            for child in self.children[1:]:
+                b = child.box
+                if b.min_x < min_x:
+                    min_x = b.min_x
+                if b.min_y < min_y:
+                    min_y = b.min_y
+                if b.max_x > max_x:
+                    max_x = b.max_x
+                if b.max_y > max_y:
+                    max_y = b.max_y
+        self.box = BoundingBox(min_x, min_y, max_x, max_y)
 
     def item_count(self) -> int:
         return len(self.entries) if self.leaf else len(self.children)
@@ -222,12 +252,28 @@ class RTree:
         return None
 
     def _choose_subtree(self, node: _Node, box: BoundingBox) -> _Node:
+        # Inline (enlargement, area) arithmetic: every box here is
+        # non-empty, so the union/clamp shortcuts in BoundingBox are
+        # identity and the floats (hence the chosen child) are
+        # bit-identical to the property-based computation.
+        bx0, by0, bx1, by1 = box.min_x, box.min_y, box.max_x, box.max_y
         best = None
-        best_key = None
+        best_enlargement = best_area = math.inf
         for child in node.children:
-            key = (child.box.enlargement(box), child.box.area)
-            if best_key is None or key < best_key:
-                best_key = key
+            b = child.box
+            min_x = b.min_x if b.min_x <= bx0 else bx0
+            min_y = b.min_y if b.min_y <= by0 else by0
+            max_x = b.max_x if b.max_x >= bx1 else bx1
+            max_y = b.max_y if b.max_y >= by1 else by1
+            area = (b.max_x - b.min_x) * (b.max_y - b.min_y)
+            enlargement = (max_x - min_x) * (max_y - min_y) - area
+            if (
+                best is None
+                or enlargement < best_enlargement
+                or (enlargement == best_enlargement and area < best_area)
+            ):
+                best_enlargement = enlargement
+                best_area = area
                 best = child
         assert best is not None
         return best
@@ -256,47 +302,80 @@ class RTree:
 
     @staticmethod
     def _quadratic_split(items: List[Any], box_of, min_entries: int) -> Tuple[List[Any], List[Any]]:
-        """Guttman's quadratic split of an overflowing item list into two groups."""
+        """Guttman's quadratic split of an overflowing item list into two groups.
+
+        The box arithmetic is inlined over cached per-item boxes: every
+        box involved is non-empty, so the union/clamp shortcuts in
+        :class:`BoundingBox` are identity and the resulting floats (hence
+        the grouping) are bit-identical to the property-based version.
+        """
+        boxes = [box_of(item) for item in items]
+        areas = [(b.max_x - b.min_x) * (b.max_y - b.min_y) for b in boxes]
+
+        def enlargement(group_box, group_area, b):
+            min_x = group_box.min_x if group_box.min_x <= b.min_x else b.min_x
+            min_y = group_box.min_y if group_box.min_y <= b.min_y else b.min_y
+            max_x = group_box.max_x if group_box.max_x >= b.max_x else b.max_x
+            max_y = group_box.max_y if group_box.max_y >= b.max_y else b.max_y
+            return (max_x - min_x) * (max_y - min_y) - group_area
+
         # Pick the pair of seeds wasting the most area if grouped together.
         worst_pair = (0, 1)
         worst_waste = -math.inf
         for i, j in itertools.combinations(range(len(items)), 2):
-            combined = box_of(items[i]).union(box_of(items[j]))
-            waste = combined.area - box_of(items[i]).area - box_of(items[j]).area
+            a, b = boxes[i], boxes[j]
+            min_x = a.min_x if a.min_x <= b.min_x else b.min_x
+            min_y = a.min_y if a.min_y <= b.min_y else b.min_y
+            max_x = a.max_x if a.max_x >= b.max_x else b.max_x
+            max_y = a.max_y if a.max_y >= b.max_y else b.max_y
+            waste = (max_x - min_x) * (max_y - min_y) - areas[i] - areas[j]
             if waste > worst_waste:
                 worst_waste = waste
                 worst_pair = (i, j)
         first_group = [items[worst_pair[0]]]
         second_group = [items[worst_pair[1]]]
-        first_box = box_of(items[worst_pair[0]])
-        second_box = box_of(items[worst_pair[1]])
-        remaining = [item for idx, item in enumerate(items) if idx not in worst_pair]
+        first_box = boxes[worst_pair[0]]
+        second_box = boxes[worst_pair[1]]
+        first_area = areas[worst_pair[0]]
+        second_area = areas[worst_pair[1]]
+        remaining = [
+            (item, boxes[idx])
+            for idx, item in enumerate(items)
+            if idx not in worst_pair
+        ]
         while remaining:
             # If one group must take everything left to reach the minimum, do so.
             if len(first_group) + len(remaining) <= min_entries:
-                first_group.extend(remaining)
+                first_group.extend(item for item, _ in remaining)
                 break
             if len(second_group) + len(remaining) <= min_entries:
-                second_group.extend(remaining)
+                second_group.extend(item for item, _ in remaining)
                 break
             # Otherwise assign the item with the strongest preference.
             best_index = 0
             best_difference = -math.inf
-            for index, item in enumerate(remaining):
-                d1 = first_box.enlargement(box_of(item))
-                d2 = second_box.enlargement(box_of(item))
+            best_d1 = best_d2 = 0.0
+            for index, (item, b) in enumerate(remaining):
+                d1 = enlargement(first_box, first_area, b)
+                d2 = enlargement(second_box, second_area, b)
                 if abs(d1 - d2) > best_difference:
                     best_difference = abs(d1 - d2)
                     best_index = index
-            item = remaining.pop(best_index)
-            d1 = first_box.enlargement(box_of(item))
-            d2 = second_box.enlargement(box_of(item))
-            if (d1, first_box.area, len(first_group)) <= (d2, second_box.area, len(second_group)):
+                    best_d1, best_d2 = d1, d2
+            item, b = remaining.pop(best_index)
+            d1, d2 = best_d1, best_d2
+            if (d1, first_area, len(first_group)) <= (d2, second_area, len(second_group)):
                 first_group.append(item)
-                first_box = first_box.union(box_of(item))
+                first_box = first_box.union(b)
+                first_area = (first_box.max_x - first_box.min_x) * (
+                    first_box.max_y - first_box.min_y
+                )
             else:
                 second_group.append(item)
-                second_box = second_box.union(box_of(item))
+                second_box = second_box.union(b)
+                second_area = (second_box.max_x - second_box.min_x) * (
+                    second_box.max_y - second_box.min_y
+                )
         return first_group, second_group
 
     # ------------------------------------------------------------------

@@ -70,6 +70,7 @@ class VoRTree:
         if maintenance not in ("incremental", "rebuild"):
             raise QueryError(f"unknown maintenance mode {maintenance!r}")
         self._maintenance = maintenance
+        self._last_batch_bulk = False
         self._points: List[Point] = list(points)
         self._active: List[bool] = [True] * len(self._points)
         self._neighbor_map: Dict[int, FrozenSet[int]] = {}
@@ -285,6 +286,10 @@ class VoRTree:
             incremental = self._voronoi is not None and self._maintenance == "incremental"
         elif strategy == "bulk":
             incremental = False
+        # Remembered so export_delta() can tell replicas which structural
+        # order to replay (bulk deletes-then-inserts vs incremental
+        # inserts-then-deletes) — R-tree shape depends on it.
+        self._last_batch_bulk = not incremental
         if incremental:
             changed: Set[int] = set()
             new_indexes = []
@@ -314,6 +319,82 @@ class VoRTree:
             new_indexes.append(index)
         self._rebuild_neighbor_map()
         return new_indexes, deleted, set(self.active_indexes())
+
+    # ------------------------------------------------------------------
+    # Leader/replica delta replication
+    # ------------------------------------------------------------------
+    def export_delta(
+        self,
+        new_indexes: Sequence[int],
+        deleted_indexes: Sequence[int],
+        changed: Iterable[int],
+    ) -> Dict[str, object]:
+        """Serializable repair delta of the batch that just ran.
+
+        Called by the maintenance leader right after :meth:`batch_update`
+        with that call's results; the returned mapping carries everything a
+        read replica needs to reproduce the tree bit-identically through
+        :meth:`apply_remote_delta` — the structural R-tree operations (and
+        their order, via ``bulk``) plus the final neighbour lists of every
+        object the epoch touched — without re-running any geometry.
+        """
+        return {
+            "bulk": self._last_batch_bulk,
+            "points": tuple(self._points[index] for index in new_indexes),
+            "neighbors": tuple(
+                (obj, tuple(sorted(self._neighbor_map[obj])))
+                for obj in sorted(changed)
+            ),
+            "removed_neighbors": tuple(deleted_indexes),
+        }
+
+    def apply_remote_delta(self, delta) -> None:
+        """Apply a leader's repair delta instead of re-running maintenance.
+
+        ``delta`` is an :class:`~repro.transport.codec.IndexDelta`-shaped
+        object (attributes ``bulk``/``new_indexes``/``points``/
+        ``deleted_indexes``/``neighbors``/``removed_neighbors``).  The
+        R-tree is mutated with exactly the structural operations the leader
+        performed, in the leader's order, so the trees stay identical; the
+        neighbour lists are overwritten with the shipped final values.  The
+        local Voronoi diagram is dropped — a delta replica never runs
+        geometry, and serving only needs the R-tree + neighbour lists.
+        """
+        if len(delta.new_indexes) != len(delta.points):
+            raise GeometryError(
+                "index delta ships %d new indexes but %d points"
+                % (len(delta.new_indexes), len(delta.points))
+            )
+
+        def _append_inserts() -> None:
+            for index, point in zip(delta.new_indexes, delta.points):
+                if index != len(self._points):
+                    raise GeometryError(
+                        f"index delta assigns object {index} but the replica "
+                        f"is at {len(self._points)} — replicas diverged"
+                    )
+                self._points.append(point)
+                self._active.append(True)
+                self._rtree.insert(point, index)
+
+        def _apply_deletes() -> None:
+            for index in delta.deleted_indexes:
+                self._active[index] = False
+                self._rtree.delete(self._points[index], index)
+
+        if delta.bulk:
+            _apply_deletes()
+            _append_inserts()
+        else:
+            _append_inserts()
+            _apply_deletes()
+        for obj, members in delta.neighbors:
+            self._neighbor_map[obj] = frozenset(members)
+        for obj in delta.removed_neighbors:
+            self._neighbor_map.pop(obj, None)
+        self._voronoi = None
+        self._site_of_object = {}
+        self._object_of_site = {}
 
     def full_rebuild(self) -> None:
         """Recompute the Voronoi neighbour lists from scratch.
@@ -351,11 +432,14 @@ class VoRTree:
         Returns the set of affected *object* indexes (the mutation delta).
         """
         changed_objects: Set[int] = set()
+        neighbor_view = self._voronoi.neighbor_view
         for site in changed_sites:
             obj = self._object_of_site[site]
+            # neighbor_view hands back the diagram's own delta set — the
+            # membership is translated to object indexes directly, without
+            # first materialising a defensive copy per changed site.
             self._neighbor_map[obj] = frozenset(
-                self._object_of_site[neighbor]
-                for neighbor in self._voronoi.neighbors_of(site)
+                self._object_of_site[neighbor] for neighbor in neighbor_view(site)
             )
             changed_objects.add(obj)
         return changed_objects

@@ -109,6 +109,14 @@ class ServerSimulationRun:
             events; ``transport="process"`` with a ``wal_dir`` only).
         handoff_seconds: per drain, wall-clock seconds from the drain
             request to the reconciled replacement shard.
+        replication: how index maintenance reached the engine shards —
+            ``"recompute"`` (every shard re-ran each update batch) or
+            ``"delta"`` (the maintenance leader shipped its repair delta
+            to the read replicas; ``transport="process"`` only).  The
+            split between the modes shows up in ``aggregate``:
+            ``maintenance_seconds`` is time spent running index
+            maintenance (on every recomputing shard), ``delta_apply_
+            seconds`` time spent patching replicas from shipped deltas.
     """
 
     scenario: str
@@ -133,6 +141,7 @@ class ServerSimulationRun:
     kills_injected: int = 0
     drains: int = 0
     handoff_seconds: List[float] = field(default_factory=list)
+    replication: str = "recompute"
 
     @property
     def timestamps(self) -> int:
@@ -269,6 +278,7 @@ def simulate_server(
     wal_fsync: Optional[str] = None,
     wal_segment_bytes: Optional[int] = None,
     faults=None,
+    replication: str = "recompute",
 ) -> ServerSimulationRun:
     """Drive M concurrent query streams interleaved with the update stream.
 
@@ -320,6 +330,12 @@ def simulate_server(
             epochs.  Requires ``transport="process"`` (only worker
             processes can be killed or drained) and ``wal_dir`` (a
             replaced worker rejoins by replaying its log).
+        replication: shard maintenance mode over ``transport="process"``
+            — ``"recompute"`` (default; every shard re-runs each update
+            batch) or ``"delta"`` (shard 0 runs the maintenance once and
+            ships its repair delta to the read replicas; bit-identical
+            answers and counters, one geometry run per epoch).  Other
+            transports hold one engine, so only ``"recompute"`` applies.
 
     Returns:
         A :class:`ServerSimulationRun`.
@@ -329,6 +345,11 @@ def simulate_server(
         raise ConfigurationError(
             "fault injection kills worker processes, so it requires "
             f"transport='process', got transport={transport_name!r}"
+        )
+    if replication != "recompute" and transport_name != "process":
+        raise ConfigurationError(
+            "replication='delta' ships repair deltas between engine shards, "
+            f"so it requires transport='process', got transport={transport_name!r}"
         )
     if transport_name == "process":
         if server is not None:
@@ -352,6 +373,7 @@ def simulate_server(
             wal_fsync,
             wal_segment_bytes,
             faults,
+            replication,
         )
     if transport_name not in ("local", "tcp", "unix"):
         raise ConfigurationError(
@@ -534,6 +556,7 @@ def _simulate_over_processes(
     wal_fsync: Optional[str] = None,
     wal_segment_bytes: Optional[int] = None,
     faults=None,
+    replication: str = "recompute",
 ) -> ServerSimulationRun:
     """The ``transport="process"`` body: shard the engine across processes.
 
@@ -566,6 +589,7 @@ def _simulate_over_processes(
         wal_fsync=wal_fsync if wal_fsync is not None else "off",
         wal_segment_bytes=wal_segment_bytes,
         faults=faults,
+        replication=replication,
     ) as pool:
         started = time.perf_counter()
         sessions = [
@@ -616,4 +640,5 @@ def _simulate_over_processes(
         kills_injected=kills_injected,
         drains=drains,
         handoff_seconds=handoff_seconds,
+        replication=replication,
     )

@@ -42,9 +42,11 @@ from repro.transport.codec import (
     AggregateStatsResponse,
     BatchApplied,
     CloseSession,
+    DeltaAck,
     DrainAck,
     DrainRequest,
     ErrorMessage,
+    IndexDelta,
     ObjectsRequest,
     ObjectsResponse,
     OpenSession,
@@ -61,7 +63,12 @@ __all__ = ["RemoteService", "RemoteSession", "connect", "parse_endpoint"]
 
 #: Frame types that are diagnostics, not part of the billed protocol.
 #: Drain frames are operator traffic: billing them would make a rolled
-#: run's counters diverge from a never-rolled one's.
+#: run's counters diverge from a never-rolled one's.  Replication frames
+#: (IndexDelta/DeltaAck) are the service's *internal* maintenance fan-out:
+#: the data owners sent one update batch to the service, and how the
+#: shards propagate the repair among themselves is not client traffic —
+#: billing it would make a delta-replicated run's counters diverge from a
+#: single-engine one's.
 _META_TYPES = (
     StatsRequest,
     StatsResponse,
@@ -71,6 +78,8 @@ _META_TYPES = (
     AggregateStatsResponse,
     DrainRequest,
     DrainAck,
+    IndexDelta,
+    DeltaAck,
 )
 
 #: Request frames that are safe to resend on the same ordered stream: they

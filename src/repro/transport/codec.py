@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple, Type
+from typing import Any, Dict, List, Optional, Tuple, Type
 
 from repro.errors import (
     ConfigurationError,
@@ -63,10 +63,12 @@ __all__ = [
     "AggregateStatsResponse",
     "BatchApplied",
     "CloseSession",
+    "DeltaAck",
     "DrainAck",
     "DrainRequest",
     "ErrorMessage",
     "FrameReader",
+    "IndexDelta",
     "ObjectsRequest",
     "ObjectsResponse",
     "OpenSession",
@@ -106,6 +108,8 @@ _T_AGG_STATS_REQUEST = 0x0F
 _T_AGG_STATS_RESPONSE = 0x10
 _T_DRAIN_REQUEST = 0x11
 _T_DRAIN_ACK = 0x12
+_T_INDEX_DELTA = 0x13
+_T_DELTA_ACK = 0x14
 
 # Tagged position / batch-target kinds.
 _POS_POINT = 0x00
@@ -321,6 +325,140 @@ class AggregateStatsResponse:
     stats: ProcessorStats
 
 
+@dataclass(frozen=True)
+class IndexDelta:
+    """Leader → replicas: the repair delta of one update epoch (meta).
+
+    Shipped by the maintenance leader (shard 0) right after it applies an
+    :class:`~repro.service.messages.UpdateBatch`, so read replicas can
+    patch their index to the identical post-epoch state through
+    ``apply_remote_delta()`` without re-running any geometry.  Like every
+    meta frame its bytes are not billed into
+    :class:`~repro.core.stats.CommunicationStats` — the replication
+    fan-out is serving infrastructure, not client/server traffic; a
+    replica's message/object counters are instead driven by the shipped
+    ``payload``/``changed``/``deleted_indexes`` fields, which reproduce
+    exactly what applying the batch locally would have billed.
+
+    Attributes:
+        epoch: the leader's data epoch *after* the batch (unchanged when
+            the batch was a no-op — replicas then apply nothing).
+        payload: the update-record count the epoch billed as uplink
+            objects (deduplicated; move halves included on the Euclidean
+            side).
+        full: the leader rebuilt from scratch — the metric sections carry
+            the complete post-epoch state and replicas replace wholesale.
+        bulk: the Euclidean structural path ran in bulk order (deletes
+            before inserts); replicas must replay the R-tree operations in
+            the same order for the trees to stay identical.
+        new_indexes: object indexes assigned to the epoch's inserts.
+        deleted_indexes: object indexes actually removed.
+        changed: the epoch's invalidation delta (sorted object indexes).
+        points: positions of ``new_indexes``, in order (Euclidean).
+        neighbors: final ``(object, sorted neighbour list)`` entries for
+            every object whose neighbour set the epoch touched.
+        removed_neighbors: objects whose neighbour entry was dropped.
+        assignments: road ``(object, vertex)`` placements (inserts and
+            moves).
+        groups: road ``(vertex, co-located object list)`` entries.
+        removed_groups: vertices whose object group emptied.
+        vertices: road ``(vertex, owner, distance)`` re-settlements.
+        removed_vertices: road vertices left unowned.
+        edges: road ``(edge_id, owner_u, owner_v, border_offset)`` edge
+            ownership records (``border_offset`` None when one object owns
+            the whole edge).
+        removed_edges: road edges whose ownership was dropped.
+        labels: road per-representative cell state — ``(rep, owned
+            vertices, owned edges, adjacent representatives)``.
+        removed_labels: representatives whose cell disappeared.
+    """
+
+    epoch: int
+    payload: int
+    full: bool = False
+    bulk: bool = False
+    new_indexes: Tuple[int, ...] = field(default=())
+    deleted_indexes: Tuple[int, ...] = field(default=())
+    changed: Tuple[int, ...] = field(default=())
+    points: Tuple[Point, ...] = field(default=())
+    neighbors: Tuple[Tuple[int, Tuple[int, ...]], ...] = field(default=())
+    removed_neighbors: Tuple[int, ...] = field(default=())
+    assignments: Tuple[Tuple[int, int], ...] = field(default=())
+    groups: Tuple[Tuple[int, Tuple[int, ...]], ...] = field(default=())
+    removed_groups: Tuple[int, ...] = field(default=())
+    vertices: Tuple[Tuple[int, int, float], ...] = field(default=())
+    removed_vertices: Tuple[int, ...] = field(default=())
+    edges: Tuple[Tuple[int, int, int, Optional[float]], ...] = field(default=())
+    removed_edges: Tuple[int, ...] = field(default=())
+    labels: Tuple[Tuple[int, Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]], ...] = field(
+        default=()
+    )
+    removed_labels: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self):
+        normalize = object.__setattr__
+        normalize(self, "new_indexes", tuple(self.new_indexes))
+        normalize(self, "deleted_indexes", tuple(self.deleted_indexes))
+        normalize(self, "changed", tuple(self.changed))
+        normalize(self, "points", tuple(self.points))
+        normalize(
+            self,
+            "neighbors",
+            tuple((int(obj), tuple(members)) for obj, members in self.neighbors),
+        )
+        normalize(self, "removed_neighbors", tuple(self.removed_neighbors))
+        normalize(
+            self,
+            "assignments",
+            tuple((int(obj), int(vertex)) for obj, vertex in self.assignments),
+        )
+        normalize(
+            self,
+            "groups",
+            tuple((int(vertex), tuple(members)) for vertex, members in self.groups),
+        )
+        normalize(self, "removed_groups", tuple(self.removed_groups))
+        normalize(
+            self,
+            "vertices",
+            tuple(
+                (int(vertex), int(owner), float(distance))
+                for vertex, owner, distance in self.vertices
+            ),
+        )
+        normalize(self, "removed_vertices", tuple(self.removed_vertices))
+        normalize(
+            self,
+            "edges",
+            tuple(
+                (int(e), int(u), int(v), None if border is None else float(border))
+                for e, u, v, border in self.edges
+            ),
+        )
+        normalize(self, "removed_edges", tuple(self.removed_edges))
+        normalize(
+            self,
+            "labels",
+            tuple(
+                (int(rep), tuple(verts), tuple(edge_ids), tuple(adjacent))
+                for rep, verts, edge_ids, adjacent in self.labels
+            ),
+        )
+        normalize(self, "removed_labels", tuple(self.removed_labels))
+
+
+@dataclass(frozen=True)
+class DeltaAck:
+    """Replica → leader side: an :class:`IndexDelta` was applied (meta).
+
+    Attributes:
+        epoch: the replica's data epoch after applying the delta — the
+            dispatcher cross-checks it against the leader's.
+    """
+
+    epoch: int
+
+
 # ----------------------------------------------------------------------
 # Primitive writers / readers
 # ----------------------------------------------------------------------
@@ -515,6 +653,8 @@ _PROC_FLOAT_FIELDS = (
     "construction_seconds",
     "validation_seconds",
     "precomputation_seconds",
+    "maintenance_seconds",
+    "delta_apply_seconds",
 )
 
 
@@ -653,6 +793,68 @@ def _encode_drain_ack(message: DrainAck) -> bytes:
     return writer.frame()
 
 
+def _encode_index_delta(message: IndexDelta) -> bytes:
+    writer = _Writer(_T_INDEX_DELTA)
+    writer.u32(message.epoch)
+    writer.u32(message.payload)
+    writer.u8((1 if message.full else 0) | (2 if message.bulk else 0))
+
+    def u32s(values) -> None:
+        writer.u32(len(values))
+        for value in values:
+            writer.u32(value)
+
+    u32s(message.new_indexes)
+    u32s(message.deleted_indexes)
+    u32s(message.changed)
+    writer.u32(len(message.points))
+    for point in message.points:
+        writer.position(point)
+    writer.u32(len(message.neighbors))
+    for obj, members in message.neighbors:
+        writer.u32(obj)
+        u32s(members)
+    u32s(message.removed_neighbors)
+    writer.u32(len(message.assignments))
+    for obj, vertex in message.assignments:
+        writer.u32(obj)
+        writer.u32(vertex)
+    writer.u32(len(message.groups))
+    for vertex, members in message.groups:
+        writer.u32(vertex)
+        u32s(members)
+    u32s(message.removed_groups)
+    writer.u32(len(message.vertices))
+    for vertex, owner, distance in message.vertices:
+        writer.u32(vertex)
+        writer.u32(owner)
+        writer.f64(distance)
+    u32s(message.removed_vertices)
+    writer.u32(len(message.edges))
+    for edge_id, owner_u, owner_v, border in message.edges:
+        writer.u32(edge_id)
+        writer.u32(owner_u)
+        writer.u32(owner_v)
+        writer.u8(0 if border is None else 1)
+        if border is not None:
+            writer.f64(border)
+    u32s(message.removed_edges)
+    writer.u32(len(message.labels))
+    for rep, verts, edge_ids, adjacent in message.labels:
+        writer.u32(rep)
+        u32s(verts)
+        u32s(edge_ids)
+        u32s(adjacent)
+    u32s(message.removed_labels)
+    return writer.frame()
+
+
+def _encode_delta_ack(message: DeltaAck) -> bytes:
+    writer = _Writer(_T_DELTA_ACK)
+    writer.u32(message.epoch)
+    return writer.frame()
+
+
 def _encode_agg_stats_request(message: AggregateStatsRequest) -> bytes:
     return _Writer(_T_AGG_STATS_REQUEST).frame()
 
@@ -685,6 +887,8 @@ _ENCODERS = {
     AggregateStatsResponse: _encode_agg_stats_response,
     DrainRequest: _encode_drain_request,
     DrainAck: _encode_drain_ack,
+    IndexDelta: _encode_index_delta,
+    DeltaAck: _encode_delta_ack,
 }
 
 
@@ -800,6 +1004,60 @@ def _decode_drain_ack(reader: _Reader) -> DrainAck:
     return DrainAck(wal_seq=wal_seq, session_ids=session_ids)
 
 
+def _decode_index_delta(reader: _Reader) -> IndexDelta:
+    epoch = reader.u32()
+    payload = reader.u32()
+    flags = reader.u8()
+
+    def u32s():
+        return tuple(reader.u32() for _ in range(reader.u32()))
+
+    new_indexes = u32s()
+    deleted_indexes = u32s()
+    changed = u32s()
+    points = tuple(reader.position() for _ in range(reader.u32()))
+    neighbors = tuple((reader.u32(), u32s()) for _ in range(reader.u32()))
+    removed_neighbors = u32s()
+    assignments = tuple((reader.u32(), reader.u32()) for _ in range(reader.u32()))
+    groups = tuple((reader.u32(), u32s()) for _ in range(reader.u32()))
+    removed_groups = u32s()
+    vertices = tuple(
+        (reader.u32(), reader.u32(), reader.f64()) for _ in range(reader.u32())
+    )
+    removed_vertices = u32s()
+    edges = []
+    for _ in range(reader.u32()):
+        edge_id, owner_u, owner_v = reader.u32(), reader.u32(), reader.u32()
+        border = reader.f64() if reader.u8() else None
+        edges.append((edge_id, owner_u, owner_v, border))
+    removed_edges = u32s()
+    labels = tuple(
+        (reader.u32(), u32s(), u32s(), u32s()) for _ in range(reader.u32())
+    )
+    removed_labels = u32s()
+    return IndexDelta(
+        epoch=epoch,
+        payload=payload,
+        full=bool(flags & 1),
+        bulk=bool(flags & 2),
+        new_indexes=new_indexes,
+        deleted_indexes=deleted_indexes,
+        changed=changed,
+        points=points,
+        neighbors=neighbors,
+        removed_neighbors=removed_neighbors,
+        assignments=assignments,
+        groups=groups,
+        removed_groups=removed_groups,
+        vertices=vertices,
+        removed_vertices=removed_vertices,
+        edges=tuple(edges),
+        removed_edges=removed_edges,
+        labels=labels,
+        removed_labels=removed_labels,
+    )
+
+
 def _decode_agg_stats_response(reader: _Reader) -> AggregateStatsResponse:
     values = {name: reader.u64() for name in _PROC_INT_FIELDS}
     values.update({name: reader.f64() for name in _PROC_FLOAT_FIELDS})
@@ -825,6 +1083,8 @@ _DECODERS = {
     _T_AGG_STATS_RESPONSE: _decode_agg_stats_response,
     _T_DRAIN_REQUEST: lambda r: DrainRequest(),
     _T_DRAIN_ACK: _decode_drain_ack,
+    _T_INDEX_DELTA: _decode_index_delta,
+    _T_DELTA_ACK: lambda r: DeltaAck(epoch=r.u32()),
 }
 
 
@@ -924,6 +1184,34 @@ def _size_batch_applied(message: BatchApplied) -> int:
     )
 
 
+def _size_index_delta(message: IndexDelta) -> int:
+    def u32s(values) -> int:
+        return 4 + 4 * len(values)
+
+    return (
+        _OVERHEAD
+        + 4 + 4 + 1  # epoch, payload, flags
+        + u32s(message.new_indexes)
+        + u32s(message.deleted_indexes)
+        + u32s(message.changed)
+        + 4 + sum(_position_size(point) for point in message.points)
+        + 4 + sum(4 + u32s(members) for _, members in message.neighbors)
+        + u32s(message.removed_neighbors)
+        + 4 + 8 * len(message.assignments)
+        + 4 + sum(4 + u32s(members) for _, members in message.groups)
+        + u32s(message.removed_groups)
+        + 4 + 16 * len(message.vertices)
+        + u32s(message.removed_vertices)
+        + 4 + sum(13 + (0 if border is None else 8) for *_, border in message.edges)
+        + u32s(message.removed_edges)
+        + 4 + sum(
+            4 + u32s(verts) + u32s(edge_ids) + u32s(adjacent)
+            for _, verts, edge_ids, adjacent in message.labels
+        )
+        + u32s(message.removed_labels)
+    )
+
+
 _SIZERS = {
     PositionUpdate: _size_position_update,
     KNNResponse: _size_knn_response,
@@ -940,9 +1228,11 @@ _SIZERS = {
     ObjectsRequest: lambda m: _OVERHEAD,
     ObjectsResponse: _size_objects_response,
     AggregateStatsRequest: lambda m: _OVERHEAD,
-    AggregateStatsResponse: lambda m: _OVERHEAD + 8 * 11 + 8 * 3,
+    AggregateStatsResponse: lambda m: _OVERHEAD + 8 * 11 + 8 * 5,
     DrainRequest: lambda m: _OVERHEAD,
     DrainAck: lambda m: _OVERHEAD + 8 + 4 + 4 * len(m.session_ids),
+    IndexDelta: _size_index_delta,
+    DeltaAck: lambda m: _OVERHEAD + 4,
 }
 
 

@@ -21,6 +21,18 @@ Determinism is by construction, not by luck:
   the same order, so the replicas never diverge (``apply`` cross-checks
   the shards' post-batch epochs and insert allocations and fails loudly
   if they ever disagree);
+
+With ``replication="recompute"`` (the default, PR5's behaviour) every
+shard re-runs each batch's index maintenance — W shards pay W× the
+geometry.  ``replication="delta"`` elects shard 0 the *maintenance
+leader*: only the leader applies the batch; it exports the resulting
+repair delta as an :class:`~repro.transport.codec.IndexDelta` frame, and
+the parent fans that frame out to the read replicas, which patch their
+index copies directly (no repair floods, no Voronoi geometry) and commit
+the same epoch with the same changed-set and payload.  Answers, epochs
+and message/object counters stay bit-identical between the two modes —
+the recompute mode is the oracle of the delta-equivalence tests — while
+the replicas' maintenance cost drops to a dictionary patch;
 * a session's answers depend only on the shared index (replicated) and
   its own processor state (pinned) — so the answer streams are
   bit-identical across worker counts, and identical to the in-process
@@ -56,7 +68,13 @@ from repro.core.stats import CommunicationStats, ProcessorStats
 from repro.service.messages import KNNResponse, PositionUpdate, UpdateBatch
 from repro.service.service import KNNService, open_service
 from repro.transport.client import RemoteService, RemoteSession
-from repro.transport.codec import BatchApplied, ObjectsRequest, ObjectsResponse
+from repro.transport.codec import (
+    BatchApplied,
+    DeltaAck,
+    IndexDelta,
+    ObjectsRequest,
+    ObjectsResponse,
+)
 from repro.transport.server import serve_connection
 from repro.transport.stream import MessageStream
 
@@ -144,6 +162,7 @@ def _worker_main(
     wal_dir: Optional[str] = None,
     wal_fsync: str = "off",
     wal_segment_bytes: Optional[int] = None,
+    role: str = "single",
 ) -> None:
     """Worker process entry: build (or recover) the shard, serve the socketpair.
 
@@ -158,6 +177,12 @@ def _worker_main(
     a directory with existing state means this worker is a *respawn* — it
     recovers (snapshot + WAL replay), and the recovered sessions are
     adopted by the new connection so the parent's handles keep working.
+
+    ``role`` is the shard's maintenance-replication role (``"single"``,
+    ``"leader"`` or ``"replica"`` — see :func:`~repro.transport.server.
+    serve_connection`); a respawn keeps the role its slot had, so a
+    recovered leader exports deltas again and a recovered replica keeps
+    accepting them.
     """
     for other in close_sockets:
         try:
@@ -192,7 +217,9 @@ def _worker_main(
         service = spec.build()
     stream = MessageStream(sock)
     try:
-        serve_connection(service, stream, sessions=sessions)
+        serve_connection(
+            service, stream, sessions=sessions, replication_role=role
+        )
     finally:
         stream.close()
 
@@ -231,6 +258,14 @@ class ProcessShardedDispatcher:
         faults: a :class:`~repro.testing.faults.FaultPlan` of scheduled
             worker kills and shard drains, applied by :meth:`apply` at
             the matching epochs (requires ``wal_dir``).
+        replication: how update-batch index maintenance reaches the
+            shards.  ``"recompute"`` (the default) broadcasts every batch
+            and each replica re-runs the maintenance; ``"delta"`` sends
+            the batch to the maintenance leader (shard 0) only and fans
+            the leader's exported repair delta out to the read replicas
+            instead (bit-identical state and counters, one geometry run
+            per epoch instead of ``workers``).  With one worker the modes
+            coincide and no delta is exported.
 
     Use as a context manager (or call :meth:`close`) so the worker
     processes are reaped promptly.
@@ -244,9 +279,14 @@ class ProcessShardedDispatcher:
         wal_fsync: str = "off",
         wal_segment_bytes: Optional[int] = None,
         faults=None,
+        replication: str = "recompute",
     ):
         if workers < 1:
             raise ConfigurationError(f"workers must be at least 1, got {workers}")
+        if replication not in ("recompute", "delta"):
+            raise ConfigurationError(
+                f"replication must be 'recompute' or 'delta', got {replication!r}"
+            )
         if faults is not None and wal_dir is None:
             raise ConfigurationError(
                 "fault injection needs wal_dir: a killed worker can only "
@@ -266,6 +306,7 @@ class ProcessShardedDispatcher:
         self._wal_fsync = wal_fsync
         self._wal_segment_bytes = wal_segment_bytes
         self._faults = faults
+        self._replication = replication
         self._closed = False
         self._sessions: List[RemoteSession] = []
         self._worker_of: Dict[int, int] = {}
@@ -276,6 +317,7 @@ class ProcessShardedDispatcher:
         self._batch_records_billed = 0
         self._epoch = 0
         self._last_batch: Optional[UpdateBatch] = None
+        self._last_delta: Optional[IndexDelta] = None
         self.respawns = 0
         self.kills_injected = 0
         self.drains = 0
@@ -291,6 +333,16 @@ class ProcessShardedDispatcher:
         if self._wal_dir is None:
             return None
         return os.path.join(self._wal_dir, f"shard-{worker_index}")
+
+    def _role_of(self, worker_index: int) -> str:
+        """The maintenance-replication role of one shard slot.
+
+        Delta replication needs a leader *and* at least one replica; with
+        one worker the modes coincide, so no delta is exported.
+        """
+        if self._replication != "delta" or self._workers == 1:
+            return "single"
+        return "leader" if worker_index == 0 else "replica"
 
     def _spawn(self, worker_index: int) -> RemoteService:
         """Start worker ``worker_index`` and connect to it.
@@ -315,6 +367,7 @@ class ProcessShardedDispatcher:
                 self._shard_wal_dir(worker_index),
                 self._wal_fsync,
                 self._wal_segment_bytes,
+                self._role_of(worker_index),
             ),
             name=f"knn-shard-{worker_index}",
             daemon=True,
@@ -351,6 +404,11 @@ class ProcessShardedDispatcher:
     def metric(self) -> str:
         """The replicated engines' metric."""
         return self._spec.metric
+
+    @property
+    def replication(self) -> str:
+        """The maintenance-replication mode (``"recompute"``/``"delta"``)."""
+        return self._replication
 
     @property
     def epoch(self) -> int:
@@ -489,29 +547,60 @@ class ProcessShardedDispatcher:
     ) -> Optional[BatchApplied]:
         """Bring a respawned worker to ``target_epoch``.
 
-        A worker killed *before* it logged the epoch's broadcast recovers
-        one epoch behind; the batch is re-sent (it never reached that
-        replica).  One killed *after* logging recovers already at the
-        target — nothing to do.  Anything else means the replica can no
-        longer be reconstructed and fails loudly.
+        A worker killed *before* it logged the epoch's traffic recovers
+        one epoch behind; what it missed is re-sent — the update batch
+        for a recomputing shard (or the leader, which then re-exports the
+        epoch's repair delta), the retained :class:`IndexDelta` for a
+        read replica (it never ran the geometry and must not start now).
+        One killed *after* logging recovers already at the target —
+        nothing to do.  Anything else means the replica can no longer be
+        reconstructed and fails loudly.
         """
         remote = self._remotes[worker_index]
         state = remote._request(ObjectsRequest(), ObjectsResponse)
         if state.epoch == target_epoch:
             return None
-        if state.epoch == target_epoch - 1 and self._last_batch is not None:
-            remote._send(self._last_batch)
-            ack = remote._receive()
-            if not isinstance(ack, BatchApplied):
-                raise TransportError(
-                    f"expected BatchApplied, got {type(ack).__name__}"
-                )
-            if ack.epoch != target_epoch:
-                raise TransportError(
-                    f"respawned shard {worker_index} acknowledged epoch "
-                    f"{ack.epoch}, expected {target_epoch}"
-                )
-            return ack
+        role = self._role_of(worker_index)
+        if state.epoch == target_epoch - 1:
+            if role == "replica":
+                if (
+                    self._last_delta is not None
+                    and self._last_delta.epoch == target_epoch
+                ):
+                    remote._send(self._last_delta)
+                    ack = remote._receive()
+                    if not isinstance(ack, DeltaAck):
+                        raise TransportError(
+                            f"expected DeltaAck, got {type(ack).__name__}"
+                        )
+                    if ack.epoch != target_epoch:
+                        raise TransportError(
+                            f"respawned shard {worker_index} acknowledged "
+                            f"epoch {ack.epoch}, expected {target_epoch}"
+                        )
+                    return None
+            elif self._last_batch is not None:
+                remote._send(self._last_batch)
+                if role == "leader":
+                    # The re-applied batch re-exports the epoch's delta;
+                    # retain it so replica reconciliation can use it.
+                    frame = remote._receive()
+                    if not isinstance(frame, IndexDelta):
+                        raise TransportError(
+                            f"expected IndexDelta, got {type(frame).__name__}"
+                        )
+                    self._last_delta = frame
+                ack = remote._receive()
+                if not isinstance(ack, BatchApplied):
+                    raise TransportError(
+                        f"expected BatchApplied, got {type(ack).__name__}"
+                    )
+                if ack.epoch != target_epoch:
+                    raise TransportError(
+                        f"respawned shard {worker_index} acknowledged epoch "
+                        f"{ack.epoch}, expected {target_epoch}"
+                    )
+                return ack
         raise TransportError(
             f"respawned shard {worker_index} recovered to epoch "
             f"{state.epoch}; cannot reach epoch {target_epoch}"
@@ -655,8 +744,13 @@ class ProcessShardedDispatcher:
         Scheduled :class:`~repro.testing.faults.ShardDrain` events fire
         last, once the epoch is fully applied — a drain is a graceful
         restart, so it always sees a consistent checkpointable state.
+
+        With ``replication="delta"`` (and more than one worker) the batch
+        is not broadcast: see :meth:`_apply_delta`.
         """
         self._ensure_open()
+        if self._replication == "delta" and self._workers > 1:
+            return self._apply_delta(batch)
         target_epoch = self._epoch + 1
         if self._faults is not None:
             for victim in self._faults.kills_for(target_epoch, "before_batch"):
@@ -717,6 +811,114 @@ class ProcessShardedDispatcher:
                     "engine shards diverged: update batch acknowledged as "
                     f"{ack} vs {reference}"
                 )
+        self._batches_applied += 1
+        self._batch_records_billed += self._spec.batch_payload(batch)
+        self._epoch = reference.epoch
+        if self._faults is not None:
+            for victim in self._faults.drains_for(target_epoch):
+                self.drain_worker(victim)
+        return reference
+
+    def _apply_delta(self, batch: UpdateBatch) -> BatchApplied:
+        """Apply one epoch through the maintenance leader.
+
+        Only shard 0 receives the batch and runs the index maintenance;
+        it replies the epoch's repair delta (an unbilled
+        :class:`IndexDelta`) ahead of its billed acknowledgement, and the
+        parent fans the delta out to the read replicas, which patch their
+        index copies and acknowledge with :class:`DeltaAck`.  Every
+        shard's epoch advances before this returns — same barrier, same
+        fault semantics as the broadcast path:
+
+        * the leader dying mid-exchange recovers one epoch behind (the
+          batch never reached its log), re-applies the re-sent batch and
+          re-exports the delta;
+        * a replica dying recovers from its logged deltas, at worst one
+          epoch behind, and is caught up from the retained delta — it
+          never re-runs the geometry;
+        * a batch the leader *rejects* (e.g. the population guard) was
+          committed nowhere — no delta exists, no replica moved — and the
+          typed error propagates.
+        """
+        target_epoch = self._epoch + 1
+        if self._faults is not None:
+            for victim in self._faults.kills_for(target_epoch, "before_batch"):
+                self._kill_worker(victim)
+        self._last_batch = batch
+        leader = self._remotes[0]
+        reference: Optional[BatchApplied] = None
+        delta: Optional[IndexDelta] = None
+        leader_dead = False
+        try:
+            leader._send(batch)
+        except TransportError:
+            leader_dead = True
+        if not leader_dead:
+            try:
+                frame = leader._receive()
+                if not isinstance(frame, IndexDelta):
+                    raise TransportError(
+                        f"expected IndexDelta, got {type(frame).__name__}"
+                    )
+                delta = frame
+                ack = leader._receive()
+                if not isinstance(ack, BatchApplied):
+                    raise TransportError(
+                        f"expected BatchApplied, got {type(ack).__name__}"
+                    )
+                reference = ack
+            except ConnectionLost:
+                leader_dead = True
+        if leader_dead:
+            self._recover_worker(0)
+            reference = self._reconcile_epoch(0, target_epoch)
+            delta = self._last_delta
+            if reference is None or delta is None or delta.epoch != target_epoch:
+                # The leader committed the epoch before dying but its
+                # delta frame never arrived; the replicas cannot be
+                # caught up without re-running the geometry on them.
+                raise TransportError(
+                    f"the maintenance leader died after committing epoch "
+                    f"{target_epoch} and its repair delta was lost"
+                )
+        self._last_delta = delta
+        dead = set()
+        for worker_index in range(1, self._workers):
+            try:
+                self._remotes[worker_index]._send(delta)
+            except TransportError:
+                dead.add(worker_index)
+        for worker_index in range(1, self._workers):
+            if worker_index in dead:
+                continue
+            try:
+                ack = self._remotes[worker_index]._receive()
+                if not isinstance(ack, DeltaAck):
+                    raise TransportError(
+                        f"expected DeltaAck, got {type(ack).__name__}"
+                    )
+                # Compare against the leader's actual epoch, not the
+                # anticipated one: a batch that committed nothing (every
+                # mutation a no-op) leaves the epoch where it was, and
+                # the replicas — receiving a delta for their current
+                # epoch — correctly did nothing too.
+                if ack.epoch != reference.epoch:
+                    raise TransportError(
+                        f"read replica {worker_index} acknowledged epoch "
+                        f"{ack.epoch}, leader is at {reference.epoch} — "
+                        "the replicas diverged"
+                    )
+            except ConnectionLost:
+                dead.add(worker_index)
+        if self._faults is not None:
+            for victim in self._faults.kills_for(target_epoch, "after_batch"):
+                self._kill_worker(victim)
+                dead.add(victim)
+        for worker_index in sorted(dead):
+            self._recover_worker(worker_index)
+            ack = self._reconcile_epoch(worker_index, target_epoch)
+            if worker_index == 0 and ack is not None:
+                reference = ack
         self._batches_applied += 1
         self._batch_records_billed += self._spec.batch_payload(batch)
         self._epoch = reference.epoch

@@ -42,9 +42,11 @@ from repro.transport.codec import (
     AggregateStatsResponse,
     BatchApplied,
     CloseSession,
+    DeltaAck,
     DrainAck,
     DrainRequest,
     ErrorMessage,
+    IndexDelta,
     ObjectsRequest,
     ObjectsResponse,
     OpenSession,
@@ -72,6 +74,7 @@ def serve_connection(
     sessions: Optional[Dict[int, Session]] = None,
     orphans: Optional[Dict[int, Session]] = None,
     draining: Optional[threading.Event] = None,
+    replication_role: str = "single",
 ) -> None:
     """Serve one connection until the peer disconnects.
 
@@ -106,6 +109,19 @@ def serve_connection(
             destroy recovered sessions.
         draining: when set (by :meth:`KNNServer.drain`), the connection's
             end parks its sessions instead of closing them.
+        replication_role: how this service participates in maintenance
+            replication (see :class:`~repro.transport.procpool.
+            ProcessShardedDispatcher`).  ``"single"`` (the default) applies
+            :class:`UpdateBatch` frames locally and nothing else changes.
+            A ``"leader"`` additionally exports each applied epoch's
+            repair delta and replies it as an unbilled
+            :class:`~repro.transport.codec.IndexDelta` frame *before* the
+            billed :class:`~repro.transport.codec.BatchApplied`
+            acknowledgement.  :class:`IndexDelta` frames from the peer are
+            accepted under any role (the replica half of the exchange):
+            the delta is applied to the local index without re-running any
+            geometry and acknowledged with an unbilled
+            :class:`~repro.transport.codec.DeltaAck`.
     """
     lock = service_lock if service_lock is not None else threading.RLock()
     engine = service.engine
@@ -206,10 +222,19 @@ def serve_connection(
                     reply(SessionClosed(query_id=query_id), None)
                 elif isinstance(message, UpdateBatch):
                     engine.account_wire_bytes(None, uplink_bytes=nbytes)
+                    delta = None
                     with lock:
-                        result = service.apply(message)
+                        if replication_role == "leader":
+                            result, delta = service.apply_with_delta(message)
+                        else:
+                            result = service.apply(message)
                         token = service.durability_token()
                     service.durability_barrier(token)
+                    if delta is not None:
+                        # The repair delta is the service's internal
+                        # replication fan-out, not client traffic: it
+                        # leaves unbilled, ahead of the billed ack.
+                        reply_meta(delta)
                     reply(
                         BatchApplied(
                             epoch=result.epoch,
@@ -218,6 +243,16 @@ def serve_connection(
                         ),
                         None,
                     )
+                elif isinstance(message, IndexDelta):
+                    # The replica half of delta replication: patch the
+                    # local index from the leader's repair delta (no
+                    # geometry runs) and acknowledge.  Both frames are
+                    # meta — replication is not client traffic.
+                    with lock:
+                        service.apply_remote_delta(message)
+                        token = service.durability_token()
+                    service.durability_barrier(token)
+                    reply_meta(DeltaAck(epoch=service.epoch))
                 elif isinstance(message, DrainRequest):
                     # Park-and-checkpoint: after this acknowledgement the
                     # connection's sessions are claimable by a successor —

@@ -28,8 +28,10 @@ from repro.transport.codec import (
     AggregateStatsResponse,
     BatchApplied,
     CloseSession,
+    DeltaAck,
     DrainAck,
     DrainRequest,
+    IndexDelta,
     ErrorMessage,
     FrameReader,
     LENGTH_PREFIX_BYTES,
@@ -116,6 +118,47 @@ comm_stats = st.builds(
     downlink_bytes=st.integers(min_value=0, max_value=2**63 - 1),
 )
 
+distances = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+index_lists = st.lists(object_indexes, max_size=6).map(tuple)
+counted_groups = st.tuples(object_indexes, index_lists)
+index_deltas = st.builds(
+    IndexDelta,
+    epoch=st.integers(min_value=0, max_value=2**32 - 1),
+    payload=st.integers(min_value=0, max_value=2**32 - 1),
+    full=st.booleans(),
+    bulk=st.booleans(),
+    new_indexes=index_lists,
+    deleted_indexes=index_lists,
+    changed=index_lists,
+    points=st.lists(points, max_size=6).map(tuple),
+    neighbors=st.lists(counted_groups, max_size=5).map(tuple),
+    removed_neighbors=index_lists,
+    assignments=st.lists(
+        st.tuples(object_indexes, object_indexes), max_size=5
+    ).map(tuple),
+    groups=st.lists(counted_groups, max_size=5).map(tuple),
+    removed_groups=index_lists,
+    vertices=st.lists(
+        st.tuples(object_indexes, object_indexes, distances), max_size=5
+    ).map(tuple),
+    removed_vertices=index_lists,
+    edges=st.lists(
+        st.tuples(
+            object_indexes,
+            object_indexes,
+            object_indexes,
+            st.one_of(st.none(), distances),
+        ),
+        max_size=5,
+    ).map(tuple),
+    removed_edges=index_lists,
+    labels=st.lists(
+        st.tuples(object_indexes, index_lists, index_lists, index_lists),
+        max_size=4,
+    ).map(tuple),
+    removed_labels=index_lists,
+)
+
 control_messages = st.one_of(
     st.builds(
         OpenSession,
@@ -158,6 +201,8 @@ control_messages = st.one_of(
     ),
     st.just(AggregateStatsRequest()),
     st.just(DrainRequest()),
+    index_deltas,
+    st.builds(DeltaAck, epoch=st.integers(min_value=0, max_value=2**32 - 1)),
     st.builds(
         DrainAck,
         wal_seq=st.integers(min_value=0, max_value=2**63 - 1),
@@ -279,9 +324,26 @@ class TestMalformedInput:
         with pytest.raises(TransportError):
             decode(struct.pack("!I", len(body)) + bytes(body))
 
+    def test_truncated_index_delta_body(self):
+        delta = IndexDelta(
+            epoch=4, payload=2, new_indexes=(7,), points=(Point(1.0, 2.0),)
+        )
+        frame = encode(delta)
+        with pytest.raises(TransportError):
+            decode(frame[:-1])
+
+    def test_index_delta_count_overrun(self):
+        # An IndexDelta claiming 1000 new indexes but carrying one.
+        body = bytearray(encode(IndexDelta(epoch=1, payload=1, new_indexes=(9,)))[4:])
+        body[1 + 4 + 4 + 1 : 1 + 4 + 4 + 1 + 4] = struct.pack("!I", 1000)
+        with pytest.raises(TransportError):
+            decode(struct.pack("!I", len(body)) + bytes(body))
+
     def test_out_of_range_field_raises_transport_error_on_encode(self):
         with pytest.raises(TransportError, match="out of range"):
             encode(SessionOpened(query_id=2**40))
+        with pytest.raises(TransportError, match="out of range"):
+            encode(IndexDelta(epoch=2**40, payload=0))
 
     def test_unencodable_types_raise_transport_error(self):
         with pytest.raises(TransportError):

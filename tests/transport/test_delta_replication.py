@@ -1,0 +1,146 @@
+"""Delta replication: one shard maintains the index, the rest get patches.
+
+The PR8 acceptance suite.  With ``replication="delta"`` the process-shard
+pool elects worker 0 maintenance leader: it alone re-runs each update
+batch's geometry and ships the resulting :class:`IndexDelta` to the read
+replicas, which patch their live indexes directly.  The bar is the same
+as every transport PR before it — **bit-identical kNN answers** (ids and
+distances) and identical message/object communication counters against
+the single-engine reference, for both metrics and both invalidation
+modes — now additionally under leader kills, replica kills, and leader
+drain-and-handoff with WAL replay-to-rejoin.
+
+Byte counters are excluded as ever: the delta frames are real bytes on a
+real socket, so a delta run's wire traffic legitimately differs from a
+recomputing run's.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.server_sim import simulate_server
+from repro.testing import FaultPlan, ShardDrain, WorkerKill
+from repro.transport import ServiceSpec
+from repro.transport.procpool import ProcessShardedDispatcher
+
+from test_transport_equivalence import assert_equivalent, build_scenario
+
+
+class TestDeltaEquivalence:
+    @pytest.mark.parametrize("metric", ["euclidean", "road"])
+    def test_delta_matches_single_engine(self, metric):
+        scenario = build_scenario(metric)
+        reference = simulate_server(scenario)
+        delta = simulate_server(
+            scenario, transport="process", workers=3, replication="delta"
+        )
+        assert_equivalent(reference, delta)
+        assert delta.replication == "delta"
+        # The split is structural, not a timing comparison: replicas spent
+        # time patching, and only the leader ran real maintenance.
+        assert delta.aggregate.delta_apply_seconds > 0
+        assert reference.aggregate.delta_apply_seconds == 0
+
+    @pytest.mark.parametrize("invalidation", ["delta", "flag"])
+    def test_both_invalidation_modes_ship_deltas_identically(self, invalidation):
+        scenario = build_scenario("euclidean")
+        recomputed = simulate_server(
+            scenario, invalidation=invalidation, transport="process", workers=2
+        )
+        shipped = simulate_server(
+            scenario,
+            invalidation=invalidation,
+            transport="process",
+            workers=2,
+            replication="delta",
+        )
+        assert_equivalent(recomputed, shipped)
+
+    def test_single_worker_delta_degenerates_to_recompute(self):
+        """One shard has nobody to ship to — the modes must coincide fully."""
+        scenario = build_scenario("euclidean")
+        recomputed = simulate_server(scenario, transport="process", workers=1)
+        shipped = simulate_server(
+            scenario, transport="process", workers=1, replication="delta"
+        )
+        assert_equivalent(recomputed, shipped)
+        # Same frames on the same wire: even the byte counters agree.
+        assert (
+            shipped.communication.bytes_transmitted
+            == recomputed.communication.bytes_transmitted
+        )
+        assert shipped.aggregate.delta_apply_seconds == 0
+
+    def test_run_records_replication_mode(self):
+        scenario = build_scenario("euclidean")
+        assert simulate_server(scenario).replication == "recompute"
+        assert (
+            simulate_server(scenario, transport="process", workers=2).replication
+            == "recompute"
+        )
+
+    def test_delta_requires_process_transport(self):
+        scenario = build_scenario("euclidean")
+        with pytest.raises(ConfigurationError):
+            simulate_server(scenario, replication="delta")
+        with pytest.raises(ConfigurationError):
+            simulate_server(scenario, transport="tcp", replication="delta")
+
+    def test_dispatcher_rejects_unknown_replication(self):
+        scenario = build_scenario("euclidean")
+        with pytest.raises(ConfigurationError):
+            ProcessShardedDispatcher(
+                ServiceSpec.from_scenario(scenario),
+                workers=2,
+                replication="broadcast",
+            )
+
+
+class TestLeaderFaults:
+    """Killing or draining the maintenance leader must not cost an answer."""
+
+    def run_with_faults(self, metric, plan, tmp_path, workers=3):
+        scenario = build_scenario(metric)
+        fault_free = simulate_server(
+            scenario, transport="process", workers=workers, replication="delta"
+        )
+        faulty = simulate_server(
+            scenario,
+            transport="process",
+            workers=workers,
+            replication="delta",
+            wal_dir=str(tmp_path / "state"),
+            faults=plan,
+        )
+        assert faulty.kills_injected == plan.kill_count
+        assert faulty.respawns >= plan.kill_count
+        assert_equivalent(fault_free, faulty)
+        return faulty
+
+    @pytest.mark.parametrize("phase", ["before_batch", "after_batch"])
+    def test_leader_kill_each_phase(self, tmp_path, phase):
+        plan = FaultPlan(kills=(WorkerKill(epoch=2, worker=0, phase=phase),))
+        self.run_with_faults("euclidean", plan, tmp_path)
+
+    def test_replica_kill_replays_logged_deltas(self, tmp_path):
+        """A rejoining replica replays IndexDelta frames, not update batches."""
+        plan = FaultPlan(
+            kills=(
+                WorkerKill(epoch=1, worker=1, phase="after_batch"),
+                WorkerKill(epoch=3, worker=2, phase="before_batch"),
+            )
+        )
+        self.run_with_faults("euclidean", plan, tmp_path)
+
+    def test_leader_drain_hands_off_delta_export(self, tmp_path):
+        """The drained leader's replacement keeps exporting deltas."""
+        plan = FaultPlan(
+            kills=(WorkerKill(epoch=1, worker=0, phase="after_batch"),),
+            drains=(ShardDrain(epoch=3, worker=0),),
+        )
+        faulty = self.run_with_faults("euclidean", plan, tmp_path)
+        assert faulty.drains == 1
+
+    def test_road_leader_kill(self, tmp_path):
+        plan = FaultPlan(kills=(WorkerKill(epoch=2, worker=0, phase="after_batch"),))
+        self.run_with_faults("road", plan, tmp_path, workers=2)
