@@ -12,7 +12,11 @@ the metric-agnostic service API:
    unregisters itself when done,
 3. feed it the query's positions one timestamp at a time and read the
    answers and the communication bill (messages and objects over the wire,
-   the metric the INSQ system is designed to minimise).
+   the metric the INSQ system is designed to minimise),
+4. open a *second query kind* on the very same service: a continuous
+   order-k region monitor (``kind="region"``) that reports entry/exit
+   events whenever the moving user crosses into a new order-k Voronoi
+   region — same sessions, same messages, same accounting.
 
 Run with::
 
@@ -62,6 +66,22 @@ def main() -> None:
             "that is the point of the influential neighbor set."
         )
     # The session closed itself here; the service keeps serving others.
+
+    # 4. More than kNN: the same service serves other continuous query
+    #    kinds (see `repro.query_kinds()`).  A region monitor tracks the
+    #    order-k Voronoi region of the current kNN set and flags every
+    #    region change as an "enter" event (with the members that left).
+    with service.open_query(trajectory[0], kind="region", k=5) as monitor:
+        entries = 0
+        for position in trajectory[1:]:
+            event = monitor.update(position)
+            if event.entered:
+                entries += 1
+        print()
+        print(f"region monitor ({monitor.kind!r} kind, k=5):")
+        print(f"  region changes observed : {entries}")
+        print(f"  current members         : {sorted(event.result.knn)}")
+    service.close()
 
 
 if __name__ == "__main__":

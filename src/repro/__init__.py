@@ -55,6 +55,7 @@ from repro.core import (
     CommunicationStats,
     INSProcessor,
     INSRoadProcessor,
+    InfluentialSetMonitor,
     MovingKNNProcessor,
     MovingKNNServer,
     MovingRoadKNNServer,
@@ -64,6 +65,19 @@ from repro.core import (
     UpdateAction,
     influential_neighbor_set,
     minimal_influential_set,
+)
+from repro.queries import (
+    InfluentialResponse,
+    InfluentialResult,
+    InfluentialSitesProcessor,
+    OpenQuery,
+    OrderKRegionProcessor,
+    QueryKind,
+    RegionEvent,
+    RegionResult,
+    query_kind,
+    query_kinds,
+    register_query_kind,
 )
 from repro.service import (
     KNNResponse,
@@ -164,6 +178,19 @@ __all__ = [
     "UpdateAction",
     "influential_neighbor_set",
     "minimal_influential_set",
+    "InfluentialSetMonitor",
+    # continuous query kinds (repro.queries)
+    "QueryKind",
+    "query_kind",
+    "query_kinds",
+    "register_query_kind",
+    "InfluentialResult",
+    "InfluentialResponse",
+    "InfluentialSitesProcessor",
+    "OrderKRegionProcessor",
+    "RegionResult",
+    "RegionEvent",
+    "OpenQuery",
     # baselines
     "NaiveProcessor",
     "NaiveRoadProcessor",

@@ -19,15 +19,18 @@ checks.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Set
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, QueryError
 from repro.core.objects import QueryResult, UpdateAction
 from repro.core.processor import MovingKNNProcessor
 from repro.geometry.order_k import OrderKCell, order_k_cell
 from repro.geometry.point import Point
 from repro.geometry.primitives import BoundingBox
 from repro.index.rtree import RTree, RTreeEntry
+
+#: Relative tolerance of the vertex-invasion test (see ``_cell_invaded``).
+_INVASION_TOLERANCE = 1e-9
 
 
 class OrderKSafeRegionProcessor(MovingKNNProcessor[Point]):
@@ -55,6 +58,11 @@ class OrderKSafeRegionProcessor(MovingKNNProcessor[Point]):
             raise ConfigurationError(
                 f"k={k} must be smaller than the number of data objects ({len(points)})"
             )
+        # Keep the caller's sequence as the live source of truth: a data
+        # update mutates it in place, and a stale recompute re-syncs the
+        # private copy from it (the pre-hooks behaviour — a frozen copy —
+        # survives for callers that never call notify_data_update).
+        self._source: Sequence[Point] = points
         self._points: List[Point] = list(points)
         if bounding_box is None:
             box = BoundingBox.from_points(self._points)
@@ -66,6 +74,12 @@ class OrderKSafeRegionProcessor(MovingKNNProcessor[Point]):
             )
         self._knn: List[int] = []
         self._cell: Optional[OrderKCell] = None
+        self._removed: Set[int] = set()
+        self._pending_changed: Set[int] = set()
+        self._pending_removed: Set[int] = set()
+        self._state_stale = False
+        self._force_refresh = False
+        self._index_stale = False
 
     @property
     def name(self) -> str:
@@ -76,11 +90,119 @@ class OrderKSafeRegionProcessor(MovingKNNProcessor[Point]):
         """The current safe region (None before initialisation)."""
         return self._cell
 
+    @property
+    def state_stale(self) -> bool:
+        """True when a data-update delta is pending (settled lazily)."""
+        return self._state_stale
+
+    # ------------------------------------------------------------------
+    # Data-object updates (the engine's delta-invalidation contract)
+    # ------------------------------------------------------------------
+    def notify_data_update(
+        self, changed: Iterable[int] = (), removed: Iterable[int] = ()
+    ) -> None:
+        """Record a data-update delta; settled lazily on the next timestamp.
+
+        Args:
+            changed: objects whose positions (or Voronoi neighbour lists)
+                changed in the source sequence.
+            removed: objects deleted from the data set.
+        """
+        self._pending_changed.update(changed)
+        self._pending_removed.update(removed)
+        self._state_stale = True
+
+    def invalidate(self) -> None:
+        """Blanket invalidation: recompute on the next timestamp.
+
+        The ``invalidation="flag"`` contract, kept as the oracle of the
+        delta-equivalence tests.
+        """
+        self._force_refresh = True
+        self._state_stale = True
+
+    def _cell_invaded(self, changed: Set[int], removed: Set[int]) -> bool:
+        """Can any changed site steal a polygon vertex from a member?
+
+        The order-k cell is the locus where the member set is exactly the
+        kNN set; a foreign site invades it only if it beats some member at
+        some vertex of the (convex) polygon.  Sites that fail the test at
+        every vertex cannot intersect the cell, so the delta is absorbable.
+        """
+        if self._cell is None or not self._cell.polygon.vertices:
+            return True
+        member_points = [self._points[index] for index in self._knn]
+        for index in changed:
+            if index in removed or index >= len(self._points):
+                continue
+            if index in self._knn:
+                return True
+            site = self._points[index]
+            for vertex in self._cell.polygon.vertices:
+                d_site = vertex.distance_to(site)
+                for member in member_points:
+                    d_member = vertex.distance_to(member)
+                    self._stats.distance_computations += 1
+                    if d_site < d_member - _INVASION_TOLERANCE * max(1.0, d_member):
+                        return True
+        return False
+
+    def _settle_pending(self) -> bool:
+        """Consume the pending delta; returns True when a recompute is due."""
+        changed = self._pending_changed
+        removed = self._pending_removed
+        force = self._force_refresh
+        self._pending_changed = set()
+        self._pending_removed = set()
+        self._force_refresh = False
+        self._state_stale = False
+        self._removed.update(removed)
+        # Sync positions before testing invasion: the source moved already.
+        self._points = list(self._source)
+        if force or changed or removed:
+            # A blanket invalidation names no delta, so it must distrust
+            # the index as much as the answer.
+            self._index_stale = True
+        if force or self._cell is None:
+            return True
+        if removed.intersection(self._knn):
+            # A member vanished: the held answer is wrong, not just stale.
+            return True
+        if self._cell_invaded(changed, removed):
+            return True
+        # Removals outside the member set only grow the region; changes
+        # that cannot invade the polygon leave the answer untouched.
+        self._stats.absorbed_updates += 1
+        return False
+
     # ------------------------------------------------------------------
     # Lifecycle hooks
     # ------------------------------------------------------------------
+    def _active_indexes(self) -> List[int]:
+        return [
+            index for index in range(len(self._points)) if index not in self._removed
+        ]
+
     def _recompute(self, position: Point) -> None:
         with self._stats.time_construction():
+            active = self._active_indexes() if self._removed else None
+            if active is not None and len(active) <= self.k:
+                raise QueryError(
+                    f"k={self.k} needs more than {len(active)} surviving "
+                    "data objects"
+                )
+            if self._index_stale:
+                # Positions moved (or objects vanished) since the index was
+                # built: rebuild it over the surviving population.
+                self._rtree = RTree.bulk_load(
+                    [
+                        RTreeEntry(self._points[index], index)
+                        for index in (
+                            active if active is not None else range(len(self._points))
+                        )
+                    ]
+                )
+                self._index_stale = False
             self._rtree.reset_counters()
             nearest = self._rtree.nearest_neighbors(position, self.k)
             self._stats.index_node_accesses += self._rtree.node_accesses
@@ -90,6 +212,7 @@ class OrderKSafeRegionProcessor(MovingKNNProcessor[Point]):
                 self._knn,
                 reference=position,
                 bounding_box=self._bounding_box,
+                candidate_indexes=active,
             )
             # The construction examines many candidate objects; count the
             # bisector distance evaluations as client/server work.
@@ -112,10 +235,15 @@ class OrderKSafeRegionProcessor(MovingKNNProcessor[Point]):
         )
 
     def _initialize(self, position: Point) -> QueryResult:
+        if self._state_stale:
+            self._settle_pending()
         self._recompute(position)
         return self._result(position, UpdateAction.FULL_RECOMPUTE, was_valid=False)
 
     def _update(self, position: Point) -> QueryResult:
+        if self._state_stale and self._settle_pending():
+            self._recompute(position)
+            return self._result(position, UpdateAction.FULL_RECOMPUTE, was_valid=False)
         with self._stats.time_validation():
             self._stats.validations += 1
             inside = self._cell is not None and self._cell.contains(position)

@@ -129,6 +129,7 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
         # advances different queries from different worker threads.
         self._communication = CommunicationStats()
         self._comm_by_query: Dict[int, CommunicationStats] = {}
+        self._comm_by_kind: Dict[str, CommunicationStats] = {}
         self._comm_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -150,6 +151,9 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        # Snapshots taken before per-kind accounting existed restore with an
+        # empty kind ledger; it repopulates as exchanges are billed.
+        self.__dict__.setdefault("_comm_by_kind", {})
         self._comm_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -218,6 +222,35 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
             for query_id, record in self._comm_by_query.items()
         }
 
+    def communication_by_kind(self) -> Dict[str, CommunicationStats]:
+        """Communication counters per query *kind* (snapshots).
+
+        Buckets exchanges by the kind of the query they were billed to
+        (``"knn"``, ``"influential"``, ``"region"``, ...).  Only per-query
+        exchanges are bucketed: the mutation stream's uplink messages and
+        exchanges billed after a query closed (e.g. its goodbye-ack bytes)
+        belong to no kind and appear in the aggregate only.
+        """
+        with self._comm_lock:
+            return {kind: record.snapshot() for kind, record in self._comm_by_kind.items()}
+
+    def kind_for(self, query_id: int) -> str:
+        """The registered query kind of ``query_id`` (``"knn"`` by default)."""
+        if query_id not in self._queries:
+            raise QueryError(f"unknown query {query_id}")
+        return getattr(self._queries[query_id], "kind", "knn")
+
+    def _kind_bucket(self, query_id: int) -> Optional[CommunicationStats]:
+        """The per-kind accumulator of a *registered* query (lock held)."""
+        record = self._queries.get(query_id)
+        if record is None:
+            return None
+        kind = getattr(record, "kind", "knn")
+        bucket = self._comm_by_kind.get(kind)
+        if bucket is None:
+            bucket = self._comm_by_kind[kind] = CommunicationStats()
+        return bucket
+
     def _account(
         self,
         query_id: Optional[int],
@@ -243,6 +276,9 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
                 record = self._comm_by_query.get(query_id)
                 if record is not None:
                     record.merge(delta)
+                bucket = self._kind_bucket(query_id)
+                if bucket is not None:
+                    bucket.merge(delta)
 
     def account_wire_bytes(
         self,
@@ -418,8 +454,11 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
             self._communication.uplink_messages += 1
             self._communication.uplink_objects += payload
             self._communication.downlink_messages += len(self._queries)
-            for record in self._comm_by_query.values():
+            for query_id, record in self._comm_by_query.items():
                 record.downlink_messages += 1
+                bucket = self._kind_bucket(query_id)
+                if bucket is not None:
+                    bucket.downlink_messages += 1
         return self._epoch
 
     # ------------------------------------------------------------------

@@ -36,7 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import QueryError
+from repro.errors import ConfigurationError, QueryError
 from repro.core.engine import ServingEngine
 from repro.core.ins_road import INSRoadProcessor
 from repro.roadnet.graph import RoadNetwork
@@ -54,6 +54,7 @@ class RegisteredRoadQuery:
     rho: float
     validation_mode: str
     processor: INSRoadProcessor
+    kind: str = "knn"
 
 
 @dataclass(frozen=True)
@@ -149,11 +150,21 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
         k: int,
         rho: float = 1.6,
         validation_mode: str = "restricted",
+        kind: str = "knn",
     ) -> int:
         """Register a new moving query and compute its first answer.
 
         Returns the query identifier used for subsequent position updates.
+        The non-kNN continuous kinds are Euclidean-only for now: their safe
+        regions are planar constructions (order-k Voronoi cells, Voronoi
+        neighbour lists on the plane) with no network-metric counterpart in
+        this codebase yet.
         """
+        if kind != "knn":
+            raise ConfigurationError(
+                f"continuous {kind!r} queries are Euclidean-only; the road "
+                "metric serves kind='knn' sessions"
+            )
         processor = INSRoadProcessor(
             self._network,
             self._voronoi.vertex_assignments,

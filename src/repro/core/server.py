@@ -42,12 +42,19 @@ from repro.index.vortree import VoRTree
 
 @dataclass(frozen=True)
 class RegisteredQuery:
-    """Bookkeeping record of one registered moving query."""
+    """Bookkeeping record of one registered moving query.
+
+    ``kind`` names the continuous query kind (``"knn"`` for the classic
+    moving-kNN query; see :mod:`repro.queries.kinds` for the registry), and
+    ``processor`` is whichever :class:`~repro.core.processor.
+    MovingKNNProcessor` that kind builds — ``INSProcessor`` for kNN.
+    """
 
     query_id: int
     k: int
     rho: float
     processor: INSProcessor
+    kind: str = "knn"
 
 
 @dataclass(frozen=True)
@@ -117,6 +124,11 @@ class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
         return self._vortree.maintenance
 
     @property
+    def allow_incremental(self) -> bool:
+        """Whether registered queries use case-(i) incremental updates."""
+        return self._allow_incremental
+
+    @property
     def object_count(self) -> int:
         """Number of active data objects."""
         return len(self._vortree)
@@ -124,10 +136,16 @@ class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
     # ------------------------------------------------------------------
     # Query lifecycle
     # ------------------------------------------------------------------
-    def register_query(self, position: Point, k: int, rho: float = 1.6) -> int:
-        """Register a new moving query and compute its first answer.
+    def register_query(
+        self, position: Point, k: int, rho: float = 1.6, kind: str = "knn"
+    ) -> int:
+        """Register a new continuous query and compute its first answer.
 
-        Returns the query identifier used for subsequent position updates.
+        ``kind`` selects the continuous query kind: ``"knn"`` (the default)
+        builds the classic INS moving-kNN processor inline; any other name
+        is resolved through the :mod:`repro.queries.kinds` registry, which
+        owns the processor construction for that kind.  Returns the query
+        identifier used for subsequent position updates.
         """
         if k < 1:
             raise ConfigurationError("k must be at least 1")
@@ -135,19 +153,26 @@ class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
             raise ConfigurationError(
                 f"k={k} must be smaller than the number of data objects ({self.object_count})"
             )
-        processor = INSProcessor(
-            self._vortree.positions,
-            k,
-            rho=rho,
-            vortree=self._vortree,
-            allow_incremental=self._allow_incremental,
-        )
+        if kind == "knn":
+            processor = INSProcessor(
+                self._vortree.positions,
+                k,
+                rho=rho,
+                vortree=self._vortree,
+                allow_incremental=self._allow_incremental,
+            )
+        else:
+            # Imported lazily: the registry imports processor modules that
+            # import this module's engine machinery.
+            from repro.queries.kinds import query_kind
+
+            processor = query_kind(kind).build_processor(self, k=k, rho=rho)
         # Initialize before admitting: a failing first answer must not
         # leave a zombie query behind.
         processor.initialize(position)
         return self._admit(
             lambda query_id: RegisteredQuery(
-                query_id=query_id, k=k, rho=rho, processor=processor
+                query_id=query_id, k=k, rho=rho, processor=processor, kind=kind
             )
         )
 

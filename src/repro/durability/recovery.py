@@ -57,6 +57,7 @@ from repro.transport.codec import (
     BatchApplied,
     CloseSession,
     IndexDelta,
+    OpenQuery,
     OpenSession,
     PositionUpdate,
     RefreshRequest,
@@ -225,6 +226,30 @@ class DurableKNNService(KNNService):
         )
         return session
 
+    def open_query(
+        self,
+        position: Any,
+        kind: str = "knn",
+        *,
+        k: int,
+        rho: float = 1.6,
+        **query_options: Any,
+    ) -> Session:
+        if kind == "knn":
+            # Routes through open_session, which logs the classic
+            # OpenSession/SessionOpened pair — the log stays byte-identical
+            # to a pre-queries-era kNN workload.
+            return super().open_query(position, kind=kind, k=k, rho=rho, **query_options)
+        session = super().open_query(position, kind=kind, k=k, rho=rho, **query_options)
+        options = tuple(
+            (str(name), str(value)) for name, value in query_options.items()
+        )
+        self._log(
+            OpenQuery(kind=kind, position=position, k=k, rho=rho, options=options),
+            SessionOpened(query_id=session.query_id),
+        )
+        return session
+
     def _deliver(self, query_id: int, position: Any) -> KNNResponse:
         response = super()._deliver(query_id, position)
         self._log(PositionUpdate(query_id=query_id, position=position))
@@ -278,7 +303,7 @@ class DurableKNNService(KNNService):
             "metric": self.metric,
             "engine": self.engine,
             "sessions": [
-                (session.query_id, session.k, session.rho)
+                (session.query_id, session.k, session.rho, session.kind)
                 for session in self._sessions.values()
             ],
         }
@@ -376,9 +401,40 @@ class DurableKNNService(KNNService):
                     applied += 2
                     index += 2
                     continue
+                if isinstance(message, OpenQuery):
+                    if index + 1 >= len(records):
+                        # Unacknowledged open: the client never saw the
+                        # session, so it never happened.
+                        break
+                    ack = records[index + 1].message
+                    if not isinstance(ack, SessionOpened):
+                        raise DurabilityError(
+                            f"WAL record {record.seq}: OpenQuery not "
+                            f"followed by its SessionOpened ack"
+                        )
+                    session = self.open_query(
+                        message.position,
+                        kind=message.kind,
+                        k=message.k,
+                        rho=message.rho,
+                        **dict(message.options),
+                    )
+                    if session.query_id != ack.query_id:
+                        raise DurabilityError(
+                            f"replay diverged: engine assigned query id "
+                            f"{session.query_id}, log recorded {ack.query_id}"
+                        )
+                    bill(
+                        session.query_id,
+                        uplink=len(encode(message)),
+                        downlink=wire_size(ack),
+                    )
+                    applied += 2
+                    index += 2
+                    continue
                 if isinstance(message, SessionOpened):
-                    # Its OpenSession half predates the snapshot; the
-                    # registration is already in the restored state.
+                    # Its OpenSession/OpenQuery half predates the snapshot;
+                    # the registration is already in the restored state.
                     index += 1
                     continue
                 if isinstance(message, PositionUpdate):
@@ -536,8 +592,13 @@ def recover_service(
 
     service = DurableKNNService.__new__(DurableKNNService)
     KNNService.__init__(service, engine)
-    for query_id, k, rho in payload["sessions"]:
-        service._sessions[query_id] = Session(service, query_id, k=k, rho=rho)
+    for entry in payload["sessions"]:
+        # Pre-queries-era snapshots store (query_id, k, rho) triples.
+        query_id, k, rho = entry[:3]
+        kind = entry[3] if len(entry) > 3 else "knn"
+        service._sessions[query_id] = Session(
+            service, query_id, k=k, rho=rho, kind=kind
+        )
     service._wal_dir = str(wal_dir)
     service._replaying = False
     service._snapshot_every = snapshot_every

@@ -76,6 +76,7 @@ def order_k_cell(
     member_indexes: Iterable[int],
     reference: Optional[Point] = None,
     bounding_box: Optional[BoundingBox] = None,
+    candidate_indexes: Optional[Iterable[int]] = None,
 ) -> OrderKCell:
     """Construct the order-k Voronoi cell of ``member_indexes``.
 
@@ -87,13 +88,19 @@ def order_k_cell(
             early.  Defaults to the centroid of the members.
         bounding_box: clipping box.  Defaults to a box 3x the extent of the
             sites, matching :class:`repro.geometry.voronoi.VoronoiDiagram`.
+        candidate_indexes: when given, restricts the construction (clipping
+            candidates, the default box, and the MIS recovery) to these site
+            indexes — the *active* objects of a live index whose ``sites``
+            sequence still carries tombstoned positions.  Must include every
+            member.  ``None`` (the default) uses every site.
 
     Returns:
         The :class:`OrderKCell`, whose polygon may be empty when the member
         set is not actually a kNN set anywhere inside the bounding box.
 
     Raises:
-        GeometryError: when ``member_indexes`` is empty or out of range.
+        GeometryError: when ``member_indexes`` is empty or out of range, or
+            when a member is missing from ``candidate_indexes``.
     """
     members = sorted(set(member_indexes))
     if not members:
@@ -102,9 +109,24 @@ def order_k_cell(
     for index in members:
         if index < 0 or index >= n:
             raise GeometryError(f"member index {index} out of range 0..{n - 1}")
+    if candidate_indexes is None:
+        candidates: List[int] = list(range(n))
+    else:
+        candidates = sorted(set(candidate_indexes))
+        for index in candidates:
+            if index < 0 or index >= n:
+                raise GeometryError(
+                    f"candidate index {index} out of range 0..{n - 1}"
+                )
+        candidate_set = set(candidates)
+        for index in members:
+            if index not in candidate_set:
+                raise GeometryError(
+                    f"member index {index} missing from candidate_indexes"
+                )
 
     if bounding_box is None:
-        box = BoundingBox.from_points(sites)
+        box = BoundingBox.from_points([sites[i] for i in candidates])
         bounding_box = box.expanded(max(box.width, box.height, 1.0))
     if reference is None:
         reference = centroid([sites[i] for i in members])
@@ -115,7 +137,7 @@ def order_k_cell(
 
     polygon = ConvexPolygon.from_bounding_box(bounding_box)
     outsiders = sorted(
-        (i for i in range(n) if i not in member_set),
+        (i for i in candidates if i not in member_set),
         key=lambda i: reference.distance_squared_to(sites[i]),
     )
 
@@ -130,7 +152,7 @@ def order_k_cell(
         halfplanes = [bisector_halfplane(p, sites[outsider]) for p in member_points]
         polygon = polygon.clip_halfplanes(halfplanes)
 
-    mis, clipped = _mis_from_polygon(sites, member_set, polygon, bounding_box)
+    mis, clipped = _mis_from_polygon(sites, member_set, polygon, bounding_box, candidates)
     return OrderKCell(
         member_indexes=frozenset(member_set),
         polygon=polygon,
@@ -145,6 +167,7 @@ def _mis_from_polygon(
     member_set: Set[int],
     polygon: ConvexPolygon,
     bounding_box: BoundingBox,
+    candidates: Sequence[int],
 ) -> Tuple[Set[int], bool]:
     """Recover the MIS from the final cell polygon.
 
@@ -166,7 +189,7 @@ def _mis_from_polygon(
             clipped = True
             continue
         distances = sorted(
-            range(len(sites)), key=lambda i: mid.distance_squared_to(sites[i])
+            candidates, key=lambda i: mid.distance_squared_to(sites[i])
         )
         if len(distances) <= k:
             continue
@@ -223,7 +246,21 @@ def order_k_cell_of_query(
     query: Point,
     k: int,
     bounding_box: Optional[BoundingBox] = None,
+    candidate_indexes: Optional[Iterable[int]] = None,
 ) -> OrderKCell:
     """The order-k cell containing ``query`` (the safe region of its kNN set)."""
-    members = knn_indexes(sites, query, k)
-    return order_k_cell(sites, members, reference=query, bounding_box=bounding_box)
+    if candidate_indexes is None:
+        members = knn_indexes(sites, query, k)
+    else:
+        candidates = sorted(set(candidate_indexes))
+        order = sorted(
+            candidates, key=lambda i: (query.distance_squared_to(sites[i]), i)
+        )
+        members = order[:k]
+    return order_k_cell(
+        sites,
+        members,
+        reference=query,
+        bounding_box=bounding_box,
+        candidate_indexes=candidate_indexes,
+    )

@@ -205,6 +205,35 @@ class KNNService:
         self._sessions[query_id] = session
         return session
 
+    def open_query(
+        self,
+        position: Any,
+        kind: str = "knn",
+        *,
+        k: int,
+        rho: float = 1.6,
+        **query_options: Any,
+    ) -> Session:
+        """Register a continuous query of any registered kind.
+
+        ``kind="knn"`` routes through :meth:`open_session` (so the classic
+        query keeps its wire frame and durability log record); other kinds
+        resolve through the :mod:`repro.queries.kinds` registry.  The
+        returned :class:`Session` reports its kind and speaks the same
+        message protocol — the response's ``result`` carries the kind's
+        widened answer (``sites`` for influential, ``event``/``departed``
+        for region monitoring).
+        """
+        if kind == "knn":
+            return self.open_session(position, k, rho=rho, **query_options)
+        self._ensure_open()
+        query_id = self._engine.register_query(
+            position, k, rho=rho, kind=kind, **query_options
+        )
+        session = Session(self, query_id, k=k, rho=rho, kind=kind)
+        self._sessions[query_id] = session
+        return session
+
     def _discard(self, session: Session) -> None:
         """Session teardown (called by :meth:`Session.close`)."""
         self._sessions.pop(session.query_id, None)
@@ -271,7 +300,13 @@ class KNNService:
         self, query_id: int, result, before: CommunicationStats
     ) -> KNNResponse:
         after = self._engine.communication_for(query_id)
-        return KNNResponse(
+        # response_for picks the response frame matching the result's kind
+        # (KNNResponse, InfluentialResponse, RegionEvent).  Imported here,
+        # not at module level: repro.queries.messages subclasses this
+        # module's response types, so a top-level import would be circular.
+        from repro.queries.messages import response_for
+
+        return response_for(
             query_id=query_id,
             result=result,
             objects_shipped=after.downlink_objects - before.downlink_objects,

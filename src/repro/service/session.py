@@ -50,7 +50,9 @@ class Session:
     read the local engine).
     """
 
-    def __init__(self, service, query_id: int, k: int, rho: float):
+    def __init__(
+        self, service, query_id: int, k: int, rho: float, kind: str = "knn"
+    ):
         self._service = service
         # Remote services have no local engine; the engine-backed
         # properties (stats, communication) are overridden there.
@@ -58,6 +60,7 @@ class Session:
         self._query_id = query_id
         self._k = k
         self._rho = rho
+        self._kind = kind
         self._closed = False
         self._last_response: Optional[KNNResponse] = None
 
@@ -78,6 +81,11 @@ class Session:
     def rho(self) -> float:
         """The session's prefetch ratio ρ."""
         return self._rho
+
+    @property
+    def kind(self) -> str:
+        """The session's continuous query kind (``"knn"`` by default)."""
+        return self._kind
 
     @property
     def closed(self) -> bool:
@@ -109,8 +117,8 @@ class Session:
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
         return (
-            f"Session(query_id={self._query_id}, k={self._k}, "
-            f"rho={self._rho}, {state})"
+            f"Session(query_id={self._query_id}, kind={self._kind!r}, "
+            f"k={self._k}, rho={self._rho}, {state})"
         )
 
     # ------------------------------------------------------------------

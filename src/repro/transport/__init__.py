@@ -39,6 +39,9 @@ from repro.transport.client import (
 )
 from repro.transport.codec import (
     FrameReader,
+    InfluentialResponse,
+    OpenQuery,
+    RegionEvent,
     decode,
     encode,
     wire_size,
@@ -50,9 +53,12 @@ from repro.transport.stream import MessageStream
 __all__ = [
     "ConnectionLost",
     "FrameReader",
+    "InfluentialResponse",
     "KNNServer",
     "MessageStream",
+    "OpenQuery",
     "ProcessShardedDispatcher",
+    "RegionEvent",
     "RemoteService",
     "RemoteSession",
     "RequestTimeout",

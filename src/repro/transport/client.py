@@ -49,6 +49,7 @@ from repro.transport.codec import (
     IndexDelta,
     ObjectsRequest,
     ObjectsResponse,
+    OpenQuery,
     OpenSession,
     RefreshRequest,
     SessionClosed,
@@ -356,7 +357,35 @@ class RemoteService:
         self._sessions[opened.query_id] = session
         return session
 
-    def attach_session(self, query_id: int, k: int, rho: float = 1.6) -> RemoteSession:
+    def open_query(
+        self,
+        position: Any,
+        kind: str = "knn",
+        *,
+        k: int,
+        rho: float = 1.6,
+        **query_options: Any,
+    ) -> RemoteSession:
+        """Register a continuous query of any kind; returns its session.
+
+        ``kind="knn"`` routes through :meth:`open_session` so the wire
+        exchange (and the server's durability log) stays identical to a
+        plain kNN open; other kinds send an :class:`OpenQuery` frame.
+        """
+        if kind == "knn":
+            return self.open_session(position, k=k, rho=rho, **query_options)
+        options = tuple((name, str(value)) for name, value in query_options.items())
+        opened = self._request(
+            OpenQuery(kind=kind, position=position, k=k, rho=rho, options=options),
+            SessionOpened,
+        )
+        session = RemoteSession(self, opened.query_id, k=k, rho=rho, kind=kind)
+        self._sessions[opened.query_id] = session
+        return session
+
+    def attach_session(
+        self, query_id: int, k: int, rho: float = 1.6, kind: str = "knn"
+    ) -> RemoteSession:
         """Adopt a session that already exists on the server.
 
         No wire traffic: the handle simply binds to the given query id.
@@ -368,7 +397,7 @@ class RemoteService:
         """
         if query_id in self._sessions:
             raise QueryError(f"query {query_id} already has a session handle")
-        session = RemoteSession(self, query_id, k=k, rho=rho)
+        session = RemoteSession(self, query_id, k=k, rho=rho, kind=kind)
         self._sessions[query_id] = session
         return session
 

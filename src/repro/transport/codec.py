@@ -55,6 +55,9 @@ from repro.errors import (
 from repro.core.objects import QueryResult, UpdateAction
 from repro.core.stats import CommunicationStats, ProcessorStats
 from repro.geometry.point import Point
+from repro.queries.influential import InfluentialResult
+from repro.queries.messages import InfluentialResponse, OpenQuery, RegionEvent
+from repro.queries.region import RegionResult
 from repro.roadnet.location import NetworkLocation
 from repro.service.messages import KNNResponse, PositionUpdate, UpdateBatch
 
@@ -69,10 +72,13 @@ __all__ = [
     "ErrorMessage",
     "FrameReader",
     "IndexDelta",
+    "InfluentialResponse",
     "ObjectsRequest",
     "ObjectsResponse",
+    "OpenQuery",
     "OpenSession",
     "RefreshRequest",
+    "RegionEvent",
     "SessionClosed",
     "SessionOpened",
     "StatsRequest",
@@ -110,6 +116,9 @@ _T_DRAIN_REQUEST = 0x11
 _T_DRAIN_ACK = 0x12
 _T_INDEX_DELTA = 0x13
 _T_DELTA_ACK = 0x14
+_T_OPEN_QUERY = 0x15
+_T_INFLUENTIAL_RESPONSE = 0x16
+_T_REGION_EVENT = 0x17
 
 # Tagged position / batch-target kinds.
 _POS_POINT = 0x00
@@ -125,6 +134,10 @@ _ACTIONS = (
     UpdateAction.FULL_RECOMPUTE,
 )
 _ACTION_CODE = {action: code for code, action in enumerate(_ACTIONS)}
+
+#: Wire order of the region-monitor event names (append-only by contract).
+_REGION_EVENTS = ("stay", "enter")
+_REGION_EVENT_CODE = {event: code for code, event in enumerate(_REGION_EVENTS)}
 
 #: Wire names of the error classes a server may relay (client re-raises).
 _ERROR_KINDS: Dict[str, Type[ReproError]] = {
@@ -677,9 +690,9 @@ def _encode_position_update(message: PositionUpdate) -> bytes:
     return writer.frame()
 
 
-def _encode_knn_response(message: KNNResponse) -> bytes:
+def _write_response_body(writer: _Writer, message: KNNResponse) -> None:
+    """The fields every kind's response shares (the KNNResponse layout)."""
     result = message.result
-    writer = _Writer(_T_KNN_RESPONSE)
     writer.i32(message.query_id)
     writer.u32(message.objects_shipped)
     writer.u32(message.round_trips)
@@ -695,6 +708,35 @@ def _encode_knn_response(message: KNNResponse) -> bytes:
     guards = sorted(result.guard_objects)
     writer.u32(len(guards))
     for index in guards:
+        writer.u32(index)
+
+
+def _encode_knn_response(message: KNNResponse) -> bytes:
+    writer = _Writer(_T_KNN_RESPONSE)
+    _write_response_body(writer, message)
+    return writer.frame()
+
+
+def _encode_influential_response(message: InfluentialResponse) -> bytes:
+    writer = _Writer(_T_INFLUENTIAL_RESPONSE)
+    _write_response_body(writer, message)
+    sites = message.result.sites
+    writer.u32(len(sites))
+    for index in sites:
+        writer.u32(index)
+    return writer.frame()
+
+
+def _encode_region_event(message: RegionEvent) -> bytes:
+    writer = _Writer(_T_REGION_EVENT)
+    _write_response_body(writer, message)
+    result = message.result
+    code = _REGION_EVENT_CODE.get(result.event)
+    if code is None:
+        raise TransportError(f"unknown region event {result.event!r}")
+    writer.u8(code)
+    writer.u32(len(result.departed))
+    for index in result.departed:
         writer.u32(index)
     return writer.frame()
 
@@ -716,6 +758,19 @@ def _encode_update_batch(message: UpdateBatch) -> bytes:
 
 def _encode_open_session(message: OpenSession) -> bytes:
     writer = _Writer(_T_OPEN_SESSION)
+    writer.u32(message.k)
+    writer.f64(message.rho)
+    writer.position(message.position)
+    writer.u8(len(message.options))
+    for name, value in message.options:
+        writer.string(name)
+        writer.string(value)
+    return writer.frame()
+
+
+def _encode_open_query(message: OpenQuery) -> bytes:
+    writer = _Writer(_T_OPEN_QUERY)
+    writer.string(message.kind)
     writer.u32(message.k)
     writer.f64(message.rho)
     writer.position(message.position)
@@ -871,8 +926,11 @@ def _encode_agg_stats_response(message: AggregateStatsResponse) -> bytes:
 _ENCODERS = {
     PositionUpdate: _encode_position_update,
     KNNResponse: _encode_knn_response,
+    InfluentialResponse: _encode_influential_response,
+    RegionEvent: _encode_region_event,
     UpdateBatch: _encode_update_batch,
     OpenSession: _encode_open_session,
+    OpenQuery: _encode_open_query,
     SessionOpened: lambda m: _encode_query_id_only(_T_SESSION_OPENED, m.query_id),
     CloseSession: lambda m: _encode_query_id_only(_T_CLOSE_SESSION, m.query_id),
     SessionClosed: lambda m: _encode_query_id_only(_T_SESSION_CLOSED, m.query_id),
@@ -921,7 +979,9 @@ def _decode_position_update(reader: _Reader) -> PositionUpdate:
     )
 
 
-def _decode_knn_response(reader: _Reader) -> KNNResponse:
+def _read_response_body(reader: _Reader) -> Tuple[int, int, int, int, Dict[str, Any]]:
+    """Read the shared response layout; returns the envelope fields plus
+    the :class:`QueryResult` constructor kwargs (kind decoders widen them)."""
     query_id = reader.i32()
     objects_shipped = reader.u32()
     round_trips = reader.u32()
@@ -936,7 +996,7 @@ def _decode_knn_response(reader: _Reader) -> KNNResponse:
     distances = tuple(reader.f64() for _ in range(k))
     guard_count = reader.u32()
     guards = frozenset(reader.u32() for _ in range(guard_count))
-    result = QueryResult(
+    result_kwargs = dict(
         timestamp=timestamp,
         knn=knn,
         knn_distances=distances,
@@ -944,9 +1004,45 @@ def _decode_knn_response(reader: _Reader) -> KNNResponse:
         action=_ACTIONS[action_code],
         was_valid=was_valid,
     )
+    return query_id, objects_shipped, round_trips, epoch, result_kwargs
+
+
+def _decode_knn_response(reader: _Reader) -> KNNResponse:
+    query_id, objects_shipped, round_trips, epoch, kwargs = _read_response_body(reader)
     return KNNResponse(
         query_id=query_id,
-        result=result,
+        result=QueryResult(**kwargs),
+        objects_shipped=objects_shipped,
+        round_trips=round_trips,
+        epoch=epoch,
+    )
+
+
+def _decode_influential_response(reader: _Reader) -> InfluentialResponse:
+    query_id, objects_shipped, round_trips, epoch, kwargs = _read_response_body(reader)
+    site_count = reader.u32()
+    sites = tuple(reader.u32() for _ in range(site_count))
+    return InfluentialResponse(
+        query_id=query_id,
+        result=InfluentialResult(sites=sites, **kwargs),
+        objects_shipped=objects_shipped,
+        round_trips=round_trips,
+        epoch=epoch,
+    )
+
+
+def _decode_region_event(reader: _Reader) -> RegionEvent:
+    query_id, objects_shipped, round_trips, epoch, kwargs = _read_response_body(reader)
+    event_code = reader.u8()
+    if event_code >= len(_REGION_EVENTS):
+        raise TransportError(f"unknown region event code 0x{event_code:02x}")
+    departed_count = reader.u32()
+    departed = tuple(reader.u32() for _ in range(departed_count))
+    return RegionEvent(
+        query_id=query_id,
+        result=RegionResult(
+            event=_REGION_EVENTS[event_code], departed=departed, **kwargs
+        ),
         objects_shipped=objects_shipped,
         round_trips=round_trips,
         epoch=epoch,
@@ -970,6 +1066,16 @@ def _decode_open_session(reader: _Reader) -> OpenSession:
     n_options = reader.u8()
     options = tuple((reader.string(), reader.string()) for _ in range(n_options))
     return OpenSession(position=position, k=k, rho=rho, options=options)
+
+
+def _decode_open_query(reader: _Reader) -> OpenQuery:
+    kind = reader.string()
+    k = reader.u32()
+    rho = reader.f64()
+    position = reader.position()
+    n_options = reader.u8()
+    options = tuple((reader.string(), reader.string()) for _ in range(n_options))
+    return OpenQuery(kind=kind, position=position, k=k, rho=rho, options=options)
 
 
 def _decode_batch_applied(reader: _Reader) -> BatchApplied:
@@ -1067,8 +1173,11 @@ def _decode_agg_stats_response(reader: _Reader) -> AggregateStatsResponse:
 _DECODERS = {
     _T_POSITION_UPDATE: _decode_position_update,
     _T_KNN_RESPONSE: _decode_knn_response,
+    _T_INFLUENTIAL_RESPONSE: _decode_influential_response,
+    _T_REGION_EVENT: _decode_region_event,
     _T_UPDATE_BATCH: _decode_update_batch,
     _T_OPEN_SESSION: _decode_open_session,
+    _T_OPEN_QUERY: _decode_open_query,
     _T_SESSION_OPENED: lambda r: SessionOpened(query_id=r.i32()),
     _T_CLOSE_SESSION: lambda r: CloseSession(query_id=r.i32()),
     _T_SESSION_CLOSED: lambda r: SessionClosed(query_id=r.i32()),
@@ -1150,12 +1259,32 @@ def _size_update_batch(message: UpdateBatch) -> int:
     )
 
 
+def _size_influential_response(message: InfluentialResponse) -> int:
+    return _size_knn_response(message) + 4 + 4 * len(message.result.sites)
+
+
+def _size_region_event(message: RegionEvent) -> int:
+    return _size_knn_response(message) + 1 + 4 + 4 * len(message.result.departed)
+
+
 def _size_open_session(message: OpenSession) -> int:
     options = sum(
         4 + len(name.encode("utf-8")) + len(value.encode("utf-8"))
         for name, value in message.options
     )
     return _OVERHEAD + 4 + 8 + _position_size(message.position) + 1 + options
+
+
+def _size_open_query(message: OpenQuery) -> int:
+    options = sum(
+        4 + len(name.encode("utf-8")) + len(value.encode("utf-8"))
+        for name, value in message.options
+    )
+    return (
+        _OVERHEAD
+        + 2 + len(message.kind.encode("utf-8"))
+        + 4 + 8 + _position_size(message.position) + 1 + options
+    )
 
 
 def _size_error(message: ErrorMessage) -> int:
@@ -1215,8 +1344,11 @@ def _size_index_delta(message: IndexDelta) -> int:
 _SIZERS = {
     PositionUpdate: _size_position_update,
     KNNResponse: _size_knn_response,
+    InfluentialResponse: _size_influential_response,
+    RegionEvent: _size_region_event,
     UpdateBatch: _size_update_batch,
     OpenSession: _size_open_session,
+    OpenQuery: _size_open_query,
     SessionOpened: lambda m: _OVERHEAD + 4,
     CloseSession: lambda m: _OVERHEAD + 4,
     SessionClosed: lambda m: _OVERHEAD + 4,

@@ -631,6 +631,32 @@ class ProcessShardedDispatcher:
         self._worker_of[id(session)] = worker_index
         return session
 
+    def open_query(
+        self,
+        position: Any,
+        kind: str = "knn",
+        *,
+        k: int,
+        rho: float = 1.6,
+        **query_options: Any,
+    ) -> RemoteSession:
+        """Open the next continuous query (any kind) on its pinned shard.
+
+        Pinning is kind-blind: the ``i``-th open (session or query) lands
+        on worker ``i % workers``, so mixed-kind workloads replay onto the
+        same shards at any worker count.
+        """
+        self._ensure_open()
+        global_id = len(self._sessions)
+        worker_index = global_id % self._workers
+        session = self._remotes[worker_index].open_query(
+            position, kind=kind, k=k, rho=rho, **query_options
+        )
+        session.global_id = global_id
+        self._sessions.append(session)
+        self._worker_of[id(session)] = worker_index
+        return session
+
     # ------------------------------------------------------------------
     # Pipelined dispatch
     # ------------------------------------------------------------------

@@ -49,6 +49,7 @@ from repro.transport.codec import (
     IndexDelta,
     ObjectsRequest,
     ObjectsResponse,
+    OpenQuery,
     OpenSession,
     PositionUpdate,
     RefreshRequest,
@@ -202,6 +203,24 @@ def serve_connection(
                     sessions[session.query_id] = session
                     # The open exchange is billed to the session it created,
                     # mirroring how registration messages are accounted.
+                    engine.account_wire_bytes(session.query_id, uplink_bytes=nbytes)
+                    reply(SessionOpened(query_id=session.query_id), session.query_id)
+                elif isinstance(message, OpenQuery):
+                    try:
+                        with lock:
+                            session = service.open_query(
+                                message.position,
+                                kind=message.kind,
+                                k=message.k,
+                                rho=message.rho,
+                                **dict(message.options),
+                            )
+                            token = service.durability_token()
+                    except ReproError:
+                        engine.account_wire_bytes(None, uplink_bytes=nbytes)
+                        raise
+                    service.durability_barrier(token)
+                    sessions[session.query_id] = session
                     engine.account_wire_bytes(session.query_id, uplink_bytes=nbytes)
                     reply(SessionOpened(query_id=session.query_id), session.query_id)
                 elif isinstance(message, CloseSession):

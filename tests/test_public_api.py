@@ -4,6 +4,7 @@ import pytest
 
 import repro
 import repro.durability
+import repro.queries
 import repro.service
 import repro.transport
 
@@ -14,8 +15,14 @@ class TestPublicApi:
 
     @pytest.mark.parametrize(
         "module",
-        [repro, repro.service, repro.transport, repro.durability],
-        ids=["repro", "repro.service", "repro.transport", "repro.durability"],
+        [repro, repro.service, repro.transport, repro.durability, repro.queries],
+        ids=[
+            "repro",
+            "repro.service",
+            "repro.transport",
+            "repro.durability",
+            "repro.queries",
+        ],
     )
     def test_all_is_consistent(self, module):
         """__all__ must be duplicate-free and every name must resolve."""
@@ -57,6 +64,27 @@ class TestPublicApi:
         ):
             assert name in repro.__all__, f"repro.__all__ is missing {name}"
             assert getattr(repro, name) is getattr(repro.durability, name)
+
+    def test_queries_surface_is_reexported_at_the_top_level(self):
+        """The continuous-query subsystem is reachable from ``repro``
+        directly (all of it except the service-internal response_for)."""
+        for name in repro.queries.__all__:
+            if name in ("response_for", "InfluentialSitesKind", "KNNKind", "OrderKRegionKind"):
+                continue
+            assert name in repro.__all__, f"repro.__all__ is missing {name}"
+            assert getattr(repro, name) is getattr(repro.queries, name)
+
+    def test_query_kind_registry_lists_the_shipped_kinds(self):
+        assert repro.query_kinds() == ["influential", "knn", "region"]
+        for name in repro.query_kinds():
+            kind = repro.query_kind(name)
+            assert kind.name == name
+
+    def test_new_response_frames_are_knn_response_subclasses(self):
+        """The wire seam: widened responses ARE the kNN response class, so
+        existing clients deliver them unchanged."""
+        assert issubclass(repro.InfluentialResponse, repro.KNNResponse)
+        assert issubclass(repro.RegionEvent, repro.KNNResponse)
 
     def test_durable_service_is_a_service_subclass(self):
         """The durability seam: a durable service IS the service class."""

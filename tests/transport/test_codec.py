@@ -22,6 +22,9 @@ from repro.core.objects import QueryResult, UpdateAction
 from repro.core.stats import CommunicationStats, ProcessorStats
 from repro.geometry.point import Point
 from repro.roadnet.location import NetworkLocation
+from repro.queries.influential import InfluentialResult
+from repro.queries.messages import InfluentialResponse, OpenQuery, RegionEvent
+from repro.queries.region import RegionResult
 from repro.service.messages import KNNResponse, PositionUpdate, UpdateBatch
 from repro.transport.codec import (
     AggregateStatsRequest,
@@ -89,6 +92,55 @@ knn_responses = st.builds(
     KNNResponse,
     query_id=st.integers(min_value=0, max_value=2**31 - 1),
     result=query_results,
+    objects_shipped=st.integers(min_value=0, max_value=2**32 - 1),
+    round_trips=st.integers(min_value=0, max_value=2**32 - 1),
+    epoch=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+influential_results = st.tuples(
+    query_results, st.lists(object_indexes, max_size=12).map(tuple)
+).map(
+    lambda pair: InfluentialResult(
+        timestamp=pair[0].timestamp,
+        knn=pair[0].knn,
+        knn_distances=pair[0].knn_distances,
+        guard_objects=pair[0].guard_objects,
+        action=pair[0].action,
+        was_valid=pair[0].was_valid,
+        sites=pair[1],
+    )
+)
+
+region_results = st.tuples(
+    query_results,
+    st.sampled_from(["stay", "enter"]),
+    st.lists(object_indexes, max_size=12).map(tuple),
+).map(
+    lambda triple: RegionResult(
+        timestamp=triple[0].timestamp,
+        knn=triple[0].knn,
+        knn_distances=triple[0].knn_distances,
+        guard_objects=triple[0].guard_objects,
+        action=triple[0].action,
+        was_valid=triple[0].was_valid,
+        event=triple[1],
+        departed=triple[2],
+    )
+)
+
+influential_responses = st.builds(
+    InfluentialResponse,
+    query_id=st.integers(min_value=0, max_value=2**31 - 1),
+    result=influential_results,
+    objects_shipped=st.integers(min_value=0, max_value=2**32 - 1),
+    round_trips=st.integers(min_value=0, max_value=2**32 - 1),
+    epoch=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+region_events = st.builds(
+    RegionEvent,
+    query_id=st.integers(min_value=0, max_value=2**31 - 1),
+    result=region_results,
     objects_shipped=st.integers(min_value=0, max_value=2**32 - 1),
     round_trips=st.integers(min_value=0, max_value=2**32 - 1),
     epoch=st.integers(min_value=0, max_value=2**32 - 1),
@@ -224,8 +276,23 @@ control_messages = st.one_of(
     ),
 )
 
+open_queries = st.builds(
+    OpenQuery,
+    kind=st.sampled_from(["knn", "influential", "region", "future-kind"]),
+    position=positions,
+    k=st.integers(min_value=1, max_value=1000),
+    rho=st.floats(min_value=1.0, max_value=10.0, allow_nan=False),
+    options=st.lists(st.tuples(option_strings, option_strings), max_size=3).map(tuple),
+)
+
 all_messages = st.one_of(
-    position_updates, knn_responses, update_batches, control_messages
+    position_updates,
+    knn_responses,
+    influential_responses,
+    region_events,
+    open_queries,
+    update_batches,
+    control_messages,
 )
 
 
@@ -244,6 +311,40 @@ class TestRoundTrip:
         """The headline frame stays small: no pickle, no tag soup."""
         update = PositionUpdate(query_id=3, position=Point(1234.5, 678.9))
         assert wire_size(update) == 26  # 4 len + 1 type + 4 id + 1 tag + 16 coords
+
+    def test_widened_responses_round_trip_to_their_own_classes(self):
+        """Same shared fields, three distinct frame types — the decoder
+        must resurrect the exact response class, not the base KNNResponse."""
+        base = QueryResult(3, (1, 2), (0.5, 1.5), frozenset((9,)), UpdateAction.NONE, True)
+        influential = InfluentialResponse(
+            query_id=1,
+            result=InfluentialResult(
+                timestamp=3, knn=(1, 2), knn_distances=(0.5, 1.5),
+                guard_objects=frozenset((9,)), action=UpdateAction.NONE,
+                was_valid=True, sites=(4, 8),
+            ),
+            objects_shipped=2, round_trips=1, epoch=7,
+        )
+        region = RegionEvent(
+            query_id=1,
+            result=RegionResult(
+                timestamp=3, knn=(1, 2), knn_distances=(0.5, 1.5),
+                guard_objects=frozenset((9,)), action=UpdateAction.NONE,
+                was_valid=True, event="enter", departed=(6,),
+            ),
+            objects_shipped=2, round_trips=1, epoch=7,
+        )
+        knn = KNNResponse(query_id=1, result=base, objects_shipped=2, round_trips=1, epoch=7)
+        for message in (influential, region, knn):
+            back = decode(encode(message))
+            assert type(back) is type(message)
+            assert back == message
+        # class-strict equality: identical shared fields never collide
+        assert decode(encode(influential)) != knn
+        assert decode(encode(region)) != knn
+        assert decode(encode(influential)).sites == (4, 8)
+        assert decode(encode(region)).event == "enter"
+        assert decode(encode(region)).departed == (6,)
 
     def test_error_message_round_trips_to_exception(self):
         error = ErrorMessage.from_exception(QueryError("k too large"))
@@ -338,6 +439,56 @@ class TestMalformedInput:
         body[1 + 4 + 4 + 1 : 1 + 4 + 4 + 1 + 4] = struct.pack("!I", 1000)
         with pytest.raises(TransportError):
             decode(struct.pack("!I", len(body)) + bytes(body))
+
+    def test_unknown_region_event_code(self):
+        event = RegionEvent(
+            query_id=1,
+            result=RegionResult(
+                timestamp=0, knn=(), knn_distances=(), guard_objects=frozenset(),
+                action=UpdateAction.NONE, was_valid=True, event="stay", departed=(),
+            ),
+            objects_shipped=0, round_trips=0, epoch=0,
+        )
+        frame = bytearray(encode(event))
+        # Layout tail: ... u8 event code + u32 departed count (empty list).
+        frame[-5] = 0x7F
+        with pytest.raises(TransportError, match="region event"):
+            decode(bytes(frame))
+
+    def test_unknown_region_event_string_fails_to_encode(self):
+        event = RegionEvent(
+            query_id=1,
+            result=RegionResult(
+                timestamp=0, knn=(), knn_distances=(), guard_objects=frozenset(),
+                action=UpdateAction.NONE, was_valid=True, event="exit-stage-left",
+            ),
+            objects_shipped=0, round_trips=0, epoch=0,
+        )
+        with pytest.raises(TransportError, match="region event"):
+            encode(event)
+
+    def test_influential_sites_count_overrun(self):
+        response = InfluentialResponse(
+            query_id=1,
+            result=InfluentialResult(
+                timestamp=0, knn=(), knn_distances=(), guard_objects=frozenset(),
+                action=UpdateAction.NONE, was_valid=True, sites=(5,),
+            ),
+            objects_shipped=0, round_trips=0, epoch=0,
+        )
+        body = bytearray(encode(response)[4:])
+        # Tail: u32 site count + one u32 site — claim 1000 sites instead.
+        body[-8:-4] = struct.pack("!I", 1000)
+        with pytest.raises(TransportError):
+            decode(struct.pack("!I", len(body)) + bytes(body))
+
+    def test_truncated_open_query(self):
+        frame = encode(
+            OpenQuery(kind="region", position=Point(1.0, 2.0), k=3, rho=1.6)
+        )
+        for cut in (1, 5, len(frame) // 2):
+            with pytest.raises(TransportError):
+                decode(frame[:-cut])
 
     def test_out_of_range_field_raises_transport_error_on_encode(self):
         with pytest.raises(TransportError, match="out of range"):
