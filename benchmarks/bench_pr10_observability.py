@@ -1,0 +1,252 @@
+"""PR10 — pricing observability: the zero-semantic-cost, <5%-wall bar.
+
+PR 10 threads a metrics/tracing subsystem (:mod:`repro.obs`) through the
+serving stack: counters, gauges and fixed-bucket latency histograms on
+the engine, codec, transport and WAL paths, scrapeable live over HTTP
+(Prometheus) and over the binary protocol (``insq stats``).  The
+instruments are on by default, so their cost is paid by every run — the
+PR's bar is that this cost is (a) **semantically zero** and (b) **under
+5% of wall clock** on the reference stream.
+
+This benchmark prices both claims on the PR6/PR7/PR8 headline workload —
+M = 64 concurrent k = 8 sessions over n = 2000 uniform objects, 200
+mixed update epochs — in two transport cells (in-process ``local`` and
+real-socket ``tcp``).  Each cell drives the identical scenario with the
+registry recording and with :func:`repro.obs.disable` in force,
+interleaved best-of-N on the 1-CPU bench container (alternating run
+order so clock drift cancels; the min is the honest cost floor), and
+asserts:
+
+* every kNN answer (ids *and* distances) and every communication
+  counter — aggregate and per session — is bit-identical between the
+  observed and blind runs: instruments read, they never steer;
+* the observed cost floor is within 5% of the blind one per cell
+  (``min_on <= 1.05 * min_off``).
+
+Writes ``BENCH_PR10.json`` at the repository root so the observability
+tax is committed alongside the perf trajectory it watches.  Run
+standalone (``python benchmarks/bench_pr10_observability.py``, add
+``--smoke`` for a tiny-N sanity run) or via pytest
+(``pytest benchmarks/bench_pr10_observability.py``).
+"""
+
+import argparse
+import json
+import os
+import pathlib
+
+import repro.obs as obs
+from repro.simulation.report import format_table
+from repro.simulation.server_sim import simulate_server
+from repro.workloads.scenarios import ChurnSpec, euclidean_server_scenario
+
+from benchmarks.conftest import emit_table
+
+QUERIES = 64
+OBJECT_COUNT = 2_000
+K = 8
+UPDATE_EPOCHS = 200
+#: One mixed batch per timestamp: 1 insert, 1 delete, 1 move.
+CHURN = ChurnSpec(interval=1, inserts=1, deletes=1, moves=1)
+STEP_LENGTH = 20.0
+REPEATS = 3
+
+SMOKE_QUERIES = 6
+SMOKE_OBJECT_COUNT = 150
+SMOKE_UPDATE_EPOCHS = 12
+
+#: The transport cells: the in-process hot path where instrument cost is
+#: most visible, and the socket path where codec timers join the bill.
+CELLS = (("local", None), ("tcp", "tcp"))
+
+MAX_OVERHEAD = 0.05
+
+#: Where the machine-readable result lands (committed with the PR so the
+#: observability tax is tracked release over release).
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
+
+COUNTER_FIELDS = (
+    "uplink_messages",
+    "uplink_objects",
+    "downlink_messages",
+    "downlink_objects",
+)
+
+
+def build_scenario(smoke: bool = False):
+    """The headline benchmark workload (update epochs = timestamps - 1)."""
+    return euclidean_server_scenario(
+        data="uniform",
+        churn=CHURN,
+        queries=SMOKE_QUERIES if smoke else QUERIES,
+        object_count=SMOKE_OBJECT_COUNT if smoke else OBJECT_COUNT,
+        k=3 if smoke else K,
+        steps=SMOKE_UPDATE_EPOCHS if smoke else UPDATE_EPOCHS,
+        step_length=STEP_LENGTH,
+        seed=73,
+    )
+
+
+def answer_stream(run):
+    """Every reported answer of a run, in a comparable canonical form."""
+    return {
+        query_id: [(result.knn, result.knn_distances) for result in stream]
+        for query_id, stream in run.results.items()
+    }
+
+
+def counters(run):
+    return {field: getattr(run.communication, field) for field in COUNTER_FIELDS}
+
+
+def per_session(run):
+    """Per-session message/object counters (bytes are transport-shaped)."""
+    return {
+        query_id: {
+            field: value
+            for field, value in stats.as_dict().items()
+            if "bytes" not in field
+        }
+        for query_id, stats in run.per_session_communication.items()
+    }
+
+
+def _run_cell(scenario, transport, repeats):
+    """Interleaved best-of-N for one transport cell, observed vs blind."""
+    walls = {"on": [], "off": []}
+    witness = {}
+    try:
+        for repeat in range(repeats):
+            # Alternate the order so monotone machine drift (thermal,
+            # page cache warm-up) hits both modes symmetrically.
+            order = ("on", "off") if repeat % 2 == 0 else ("off", "on")
+            for mode in order:
+                obs.reset()
+                if mode == "on":
+                    obs.enable()
+                else:
+                    obs.disable()
+                run = simulate_server(scenario, transport=transport)
+                walls[mode].append(run.elapsed_seconds)
+                if mode not in witness:
+                    witness[mode] = run
+    finally:
+        obs.enable()
+        obs.reset()
+    return walls, witness
+
+
+def run_benchmark(smoke: bool = False):
+    """Price the observed-vs-blind pair in every transport cell.
+
+    Returns ``(rows, checks)``: one row per cell with both cost floors
+    and the overhead ratio, plus the PR's acceptance verdicts.
+    """
+    scenario = build_scenario(smoke=smoke)
+    repeats = 1 if smoke else REPEATS
+
+    rows = []
+    identical = True
+    overhead_ok = {}
+    for cell, transport in CELLS:
+        walls, witness = _run_cell(scenario, transport, repeats)
+        observed, blind = witness["on"], witness["off"]
+        identical = (
+            identical
+            and answer_stream(observed) == answer_stream(blind)
+            and counters(observed) == counters(blind)
+            and per_session(observed) == per_session(blind)
+        )
+        floor_on, floor_off = min(walls["on"]), min(walls["off"])
+        overhead = floor_on / floor_off - 1.0
+        overhead_ok[cell] = floor_on <= floor_off * (1.0 + MAX_OVERHEAD)
+        rows.append(
+            {
+                "cell": cell,
+                "obs_on_s": round(floor_on, 3),
+                "obs_off_s": round(floor_off, 3),
+                "overhead_pct": round(100.0 * overhead, 2),
+            }
+        )
+
+    checks = {
+        "bit_identical_all_cells": identical,
+        "overhead_under_5pct_local": overhead_ok["local"],
+        "overhead_under_5pct_tcp": overhead_ok["tcp"],
+    }
+    return rows, checks
+
+
+CHECK_NAMES = (
+    "bit_identical_all_cells",
+    "overhead_under_5pct_local",
+    "overhead_under_5pct_tcp",
+)
+
+#: Smoke runs assert correctness only: a 12-epoch stream finishes in
+#: milliseconds, so its overhead ratio is pure noise.
+SMOKE_CHECK_NAMES = ("bit_identical_all_cells",)
+
+
+def write_result(rows, checks) -> None:
+    by_cell = {row["cell"]: row for row in rows}
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "pr10_observability",
+                "cpu_count": os.cpu_count(),
+                "n": OBJECT_COUNT,
+                "queries": QUERIES,
+                "k": K,
+                "updates": UPDATE_EPOCHS,
+                "repeats": REPEATS,
+                "max_overhead": MAX_OVERHEAD,
+                "cells": rows,
+                "local_overhead_pct": by_cell["local"]["overhead_pct"],
+                "tcp_overhead_pct": by_cell["tcp"]["overhead_pct"],
+                **checks,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def test_pr10_observability(run_once):
+    rows, checks = run_once(run_benchmark)
+    for name in CHECK_NAMES:
+        assert checks[name], name
+    write_result(rows, checks)
+    emit_table(
+        "PR10_observability",
+        format_table(
+            rows,
+            title=(
+                f"PR10: observability tax, best-of-{REPEATS} "
+                f"(M={QUERIES} sessions, n={OBJECT_COUNT}, k={K}, "
+                f"{UPDATE_EPOCHS} update epochs)"
+            ),
+        ),
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny-N sanity run")
+    args = parser.parse_args()
+    rows, checks = run_benchmark(smoke=args.smoke)
+    for row in rows:
+        print(row)
+    for name, value in checks.items():
+        print(f"{name}: {value}")
+    names = SMOKE_CHECK_NAMES if args.smoke else CHECK_NAMES
+    if not all(checks[name] for name in names):
+        raise SystemExit(1)
+    if not args.smoke:
+        write_result(rows, checks)
+        print(f"written to {RESULT_PATH.name}")
+
+
+if __name__ == "__main__":
+    main()

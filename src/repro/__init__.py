@@ -48,7 +48,13 @@ Beneath the service layer the package exposes:
   checksummed snapshots behind
   :class:`~repro.durability.recovery.DurableKNNService`, and
   :func:`~repro.durability.recovery.recover_service` to replay a killed
-  service back to its exact pre-crash state — open sessions included.
+  service back to its exact pre-crash state — open sessions included,
+* observability (:mod:`repro.obs`): a process-wide metrics registry
+  (counters, gauges, fixed-bucket latency histograms that merge exactly
+  across process shards), a bounded span tracer exporting Chrome-trace
+  JSONL, a Prometheus ``/metrics`` endpoint and the binary
+  ``MetricsSnapshot`` scrape frame behind ``insq stats`` — all provably
+  free when unobserved (answers and counters stay bit-identical).
 """
 
 from repro.core import (
@@ -113,6 +119,7 @@ from repro.durability import (
     open_durable_service,
     recover_service,
 )
+from repro import obs
 from repro.simulation import simulate, simulate_server, summarize
 from repro.transport import (
     KNNServer,
@@ -166,6 +173,8 @@ __all__ = [
     "open_durable_service",
     "recover_service",
     "has_durable_state",
+    # observability
+    "obs",
     # core
     "INSProcessor",
     "INSRoadProcessor",

@@ -32,6 +32,20 @@ Two more subcommands exercise the serving system itself:
   exactly once, then report the handoff latencies; ``--verify`` replays
   the same workload without restarts and asserts bit-identical answers
   and counters (the no-downtime oracle).
+* ``stats`` — scrape a live server's metrics over the binary protocol:
+  one ``MetricsRequest`` frame against an ``insq serve --listen``
+  endpoint (or a ``--stats-port`` side endpoint) returns the merged
+  :class:`~repro.transport.codec.MetricsSnapshot` — counters, gauges and
+  the exactly-mergeable latency histograms — printed as a summary or,
+  with ``--prometheus``, as Prometheus exposition text.
+
+Observability: ``serve`` takes ``--metrics-port`` (a stdlib-HTTP
+Prometheus ``/metrics`` endpoint), ``--stats-port`` (the binary scrape
+endpoint for ``insq stats``), ``--watch SECONDS`` (a periodic one-line
+operator summary) and ``--trace FILE`` (span traces exported as
+Chrome-trace JSONL for Perfetto).  All of it reads snapshots outside the
+serving paths — answers and communication counters are bit-identical
+with and without it (see ``tests/transport/test_obs_equivalence.py``).
 
 Durability: ``serve --wal-dir DIR`` logs every state-changing exchange to
 a write-ahead log (and snapshots the engine) so a killed server restarted
@@ -46,6 +60,7 @@ adopts them.
 from __future__ import annotations
 
 import argparse
+import os
 import shutil
 import signal
 import sys
@@ -185,6 +200,39 @@ def _build_parser() -> argparse.ArgumentParser:
              "roughly this size so checkpoints can reclaim disk "
              "(default: one growing file)",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="expose a Prometheus /metrics endpoint on 127.0.0.1:PORT "
+             "while serving (0 picks a free port; the bound endpoint is "
+             "printed)",
+    )
+    serve.add_argument(
+        "--stats-port", type=int, default=None, metavar="PORT",
+        help="expose the binary metrics-snapshot endpoint on "
+             "127.0.0.1:PORT for 'insq stats' (0 picks a free port)",
+    )
+    serve.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="print a one-line metrics summary every SECONDS while the "
+             "workload runs",
+    )
+    serve.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record span traces and export them to FILE as Chrome-trace "
+             "JSONL on shutdown (open in Perfetto or chrome://tracing); "
+             "covers this process only — forked shard workers "
+             "(--transport process) keep their spans in their own rings",
+    )
+    serve.add_argument(
+        "--step-delay", type=float, default=0.0, metavar="SECONDS",
+        help="sleep between simulated timestamps (paces the run so live "
+             "scrapes can observe it mid-stream)",
+    )
+    serve.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep the metrics endpoints up this long after the workload "
+             "finishes (a final scrape then sees the completed totals)",
+    )
 
     roll = subparsers.add_parser(
         "roll",
@@ -252,6 +300,21 @@ def _build_parser() -> argparse.ArgumentParser:
     recover.add_argument(
         "--wal-dir", metavar="DIR", required=True,
         help="durability directory written by 'insq serve --wal-dir'",
+    )
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="scrape a live server's metrics snapshot over the binary "
+             "protocol",
+    )
+    stats.add_argument(
+        "address", metavar="ADDR",
+        help="HOST:PORT or unix:PATH — an 'insq serve --listen' endpoint "
+             "or the endpoint printed for --stats-port",
+    )
+    stats.add_argument(
+        "--prometheus", action="store_true",
+        help="print Prometheus exposition text instead of the summary",
     )
 
     client = subparsers.add_parser(
@@ -371,6 +434,156 @@ def _print_communication(comm, indent: str = "  ") -> None:
         print(f"{indent}total    bytes        : {comm.bytes_transmitted}")
 
 
+def _print_by_kind(by_kind, indent: str = "  ") -> None:
+    """Per-query-kind communication split (engine-side, live stats)."""
+    print("communication by query kind")
+    for kind in sorted(by_kind):
+        comm = by_kind[kind]
+        line = (
+            f"{indent}{kind:<12}: msgs {comm.messages:>6}  "
+            f"objects {comm.objects_transmitted:>7}"
+        )
+        if comm.bytes_transmitted:
+            line += f"  bytes {comm.bytes_transmitted:>9}"
+        print(line)
+
+
+def _print_by_kind_from_snapshot(snapshot, indent: str = "  ") -> bool:
+    """Per-kind communication split reconstructed from scrape gauges.
+
+    The server exports each kind's counters as ``insq_comm_*{kind=...}``
+    gauges (see :func:`repro.transport.server.metrics_snapshot_frame`),
+    so a remote client can print the same split the server prints —
+    without a dedicated wire frame.  Returns False when the snapshot
+    carries no kind-labelled gauges (e.g. observability disabled).
+    """
+    kinds = {}
+    prefix = "insq_comm_"
+    for name, labels, value in snapshot.gauges:
+        if name.startswith(prefix) and labels.startswith("kind="):
+            kinds.setdefault(labels[5:], {})[name[len(prefix):]] = int(value)
+    if not kinds:
+        return False
+    print("communication by query kind")
+    for kind in sorted(kinds):
+        fields = kinds[kind]
+        msgs = fields.get("uplink_messages", 0) + fields.get("downlink_messages", 0)
+        objs = fields.get("uplink_objects", 0) + fields.get("downlink_objects", 0)
+        nbytes = fields.get("uplink_bytes", 0) + fields.get("downlink_bytes", 0)
+        line = f"{indent}{kind:<12}: msgs {msgs:>6}  objects {objs:>7}"
+        if nbytes:
+            line += f"  bytes {nbytes:>9}"
+        print(line)
+    return True
+
+
+def _watch_line(snapshot) -> str:
+    """One-line operator summary of a metrics snapshot."""
+    gauges = {name: value for name, labels, value in snapshot.gauges if not labels}
+    counters = {}
+    for name, _labels, value in snapshot.counters:
+        counters[name] = counters.get(name, 0) + value
+    request_count = 0
+    request_sum = 0.0
+    for name, _labels, buckets, total in snapshot.histograms:
+        if name == "insq_request_seconds":
+            request_count += sum(buckets)
+            request_sum += total
+    messages = int(
+        gauges.get("insq_comm_uplink_messages", 0)
+        + gauges.get("insq_comm_downlink_messages", 0)
+    )
+    objects = int(
+        gauges.get("insq_comm_uplink_objects", 0)
+        + gauges.get("insq_comm_downlink_objects", 0)
+    )
+    line = (
+        f"[watch] epoch={int(gauges.get('insq_engine_epoch', 0))} "
+        f"sessions={int(gauges.get('insq_sessions_open', 0))} "
+        f"retrievals={counters.get('insq_retrievals_total', 0)} "
+        f"msgs={messages} objects={objects}"
+    )
+    if request_count:
+        line += f" req_mean={request_sum / request_count * 1e3:.2f}ms"
+    return line
+
+
+def _metrics_hook(args: argparse.Namespace):
+    """Build the ``serving_hook`` mounting the requested metrics surfaces.
+
+    Returns None when no observability flag asks for one.  The hook
+    receives the live serving object — the
+    :class:`~repro.service.service.KNNService` for in-process/socket
+    transports, the :class:`~repro.transport.procpool.
+    ProcessShardedDispatcher` for ``--transport process`` — and returns
+    a cleanup that (after an optional ``--linger``) tears every surface
+    down again.
+    """
+    wants = (
+        args.metrics_port is not None
+        or args.stats_port is not None
+        or args.watch is not None
+    )
+    if not wants:
+        return None
+
+    def hook(target):
+        from repro.transport.server import MetricsListener, metrics_snapshot_frame
+
+        if hasattr(target, "metrics_snapshot"):
+            provider = target.metrics_snapshot  # sharded pool: exact merge
+        else:
+            def provider():
+                return metrics_snapshot_frame(target)
+
+        cleanups = []
+        if args.metrics_port is not None:
+            from repro.obs.httpd import start_metrics_http
+
+            httpd = start_metrics_http(provider, port=args.metrics_port)
+            print(
+                f"metrics endpoint        : http://127.0.0.1:{httpd.port}/metrics",
+                flush=True,
+            )
+            cleanups.append(httpd.stop)
+        if args.stats_port is not None:
+            listener = MetricsListener(provider, port=args.stats_port)
+            host, port = listener.address
+            print(
+                f"stats endpoint          : {host}:{port}  "
+                f"(scrape with: insq stats {host}:{port})",
+                flush=True,
+            )
+            cleanups.append(listener.stop)
+        if args.watch is not None and args.watch > 0:
+            stop = threading.Event()
+
+            def _watch_loop():
+                while not stop.wait(args.watch):
+                    print(_watch_line(provider()), flush=True)
+
+            watcher = threading.Thread(
+                target=_watch_loop, name="insq-watch", daemon=True
+            )
+            watcher.start()
+
+            def _stop_watch():
+                stop.set()
+                watcher.join(timeout=5.0)
+
+            cleanups.append(_stop_watch)
+
+        def cleanup():
+            if args.linger and args.linger > 0:
+                time.sleep(args.linger)
+            for teardown in reversed(cleanups):
+                teardown()
+
+        return cleanup
+
+    return hook
+
+
 def _print_per_session(per_session) -> None:
     print("per-session breakdown")
     for query_id in sorted(per_session):
@@ -408,8 +621,23 @@ def _build_server_scenario(args: argparse.Namespace):
 
 def _run_serve(args: argparse.Namespace) -> int:
     scenario = _build_server_scenario(args)
-    if args.listen is not None:
-        return _serve_listen(args, scenario)
+    if args.trace is not None:
+        from repro.obs.trace import TRACER
+
+        TRACER.enable()
+    try:
+        if args.listen is not None:
+            return _serve_listen(args, scenario)
+        return _serve_simulate(args, scenario)
+    finally:
+        if args.trace is not None:
+            from repro.obs.trace import TRACER
+
+            count = TRACER.export_chrome(args.trace)
+            print(f"trace                   : {count} span(s) -> {args.trace}")
+
+
+def _serve_simulate(args: argparse.Namespace, scenario) -> int:
     run = simulate_server(
         scenario,
         invalidation=args.invalidation,
@@ -421,6 +649,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         wal_fsync=args.fsync,
         wal_segment_bytes=args.segment_bytes,
         replication=args.replication,
+        serving_hook=_metrics_hook(args),
+        step_delay=args.step_delay,
     )
     stats = run.aggregate
     print(f"scenario                : {run.scenario}")
@@ -529,27 +759,36 @@ def _serve_listen(args: argparse.Namespace, scenario) -> int:
             printable = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
             print(f"serving {args.metric} ({service.object_count} objects) on {printable}")
             print("drive it with: insq client --connect", printable, flush=True)
+            hook = _metrics_hook(args)
+            hook_cleanup = hook(service) if hook is not None else None
             try:
-                if args.duration is not None:
-                    deadline = time.monotonic() + args.duration
-                    while not drain_requested.is_set():
-                        remaining = deadline - time.monotonic()
-                        if remaining <= 0:
-                            break
-                        drain_requested.wait(min(remaining, 1.0))
-                else:
-                    while not drain_requested.is_set():
-                        drain_requested.wait(3600.0)
-            except KeyboardInterrupt:
-                pass
-            if drain_requested.is_set():
-                server.drain()
-                print(
-                    f"drained: {len(server.orphans)} session(s) parked for "
-                    "re-adoption"
-                )
+                try:
+                    if args.duration is not None:
+                        deadline = time.monotonic() + args.duration
+                        while not drain_requested.is_set():
+                            remaining = deadline - time.monotonic()
+                            if remaining <= 0:
+                                break
+                            drain_requested.wait(min(remaining, 1.0))
+                    else:
+                        while not drain_requested.is_set():
+                            drain_requested.wait(3600.0)
+                except KeyboardInterrupt:
+                    pass
+                if drain_requested.is_set():
+                    server.drain()
+                    print(
+                        f"drained: {len(server.orphans)} session(s) parked for "
+                        "re-adoption"
+                    )
+            finally:
+                if callable(hook_cleanup):
+                    hook_cleanup()
             print("communication bill")
             _print_communication(service.communication)
+            by_kind = service.engine.communication_by_kind()
+            if by_kind:
+                _print_by_kind(by_kind)
             if args.per_session:
                 _print_per_session(service.per_session_communication())
     finally:
@@ -744,12 +983,14 @@ def _run_client(args: argparse.Namespace) -> int:
                     retrieval_steps += 1
         server_comm = remote.communication()
         per_session = remote.per_session_communication() if args.per_session else None
+        snapshot = remote.metrics_snapshot()
         for session in sessions:
             session.close()
         print(f"sessions x timestamps   : {args.queries} x {timestamps}")
         print(f"steps that contacted the server: {retrieval_steps}")
         print("server-side communication bill")
         _print_communication(server_comm)
+        _print_by_kind_from_snapshot(snapshot)
         if per_session is not None:
             _print_per_session(per_session)
         print("client-side wire measurement")
@@ -763,24 +1004,83 @@ def _run_client(args: argparse.Namespace) -> int:
         return 0 if predicted_ok else 1
 
 
+def _run_stats(args: argparse.Namespace) -> int:
+    """Scrape a live server once and print its metrics snapshot."""
+    from repro.obs.metrics import HISTOGRAM_BOUNDS, render_prometheus
+    from repro.transport import connect
+
+    with connect(args.address) as remote:
+        snapshot = remote.metrics_snapshot()
+    if args.prometheus:
+        sys.stdout.write(render_prometheus(snapshot))
+        return 0
+
+    def _quantile(counts, q):
+        total = sum(counts)
+        if not total:
+            return 0.0
+        need = q * total
+        seen = 0
+        for i, bucket in enumerate(counts):
+            seen += bucket
+            if seen >= need:
+                # The bucket's upper edge (the last bucket is open-ended;
+                # report its lower edge instead).
+                return HISTOGRAM_BOUNDS[min(i, len(HISTOGRAM_BOUNDS) - 1)]
+        return HISTOGRAM_BOUNDS[-1]
+
+    print(f"counters   ({len(snapshot.counters)})")
+    for name, labels, value in snapshot.counters:
+        suffix = f"{{{labels}}}" if labels else ""
+        print(f"  {name}{suffix} = {value}")
+    print(f"gauges     ({len(snapshot.gauges)})")
+    for name, labels, value in snapshot.gauges:
+        suffix = f"{{{labels}}}" if labels else ""
+        rendered = f"{value:g}" if value != int(value) else f"{int(value)}"
+        print(f"  {name}{suffix} = {rendered}")
+    print(f"histograms ({len(snapshot.histograms)})")
+    for name, labels, counts, total in snapshot.histograms:
+        suffix = f"{{{labels}}}" if labels else ""
+        count = sum(counts)
+        if count:
+            detail = (
+                f"count {count}  sum {total:.6f}  mean {total / count:.6f}  "
+                f"p50<={_quantile(counts, 0.5):.2e}  "
+                f"p99<={_quantile(counts, 0.99):.2e}"
+            )
+        else:
+            detail = "count 0"
+        print(f"  {name}{suffix}: {detail}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``insq`` command."""
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.command == "demo-plane":
-        return _run_demo_plane(args)
-    if args.command == "demo-road":
-        return _run_demo_road(args)
-    if args.command == "compare":
-        return _run_compare(args)
-    if args.command == "serve":
-        return _run_serve(args)
-    if args.command == "client":
-        return _run_client(args)
-    if args.command == "recover":
-        return _run_recover(args)
-    if args.command == "roll":
-        return _run_roll(args)
+    try:
+        if args.command == "demo-plane":
+            return _run_demo_plane(args)
+        if args.command == "demo-road":
+            return _run_demo_road(args)
+        if args.command == "compare":
+            return _run_compare(args)
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "client":
+            return _run_client(args)
+        if args.command == "recover":
+            return _run_recover(args)
+        if args.command == "roll":
+            return _run_roll(args)
+        if args.command == "stats":
+            return _run_stats(args)
+    except BrokenPipeError:
+        # Downstream closed early (`insq stats ... | head`); not an error.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise the same error again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -65,8 +65,28 @@ from typing import (
 from repro.errors import ConfigurationError, QueryError
 from repro.core.objects import QueryResult
 from repro.core.stats import CommunicationStats, ProcessorStats
+from repro.obs.metrics import counter as _obs_counter, enabled as _obs_enabled
 
 PositionT = TypeVar("PositionT")
+
+# Engine-level observability: the epoch counter, and per-outcome
+# retrieval counters derived from the ProcessorStats deltas the update
+# already computed — reading them adds nothing to the serving work.
+_EPOCHS_TOTAL = _obs_counter("insq_epochs_total")
+
+#: ProcessorStats field → outcome label of ``insq_retrievals_total``.
+_OUTCOME_FIELDS = (
+    ("absorbed_updates", "absorbed"),
+    ("ins_refreshes", "refreshed"),
+    ("full_recomputations", "recomputed"),
+    ("incremental_updates", "incremental"),
+    ("local_reorders", "reordered"),
+    ("validations", "validated"),
+)
+_OUTCOME_COUNTERS = tuple(
+    _obs_counter("insq_retrievals_total", outcome=label)
+    for _, label in _OUTCOME_FIELDS
+)
 
 
 class ServableProcessor(Protocol[PositionT]):
@@ -379,6 +399,11 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
         stats = processor.stats
         contacts_before = stats.communication_events
         objects_before = stats.transmitted_objects
+        observing = _obs_enabled()
+        if observing:
+            outcomes_before = tuple(
+                getattr(stats, field) for field, _ in _OUTCOME_FIELDS
+            )
         result = processor.update(position)
         round_trips = stats.communication_events - contacts_before
         if round_trips:
@@ -388,6 +413,11 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
                 downlink_messages=round_trips,
                 downlink_objects=stats.transmitted_objects - objects_before,
             )
+        if observing:
+            for index, (field, _) in enumerate(_OUTCOME_FIELDS):
+                delta = getattr(stats, field) - outcomes_before[index]
+                if delta:
+                    _OUTCOME_COUNTERS[index].inc(delta)
         return result
 
     # ------------------------------------------------------------------
@@ -444,6 +474,7 @@ class ServingEngine(abc.ABC, Generic[PositionT, RecordT]):
         query then fetches are charged to its own next update.
         """
         self._epoch += 1
+        _EPOCHS_TOTAL.inc()
         if self._invalidation == "flag":
             for registered in self._queries.values():
                 registered.processor.invalidate()

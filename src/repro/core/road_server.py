@@ -32,17 +32,25 @@ fallback mode and the oracle of the randomized delta-equivalence tests.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, QueryError
 from repro.core.engine import ServingEngine
 from repro.core.ins_road import INSRoadProcessor
+from repro.obs.clock import clock as _clock
+from repro.obs.metrics import histogram as _obs_histogram
+from repro.obs.trace import TRACER as _TRACER
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.location import NetworkLocation
 from repro.roadnet.network_voronoi import NetworkVoronoiDiagram
 from repro.roadnet.shortest_path import SearchStats
+
+# Index-maintenance latency, re-homed: one clock read pair feeds both the
+# legacy maintenance_seconds/delta_apply_seconds accumulators (always) and
+# these registry histograms (when observability is enabled).
+_MAINTENANCE_SECONDS = _obs_histogram("insq_maintenance_seconds", metric="road")
+_DELTA_APPLY_SECONDS = _obs_histogram("insq_delta_apply_seconds", metric="road")
 
 
 @dataclass(frozen=True)
@@ -197,9 +205,12 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
         every registered query receives the repair delta — no per-query
         state is copied.
         """
-        start = time.perf_counter()
+        start = _clock()
         index, changed = self._voronoi.insert_object(vertex)
-        self.maintenance_seconds += time.perf_counter() - start
+        elapsed = _clock() - start
+        self.maintenance_seconds += elapsed
+        _MAINTENANCE_SECONDS.observe(elapsed)
+        _TRACER.add("index.maintain", start, elapsed, metric="road")
         self._commit_epoch(changed, payload=1)
         return index
 
@@ -214,9 +225,12 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
         if not self._voronoi.is_active(index):
             return False
         self._check_population(self._voronoi.object_count() - 1)
-        start = time.perf_counter()
+        start = _clock()
         changed = self._voronoi.remove_object(index)
-        self.maintenance_seconds += time.perf_counter() - start
+        elapsed = _clock() - start
+        self.maintenance_seconds += elapsed
+        _MAINTENANCE_SECONDS.observe(elapsed)
+        _TRACER.add("index.maintain", start, elapsed, metric="road")
         self._commit_epoch(changed, (index,), payload=1)
         return True
 
@@ -226,9 +240,12 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
         Returns the set of objects whose neighbour sets changed (the moved
         object included), which is also the delta pushed to the queries.
         """
-        start = time.perf_counter()
+        start = _clock()
         changed = self._voronoi.move_object(index, vertex)
-        self.maintenance_seconds += time.perf_counter() - start
+        elapsed = _clock() - start
+        self.maintenance_seconds += elapsed
+        _MAINTENANCE_SECONDS.observe(elapsed)
+        _TRACER.add("index.maintain", start, elapsed, metric="road")
         if not changed:
             return frozenset()
         self._commit_epoch(changed, payload=1)
@@ -256,11 +273,14 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
         self._check_population(
             self._voronoi.object_count() + len(insert_list) - len(delete_list)
         )
-        start = time.perf_counter()
+        start = _clock()
         new_indexes, deleted, changed = self._voronoi.batch_update(
             insert_list, delete_list, move_list
         )
-        self.maintenance_seconds += time.perf_counter() - start
+        elapsed = _clock() - start
+        self.maintenance_seconds += elapsed
+        _MAINTENANCE_SECONDS.observe(elapsed)
+        _TRACER.add("index.maintain", start, elapsed, metric="road")
         if new_indexes or deleted or changed:
             self._commit_epoch(
                 changed,
@@ -324,9 +344,12 @@ class MovingRoadKNNServer(ServingEngine[NetworkLocation, RegisteredRoadQuery]):
                 f"index delta for epoch {delta.epoch} cannot apply at epoch "
                 f"{self._epoch} — replicas diverged"
             )
-        start = time.perf_counter()
+        start = _clock()
         self._voronoi.apply_remote_delta(delta)
-        self.delta_apply_seconds += time.perf_counter() - start
+        elapsed = _clock() - start
+        self.delta_apply_seconds += elapsed
+        _DELTA_APPLY_SECONDS.observe(elapsed)
+        _TRACER.add("delta.apply", start, elapsed, metric="road")
         self._commit_epoch(
             frozenset(delta.changed), delta.deleted_indexes, payload=delta.payload
         )

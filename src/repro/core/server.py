@@ -29,15 +29,23 @@ oracle of the randomized delta-equivalence tests.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Sequence, Tuple
 
 from repro.errors import ConfigurationError, EmptyDatasetError, QueryError
 from repro.core.engine import ServingEngine
+from repro.obs.clock import clock as _clock
+from repro.obs.metrics import histogram as _obs_histogram
+from repro.obs.trace import TRACER as _TRACER
 from repro.core.ins_euclidean import INSProcessor
 from repro.geometry.point import Point
 from repro.index.vortree import VoRTree
+
+# Index-maintenance latency, re-homed: one clock read pair feeds both the
+# legacy maintenance_seconds/delta_apply_seconds accumulators (always) and
+# these registry histograms (when observability is enabled).
+_MAINTENANCE_SECONDS = _obs_histogram("insq_maintenance_seconds", metric="euclidean")
+_DELTA_APPLY_SECONDS = _obs_histogram("insq_delta_apply_seconds", metric="euclidean")
 
 
 @dataclass(frozen=True)
@@ -186,9 +194,12 @@ class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
         no per-query state is copied — the insert is one incremental
         neighbour-map patch plus one delta push per query.
         """
-        start = time.perf_counter()
+        start = _clock()
         index, changed = self._vortree.insert(point)
-        self.maintenance_seconds += time.perf_counter() - start
+        elapsed = _clock() - start
+        self.maintenance_seconds += elapsed
+        _MAINTENANCE_SECONDS.observe(elapsed)
+        _TRACER.add("index.maintain", start, elapsed, metric="euclidean")
         self._commit_epoch(changed, payload=1)
         return index
 
@@ -203,9 +214,12 @@ class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
         if not self._vortree.is_active(index):
             return False
         self._check_population(len(self._vortree) - 1)
-        start = time.perf_counter()
+        start = _clock()
         removed, changed = self._vortree.delete(index)
-        self.maintenance_seconds += time.perf_counter() - start
+        elapsed = _clock() - start
+        self.maintenance_seconds += elapsed
+        _MAINTENANCE_SECONDS.observe(elapsed)
+        _TRACER.add("index.maintain", start, elapsed, metric="euclidean")
         if removed:
             self._commit_epoch(changed, (index,), payload=1)
         return removed
@@ -232,11 +246,14 @@ class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
         self._check_population(
             len(self._vortree) + len(insert_list) - len(delete_list)
         )
-        start = time.perf_counter()
+        start = _clock()
         new_indexes, deleted, changed = self._vortree.batch_update(
             insert_list, delete_list
         )
-        self.maintenance_seconds += time.perf_counter() - start
+        elapsed = _clock() - start
+        self.maintenance_seconds += elapsed
+        _MAINTENANCE_SECONDS.observe(elapsed)
+        _TRACER.add("index.maintain", start, elapsed, metric="euclidean")
         if new_indexes or deleted:
             self._commit_epoch(
                 changed, deleted, payload=len(insert_list) + len(delete_list)
@@ -300,9 +317,12 @@ class MovingKNNServer(ServingEngine[Point, RegisteredQuery]):
                 f"index delta for epoch {delta.epoch} cannot apply at epoch "
                 f"{self._epoch} — replicas diverged"
             )
-        start = time.perf_counter()
+        start = _clock()
         self._vortree.apply_remote_delta(delta)
-        self.delta_apply_seconds += time.perf_counter() - start
+        elapsed = _clock() - start
+        self.delta_apply_seconds += elapsed
+        _DELTA_APPLY_SECONDS.observe(elapsed)
+        _TRACER.add("delta.apply", start, elapsed, metric="euclidean")
         self._commit_epoch(
             frozenset(delta.changed), delta.deleted_indexes, payload=delta.payload
         )

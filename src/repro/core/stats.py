@@ -22,10 +22,11 @@ server API.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
+
+from repro.obs.clock import clock as _clock
 
 
 @dataclass
@@ -194,29 +195,29 @@ class ProcessorStats:
     @contextmanager
     def time_construction(self) -> Iterator[None]:
         """Context manager adding the elapsed time to ``construction_seconds``."""
-        start = time.perf_counter()
+        start = _clock()
         try:
             yield
         finally:
-            self.construction_seconds += time.perf_counter() - start
+            self.construction_seconds += _clock() - start
 
     @contextmanager
     def time_validation(self) -> Iterator[None]:
         """Context manager adding the elapsed time to ``validation_seconds``."""
-        start = time.perf_counter()
+        start = _clock()
         try:
             yield
         finally:
-            self.validation_seconds += time.perf_counter() - start
+            self.validation_seconds += _clock() - start
 
     @contextmanager
     def time_precomputation(self) -> Iterator[None]:
         """Context manager adding the elapsed time to ``precomputation_seconds``."""
-        start = time.perf_counter()
+        start = _clock()
         try:
             yield
         finally:
-            self.precomputation_seconds += time.perf_counter() - start
+            self.precomputation_seconds += _clock() - start
 
     def merge(self, other: "ProcessorStats") -> None:
         """Accumulate another stats object into this one (for sweeps)."""

@@ -50,6 +50,7 @@ import os
 from typing import Any, Dict, List, Optional
 
 from repro.errors import DurabilityError, SnapshotError, WALCorruptError
+from repro.obs.metrics import histogram as _obs_histogram, start_timer
 from repro.service.messages import KNNResponse, UpdateBatch
 from repro.service.service import KNNService, open_service
 from repro.service.session import Session
@@ -80,6 +81,11 @@ from repro.durability.wal import (
     scan_chain,
     scan_wal,
 )
+
+#: Snapshot + purge wall time per checkpoint (sync included: a
+#: checkpoint's cost is everything between "decide to snapshot" and
+#: "the log behind it is dead weight removed").
+_CHECKPOINT_SECONDS = _obs_histogram("insq_checkpoint_seconds")
 
 __all__ = [
     "DurableKNNService",
@@ -317,11 +323,13 @@ class DurableKNNService(KNNService):
         Sealed log segments the new snapshot covers are purged — recovery
         will never read behind its snapshot, so they are dead weight.
         """
+        started = start_timer()
         self._wal.sync()
         snapshot_seq = self._wal.last_seq
         path = self._write_snapshot(snapshot_seq)
         purge_segments(self._wal_dir, snapshot_seq)
         self._appends_since_snapshot = 0
+        _CHECKPOINT_SECONDS.observe_since(started)
         return path
 
     # ------------------------------------------------------------------

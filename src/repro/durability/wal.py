@@ -56,7 +56,21 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, WALCorruptError
+from repro.obs.metrics import (
+    counter as _obs_counter,
+    histogram as _obs_histogram,
+    start_timer,
+)
 from repro.transport.codec import MAX_FRAME_BYTES, decode, encode
+
+# Durability-path latency instruments.  ``insq_wal_fsyncs_total`` mirrors
+# the per-log ``fsync_count`` attribute (the durability tests' source of
+# truth) at the same increment site; the group-occupancy histogram counts
+# how many appended records each group commit's fsync covered.
+_WAL_APPEND_SECONDS = _obs_histogram("insq_wal_append_seconds")
+_WAL_FSYNC_SECONDS = _obs_histogram("insq_wal_fsync_seconds")
+_WAL_GROUP_OCCUPANCY = _obs_histogram("insq_wal_group_batch_occupancy")
+_WAL_FSYNCS_TOTAL = _obs_counter("insq_wal_fsyncs_total")
 
 __all__ = [
     "WALRecord",
@@ -423,8 +437,11 @@ class WriteAheadLog:
             self._syncer.start()
 
     def _do_fsync(self) -> None:
+        started = start_timer()
         os.fsync(self._handle.fileno())
+        _WAL_FSYNC_SECONDS.observe_since(started)
         self.fsync_count += 1
+        _WAL_FSYNCS_TOTAL.inc()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -482,6 +499,7 @@ class WriteAheadLog:
         woken instead — call :meth:`wait_durable` with the returned seq
         before acknowledging the operation it logs.
         """
+        started = start_timer()
         payload = encode(message)
         with self._lock:
             if self._closed:
@@ -504,6 +522,7 @@ class WriteAheadLog:
                 self._rotate_locked()
             if self._fsync == "group":
                 self._group_cond.notify_all()
+        _WAL_APPEND_SECONDS.observe_since(started)
         return seq
 
     def wait_durable(self, seq: Optional[int] = None) -> None:
@@ -546,6 +565,8 @@ class WriteAheadLog:
                 target = self._next_seq - 1
                 if target <= self._synced_seq:
                     continue
+                # How many appends this group commit's single fsync covers.
+                _WAL_GROUP_OCCUPANCY.observe(float(target - self._synced_seq))
                 try:
                     self._handle.flush()
                     self._do_fsync()

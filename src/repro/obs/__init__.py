@@ -1,0 +1,87 @@
+"""``repro.obs`` — see inside the serving system, at zero semantic cost.
+
+The observability subsystem the PR10 tentpole threads through every
+layer: a process-global :class:`~repro.obs.metrics.MetricsRegistry` of
+counters, gauges and exactly-mergeable fixed-bucket latency histograms
+(:mod:`repro.obs.metrics`), a bounded-ring span
+:class:`~repro.obs.trace.Tracer` exporting Chrome-trace JSONL
+(:mod:`repro.obs.trace`), an injectable monotonic clock seam both time
+through (:mod:`repro.obs.clock`), and a stdlib Prometheus ``/metrics``
+endpoint (:mod:`repro.obs.httpd`).
+
+The contract that makes it safe everywhere: instruments only read values
+the serving code already computed, so observability on vs off is
+**bit-identical** in answers and in every
+:class:`~repro.core.stats.CommunicationStats` /
+:class:`~repro.core.stats.ProcessorStats` counter — the transport
+equivalence suite holds that, and ``benchmarks/bench_pr10_observability
+.py`` pins the wall-clock overhead under 5% on the reference stream.
+
+Metrics default **on** (live scraping should work without flags; a
+no-observation registry is just idle dictionaries), tracing defaults
+**off**.  ``disable()`` turns every instrument into a flag check for the
+off-baseline.
+"""
+
+from repro.obs.clock import clock, set_clock
+from repro.obs.metrics import (
+    BUCKET_COUNT,
+    HISTOGRAM_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    RegistrySnapshot,
+    counter,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    histogram,
+    merge_snapshots,
+    render_prometheus,
+    start_timer,
+)
+from repro.obs.httpd import MetricsHTTPServer, start_metrics_http
+from repro.obs.trace import Span, TraceEvent, Tracer, TRACER
+
+__all__ = [
+    "BUCKET_COUNT",
+    "HISTOGRAM_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsHTTPServer",
+    "MetricsRegistry",
+    "REGISTRY",
+    "RegistrySnapshot",
+    "Span",
+    "TRACER",
+    "TraceEvent",
+    "Tracer",
+    "clock",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "histogram",
+    "merge_snapshots",
+    "render_prometheus",
+    "reset",
+    "set_clock",
+    "start_metrics_http",
+    "start_timer",
+]
+
+
+def reset() -> None:
+    """Clear the process-global registry and tracer ring.
+
+    Used by tests between cases and by forked procpool workers on entry,
+    so each shard's registry holds exactly that shard's observations
+    (a fork inherits the parent's accumulated instruments otherwise).
+    """
+    REGISTRY.reset()
+    TRACER.reset()

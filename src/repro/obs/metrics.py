@@ -1,0 +1,476 @@
+"""Counters, gauges and exactly-mergeable latency histograms.
+
+One process-global :class:`MetricsRegistry` (module functions
+:func:`counter` / :func:`gauge` / :func:`histogram` hand out instruments
+from it) accumulates everything the serving system observes about itself.
+Three properties make it safe to thread through the hot paths:
+
+* **provably zero semantic cost** — instruments only *read* values the
+  serving code already computed; nothing in this module touches answers,
+  :class:`~repro.core.stats.CommunicationStats` or
+  :class:`~repro.core.stats.ProcessorStats`.  With the registry disabled
+  (:func:`disable`) every instrument call is a single flag check, which
+  is what the obs-on/off equivalence suite and the PR10 overhead
+  benchmark measure against.
+* **exact per-shard merging** — every histogram shares one fixed
+  log-scale bound tuple (:data:`HISTOGRAM_BOUNDS`), so merging the
+  registries of W worker processes is bucket-wise integer addition with
+  no rebinning error: the dispatcher-merged histogram is bit-identical
+  to the histogram a single process would have accumulated.
+* **deterministic snapshots** — :meth:`MetricsRegistry.snapshot` emits
+  samples sorted by ``(name, labels)``, so snapshots (and the Prometheus
+  text rendered from them) are byte-stable for golden tests and the
+  wire codec.
+
+Snapshots are plain tuples (see :class:`RegistrySnapshot`) shaped exactly
+like the :class:`~repro.transport.codec.MetricsSnapshot` wire frame, so
+the codec, :func:`merge_snapshots` and :func:`render_prometheus` all
+speak the same duck type.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.clock import clock
+
+__all__ = [
+    "HISTOGRAM_BOUNDS",
+    "BUCKET_COUNT",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RegistrySnapshot",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "enable",
+    "disable",
+    "enabled",
+    "start_timer",
+    "merge_snapshots",
+    "render_prometheus",
+]
+
+#: Fixed log-scale latency bounds (seconds): 1µs doubling up to ~67s.
+#: Every histogram in every process uses exactly these bounds — that is
+#: what makes per-shard merging *exact* (bucket-wise addition) instead of
+#: approximate rebinning.  One overflow bucket rides after the last bound.
+HISTOGRAM_BOUNDS: Tuple[float, ...] = tuple(1e-6 * 2.0**i for i in range(27))
+
+#: Buckets per histogram: one per bound plus the overflow bucket.
+BUCKET_COUNT: int = len(HISTOGRAM_BOUNDS) + 1
+
+_enabled: bool = True
+
+
+def enabled() -> bool:
+    """True while instruments record (the default; see :func:`disable`)."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn instrument recording on (the process-wide default)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn every instrument into a no-op flag check.
+
+    The off-baseline of the obs-equivalence suite and the overhead
+    benchmark.  Already-accumulated values are kept (scrapes still work);
+    they simply stop advancing.
+    """
+    global _enabled
+    _enabled = False
+
+
+def start_timer() -> Optional[float]:
+    """The clock now, or ``None`` when recording is disabled.
+
+    The companion of :meth:`Histogram.observe_since`: a disabled registry
+    skips both clock reads, so the off-path costs one flag check.
+    """
+    return clock() if _enabled else None
+
+
+def _labels_key(labels: Dict[str, str]) -> str:
+    """Canonical ``k=v,k2=v2`` form (sorted) of a label set."""
+    if not labels:
+        return ""
+    for key, value in labels.items():
+        text = f"{key}{value}"
+        if any(ch in text for ch in (",", "=", '"', "\n")):
+            raise ConfigurationError(
+                f"label {key}={value!r} may not contain ',', '=', '\"' or newlines"
+            )
+    return ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+
+
+class Counter:
+    """A monotonically increasing integer (merged by addition)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: str = ""):
+        self.name = name
+        self.labels = labels
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (no-op while the registry is disabled)."""
+        if not _enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time float (merging keeps per-source values distinct)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: str = ""):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the value (no-op while the registry is disabled)."""
+        if not _enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the value (no-op while the registry is disabled)."""
+        if not _enabled:
+            return
+        with self._lock:
+            self._value += float(amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """A fixed-bucket log-scale latency distribution.
+
+    Observations land in the bucket whose bound is the first one >= the
+    value (overflow bucket past the last bound); the running sum keeps
+    the total seconds, so a histogram subsumes the legacy ``*_seconds``
+    accumulators it re-homes.
+    """
+
+    __slots__ = ("name", "labels", "_counts", "_sum", "_lock")
+
+    def __init__(self, name: str, labels: str = ""):
+        self.name = name
+        self.labels = labels
+        self._counts = [0] * BUCKET_COUNT
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation (no-op while the registry is disabled)."""
+        if not _enabled:
+            return
+        index = bisect_right(HISTOGRAM_BOUNDS, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+
+    def observe_since(self, started: Optional[float]) -> None:
+        """Record the elapsed seconds since a :func:`start_timer` stamp.
+
+        ``None`` (the disabled-registry stamp) records nothing, so the
+        caller never needs its own enabled check.
+        """
+        if started is None or not _enabled:
+            return
+        self.observe(clock() - started)
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def counts(self) -> Tuple[int, ...]:
+        with self._lock:
+            return tuple(self._counts)
+
+
+@dataclass(frozen=True)
+class RegistrySnapshot:
+    """A point-in-time registry readout, sorted and wire-shaped.
+
+    The field shapes mirror the :class:`~repro.transport.codec.
+    MetricsSnapshot` frame exactly (``labels`` in canonical
+    ``k=v,k2=v2`` form), so :func:`merge_snapshots` and
+    :func:`render_prometheus` accept either interchangeably.
+    """
+
+    counters: Tuple[Tuple[str, str, int], ...] = ()
+    gauges: Tuple[Tuple[str, str, float], ...] = ()
+    histograms: Tuple[Tuple[str, str, Tuple[int, ...], float], ...] = ()
+
+
+class MetricsRegistry:
+    """Create-or-fetch instrument store, one per process.
+
+    Instruments are keyed by ``(name, canonical labels)``; asking twice
+    returns the same object, so modules can cache handles at import time
+    and hot paths never touch the registry dict.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, str], Counter] = {}
+        self._gauges: Dict[Tuple[str, str], Gauge] = {}
+        self._histograms: Dict[Tuple[str, str], Histogram] = {}
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter ``name`` with these labels (created on first use)."""
+        key = (name, _labels_key(labels))
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter(*key)
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge ``name`` with these labels (created on first use)."""
+        key = (name, _labels_key(labels))
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge(*key)
+        return instrument
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """The histogram ``name`` with these labels (created on first use)."""
+        key = (name, _labels_key(labels))
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram(*key)
+        return instrument
+
+    def snapshot(self) -> RegistrySnapshot:
+        """Read every instrument out, sorted by ``(name, labels)``."""
+        with self._lock:
+            counters = sorted(self._counters)
+            gauges = sorted(self._gauges)
+            histograms = sorted(self._histograms)
+            return RegistrySnapshot(
+                counters=tuple(
+                    (name, labels, self._counters[(name, labels)].value)
+                    for name, labels in counters
+                ),
+                gauges=tuple(
+                    (name, labels, self._gauges[(name, labels)].value)
+                    for name, labels in gauges
+                ),
+                histograms=tuple(
+                    (
+                        name,
+                        labels,
+                        self._histograms[(name, labels)].counts,
+                        self._histograms[(name, labels)].sum,
+                    )
+                    for name, labels in histograms
+                ),
+            )
+
+    def reset(self) -> None:
+        """Zero every instrument in place (tests; workers after fork).
+
+        Instruments are zeroed rather than dropped so handles cached at
+        module import time stay registered — a forked procpool worker
+        resets its inherited registry copy and the instrumented modules'
+        cached handles keep recording into it.
+        """
+        with self._lock:
+            for instrument in self._counters.values():
+                instrument._value = 0
+            for instrument in self._gauges.values():
+                instrument._value = 0.0
+            for instrument in self._histograms.values():
+                instrument._counts = [0] * BUCKET_COUNT
+                instrument._sum = 0.0
+
+
+#: The process-global registry every instrumented module records into.
+#: Worker processes forked by the procpool reset their inherited copy, so
+#: each shard's registry holds exactly that shard's observations.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, **labels: str) -> Counter:
+    """A counter from the process-global registry."""
+    return REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels: str) -> Gauge:
+    """A gauge from the process-global registry."""
+    return REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: str) -> Histogram:
+    """A histogram from the process-global registry."""
+    return REGISTRY.histogram(name, **labels)
+
+
+def _append_label(labels: str, extra: str) -> str:
+    """Merge an extra canonical label pair into a canonical label string."""
+    if not labels:
+        return extra
+    pairs = labels.split(",") + [extra]
+    pairs.sort()
+    return ",".join(pairs)
+
+
+def merge_snapshots(
+    snapshots: Sequence,
+    gauge_labels: Optional[Sequence[Optional[str]]] = None,
+) -> RegistrySnapshot:
+    """Merge per-process snapshots into one — exactly.
+
+    Counters add; histograms add bucket-wise (the fixed shared bounds
+    make this lossless) and their sums add.  Gauges are point-in-time
+    per-source values, so they do not add: ``gauge_labels`` supplies one
+    extra canonical label pair (e.g. ``'shard=0'``) per snapshot to keep
+    each source's gauges distinct; sources labelled ``None`` keep their
+    gauges unrelabelled (colliding keys then keep the last value).
+
+    Raises :class:`~repro.errors.ConfigurationError` when two histograms
+    under the same key disagree on bucket count — that means two builds
+    with different bounds, which cannot merge exactly.
+    """
+    if gauge_labels is not None and len(gauge_labels) != len(snapshots):
+        raise ConfigurationError(
+            f"gauge_labels has {len(gauge_labels)} entries "
+            f"for {len(snapshots)} snapshots"
+        )
+    counters: Dict[Tuple[str, str], int] = {}
+    gauges: Dict[Tuple[str, str], float] = {}
+    histograms: Dict[Tuple[str, str], Tuple[List[int], float]] = {}
+    for position, snapshot in enumerate(snapshots):
+        for name, labels, value in snapshot.counters:
+            key = (name, labels)
+            counters[key] = counters.get(key, 0) + value
+        extra = gauge_labels[position] if gauge_labels is not None else None
+        for name, labels, value in snapshot.gauges:
+            relabelled = _append_label(labels, extra) if extra else labels
+            gauges[(name, relabelled)] = value
+        for name, labels, counts, total in snapshot.histograms:
+            key = (name, labels)
+            entry = histograms.get(key)
+            if entry is None:
+                histograms[key] = (list(counts), total)
+                continue
+            held, held_sum = entry
+            if len(held) != len(counts):
+                raise ConfigurationError(
+                    f"histogram {name}{{{labels}}} bucket counts disagree "
+                    f"({len(held)} vs {len(counts)}): the sources were built "
+                    "with different bounds and cannot merge exactly"
+                )
+            for index, count in enumerate(counts):
+                held[index] += count
+            histograms[key] = (held, held_sum + total)
+    return RegistrySnapshot(
+        counters=tuple(
+            (name, labels, counters[(name, labels)])
+            for name, labels in sorted(counters)
+        ),
+        gauges=tuple(
+            (name, labels, gauges[(name, labels)])
+            for name, labels in sorted(gauges)
+        ),
+        histograms=tuple(
+            (name, labels, tuple(histograms[(name, labels)][0]),
+             histograms[(name, labels)][1])
+            for name, labels in sorted(histograms)
+        ),
+    )
+
+
+def _prom_labels(labels: str, extra: str = "") -> str:
+    """Render a canonical label string into Prometheus ``{k="v"}`` form."""
+    pairs = [pair for pair in labels.split(",") if pair] if labels else []
+    if extra:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    rendered = []
+    for pair in pairs:
+        key, _, value = pair.partition("=")
+        rendered.append(f'{key}="{value}"')
+    return "{" + ",".join(rendered) + "}"
+
+
+def _prom_float(value: float) -> str:
+    """Deterministic float formatting for the exposition text."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot) -> str:
+    """Prometheus text exposition (format 0.0.4) for a snapshot.
+
+    Accepts any snapshot-shaped object — a :class:`RegistrySnapshot`, the
+    :class:`~repro.transport.codec.MetricsSnapshot` wire frame, or the
+    output of :func:`merge_snapshots` — so a merged multi-shard scrape
+    renders exactly like a single-process one.
+    """
+    lines: List[str] = []
+    seen_types = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for name, labels, value in snapshot.counters:
+        type_line(name, "counter")
+        lines.append(f"{name}{_prom_labels(labels)} {value}")
+    for name, labels, value in snapshot.gauges:
+        type_line(name, "gauge")
+        lines.append(f"{name}{_prom_labels(labels)} {_prom_float(value)}")
+    for name, labels, counts, total in snapshot.histograms:
+        type_line(name, "histogram")
+        cumulative = 0
+        for index, count in enumerate(counts):
+            cumulative += count
+            bound = (
+                "+Inf"
+                if index >= len(HISTOGRAM_BOUNDS)
+                else _prom_float(HISTOGRAM_BOUNDS[index])
+            )
+            lines.append(
+                f"{name}_bucket"
+                f"{_prom_labels(labels, f'le={bound}')} {cumulative}"
+            )
+        lines.append(f"{name}_sum{_prom_labels(labels)} {_prom_float(total)}")
+        lines.append(f"{name}_count{_prom_labels(labels)} {cumulative}")
+    return "\n".join(lines) + "\n"

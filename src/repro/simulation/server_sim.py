@@ -56,6 +56,7 @@ from repro.core.road_server import MovingRoadKNNServer
 from repro.core.server import MovingKNNServer
 from repro.core.stats import CommunicationStats, ProcessorStats
 from repro.geometry.point import Point
+from repro.obs.clock import clock as _clock
 from repro.roadnet.shortest_path import distances_from_location
 from repro.service import KNNService, ShardedDispatcher, UpdateBatch
 from repro.simulation.simulator import check_knn_answer
@@ -279,6 +280,8 @@ def simulate_server(
     wal_segment_bytes: Optional[int] = None,
     faults=None,
     replication: str = "recompute",
+    serving_hook=None,
+    step_delay: float = 0.0,
 ) -> ServerSimulationRun:
     """Drive M concurrent query streams interleaved with the update stream.
 
@@ -336,6 +339,19 @@ def simulate_server(
             ships its repair delta to the read replicas; bit-identical
             answers and counters, one geometry run per epoch).  Other
             transports hold one engine, so only ``"recompute"`` applies.
+        serving_hook: optional callable invoked once the run's serving
+            side exists, with the live :class:`~repro.service.service.
+            KNNService` (in-process/socket transports) or the
+            :class:`~repro.transport.procpool.ProcessShardedDispatcher`
+            (``transport="process"``).  Whatever it returns, if callable,
+            runs as cleanup after the workload (before teardown).  The
+            CLI mounts its scrape endpoints through this seam — the
+            workload loop itself never changes.
+        step_delay: sleep this many seconds after every advanced
+            timestamp (default 0: no pacing).  Lets an operator (or the
+            scrape-reconciliation test) observe a run mid-stream
+            deterministically; the wall-clock sleeps happen outside every
+            timed section.
 
     Returns:
         A :class:`ServerSimulationRun`.
@@ -374,6 +390,8 @@ def simulate_server(
             wal_segment_bytes,
             faults,
             replication,
+            serving_hook,
+            step_delay,
         )
     if transport_name not in ("local", "tcp", "unix"):
         raise ConfigurationError(
@@ -449,8 +467,9 @@ def simulate_server(
     results: Dict[int, List[QueryResult]] = {}
     mismatches: List[Tuple[int, int]] = []
     comm_start = service.communication.snapshot()
+    hook_cleanup = None
     try:
-        started = time.perf_counter()
+        started = _clock()
         # Session registration computes each query's first answer (timestamp
         # 0); the recorded streams start at timestamp 1.
         sessions = [
@@ -461,8 +480,12 @@ def simulate_server(
             results[session.query_id] = []
         epochs_before = service.epoch
         floor = _population_floor(sessions)
+        if serving_hook is not None:
+            hook_cleanup = serving_hook(service)
         with ShardedDispatcher(workers=workers) as dispatcher:
             for step in range(1, scenario.timestamps):
+                if step_delay > 0:
+                    time.sleep(step_delay)
                 if scenario.churn.interval and step % scenario.churn.interval == 0:
                     batch = make_churn_batch(
                         service.active_object_indexes(), floor, scenario, rng, counts
@@ -488,7 +511,7 @@ def simulate_server(
                             response.knn, all_distances, session.k, oracle_tolerance
                         ):
                             mismatches.append((step, session.query_id))
-        elapsed = time.perf_counter() - started
+        elapsed = _clock() - started
         communication = service.communication.snapshot()
         # Report only this run's traffic: a reused engine may carry history.
         for name in (
@@ -516,6 +539,8 @@ def simulate_server(
                 remote.predicted_bytes_received,
             )
     finally:
+        if callable(hook_cleanup):
+            hook_cleanup()
         if remote is not None:
             remote.close()
         if socket_server is not None:
@@ -557,6 +582,8 @@ def _simulate_over_processes(
     wal_segment_bytes: Optional[int] = None,
     faults=None,
     replication: str = "recompute",
+    serving_hook=None,
+    step_delay: float = 0.0,
 ) -> ServerSimulationRun:
     """The ``transport="process"`` body: shard the engine across processes.
 
@@ -591,7 +618,7 @@ def _simulate_over_processes(
         faults=faults,
         replication=replication,
     ) as pool:
-        started = time.perf_counter()
+        started = _clock()
         sessions = [
             pool.open_session(trajectory[0], k=k, rho=scenario.rho)
             for trajectory, k in zip(scenario.trajectories, scenario.ks)
@@ -599,22 +626,29 @@ def _simulate_over_processes(
         for session in sessions:
             results[session.global_id] = []
         floor = _population_floor(sessions)
-        for step in range(1, scenario.timestamps):
-            if scenario.churn.interval and step % scenario.churn.interval == 0:
-                batch = make_churn_batch(
-                    list(pool.active_object_indexes()), floor, scenario, rng, counts
+        hook_cleanup = serving_hook(pool) if serving_hook is not None else None
+        try:
+            for step in range(1, scenario.timestamps):
+                if step_delay > 0:
+                    time.sleep(step_delay)
+                if scenario.churn.interval and step % scenario.churn.interval == 0:
+                    batch = make_churn_batch(
+                        list(pool.active_object_indexes()), floor, scenario, rng, counts
+                    )
+                    if batch is not None:
+                        pool.apply(batch)
+                responses = pool.advance(
+                    [
+                        (session, trajectory[step])
+                        for session, trajectory in zip(sessions, scenario.trajectories)
+                    ]
                 )
-                if batch is not None:
-                    pool.apply(batch)
-            responses = pool.advance(
-                [
-                    (session, trajectory[step])
-                    for session, trajectory in zip(sessions, scenario.trajectories)
-                ]
-            )
-            for session, response in zip(sessions, responses):
-                results[session.global_id].append(response.result)
-        elapsed = time.perf_counter() - started
+                for session, response in zip(sessions, responses):
+                    results[session.global_id].append(response.result)
+        finally:
+            if callable(hook_cleanup):
+                hook_cleanup()
+        elapsed = _clock() - started
         communication = pool.communication()
         per_session = pool.per_session_communication()
         aggregate = pool.aggregate_stats()

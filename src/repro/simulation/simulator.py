@@ -16,13 +16,13 @@ flag legitimate alternative answers as errors.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generic, List, Optional, Sequence, TypeVar
 
 from repro.core.objects import QueryResult
 from repro.core.processor import MovingKNNProcessor
 from repro.core.stats import ProcessorStats
+from repro.obs.clock import clock as _clock
 
 PositionT = TypeVar("PositionT")
 
@@ -130,7 +130,7 @@ def simulate(
         raise ValueError("trajectory must contain at least one position")
     results: List[QueryResult] = []
     mismatches: List[int] = []
-    start = time.perf_counter()
+    start = _clock()
     for timestamp, position in enumerate(trajectory):
         if timestamp == 0:
             result = processor.initialize(position)
@@ -141,7 +141,7 @@ def simulate(
             all_distances = oracle(position)
             if not check_knn_answer(result.knn, all_distances, processor.k, oracle_tolerance):
                 mismatches.append(timestamp)
-    elapsed = time.perf_counter() - start
+    elapsed = _clock() - start
     return SimulationRun(
         method=processor.name,
         results=results,

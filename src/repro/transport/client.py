@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConnectionLost, QueryError, RequestTimeout, TransportError
 from repro.core.stats import CommunicationStats, ProcessorStats
+from repro.obs.metrics import counter as _obs_counter
 from repro.service.messages import KNNResponse, PositionUpdate, UpdateBatch
 from repro.service.session import Session
 from repro.transport.codec import (
@@ -47,6 +48,8 @@ from repro.transport.codec import (
     DrainRequest,
     ErrorMessage,
     IndexDelta,
+    MetricsRequest,
+    MetricsSnapshot,
     ObjectsRequest,
     ObjectsResponse,
     OpenQuery,
@@ -81,6 +84,8 @@ _META_TYPES = (
     DrainAck,
     IndexDelta,
     DeltaAck,
+    MetricsRequest,
+    MetricsSnapshot,
 )
 
 #: Request frames that are safe to resend on the same ordered stream: they
@@ -93,7 +98,16 @@ _IDEMPOTENT_TYPES = (
     StatsRequest,
     ObjectsRequest,
     AggregateStatsRequest,
+    MetricsRequest,
 )
+
+# The client's fault-path counters, re-homed onto the registry: the
+# legacy RemoteService attributes stay the source of truth (the fault
+# harness asserts on them); these mirror the same increments so a scrape
+# sees them too.
+_CLIENT_TIMEOUTS = _obs_counter("insq_client_timeouts_total")
+_CLIENT_RESENDS = _obs_counter("insq_client_resends_total")
+_CLIENT_DUPLICATES = _obs_counter("insq_client_duplicate_frames_total")
 
 
 def parse_endpoint(endpoint: str) -> Union[Tuple[str, int], str]:
@@ -289,6 +303,7 @@ class RemoteService:
             _, nbytes = received
             self.duplicate_frames += 1
             self.duplicate_bytes += nbytes
+            _CLIENT_DUPLICATES.inc()
             self._pending_duplicates -= 1
 
     def _request(self, message: Any, expected: type) -> Any:
@@ -309,10 +324,12 @@ class RemoteService:
                     outstanding += 1
                     if attempt:
                         self.resends += 1
+                        _CLIENT_RESENDS.inc()
                     try:
                         response = self._receive(timeout=self._request_timeout)
                     except RequestTimeout:
                         self.timeouts += 1
+                        _CLIENT_TIMEOUTS.inc()
                         if attempt + 1 >= attempts:
                             raise
                         self._retry_sleep(
@@ -442,6 +459,15 @@ class RemoteService:
     def aggregate_stats(self) -> ProcessorStats:
         """The server's summed client-side cost counters (snapshot)."""
         return self._request(AggregateStatsRequest(), AggregateStatsResponse).stats
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """The server's observability registry (snapshot, meta, idempotent).
+
+        Counters, gauges and the exactly-mergeable latency histograms of
+        :mod:`repro.obs` plus the live communication gauges — what
+        ``insq stats`` prints and ``/metrics`` renders.
+        """
+        return self._request(MetricsRequest(), MetricsSnapshot)
 
     def active_object_indexes(self) -> Tuple[int, ...]:
         """Active object indexes, in the server index's native order."""

@@ -54,6 +54,8 @@ from repro.errors import (
 )
 from repro.core.objects import QueryResult, UpdateAction
 from repro.core.stats import CommunicationStats, ProcessorStats
+from repro.obs.metrics import Histogram, histogram as _obs_histogram, start_timer
+from repro.obs.clock import clock as _obs_clock
 from repro.geometry.point import Point
 from repro.queries.influential import InfluentialResult
 from repro.queries.messages import InfluentialResponse, OpenQuery, RegionEvent
@@ -73,6 +75,8 @@ __all__ = [
     "FrameReader",
     "IndexDelta",
     "InfluentialResponse",
+    "MetricsRequest",
+    "MetricsSnapshot",
     "ObjectsRequest",
     "ObjectsResponse",
     "OpenQuery",
@@ -119,6 +123,8 @@ _T_DELTA_ACK = 0x14
 _T_OPEN_QUERY = 0x15
 _T_INFLUENTIAL_RESPONSE = 0x16
 _T_REGION_EVENT = 0x17
+_T_METRICS_REQUEST = 0x18
+_T_METRICS_SNAPSHOT = 0x19
 
 # Tagged position / batch-target kinds.
 _POS_POINT = 0x00
@@ -470,6 +476,60 @@ class DeltaAck:
     """
 
     epoch: int
+
+
+@dataclass(frozen=True)
+class MetricsRequest:
+    """Client → server: send me your metrics registry snapshot (meta).
+
+    Read-only and idempotent: answered from a snapshot read, it never
+    touches a session, an epoch or a counter — a scrape mid-run cannot
+    perturb the protocol it observes.
+    """
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Server → client: one observability registry readout (meta).
+
+    The wire form of :class:`~repro.obs.metrics.RegistrySnapshot` (same
+    field shapes, so :func:`~repro.obs.metrics.render_prometheus` and
+    :func:`~repro.obs.metrics.merge_snapshots` accept either).  Labels
+    travel in the canonical ``k=v,k2=v2`` form; histogram bucket counts
+    are positional over the shared fixed bounds
+    (:data:`~repro.obs.metrics.HISTOGRAM_BOUNDS`), which is what lets a
+    dispatcher merge per-shard snapshots exactly.
+
+    Attributes:
+        counters: ``(name, labels, value)`` triples.
+        gauges: ``(name, labels, value)`` triples.
+        histograms: ``(name, labels, bucket_counts, sum)`` tuples.
+    """
+
+    counters: Tuple[Tuple[str, str, int], ...] = ()
+    gauges: Tuple[Tuple[str, str, float], ...] = ()
+    histograms: Tuple[Tuple[str, str, Tuple[int, ...], float], ...] = ()
+
+    def __post_init__(self):
+        normalize = object.__setattr__
+        normalize(
+            self,
+            "counters",
+            tuple((str(n), str(l), int(v)) for n, l, v in self.counters),
+        )
+        normalize(
+            self,
+            "gauges",
+            tuple((str(n), str(l), float(v)) for n, l, v in self.gauges),
+        )
+        normalize(
+            self,
+            "histograms",
+            tuple(
+                (str(n), str(l), tuple(int(c) for c in counts), float(total))
+                for n, l, counts, total in self.histograms
+            ),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -914,6 +974,33 @@ def _encode_agg_stats_request(message: AggregateStatsRequest) -> bytes:
     return _Writer(_T_AGG_STATS_REQUEST).frame()
 
 
+def _encode_metrics_request(message: MetricsRequest) -> bytes:
+    return _Writer(_T_METRICS_REQUEST).frame()
+
+
+def _encode_metrics_snapshot(message: MetricsSnapshot) -> bytes:
+    writer = _Writer(_T_METRICS_SNAPSHOT)
+    writer.u32(len(message.counters))
+    for name, labels, value in message.counters:
+        writer.string(name)
+        writer.string(labels)
+        writer.u64(value)
+    writer.u32(len(message.gauges))
+    for name, labels, value in message.gauges:
+        writer.string(name)
+        writer.string(labels)
+        writer.f64(value)
+    writer.u32(len(message.histograms))
+    for name, labels, counts, total in message.histograms:
+        writer.string(name)
+        writer.string(labels)
+        writer.u16(len(counts))
+        for count in counts:
+            writer.u64(count)
+        writer.f64(total)
+    return writer.frame()
+
+
 def _encode_agg_stats_response(message: AggregateStatsResponse) -> bytes:
     writer = _Writer(_T_AGG_STATS_RESPONSE)
     for name in _PROC_INT_FIELDS:
@@ -947,7 +1034,23 @@ _ENCODERS = {
     DrainAck: _encode_drain_ack,
     IndexDelta: _encode_index_delta,
     DeltaAck: _encode_delta_ack,
+    MetricsRequest: _encode_metrics_request,
+    MetricsSnapshot: _encode_metrics_snapshot,
 }
+
+
+# Per-frame-type codec latency histograms, cached here so the hot path
+# never re-derives a label key or touches the registry dict.
+_CODEC_HISTOGRAMS: Dict[Tuple[str, str], Histogram] = {}
+
+
+def _codec_histogram(op: str, frame: str) -> Histogram:
+    key = (op, frame)
+    hist = _CODEC_HISTOGRAMS.get(key)
+    if hist is None:
+        hist = _obs_histogram("insq_codec_seconds", op=op, frame=frame)
+        _CODEC_HISTOGRAMS[key] = hist
+    return hist
 
 
 def encode(message: Any) -> bytes:
@@ -960,12 +1063,18 @@ def encode(message: Any) -> bytes:
     encoder = _ENCODERS.get(type(message))
     if encoder is None:
         raise TransportError(f"cannot encode message of type {type(message).__name__}")
+    started = start_timer()
     try:
-        return encoder(message)
+        data = encoder(message)
     except struct.error as error:
         raise TransportError(
             f"field out of range encoding {type(message).__name__}: {error}"
         )
+    if started is not None:
+        _codec_histogram("encode", type(message).__name__).observe(
+            _obs_clock() - started
+        )
+    return data
 
 
 # ----------------------------------------------------------------------
@@ -1170,6 +1279,27 @@ def _decode_agg_stats_response(reader: _Reader) -> AggregateStatsResponse:
     return AggregateStatsResponse(stats=ProcessorStats(**values))
 
 
+def _decode_metrics_snapshot(reader: _Reader) -> MetricsSnapshot:
+    counters = tuple(
+        (reader.string(), reader.string(), reader.u64())
+        for _ in range(reader.u32())
+    )
+    gauges = tuple(
+        (reader.string(), reader.string(), reader.f64())
+        for _ in range(reader.u32())
+    )
+    histograms = tuple(
+        (
+            reader.string(),
+            reader.string(),
+            tuple(reader.u64() for _ in range(reader.u16())),
+            reader.f64(),
+        )
+        for _ in range(reader.u32())
+    )
+    return MetricsSnapshot(counters=counters, gauges=gauges, histograms=histograms)
+
+
 _DECODERS = {
     _T_POSITION_UPDATE: _decode_position_update,
     _T_KNN_RESPONSE: _decode_knn_response,
@@ -1194,6 +1324,8 @@ _DECODERS = {
     _T_DRAIN_ACK: _decode_drain_ack,
     _T_INDEX_DELTA: _decode_index_delta,
     _T_DELTA_ACK: lambda r: DeltaAck(epoch=r.u32()),
+    _T_METRICS_REQUEST: lambda r: MetricsRequest(),
+    _T_METRICS_SNAPSHOT: _decode_metrics_snapshot,
 }
 
 
@@ -1205,8 +1337,13 @@ def _decode_body(body: bytes) -> Any:
     decoder = _DECODERS.get(frame_type)
     if decoder is None:
         raise TransportError(f"unknown frame type 0x{frame_type:02x}")
+    started = start_timer()
     message = decoder(reader)
     reader.finish()
+    if started is not None:
+        _codec_histogram("decode", type(message).__name__).observe(
+            _obs_clock() - started
+        )
     return message
 
 
@@ -1313,6 +1450,22 @@ def _size_batch_applied(message: BatchApplied) -> int:
     )
 
 
+def _size_metrics_snapshot(message: MetricsSnapshot) -> int:
+    def s(text: str) -> int:
+        return 2 + len(text.encode("utf-8"))
+
+    return (
+        _OVERHEAD
+        + 12  # three u32 section counts
+        + sum(s(name) + s(labels) + 8 for name, labels, _ in message.counters)
+        + sum(s(name) + s(labels) + 8 for name, labels, _ in message.gauges)
+        + sum(
+            s(name) + s(labels) + 2 + 8 * len(counts) + 8
+            for name, labels, counts, _ in message.histograms
+        )
+    )
+
+
 def _size_index_delta(message: IndexDelta) -> int:
     def u32s(values) -> int:
         return 4 + 4 * len(values)
@@ -1365,6 +1518,8 @@ _SIZERS = {
     DrainAck: lambda m: _OVERHEAD + 8 + 4 + 4 * len(m.session_ids),
     IndexDelta: _size_index_delta,
     DeltaAck: lambda m: _OVERHEAD + 4,
+    MetricsRequest: lambda m: _OVERHEAD,
+    MetricsSnapshot: _size_metrics_snapshot,
 }
 
 

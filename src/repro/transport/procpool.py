@@ -50,11 +50,12 @@ process boundaries, and hiding that would be a dishonest wire bill.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 import signal
 import socket
-import time
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -65,13 +66,23 @@ from repro.errors import (
     TransportError,
 )
 from repro.core.stats import CommunicationStats, ProcessorStats
+from repro.obs.clock import clock as _obs_clock
+from repro.obs.metrics import (
+    REGISTRY,
+    counter as _obs_counter,
+    histogram as _obs_histogram,
+    merge_snapshots,
+)
+from repro.obs.trace import TRACER
 from repro.service.messages import KNNResponse, PositionUpdate, UpdateBatch
 from repro.service.service import KNNService, open_service
 from repro.transport.client import RemoteService, RemoteSession
 from repro.transport.codec import (
+    _COMM_FIELDS,
     BatchApplied,
     DeltaAck,
     IndexDelta,
+    MetricsSnapshot,
     ObjectsRequest,
     ObjectsResponse,
 )
@@ -79,6 +90,33 @@ from repro.transport.server import serve_connection
 from repro.transport.stream import MessageStream
 
 __all__ = ["ProcessShardedDispatcher", "ServiceSpec"]
+
+# Pool-level fault/restart accounting, re-homed onto the registry: the
+# dispatcher attributes (respawns, kills_injected, drains,
+# handoff_seconds) stay the source of truth for the fault harness; these
+# mirror the same increments so a scrape sees them too.
+_POOL_RESPAWNS = _obs_counter("insq_shard_respawns_total")
+_POOL_KILLS = _obs_counter("insq_shard_kills_total")
+_POOL_DRAINS = _obs_counter("insq_shard_drains_total")
+_HANDOFF_SECONDS = _obs_histogram("insq_handoff_seconds")
+
+
+def _locked(method):
+    """Serialise a dispatcher method on the pool lock.
+
+    The pipelined dispatch writes raw frames on the worker socketpairs
+    (bypassing each client's per-request lock), so a metrics scrape from
+    another thread must never interleave with it; every method that
+    touches a remote takes this lock.  Reentrant because fault-plan
+    drains run inside :meth:`ProcessShardedDispatcher.apply`.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 #: Grace period per escalation stage of :meth:`ProcessShardedDispatcher.close`
 #: (EOF-wait, then SIGTERM-wait; SIGKILL follows).  A module constant so the
@@ -189,6 +227,11 @@ def _worker_main(
             other.close()
         except OSError:
             pass
+    # The fork inherited the parent's accumulated instruments; zero them
+    # so this shard's registry holds exactly this shard's observations
+    # (the parent merges the shards' snapshots back together).
+    REGISTRY.reset()
+    TRACER.reset()
     sessions = None
     if wal_dir is not None:
         from repro.durability.recovery import (
@@ -302,6 +345,10 @@ class ProcessShardedDispatcher:
         self._spec = spec
         self._workers = workers
         self._context = context
+        # Serialises every remote-touching method (see _locked): dispatch
+        # bypasses the per-client request lock, so a concurrent scrape
+        # would otherwise interleave frames on a worker socketpair.
+        self._lock = threading.RLock()
         self._wal_dir = wal_dir
         self._wal_fsync = wal_fsync
         self._wal_segment_bytes = wal_segment_bytes
@@ -443,6 +490,7 @@ class ProcessShardedDispatcher:
                 pass
         process.join(timeout=10.0)
         self.kills_injected += 1
+        _POOL_KILLS.inc()
 
     def _recover_worker(self, worker_index: int) -> RemoteService:
         """Respawn a dead worker, or raise the typed error if we can't.
@@ -467,6 +515,7 @@ class ProcessShardedDispatcher:
             pass
         remote = self._handoff(worker_index, old_remote)
         self.respawns += 1
+        _POOL_RESPAWNS.inc()
         return remote
 
     def _handoff(self, worker_index: int, old_remote: RemoteService) -> RemoteService:
@@ -500,6 +549,7 @@ class ProcessShardedDispatcher:
     # ------------------------------------------------------------------
     # Graceful restart: drain-and-handoff under traffic
     # ------------------------------------------------------------------
+    @_locked
     def drain_worker(self, worker_index: int) -> RemoteService:
         """Gracefully restart one shard while the others keep serving.
 
@@ -528,7 +578,7 @@ class ProcessShardedDispatcher:
                 f"worker index must be in [0, {self._workers}), "
                 f"got {worker_index}"
             )
-        started = time.perf_counter()
+        started = _obs_clock()
         old_remote = self._remotes[worker_index]
         old_remote.drain()
         process = self._processes[worker_index]
@@ -539,7 +589,10 @@ class ProcessShardedDispatcher:
         remote = self._handoff(worker_index, old_remote)
         self._reconcile_epoch(worker_index, self._epoch)
         self.drains += 1
-        self.handoff_seconds.append(time.perf_counter() - started)
+        _POOL_DRAINS.inc()
+        elapsed = _obs_clock() - started
+        self.handoff_seconds.append(elapsed)
+        _HANDOFF_SECONDS.observe(elapsed)
         return remote
 
     def _reconcile_epoch(
@@ -609,6 +662,7 @@ class ProcessShardedDispatcher:
     # ------------------------------------------------------------------
     # Session lifecycle (pinned by the i-mod-workers rule)
     # ------------------------------------------------------------------
+    @_locked
     def open_session(
         self, position: Any, k: int, rho: float = 1.6, **query_options: Any
     ) -> RemoteSession:
@@ -631,6 +685,7 @@ class ProcessShardedDispatcher:
         self._worker_of[id(session)] = worker_index
         return session
 
+    @_locked
     def open_query(
         self,
         position: Any,
@@ -660,6 +715,7 @@ class ProcessShardedDispatcher:
     # ------------------------------------------------------------------
     # Pipelined dispatch
     # ------------------------------------------------------------------
+    @_locked
     def advance(
         self, assignments: Sequence[Tuple[RemoteSession, Any]]
     ) -> List[KNNResponse]:
@@ -752,6 +808,7 @@ class ProcessShardedDispatcher:
     # ------------------------------------------------------------------
     # The broadcast update stream
     # ------------------------------------------------------------------
+    @_locked
     def apply(self, batch: UpdateBatch) -> BatchApplied:
         """Broadcast one :class:`UpdateBatch` to every shard as one epoch.
 
@@ -956,6 +1013,7 @@ class ProcessShardedDispatcher:
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
+    @_locked
     def communication(self, deduplicate_broadcast: bool = True) -> CommunicationStats:
         """Combined counters over every shard (snapshot).
 
@@ -976,6 +1034,7 @@ class ProcessShardedDispatcher:
             combined.uplink_objects -= duplicates * self._batch_records_billed
         return combined
 
+    @_locked
     def per_session_communication(self) -> Dict[int, CommunicationStats]:
         """Per-session counters keyed by *global* session id (snapshot)."""
         self._ensure_open()
@@ -990,6 +1049,7 @@ class ProcessShardedDispatcher:
                 result[session.global_id] = record
         return result
 
+    @_locked
     def aggregate_stats(self) -> ProcessorStats:
         """Client-side cost counters summed over every shard (snapshot)."""
         self._ensure_open()
@@ -998,14 +1058,57 @@ class ProcessShardedDispatcher:
             total.merge(remote.aggregate_stats())
         return total
 
+    @_locked
     def active_object_indexes(self) -> Tuple[int, ...]:
         """Active object indexes from shard 0 (all replicas agree)."""
         self._ensure_open()
         return self._remotes[0].active_object_indexes()
 
+    @_locked
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Every shard's registry, merged exactly, plus pool-level gauges.
+
+        Each worker answers a (meta, idempotent)
+        :class:`~repro.transport.codec.MetricsRequest` with its own
+        registry; counters and the fixed-bucket histograms sum exactly
+        across shards (shared bounds — the merge loses nothing), shard
+        gauges are relabelled ``shard=<i>``, and the parent's own
+        registry (client-side codec timings, fault counters) joins the
+        sum.  Pool-level gauges carry the deduplicated communication
+        bill — the same numbers :meth:`communication` reports — the pool
+        epoch, open sessions, and each shard's epoch lag behind the pool.
+        """
+        self._ensure_open()
+        shard_snapshots = [remote.metrics_snapshot() for remote in self._remotes]
+        merged = merge_snapshots(
+            shard_snapshots,
+            gauge_labels=[f"shard={index}" for index in range(self._workers)],
+        )
+        merged = merge_snapshots([merged, REGISTRY.snapshot()])
+        gauges = list(merged.gauges)
+        comm = self.communication()
+        for field in _COMM_FIELDS:
+            gauges.append((f"insq_comm_{field}", "", float(getattr(comm, field))))
+        gauges.append(("insq_engine_epoch", "", float(self._epoch)))
+        gauges.append(("insq_sessions_open", "", float(len(self.sessions()))))
+        gauges.append(
+            ("insq_handoff_seconds_total", "", float(sum(self.handoff_seconds)))
+        )
+        for name, labels, value in merged.gauges:
+            if name == "insq_engine_epoch" and labels.startswith("shard="):
+                gauges.append(
+                    ("insq_shard_epoch_lag", labels, float(self._epoch) - value)
+                )
+        return MetricsSnapshot(
+            counters=merged.counters,
+            gauges=tuple(sorted(gauges)),
+            histograms=merged.histograms,
+        )
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @_locked
     def close(self) -> None:
         """Close the shard connections and reap the workers (idempotent).
 

@@ -35,9 +35,18 @@ import threading
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import QueryError, ReproError, TransportError
+from repro.obs.clock import clock as _obs_clock
+from repro.obs.trace import TRACER
+from repro.obs.metrics import (
+    Histogram,
+    REGISTRY,
+    histogram as _obs_histogram,
+    start_timer,
+)
 from repro.service.service import KNNService
 from repro.service.session import Session
 from repro.transport.codec import (
+    _COMM_FIELDS,
     AggregateStatsRequest,
     AggregateStatsResponse,
     BatchApplied,
@@ -47,6 +56,8 @@ from repro.transport.codec import (
     DrainRequest,
     ErrorMessage,
     IndexDelta,
+    MetricsRequest,
+    MetricsSnapshot,
     ObjectsRequest,
     ObjectsResponse,
     OpenQuery,
@@ -65,7 +76,66 @@ from repro.transport.stream import MessageStream
 # Re-exported for callers of serve_connection.
 from repro.service.messages import KNNResponse  # noqa: F401  (protocol surface)
 
-__all__ = ["KNNServer", "serve_connection"]
+__all__ = [
+    "KNNServer",
+    "MetricsListener",
+    "metrics_snapshot_frame",
+    "serve_connection",
+]
+
+
+# Per-frame-type request service-time histograms, cached so the dispatch
+# loop never re-derives a label key or touches the registry dict.
+_REQUEST_HISTOGRAMS: Dict[str, Histogram] = {}
+
+
+def _request_histogram(frame: str) -> Histogram:
+    hist = _REQUEST_HISTOGRAMS.get(frame)
+    if hist is None:
+        hist = _obs_histogram("insq_request_seconds", frame=frame)
+        _REQUEST_HISTOGRAMS[frame] = hist
+    return hist
+
+
+def metrics_snapshot_frame(service: Optional[KNNService] = None) -> MetricsSnapshot:
+    """The process registry as a wire frame, plus live service gauges.
+
+    When ``service`` is given, the snapshot also carries communication
+    gauges (``insq_comm_*``, total and per query kind), the data epoch
+    and the open-session count — read from the very objects the
+    end-of-run bill prints, so a scrape reconciles with the printed
+    totals by construction.  Building the frame takes only snapshot
+    reads: serving it cannot perturb any counter it reports.
+    """
+    snapshot = REGISTRY.snapshot()
+    gauges = list(snapshot.gauges)
+    if service is not None:
+        engine = service.engine
+        comm = engine.communication.snapshot()
+        for field in _COMM_FIELDS:
+            gauges.append((f"insq_comm_{field}", "", float(getattr(comm, field))))
+        for kind, stats in sorted(engine.communication_by_kind().items()):
+            for field in _COMM_FIELDS:
+                gauges.append(
+                    (f"insq_comm_{field}", f"kind={kind}", float(getattr(stats, field)))
+                )
+        gauges.append(("insq_engine_epoch", "", float(service.epoch)))
+        gauges.append(("insq_sessions_open", "", float(len(service.sessions()))))
+        # The engine's cumulative maintenance timers as gauges, so a
+        # dispatcher merging shard snapshots can show delta-apply vs
+        # full-maintenance time per shard (gauges are relabelled
+        # ``shard=<i>`` at the merge; histograms are summed).
+        gauges.append(
+            ("insq_maintenance_seconds_total", "", float(engine.maintenance_seconds))
+        )
+        gauges.append(
+            ("insq_delta_apply_seconds_total", "", float(engine.delta_apply_seconds))
+        )
+    return MetricsSnapshot(
+        counters=snapshot.counters,
+        gauges=tuple(sorted(gauges)),
+        histograms=snapshot.histograms,
+    )
 
 
 def serve_connection(
@@ -154,6 +224,7 @@ def serve_connection(
             if received is None:
                 return
             message, nbytes = received
+            started = start_timer()
             try:
                 if isinstance(message, PositionUpdate):
                     query_id = message.query_id
@@ -311,12 +382,23 @@ def serve_connection(
                     with lock:
                         stats = service.aggregate_stats()
                     reply_meta(AggregateStatsResponse(stats=stats))
+                elif isinstance(message, MetricsRequest):
+                    # Meta and idempotent: a scrape reads snapshots only,
+                    # so it can never alter the counters it reports.
+                    with lock:
+                        response = metrics_snapshot_frame(service)
+                    reply_meta(response)
                 else:
                     raise TransportError(
                         f"unexpected {type(message).__name__} frame from client"
                     )
             except ReproError as error:
                 reply(ErrorMessage.from_exception(error), None)
+            if started is not None:
+                elapsed = _obs_clock() - started
+                frame_name = type(message).__name__
+                _request_histogram(frame_name).observe(elapsed)
+                TRACER.add("request", started, elapsed, frame=frame_name)
     except TransportError:
         # Stream corruption (or a send into a dead socket): the connection
         # is unrecoverable; fall through to the cleanup below.
@@ -556,6 +638,128 @@ class KNNServer:
     def __enter__(self) -> "KNNServer":
         if not self._running:
             self.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+
+class MetricsListener:
+    """A tiny codec-speaking stats endpoint for ``insq stats``.
+
+    Answers each :class:`~repro.transport.codec.MetricsRequest` frame with
+    ``provider()`` — a fresh :class:`~repro.transport.codec.MetricsSnapshot`
+    per request.  Mounted by ``insq serve --stats-port`` next to workloads
+    that run over an in-process dispatcher (``--transport process``) and
+    therefore have no :class:`KNNServer` to ask: the provider is the
+    dispatcher's exactly-merged per-shard snapshot.  The provider runs on
+    the listener's threads, outside every serving code path.
+
+    Any other frame is answered with an :class:`~repro.transport.codec.
+    ErrorMessage` — this endpoint serves diagnostics, not queries.
+    """
+
+    def __init__(
+        self,
+        provider,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._provider = provider
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((host, port))
+        except OSError as error:
+            listener.close()
+            raise TransportError(f"cannot bind {host}:{port}: {error}")
+        listener.listen(8)
+        self._listener = listener
+        self._running = True
+        self._state_lock = threading.Lock()
+        self._streams: List[MessageStream] = []
+        self._threads: List[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="insq-stats-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` endpoint."""
+        bound = self._listener.getsockname()
+        return (bound[0], bound[1])
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            stream = MessageStream(sock)
+            thread = threading.Thread(
+                target=self._serve,
+                args=(stream,),
+                name="insq-stats-conn",
+                daemon=True,
+            )
+            with self._state_lock:
+                self._streams.append(stream)
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve(self, stream: MessageStream) -> None:
+        try:
+            while True:
+                received = stream.receive()
+                if received is None:
+                    return
+                message, _ = received
+                if isinstance(message, MetricsRequest):
+                    try:
+                        stream.send(self._provider())
+                    except ReproError as error:
+                        stream.send(ErrorMessage.from_exception(error))
+                else:
+                    stream.send(
+                        ErrorMessage.from_exception(
+                            TransportError(
+                                f"the stats endpoint only answers "
+                                f"MetricsRequest, not "
+                                f"{type(message).__name__}"
+                            )
+                        )
+                    )
+        except TransportError:
+            pass  # connection dropped; nothing to clean beyond the stream
+        finally:
+            stream.close()
+
+    def stop(self) -> None:
+        """Stop accepting, drop every connection, join the threads."""
+        if not self._running:
+            return
+        self._running = False
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=5.0)
+        with self._state_lock:
+            streams = list(self._streams)
+            threads = list(self._threads)
+            self._streams.clear()
+            self._threads.clear()
+        for stream in streams:
+            stream.close()
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsListener":
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:

@@ -1,0 +1,37 @@
+"""Tier-1 smoke test for the PR10 observability benchmark.
+
+Same rationale as the other benchmark smoke tests: the benchmark modules
+are only collected when invoked explicitly, so this drives the ``--smoke``
+tiny-N mode inside the default ``pytest -x -q`` run — a regression on the
+zero-semantic-cost bar (an instrument that steers an answer or perturbs
+a counter) fails tier-1 immediately instead of waiting for somebody to
+run the benchmark by hand.
+
+Timing assertions are deliberately absent: a 12-epoch smoke stream
+finishes in milliseconds, so its observed-vs-blind overhead ratio is
+pure scheduler noise.  The <5% wall gate is enforced only by the full
+benchmark (``python benchmarks/bench_pr10_observability.py``), whose
+result is committed as ``BENCH_PR10.json``.
+"""
+
+import pathlib
+import sys
+
+# The benchmarks package lives at the repository root, next to tests/.
+_REPO_ROOT = str(pathlib.Path(__file__).resolve().parents[2])
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from benchmarks.bench_pr10_observability import run_benchmark as obs_benchmark
+
+
+class TestObservabilityBenchmarkSmoke:
+    def test_pr10_observability_smoke_equivalence(self):
+        rows, checks = obs_benchmark(smoke=True)
+        assert checks["bit_identical_all_cells"]
+        by_cell = {row["cell"]: row for row in rows}
+        assert set(by_cell) == {"local", "tcp"}
+        # Both modes really ran in both cells and produced a cost floor.
+        for row in by_cell.values():
+            assert row["obs_on_s"] > 0.0
+            assert row["obs_off_s"] > 0.0

@@ -1,0 +1,98 @@
+"""Lockstep guard: stats dataclasses vs merge/as_dict/codec wire tuples.
+
+Every time a counter is added to :class:`ProcessorStats` or
+:class:`CommunicationStats`, four other places must learn about it —
+``merge()``, ``snapshot()`` (comm), ``as_dict()`` and the codec's wire
+field tuples (``_PROC_INT_FIELDS``/``_PROC_FLOAT_FIELDS``/
+``_COMM_FIELDS``).  Forgetting one silently drops that counter from
+aggregation or from the wire, which corrupts every cross-shard bill.
+This module derives the expected coverage from ``dataclasses.fields``
+itself, so the guard can never go stale: adding a field fails here until
+every consumer handles it.
+"""
+
+import dataclasses
+
+from repro.core.stats import CommunicationStats, ProcessorStats
+from repro.transport.codec import (
+    _COMM_FIELDS,
+    _PROC_FLOAT_FIELDS,
+    _PROC_INT_FIELDS,
+)
+
+
+def _field_names(cls):
+    return [field.name for field in dataclasses.fields(cls)]
+
+
+def _distinct_instance(cls, offset: int = 0):
+    """An instance whose every field holds a distinct nonzero value."""
+    values = {}
+    for index, field in enumerate(dataclasses.fields(cls)):
+        value = offset + 2 * index + 3
+        values[field.name] = float(value) if _is_float(field) else value
+    return cls(**values), values
+
+
+def _is_float(field) -> bool:
+    return field.type in (float, "float")
+
+
+class TestCommunicationStatsLockstep:
+    def test_wire_tuple_covers_every_field(self):
+        assert set(_COMM_FIELDS) == set(_field_names(CommunicationStats))
+
+    def test_merge_covers_every_field(self):
+        base = CommunicationStats()
+        other, values = _distinct_instance(CommunicationStats)
+        base.merge(other)
+        for name, value in values.items():
+            assert getattr(base, name) == value, f"merge() drops {name}"
+
+    def test_snapshot_covers_every_field(self):
+        original, values = _distinct_instance(CommunicationStats, offset=100)
+        copy = original.snapshot()
+        assert copy is not original
+        for name, value in values.items():
+            assert getattr(copy, name) == value, f"snapshot() drops {name}"
+        # And it really is independent.
+        copy.uplink_messages += 1
+        assert original.uplink_messages == values["uplink_messages"]
+
+    def test_as_dict_covers_every_field(self):
+        stats, values = _distinct_instance(CommunicationStats)
+        rendered = stats.as_dict()
+        for name, value in values.items():
+            assert rendered[name] == value, f"as_dict() drops {name}"
+
+
+class TestProcessorStatsLockstep:
+    def test_wire_tuples_cover_every_field_exactly_once(self):
+        wire = _PROC_INT_FIELDS + _PROC_FLOAT_FIELDS
+        assert len(wire) == len(set(wire))
+        assert set(wire) == set(_field_names(ProcessorStats))
+
+    def test_wire_tuples_partition_by_declared_type(self):
+        by_name = {
+            field.name: field.type
+            for field in dataclasses.fields(ProcessorStats)
+        }
+        for name in _PROC_INT_FIELDS:
+            assert by_name[name] in (int, "int"), f"{name} shipped as u64 but not int"
+        for name in _PROC_FLOAT_FIELDS:
+            assert by_name[name] in (float, "float"), (
+                f"{name} shipped as f64 but not float"
+            )
+
+    def test_merge_covers_every_field(self):
+        base = ProcessorStats()
+        other, values = _distinct_instance(ProcessorStats)
+        base.merge(other)
+        for name, value in values.items():
+            assert getattr(base, name) == value, f"merge() drops {name}"
+
+    def test_as_dict_covers_every_field(self):
+        stats, values = _distinct_instance(ProcessorStats)
+        rendered = stats.as_dict()
+        for name, value in values.items():
+            assert rendered[name] == value, f"as_dict() drops {name}"

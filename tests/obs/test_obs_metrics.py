@@ -1,0 +1,216 @@
+"""Unit and property tests for the metrics registry.
+
+The load-bearing contracts:
+
+* **bucket exactness** — an observation lands in exactly the bucket
+  ``bisect_right(HISTOGRAM_BOUNDS, value)`` names, for every value
+  including the bound values themselves and the overflow range;
+* **merge exactness and associativity** (hypothesis) — merging W
+  per-shard histograms bucket-wise equals the histogram one process
+  would have accumulated, regardless of how observations were split
+  across shards or how the merge is parenthesised;
+* **gating** — a disabled registry records nothing anywhere, and
+  :func:`~repro.obs.metrics.start_timer` returns ``None`` so timed
+  sites skip the clock entirely;
+* **reset-in-place** — :meth:`MetricsRegistry.reset` zeroes instruments
+  without dropping them, so handles cached at module import keep
+  recording after a forked worker resets its inherited registry.
+"""
+
+from bisect import bisect_right
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    BUCKET_COUNT,
+    HISTOGRAM_BOUNDS,
+    MetricsRegistry,
+    RegistrySnapshot,
+    merge_snapshots,
+    start_timer,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def recording():
+    """Force recording on for the test, restoring the prior state after."""
+    was_enabled = obs_metrics.enabled()
+    obs_metrics.enable()
+    yield
+    if not was_enabled:
+        obs_metrics.disable()
+
+
+durations = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_snapshots(self, registry, recording):
+        counter = registry.counter("insq_test_total", kind="a")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        snap = registry.snapshot()
+        assert snap.counters == (("insq_test_total", "kind=a", 5),)
+
+    def test_get_or_create_returns_the_same_instrument(self, registry):
+        assert registry.counter("c", x="1") is registry.counter("c", x="1")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.gauge("g") is not registry.gauge("g", x="1")
+
+    def test_labels_are_canonical_sorted(self, registry):
+        instrument = registry.counter("c", zeta="1", alpha="2")
+        assert instrument.labels == "alpha=2,zeta=1"
+        assert registry.counter("c", alpha="2", zeta="1") is instrument
+
+    def test_label_values_reject_reserved_characters(self, registry):
+        with pytest.raises(ConfigurationError):
+            registry.counter("c", bad="a,b")
+        with pytest.raises(ConfigurationError):
+            registry.counter("c", bad="a=b")
+
+    @pytest.mark.parametrize(
+        "value",
+        [0.0, 1e-9, 1e-6, 1e-6 + 1e-12, 2e-6, 1.0, 100.0, 1e6]
+        + list(HISTOGRAM_BOUNDS),
+    )
+    def test_histogram_bucket_exactness(self, registry, recording, value):
+        histogram = registry.histogram("h")
+        histogram.observe(value)
+        expected = [0] * BUCKET_COUNT
+        expected[bisect_right(HISTOGRAM_BOUNDS, value)] = 1
+        assert list(histogram.counts) == expected
+        assert histogram.sum == value
+        assert histogram.count == 1
+
+    def test_histogram_overflow_bucket(self, registry, recording):
+        histogram = registry.histogram("h")
+        histogram.observe(HISTOGRAM_BOUNDS[-1] * 2)
+        assert histogram.counts[-1] == 1
+
+    def test_observe_since_none_is_a_noop(self, registry, recording):
+        histogram = registry.histogram("h")
+        histogram.observe_since(None)
+        assert histogram.count == 0
+
+
+class TestGating:
+    def test_disabled_registry_records_nothing(self, registry):
+        was_enabled = obs_metrics.enabled()
+        obs_metrics.disable()
+        try:
+            counter = registry.counter("c")
+            gauge = registry.gauge("g")
+            histogram = registry.histogram("h")
+            counter.inc()
+            gauge.set(3.0)
+            gauge.add(1.0)
+            histogram.observe(0.5)
+            histogram.observe_since(0.0)
+            assert start_timer() is None
+            assert counter.value == 0
+            assert gauge.value == 0.0
+            assert histogram.count == 0 and histogram.sum == 0.0
+        finally:
+            if was_enabled:
+                obs_metrics.enable()
+
+    def test_start_timer_returns_a_stamp_when_enabled(self, recording):
+        assert isinstance(start_timer(), float)
+
+
+class TestReset:
+    def test_reset_zeroes_in_place(self, registry, recording):
+        counter = registry.counter("c")
+        histogram = registry.histogram("h")
+        gauge = registry.gauge("g")
+        counter.inc(7)
+        histogram.observe(0.25)
+        gauge.set(9.0)
+        registry.reset()
+        # The same handles are still registered and record again.
+        assert counter.value == 0
+        assert histogram.count == 0
+        assert gauge.value == 0.0
+        counter.inc()
+        assert registry.counter("c") is counter
+        assert registry.snapshot().counters == (("c", "", 1),)
+
+
+def _single_shard_snapshot(values, labels=""):
+    """The snapshot one shard produces after observing ``values``."""
+    counts = [0] * BUCKET_COUNT
+    for value in values:
+        counts[bisect_right(HISTOGRAM_BOUNDS, value)] += 1
+    return RegistrySnapshot(
+        histograms=(("h", labels, tuple(counts), sum(values)),)
+    )
+
+
+class TestMergeProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        shards=st.lists(
+            st.lists(durations, max_size=30), min_size=1, max_size=5
+        )
+    )
+    def test_merge_equals_single_process_accumulation(self, shards):
+        """W per-shard histograms merge to the one-process histogram."""
+        merged = merge_snapshots(
+            [_single_shard_snapshot(values) for values in shards]
+        )
+        everything = [value for values in shards for value in values]
+        reference = _single_shard_snapshot(everything)
+        ((_, _, merged_counts, merged_sum),) = merged.histograms
+        ((_, _, reference_counts, reference_sum),) = reference.histograms
+        assert merged_counts == reference_counts  # exact, not approximate
+        assert merged_sum == pytest.approx(reference_sum)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        a=st.lists(durations, max_size=20),
+        b=st.lists(durations, max_size=20),
+        c=st.lists(durations, max_size=20),
+    )
+    def test_merge_is_associative_on_buckets(self, a, b, c):
+        sa, sb, sc = (
+            _single_shard_snapshot(values) for values in (a, b, c)
+        )
+        left = merge_snapshots([merge_snapshots([sa, sb]), sc])
+        right = merge_snapshots([sa, merge_snapshots([sb, sc])])
+        assert left.histograms[0][2] == right.histograms[0][2]
+        assert left.histograms[0][3] == pytest.approx(right.histograms[0][3])
+
+    def test_counters_add_and_gauges_relabel(self):
+        shard = RegistrySnapshot(
+            counters=(("c", "", 3),), gauges=(("g", "", 1.5),)
+        )
+        other = RegistrySnapshot(
+            counters=(("c", "", 4),), gauges=(("g", "", 2.5),)
+        )
+        merged = merge_snapshots([shard, other], gauge_labels=["shard=0", "shard=1"])
+        assert merged.counters == (("c", "", 7),)
+        assert merged.gauges == (("g", "shard=0", 1.5), ("g", "shard=1", 2.5))
+
+    def test_gauge_relabel_merges_into_existing_labels(self):
+        shard = RegistrySnapshot(gauges=(("g", "kind=knn", 1.0),))
+        merged = merge_snapshots([shard], gauge_labels=["shard=2"])
+        assert merged.gauges == (("g", "kind=knn,shard=2", 1.0),)
+
+    def test_mismatched_bucket_counts_refuse_to_merge(self):
+        good = _single_shard_snapshot([0.1])
+        bad = RegistrySnapshot(histograms=(("h", "", (1, 2, 3), 0.1),))
+        with pytest.raises(ConfigurationError):
+            merge_snapshots([good, bad])
+
+    def test_gauge_labels_length_mismatch_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_snapshots([RegistrySnapshot()], gauge_labels=["a=1", "b=2"])

@@ -1,0 +1,75 @@
+"""Golden-file test for the Prometheus text exposition.
+
+``render_prometheus`` must be byte-stable: scrape pipelines and the
+``insq stats --prometheus`` output diff cleanly only if the exposition of
+a fixed snapshot never drifts (ordering, float formatting, ``le`` bound
+rendering, the ``+Inf`` overflow bucket, cumulative bucket counts).
+The golden file ``golden_prometheus.txt`` pins all of it.
+"""
+
+import pathlib
+
+from repro.obs.metrics import BUCKET_COUNT, RegistrySnapshot, render_prometheus
+from repro.transport.codec import MetricsSnapshot
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_prometheus.txt"
+
+
+def _fixed_snapshot() -> RegistrySnapshot:
+    counts = [0] * BUCKET_COUNT
+    counts[0] = 2                 # fastest bucket (<= 1µs)
+    counts[10] = 5                # ~1ms
+    counts[BUCKET_COUNT - 1] = 1  # overflow (+Inf)
+    return RegistrySnapshot(
+        counters=(
+            ("insq_epochs_total", "", 42),
+            ("insq_retrievals_total", "outcome=absorbed", 7),
+            ("insq_retrievals_total", "outcome=recomputed", 3),
+        ),
+        gauges=(
+            ("insq_engine_epoch", "", 42.0),
+            ("insq_shard_epoch_lag", "shard=0", 0.0),
+            ("insq_shard_epoch_lag", "shard=1", 1.0),
+            ("insq_wal_group_batch_occupancy", "", 2.5),
+        ),
+        histograms=(
+            (
+                "insq_request_seconds",
+                "frame=PositionUpdate",
+                tuple(counts),
+                0.00534,
+            ),
+        ),
+    )
+
+
+class TestPrometheusGolden:
+    def test_rendering_matches_the_golden_file(self):
+        assert render_prometheus(_fixed_snapshot()) == GOLDEN_PATH.read_text()
+
+    def test_wire_frame_renders_identically(self):
+        """The codec frame and the registry snapshot are duck-equal."""
+        registry_shaped = _fixed_snapshot()
+        wire_shaped = MetricsSnapshot(
+            counters=registry_shaped.counters,
+            gauges=registry_shaped.gauges,
+            histograms=registry_shaped.histograms,
+        )
+        assert render_prometheus(wire_shaped) == GOLDEN_PATH.read_text()
+
+    def test_bucket_lines_are_cumulative_and_end_at_count(self):
+        text = render_prometheus(_fixed_snapshot())
+        lines = text.splitlines()
+        buckets = [
+            int(line.rsplit(" ", 1)[1])
+            for line in lines
+            if line.startswith("insq_request_seconds_bucket")
+        ]
+        assert buckets == sorted(buckets)  # cumulative never decreases
+        count = next(
+            int(line.rsplit(" ", 1)[1])
+            for line in lines
+            if line.startswith("insq_request_seconds_count")
+        )
+        assert buckets[-1] == count == 8
+        assert 'le="+Inf"' in lines[-3]

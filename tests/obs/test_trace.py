@@ -1,0 +1,87 @@
+"""Tests for the span tracer: clock injection, ring bound, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs.clock import set_clock
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def scripted_clock():
+    """Install a deterministic clock; every call advances by one second."""
+    ticks = {"now": 0.0}
+
+    def advance():
+        ticks["now"] += 1.0
+        return ticks["now"]
+
+    set_clock(advance)
+    yield ticks
+    set_clock(None)
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        tracer.add("work", 0.0, 1.0)
+        assert tracer.events() == ()
+
+    def test_span_times_with_the_injected_clock(self, scripted_clock):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("epoch", shard="0"):
+            pass  # enter reads tick 1, exit reads tick 2
+        (event,) = tracer.events()
+        assert event.name == "epoch"
+        assert event.start == 1.0
+        assert event.duration == 1.0  # exactly one tick — no flake
+        assert event.attrs == (("shard", "0"),)
+
+    def test_add_records_pre_timed_spans(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.add("maintain", 5.0, 0.25, metric="euclidean")
+        (event,) = tracer.events()
+        assert (event.start, event.duration) == (5.0, 0.25)
+        assert event.attrs == (("metric", "euclidean"),)
+
+    def test_ring_buffer_is_bounded(self):
+        tracer = Tracer(capacity=4)
+        tracer.enable()
+        for index in range(10):
+            tracer.add(f"span-{index}", float(index), 0.1)
+        events = tracer.events()
+        assert len(events) == 4
+        assert [event.name for event in events] == [
+            "span-6", "span-7", "span-8", "span-9",
+        ]  # newest window survives, oldest fell off
+
+    def test_reset_clears_and_disable_keeps_the_ring(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.add("a", 0.0, 1.0)
+        tracer.disable()
+        tracer.add("b", 0.0, 1.0)  # not recorded
+        assert [event.name for event in tracer.events()] == ["a"]
+        tracer.reset()
+        assert tracer.events() == ()
+
+    def test_chrome_export_is_valid_jsonl_in_microseconds(self, tmp_path):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.add("request", 2.0, 0.5, frame="PositionUpdate")
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_chrome(str(path)) == 1
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["ph"] == "X"
+        assert record["name"] == "request"
+        assert record["ts"] == pytest.approx(2.0e6)
+        assert record["dur"] == pytest.approx(0.5e6)
+        assert record["args"] == {"frame": "PositionUpdate"}
+        assert isinstance(record["pid"], int) and isinstance(record["tid"], int)

@@ -1,0 +1,65 @@
+"""Timing hygiene: one clock seam, no wall-clock time in hot paths.
+
+Two rules, enforced by grepping the source tree so they can never rot:
+
+* ``time.time()`` is banned everywhere in ``src/repro`` — it is a
+  wall-clock subject to NTP steps, so a latency measured with it can go
+  negative; every duration must come from the monotonic seam.
+* ``time.perf_counter`` may appear **only** in ``repro/obs/clock.py``,
+  the injectable clock seam.  Every other module must time through
+  :func:`repro.obs.clock.clock` (directly or via
+  :func:`repro.obs.metrics.start_timer`), so tests can script time and
+  the obs-off path can skip clock reads entirely.
+
+``time.monotonic`` / ``time.sleep`` stay allowed: deadlines and pacing
+are not measurements.
+"""
+
+import pathlib
+import re
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+CLOCK_SEAM = SRC_ROOT / "obs" / "clock.py"
+
+
+def _source_files():
+    files = sorted(SRC_ROOT.rglob("*.py"))
+    assert files, f"no sources under {SRC_ROOT}"
+    return files
+
+
+def _offending_lines(path, pattern):
+    offenders = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        code = line.split("#", 1)[0]  # comments may discuss the ban
+        if re.search(pattern, code):
+            offenders.append(f"{path.relative_to(SRC_ROOT.parent)}:{number}: {line.strip()}")
+    return offenders
+
+
+class TestTimingHygiene:
+    def test_no_wall_clock_time_anywhere(self):
+        offenders = []
+        for path in _source_files():
+            if path == CLOCK_SEAM:
+                continue  # its docstring documents this very ban
+            offenders += _offending_lines(path, r"\btime\.time\s*\(")
+        assert not offenders, (
+            "wall-clock time.time() found (use the repro.obs.clock seam):\n"
+            + "\n".join(offenders)
+        )
+
+    def test_perf_counter_only_inside_the_clock_seam(self):
+        offenders = []
+        for path in _source_files():
+            if path == CLOCK_SEAM:
+                continue
+            offenders += _offending_lines(path, r"perf_counter")
+        assert not offenders, (
+            "perf_counter outside repro/obs/clock.py bypasses the clock "
+            "seam (import repro.obs.clock.clock instead):\n"
+            + "\n".join(offenders)
+        )
+
+    def test_the_seam_itself_uses_perf_counter(self):
+        assert "perf_counter" in CLOCK_SEAM.read_text()
